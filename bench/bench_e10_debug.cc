@@ -1,0 +1,84 @@
+// E10 — debugging overhead (§3.3).
+//
+// Series: ms/tick for the 4k-unit RTS battle with each debug facility
+// enabled — none / effect tracer (one watched NPC) / per-tick checksum
+// replay log / per-tick full checkpoint. Expected shape: tracer ≈ baseline
+// (pay-as-you-go pointer check), checksum a small linear add-on, full
+// checkpointing the most expensive (state-size-proportional copy) — which
+// is why the replay log only snapshots periodically.
+
+#include "bench/bench_util.h"
+#include "src/debug/checkpoint.h"
+#include "src/debug/tracer.h"
+
+namespace {
+
+constexpr int kUnits = 4096;
+
+void BM_DebugOff(benchmark::State& state) {
+  auto engine = sgl_bench::BuildRts(kUnits, sgl::PlanMode::kStaticRangeTree);
+  sgl_bench::Warmup(engine.get());
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+}
+
+void BM_TracerOneEntity(benchmark::State& state) {
+  auto engine = sgl_bench::BuildRts(kUnits, sgl::PlanMode::kStaticRangeTree);
+  sgl::EffectTracer tracer;
+  tracer.Watch(engine->world().table(0).id_at(0));
+  engine->SetTracer(&tracer);
+  sgl_bench::Warmup(engine.get());
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+  state.counters["records"] = static_cast<double>(tracer.size());
+}
+
+void BM_ReplayChecksum(benchmark::State& state) {
+  auto engine = sgl_bench::BuildRts(kUnits, sgl::PlanMode::kStaticRangeTree);
+  sgl::ReplayLog log;
+  sgl_bench::Warmup(engine.get());
+  sgl::Tick t = 0;
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    log.Record(engine->world(), t++);
+  }
+}
+
+void BM_CheckpointEveryTick(benchmark::State& state) {
+  auto engine = sgl_bench::BuildRts(kUnits, sgl::PlanMode::kStaticRangeTree);
+  sgl_bench::Warmup(engine.get());
+  size_t bytes = 0;
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    sgl::Checkpoint cp = engine->TakeCheckpoint();
+    bytes = cp.state.size();
+    benchmark::DoNotOptimize(cp);
+  }
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_CheckpointRestoreRoundTrip(benchmark::State& state) {
+  auto engine = sgl_bench::BuildRts(kUnits, sgl::PlanMode::kStaticRangeTree);
+  sgl_bench::Warmup(engine.get());
+  sgl::Checkpoint cp = engine->TakeCheckpoint();
+  for (auto _ : state) {
+    if (!engine->Restore(cp).ok()) state.SkipWithError("restore failed");
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+}
+
+BENCHMARK(BM_DebugOff)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+BENCHMARK(BM_TracerOneEntity)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+BENCHMARK(BM_ReplayChecksum)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+BENCHMARK(BM_CheckpointEveryTick)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+BENCHMARK(BM_CheckpointRestoreRoundTrip)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// E3 — transaction throughput and abort behaviour under contention (§3.1).
+//
+// Series: ticks/s, committed txns per tick, and abort rate as the number of
+// buyers contesting each item grows. Expected shape: issued txns grow with
+// contention, commits per contested item stay at ~1, so the abort rate
+// climbs toward (contention-1)/contention; consistency (checked in tests,
+// re-asserted here via counters) never breaks.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void BM_MarketContention(benchmark::State& state) {
+  sgl::MarketConfig config;
+  config.num_traders = 256;
+  config.num_items = 512;
+  config.contention = static_cast<int>(state.range(0));
+  config.active_fraction = 0.25;
+  auto engine =
+      sgl::MarketWorkload::Build(config, sgl_bench::Options(
+                                             sgl::PlanMode::kCostBased));
+  if (!engine.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  sgl::Rng rng(1234);
+  int64_t issued = 0, committed = 0, aborted = 0;
+  bool consistent = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sgl::MarketWorkload::AssignWants(engine->get(), config, &rng);
+    state.ResumeTiming();
+    if (!(*engine)->Tick().ok()) state.SkipWithError("tick failed");
+    const sgl::TxnStats& txn = (*engine)->last_stats().txn;
+    issued += txn.issued;
+    committed += txn.committed;
+    aborted += txn.aborted;
+    state.PauseTiming();
+    consistent =
+        consistent && sgl::MarketWorkload::OwnershipConsistent(engine->get());
+    state.ResumeTiming();
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["issued/tick"] = static_cast<double>(issued) / n;
+  state.counters["committed/tick"] = static_cast<double>(committed) / n;
+  state.counters["abort_rate"] =
+      issued > 0 ? static_cast<double>(aborted) / static_cast<double>(issued)
+                 : 0.0;
+  state.counters["consistent"] = consistent ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_MarketContention)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+// Admission-engine microbenchmark: cost of the greedy feasible-subset pass
+// itself as the intent count grows (bank-style single-field deltas).
+void BM_AdmissionThroughput(benchmark::State& state) {
+  const char* bank = R"sgl(
+class Account {
+  state:
+    number balance = 100;
+    number amount = 1;
+}
+script W for Account {
+  atomic "wd" require(balance >= 0) { balance <- -amount; }
+}
+)sgl";
+  auto engine = sgl::Engine::Create(bank);
+  if (!engine.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    if (!(*engine)->Spawn("Account", {}).ok()) {
+      state.SkipWithError("spawn failed");
+    }
+  }
+  for (auto _ : state) {
+    if (!(*engine)->Tick().ok()) state.SkipWithError("tick failed");
+  }
+  state.counters["txns/s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_AdmissionThroughput)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// E4 — waitNextTick desugaring overhead (§3.2).
+//
+// The paper: "there is a direct translation between multi-tick programs
+// using waitNextTick and standard single-tick SGL programs. We can simply
+// reintroduce state variables and conditions." This bench compares the
+// compiler's PC desugaring against exactly that hand-written translation —
+// an explicit `phase` state variable with if-chains. Expected shape: the
+// two are within a few percent (the desugared form IS the state machine).
+
+#include "bench/bench_util.h"
+
+namespace {
+
+// Three-phase move / collect / strike loop, written with waitNextTick.
+const char* kSugar = R"sgl(
+class Bot {
+  state:
+    number x = 0;
+    number work = 0;
+  effects:
+    number vx : avg;
+    number dw : sum;
+  update:
+    x = x + vx;
+    work = work + dw;
+}
+script Cycle for Bot {
+  vx <- 1;
+  waitNextTick;
+  dw <- 2;
+  waitNextTick;
+  vx <- -1;
+  dw <- 1;
+}
+)sgl";
+
+// The same behaviour hand-desugared: explicit phase variable + dispatch.
+const char* kManual = R"sgl(
+class Bot {
+  state:
+    number x = 0;
+    number work = 0;
+    number phase = 0;
+  effects:
+    number vx : avg;
+    number dw : sum;
+    number next_phase : last;
+  update:
+    x = x + vx;
+    work = work + dw;
+    phase = next_phase;
+}
+script Cycle for Bot {
+  if (phase == 0) {
+    vx <- 1;
+    next_phase <- 1;
+  }
+  if (phase == 1) {
+    dw <- 2;
+    next_phase <- 2;
+  }
+  if (phase == 2) {
+    vx <- -1;
+    dw <- 1;
+    next_phase <- 0;
+  }
+}
+)sgl";
+
+std::unique_ptr<sgl::Engine> Build(const char* src, int n) {
+  auto engine = sgl::Engine::Create(src);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    std::abort();
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!(*engine)->Spawn("Bot", {}).ok()) std::abort();
+  }
+  return std::move(engine).value();
+}
+
+void BM_WaitNextTick(benchmark::State& state) {
+  auto engine = Build(kSugar, static_cast<int>(state.range(0)));
+  sgl_bench::Warmup(engine.get());
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+}
+
+void BM_HandWrittenStateMachine(benchmark::State& state) {
+  auto engine = Build(kManual, static_cast<int>(state.range(0)));
+  sgl_bench::Warmup(engine.get());
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+}
+
+BENCHMARK(BM_WaitNextTick)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(131072)
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_HandWrittenStateMachine)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(131072)
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.05);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+// E7 — range-tree space: the paper's Θ(n·log^(d−1) n) analysis (§4.2).
+//
+// "Each of these trees takes Θ(n·log^(d−1) n) space ... a tree with 100,000
+// entries of 16 bytes each takes about 2 GB to store. As the dimensionality
+// and number of characters increase, this will quickly exhaust the main
+// memory of a single machine."
+//
+// Output 1 (table): measured bytes vs. the formula for n × d, plus
+// bytes/entry — the series that motivates index partitioning.
+// Output 2 (table): k-way partitioned tree — max-per-shard memory drops
+// ~1/k (each machine of the simulated shared-nothing cluster holds 1/k).
+// Output 3 (benchmarks): build and query time for tree vs. grid.
+
+#include <cinttypes>
+
+#include "bench/bench_util.h"
+#include "src/index/grid_index.h"
+#include "src/index/partitioned_index.h"
+#include "src/index/range_tree.h"
+
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(size_t n, int d,
+                                              uint64_t seed) {
+  sgl::Rng rng(seed);
+  std::vector<std::vector<double>> coords(
+      static_cast<size_t>(d), std::vector<double>(n));
+  for (auto& dim : coords) {
+    for (double& v : dim) v = rng.Uniform(0, 1000);
+  }
+  return coords;
+}
+
+void PrintMemoryTables() {
+  std::printf(
+      "\n== E7a: range-tree memory vs n, d "
+      "(paper: Theta(n log^(d-1) n)) ==\n");
+  std::printf("%10s %4s %16s %16s %12s\n", "n", "d", "measured_bytes",
+              "formula_bytes", "bytes/entry");
+  for (int d : {1, 2, 3}) {
+    for (size_t n : {size_t{1024}, size_t{8192}, size_t{32768},
+                     size_t{131072}}) {
+      if (d == 3 && n > 32768) continue;  // keep the harness fast
+      sgl::RangeTree tree(d);
+      tree.Build(RandomPoints(n, d, 7 * n + static_cast<size_t>(d)));
+      size_t measured = tree.MemoryBytes();
+      size_t formula = sgl::RangeTree::TheoreticalBytes(n, d, 16);
+      std::printf("%10zu %4d %16zu %16zu %12.1f\n", n, d, measured, formula,
+                  static_cast<double>(measured) / static_cast<double>(n));
+    }
+  }
+  std::printf(
+      "\n== E7b: k-way partitioned tree (shared-nothing simulation) ==\n");
+  std::printf("%8s %16s %16s\n", "shards", "max_shard_bytes", "total_bytes");
+  for (int shards : {1, 2, 4, 8, 16}) {
+    sgl::PartitionedIndex index(2, shards);
+    index.Build(RandomPoints(65536, 2, 99));
+    std::printf("%8d %16zu %16zu\n", shards, index.MaxShardMemoryBytes(),
+                index.TotalMemoryBytes());
+  }
+  std::printf("\n");
+}
+
+void BM_TreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  auto coords = RandomPoints(n, d, 5);
+  for (auto _ : state) {
+    sgl::RangeTree tree(d);
+    auto copy = coords;
+    tree.Build(std::move(copy));
+    benchmark::DoNotOptimize(tree.MemoryBytes());
+  }
+}
+
+void BM_GridBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  auto coords = RandomPoints(n, d, 5);
+  for (auto _ : state) {
+    sgl::GridIndex grid(d);
+    auto copy = coords;
+    grid.Build(std::move(copy));
+    benchmark::DoNotOptimize(grid.MemoryBytes());
+  }
+}
+
+void BM_TreeQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  sgl::RangeTree tree(d);
+  tree.Build(RandomPoints(n, d, 5));
+  sgl::Rng rng(6);
+  std::vector<sgl::RowIdx> out;
+  for (auto _ : state) {
+    std::vector<double> lo(static_cast<size_t>(d)), hi(static_cast<size_t>(d));
+    for (int k = 0; k < d; ++k) {
+      double c = rng.Uniform(0, 1000);
+      lo[static_cast<size_t>(k)] = c - 20;
+      hi[static_cast<size_t>(k)] = c + 20;
+    }
+    out.clear();
+    tree.Query(lo.data(), hi.data(), &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+
+void BM_GridQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  sgl::GridIndex grid(d);
+  grid.Build(RandomPoints(n, d, 5));
+  sgl::Rng rng(6);
+  std::vector<sgl::RowIdx> out;
+  for (auto _ : state) {
+    std::vector<double> lo(static_cast<size_t>(d)), hi(static_cast<size_t>(d));
+    for (int k = 0; k < d; ++k) {
+      double c = rng.Uniform(0, 1000);
+      lo[static_cast<size_t>(k)] = c - 20;
+      hi[static_cast<size_t>(k)] = c + 20;
+    }
+    out.clear();
+    grid.Query(lo.data(), hi.data(), &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+
+BENCHMARK(BM_TreeBuild)
+    ->Args({16384, 2})
+    ->Args({65536, 2})
+    ->Args({16384, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_GridBuild)
+    ->Args({16384, 2})
+    ->Args({65536, 2})
+    ->Args({16384, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_TreeQuery)
+    ->Args({65536, 2})
+    ->Args({16384, 3})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_GridQuery)
+    ->Args({65536, 2})
+    ->Args({16384, 3})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.05);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintMemoryTables();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E8 — large-scale traffic simulation (§4.2): "we are currently working on
+// a project to simulate traffic networks with millions of vehicles."
+//
+// Series: ms/tick and vehicle-ticks/s for the car-following workload as the
+// fleet grows, under the cost-based planner (which can pick the 1-D range
+// tree, the grid, or the lane-hash join) vs the nested-loop floor. Expected
+// shape: cost-based scales near-linearly; NL blows up quadratically — the
+// gap is what makes "millions of vehicles" thinkable at all.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+std::unique_ptr<sgl::Engine> BuildTraffic(int vehicles, sgl::PlanMode mode,
+                                          int threads = 1) {
+  sgl::TrafficConfig config;
+  config.num_vehicles = vehicles;
+  config.num_lanes = 32;
+  auto engine = sgl::TrafficWorkload::Build(
+      config, sgl_bench::Options(mode, false, threads));
+  if (!engine.ok()) std::abort();
+  return std::move(engine).value();
+}
+
+void BM_TrafficCostBased(benchmark::State& state) {
+  auto engine = BuildTraffic(static_cast<int>(state.range(0)),
+                             sgl::PlanMode::kCostBased);
+  sgl_bench::Warmup(engine.get());
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+  state.counters["vehicle_ticks/s"] = benchmark::Counter(
+      static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["mean_speed"] =
+      sgl::TrafficWorkload::MeanSpeed(engine.get());
+}
+
+void BM_TrafficNestedLoop(benchmark::State& state) {
+  auto engine = BuildTraffic(static_cast<int>(state.range(0)),
+                             sgl::PlanMode::kStaticNL);
+  sgl_bench::Warmup(engine.get());
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+  state.counters["vehicle_ticks/s"] = benchmark::Counter(
+      static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_TrafficParallel(benchmark::State& state) {
+  auto engine = BuildTraffic(100000, sgl::PlanMode::kCostBased,
+                             static_cast<int>(state.range(0)));
+  sgl_bench::Warmup(engine.get());
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["vehicle_ticks/s"] = benchmark::Counter(
+      100000.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_TrafficCostBased)
+    ->Arg(10000)
+    ->Arg(30000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_TrafficNestedLoop)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+BENCHMARK(BM_TrafficParallel)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

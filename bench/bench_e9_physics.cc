@@ -1,0 +1,110 @@
+// E9 — the physics engine as an update component (§2.2).
+//
+// Series 1: physics update cost vs entity count at fixed density (expected
+// ~O(n + collisions) thanks to the grid broad phase).
+// Series 2: intention-override rate vs crowd density — the paper's point
+// that "the output of the physics engine often does not correspond exactly
+// to the effect assignments of any individual script" made measurable.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/update/physics.h"
+
+namespace {
+
+const char* kSwarm = R"sgl(
+class Body {
+  state:
+    number x = 0;
+    number y = 0;
+    number vx = 0;
+    number vy = 0;
+  effects:
+    number fx : sum;
+    number fy : sum;
+}
+script Seek for Body {
+  // Everyone pushes toward the arena centre: guaranteed crowding.
+  if (x < 500) { fx <- 0.3; } else { fx <- -0.3; }
+  if (y < 500) { fy <- 0.3; } else { fy <- -0.3; }
+}
+)sgl";
+
+std::unique_ptr<sgl::Engine> BuildSwarm(int n, double arena,
+                                        sgl::PhysicsComponent** physics_out) {
+  auto engine = sgl::Engine::Create(kSwarm);
+  if (!engine.ok()) std::abort();
+  sgl::PhysicsConfig config;
+  config.cls = "Body";
+  config.default_radius = 1.0;
+  config.max_x = arena;
+  config.max_y = arena;
+  config.max_speed = 3;
+  auto comp = sgl::PhysicsComponent::Create((*engine)->catalog(), config);
+  if (!comp.ok()) std::abort();
+  *physics_out = comp->get();
+  if (!(*engine)->AddComponent(std::move(*comp)).ok()) std::abort();
+  sgl::Rng rng(77);
+  for (int i = 0; i < n; ++i) {
+    auto id = (*engine)->Spawn(
+        "Body", {{"x", sgl::Value::Number(rng.Uniform(0, arena))},
+                 {"y", sgl::Value::Number(rng.Uniform(0, arena))}});
+    if (!id.ok()) std::abort();
+  }
+  return std::move(engine).value();
+}
+
+void BM_PhysicsScaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  // Fixed density: arena area grows with n.
+  const double arena = std::sqrt(static_cast<double>(n)) * 12.0;
+  sgl::PhysicsComponent* physics = nullptr;
+  auto engine = BuildSwarm(n, arena, &physics);
+  sgl_bench::Warmup(engine.get());
+  int64_t collisions = 0;
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    collisions += physics->last_tick().collision_pairs;
+  }
+  state.counters["collisions/tick"] =
+      static_cast<double>(collisions) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_PhysicsOverrideRate(benchmark::State& state) {
+  // Density sweep at fixed n: smaller arena -> more crowding -> more of the
+  // scripts' intentions overridden by the solver.
+  const int n = 4096;
+  const double arena = static_cast<double>(state.range(0));
+  sgl::PhysicsComponent* physics = nullptr;
+  auto engine = BuildSwarm(n, arena, &physics);
+  sgl_bench::Warmup(engine.get());
+  int64_t overrides = 0;
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    overrides += physics->last_tick().position_overrides;
+  }
+  state.counters["override_rate"] =
+      static_cast<double>(overrides) /
+      (static_cast<double>(state.iterations()) * n);
+  state.counters["arena"] = arena;
+}
+
+BENCHMARK(BM_PhysicsScaling)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+BENCHMARK(BM_PhysicsOverrideRate)
+    ->Arg(1600)   // dense
+    ->Arg(800)    // denser
+    ->Arg(400)    // crush
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Shared helpers for the experiment harnesses (E1–E10). Every bench binary
+// prints the series the experiment's table/figure plots; absolute numbers
+// are machine-dependent, the *shape* is what EXPERIMENTS.md records.
+
+#ifndef SGL_BENCH_BENCH_UTIL_H_
+#define SGL_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/sim/market.h"
+#include "src/sim/rts.h"
+#include "src/sim/traffic.h"
+
+namespace sgl_bench {
+
+inline sgl::EngineOptions Options(sgl::PlanMode mode,
+                                  bool interpreted = false,
+                                  int threads = 1) {
+  sgl::EngineOptions options;
+  options.exec.planner.mode = mode;
+  options.exec.interpreted = interpreted;
+  options.exec.num_threads = threads;
+  return options;
+}
+
+inline std::unique_ptr<sgl::Engine> BuildRts(int units, sgl::PlanMode mode,
+                                             bool interpreted = false,
+                                             int threads = 1,
+                                             bool clustered = false) {
+  sgl::RtsConfig config;
+  config.num_units = units;
+  config.clustered = clustered;
+  auto engine =
+      sgl::RtsWorkload::Build(config, Options(mode, interpreted, threads));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(engine).value();
+}
+
+/// One warm-up tick (builds indexes, seeds stats) before timing.
+inline void Warmup(sgl::Engine* engine) {
+  if (!engine->Tick().ok()) std::abort();
+}
+
+}  // namespace sgl_bench
+
+#endif  // SGL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,100 @@
+// Quickstart: the paper's Figure 1 class and Figure 2 accum-loop, running
+// end to end — write SGL, spawn entities, tick, inspect.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/engine/engine.h"
+
+namespace {
+
+// A Unit class in the style of the paper's Figure 1, a behavior script with
+// the Figure 2 range-count accum loop, and expression update rules (§2.2).
+const char* kProgram = R"sgl(
+class Unit {
+  state:
+    number player = 0;
+    number x = 0;
+    number y = 0;
+    number health = 100;
+    number range = 12;
+  effects:
+    number vx : avg;
+    number vy : avg;
+    number damage : sum;
+  update:
+    x = x + vx;
+    y = y + vy;
+    health = health - damage;
+}
+
+script Wander for Unit {
+  // March to the right...
+  vx <- 1;
+  vy <- 0;
+  // ...but count the neighbours within `range` (Figure 2)...
+  accum number cnt with sum over Unit u from Unit {
+    if (u.x >= x - range && u.x <= x + range &&
+        u.y >= y - range && u.y <= y + range) {
+      cnt <- 1;
+    }
+  } in {
+    // ...and back off when it gets crowded.
+    if (cnt > 4) {
+      vx <- -1;
+    }
+  }
+}
+)sgl";
+
+}  // namespace
+
+int main() {
+  sgl::EngineOptions options;
+  auto engine_or = sgl::Engine::Create(kProgram, options);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<sgl::Engine> engine = std::move(engine_or).value();
+
+  std::printf("== compiled plans ==\n%s\n", engine->ExplainPlans().c_str());
+
+  // Two squads: a tight cluster and a sparse line.
+  std::vector<sgl::EntityId> units;
+  for (int i = 0; i < 8; ++i) {
+    auto id = engine->Spawn(
+        "Unit", {{"x", sgl::Value::Number(10 + (i % 3))},
+                 {"y", sgl::Value::Number(10 + (i / 3))}});
+    units.push_back(id.value());
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto id = engine->Spawn("Unit", {{"x", sgl::Value::Number(100 + 40 * i)},
+                                     {"y", sgl::Value::Number(50)}});
+    units.push_back(id.value());
+  }
+
+  sgl::Status st = engine->RunTicks(10);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tick failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  sgl::Inspector inspector = engine->inspector();
+  std::printf("== after 10 ticks ==\n");
+  std::printf("%s\n", inspector.DescribeClass("Unit").c_str());
+  for (size_t i = 0; i < units.size(); i += 4) {
+    std::printf("%s\n", inspector.DescribeEntity(units[i]).c_str());
+  }
+
+  // Clustered units should have oscillated (avg of +1 and -1 pulls them
+  // back); the sparse line should have marched right ~1 per tick.
+  double clustered_x = engine->Get(units[0], "x")->AsNumber();
+  double sparse_x = engine->Get(units[8], "x")->AsNumber();
+  std::printf("clustered unit x: %.1f (started 10)\n", clustered_x);
+  std::printf("sparse    unit x: %.1f (started 100)\n", sparse_x);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation (splitmix64 / xoshiro256**).
+//
+// All stochastic behaviour in SGL workload generators flows through Rng so
+// that runs are bit-reproducible given a seed — a prerequisite for the
+// checkpoint/replay debugger (§3.3) and for parallel-determinism tests.
+
+#ifndef SGL_COMMON_RNG_H_
+#define SGL_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace sgl {
+
+/// Fast, seedable, deterministic PRNG (xoshiro256** seeded via splitmix64).
+/// Not cryptographic. Copyable: copies continue the same stream independently.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from one 64-bit value.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(&x);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n) {
+    SGL_DCHECK(n > 0);
+    // Lemire's multiply-shift rejection-free approximation is fine here.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    SGL_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static uint64_t SplitMix64(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace sgl
+
+#endif  // SGL_COMMON_RNG_H_

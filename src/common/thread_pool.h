@@ -1,0 +1,57 @@
+// Fixed-size worker pool used by the parallel executor (§4.2).
+//
+// The executor submits batches of independent closures (one per morsel) and
+// waits for the whole batch; there is no cross-task synchronization because
+// the query and effect phases are read-only over state (the paper's core
+// parallelism argument).
+
+#ifndef SGL_COMMON_THREAD_POOL_H_
+#define SGL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sgl {
+
+/// A simple fixed-size thread pool with a blocking batch-wait primitive.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void WaitIdle();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Work is pre-partitioned: task i is a fixed unit, so the decomposition
+  /// (and therefore any order-keyed merge) is independent of thread count.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals WaitIdle
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_COMMON_THREAD_POOL_H_

@@ -1,0 +1,62 @@
+// Fundamental identifier and scalar typedefs shared by all SGL modules.
+
+#ifndef SGL_COMMON_TYPES_H_
+#define SGL_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgl {
+
+/// Stable identifier for a game entity (NPC, vehicle, item, ...).
+/// Ids are unique across classes for the lifetime of a World; 0 is "null".
+using EntityId = int64_t;
+
+/// The null entity reference.
+inline constexpr EntityId kNullEntity = 0;
+
+/// Discrete simulation timestep counter. Tick 0 is the state before any step.
+using Tick = int64_t;
+
+/// Dense row position inside one class's entity table. Invalidated by
+/// compaction; never stored across ticks (use EntityId for that).
+using RowIdx = uint32_t;
+
+/// Sentinel for "no row".
+inline constexpr RowIdx kInvalidRow = static_cast<RowIdx>(-1);
+
+/// Index of a class in the catalog.
+using ClassId = int32_t;
+inline constexpr ClassId kInvalidClass = -1;
+
+/// Index of a field (state or effect variable) inside its class.
+using FieldIdx = int32_t;
+inline constexpr FieldIdx kInvalidField = -1;
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "SGL_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace sgl
+
+/// Fatal invariant check, enabled in all build modes.
+#define SGL_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) ::sgl::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+/// Debug-only invariant check.
+#ifdef NDEBUG
+#define SGL_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define SGL_DCHECK(expr) SGL_CHECK(expr)
+#endif
+
+#endif  // SGL_COMMON_TYPES_H_

@@ -1,0 +1,75 @@
+#include "src/common/value.h"
+
+#include <cstdio>
+
+namespace sgl {
+
+void EntitySet::Normalize() {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool EntitySet::Insert(EntityId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return false;
+  ids_.insert(it, id);
+  return true;
+}
+
+bool EntitySet::Erase(EntityId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return false;
+  ids_.erase(it);
+  return true;
+}
+
+void EntitySet::UnionWith(const EntitySet& other) {
+  std::vector<EntityId> merged;
+  merged.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(merged));
+  ids_ = std::move(merged);
+}
+
+void EntitySet::IntersectWith(const EntitySet& other) {
+  std::vector<EntityId> merged;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(merged));
+  ids_ = std::move(merged);
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsNumber());
+      return buf;
+    }
+    case ValueKind::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueKind::kRef: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "@%lld",
+                    static_cast<long long>(AsRef()));
+      return buf;
+    }
+    case ValueKind::kSet: {
+      std::string out = "{";
+      bool first = true;
+      for (EntityId id : AsSet()) {
+        if (!first) out += ",";
+        first = false;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(id));
+        out += buf;
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const { return v_ == other.v_; }
+
+}  // namespace sgl

@@ -1,0 +1,122 @@
+// Runtime Value: the boxed representation used at API boundaries
+// (Engine::Get/Set, spawning, debugger output). The execution engine itself
+// operates on unboxed columns; Value is only for the edges.
+
+#ifndef SGL_COMMON_VALUE_H_
+#define SGL_COMMON_VALUE_H_
+
+#include <algorithm>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace sgl {
+
+/// A sorted, duplicate-free set of entity ids. The canonical runtime
+/// representation of SGL's `set<C>` type.
+class EntitySet {
+ public:
+  EntitySet() = default;
+  explicit EntitySet(std::vector<EntityId> ids) : ids_(std::move(ids)) {
+    Normalize();
+  }
+
+  /// Inserts id; returns true if it was not already present.
+  bool Insert(EntityId id);
+  /// Removes id; returns true if it was present.
+  bool Erase(EntityId id);
+  bool Contains(EntityId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  void clear() { ids_.clear(); }
+
+  /// Set union with other, in place.
+  void UnionWith(const EntitySet& other);
+  /// Set intersection with other, in place.
+  void IntersectWith(const EntitySet& other);
+
+  const std::vector<EntityId>& ids() const { return ids_; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  bool operator==(const EntitySet& other) const { return ids_ == other.ids_; }
+
+ private:
+  void Normalize();
+  std::vector<EntityId> ids_;  // Always sorted, unique.
+};
+
+/// Tag for the dynamic type held by a Value.
+enum class ValueKind : uint8_t { kNumber, kBool, kRef, kSet };
+
+/// Boxed SGL runtime value. `number` is IEEE double, `bool` is bool,
+/// `ref<C>` is an EntityId (kNullEntity when null), `set<C>` is an EntitySet.
+class Value {
+ public:
+  Value() : v_(0.0) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(bool b) : v_(b) {}
+  static Value Number(double d) { return Value(d); }
+  static Value Bool(bool b) { return Value(b); }
+  static Value Ref(EntityId id) {
+    Value v;
+    v.v_ = RefBox{id};
+    return v;
+  }
+  static Value Set(EntitySet s) {
+    Value v;
+    v.v_ = std::move(s);
+    return v;
+  }
+
+  ValueKind kind() const {
+    switch (v_.index()) {
+      case 0: return ValueKind::kNumber;
+      case 1: return ValueKind::kBool;
+      case 2: return ValueKind::kRef;
+      default: return ValueKind::kSet;
+    }
+  }
+
+  bool is_number() const { return kind() == ValueKind::kNumber; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_ref() const { return kind() == ValueKind::kRef; }
+  bool is_set() const { return kind() == ValueKind::kSet; }
+
+  double AsNumber() const {
+    SGL_CHECK(is_number());
+    return std::get<double>(v_);
+  }
+  bool AsBool() const {
+    SGL_CHECK(is_bool());
+    return std::get<bool>(v_);
+  }
+  EntityId AsRef() const {
+    SGL_CHECK(is_ref());
+    return std::get<RefBox>(v_).id;
+  }
+  const EntitySet& AsSet() const {
+    SGL_CHECK(is_set());
+    return std::get<EntitySet>(v_);
+  }
+
+  /// Renders the value for debugging ("3.5", "true", "@42", "{1,2,3}").
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  struct RefBox {
+    EntityId id;
+    bool operator==(const RefBox& o) const { return id == o.id; }
+  };
+  std::variant<double, bool, RefBox, EntitySet> v_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_COMMON_VALUE_H_

@@ -1,0 +1,93 @@
+#include "src/debug/checkpoint.h"
+
+namespace sgl {
+
+Checkpoint TakeCheckpoint(const World& world, Tick tick) {
+  Checkpoint cp;
+  cp.tick = tick;
+  world.Serialize(&cp.state);
+  return cp;
+}
+
+Status RestoreCheckpoint(const Checkpoint& cp, World* world) {
+  return world->Deserialize(cp.state);
+}
+
+uint64_t WorldChecksum(const World& world) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix_bytes = [&h](const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const Catalog& catalog = world.catalog();
+  for (ClassId c = 0; c < catalog.num_classes(); ++c) {
+    const EntityTable& table = world.table(c);
+    const ClassDef& def = catalog.Get(c);
+    for (size_t i = 0; i < table.size(); ++i) {
+      EntityId id = table.id_at(static_cast<RowIdx>(i));
+      mix_bytes(&id, sizeof(id));
+    }
+    for (const FieldDef& f : def.state_fields()) {
+      for (size_t i = 0; i < table.size(); ++i) {
+        RowIdx r = static_cast<RowIdx>(i);
+        switch (f.type.kind) {
+          case TypeKind::kNumber: {
+            double v = table.Num(f.index)[r];
+            mix_bytes(&v, sizeof(v));
+            break;
+          }
+          case TypeKind::kBool: {
+            uint8_t v = table.BoolCol(f.index)[r];
+            mix_bytes(&v, sizeof(v));
+            break;
+          }
+          case TypeKind::kRef: {
+            EntityId v = table.RefCol(f.index)[r];
+            mix_bytes(&v, sizeof(v));
+            break;
+          }
+          case TypeKind::kSet: {
+            const EntitySet& v = table.SetCol(f.index)[r];
+            for (EntityId e : v) mix_bytes(&e, sizeof(e));
+            size_t n = v.size();
+            mix_bytes(&n, sizeof(n));
+            break;
+          }
+        }
+      }
+    }
+  }
+  return h;
+}
+
+void ReplayLog::Record(const World& world, Tick tick) {
+  checksums_.push_back(WorldChecksum(world));
+  if (checkpoint_every_ > 0 && tick % checkpoint_every_ == 0) {
+    checkpoints_.push_back(TakeCheckpoint(world, tick));
+  }
+}
+
+int64_t ReplayLog::FirstDivergence(const ReplayLog& other) const {
+  size_t n = std::min(checksums_.size(), other.checksums_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (checksums_[i] != other.checksums_[i]) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+const Checkpoint* ReplayLog::LatestCheckpointBefore(Tick tick) const {
+  const Checkpoint* best = nullptr;
+  for (const Checkpoint& cp : checkpoints_) {
+    if (cp.tick <= tick && (best == nullptr || cp.tick > best->tick)) {
+      best = &cp;
+    }
+  }
+  return best;
+}
+
+}  // namespace sgl

@@ -1,0 +1,65 @@
+// Checkpointing and replay logging (§3.3: "SGL should include support for
+// logging, including resumable checkpoints").
+//
+// Checkpoints are taken at tick boundaries (effect buffers empty by
+// construction) and capture the complete World plus the tick counter.
+// Restoring and resuming is bit-equivalent to having never stopped — a
+// property test (checkpoint_test) asserts it. The replay log captures a
+// cheap per-tick state checksum so two runs can be compared tick-by-tick
+// without storing full snapshots.
+
+#ifndef SGL_DEBUG_CHECKPOINT_H_
+#define SGL_DEBUG_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/storage/world.h"
+
+namespace sgl {
+
+/// A resumable snapshot.
+struct Checkpoint {
+  Tick tick = 0;
+  std::string state;  ///< serialized World
+};
+
+/// Captures `world` at `tick`.
+Checkpoint TakeCheckpoint(const World& world, Tick tick);
+
+/// Restores a snapshot into a world built over the same catalog/layout.
+Status RestoreCheckpoint(const Checkpoint& cp, World* world);
+
+/// FNV-1a checksum over all state columns of all classes — cheap enough to
+/// run every tick, strong enough for run-equivalence checks.
+uint64_t WorldChecksum(const World& world);
+
+/// Per-tick checksum log with optional periodic full checkpoints.
+class ReplayLog {
+ public:
+  /// `checkpoint_every` <= 0 disables periodic snapshots.
+  explicit ReplayLog(int checkpoint_every = 0)
+      : checkpoint_every_(checkpoint_every) {}
+
+  /// Appends this tick's checksum (and snapshot if due).
+  void Record(const World& world, Tick tick);
+
+  size_t size() const { return checksums_.size(); }
+  uint64_t checksum(size_t i) const { return checksums_[i]; }
+
+  /// First index where this log and `other` diverge, or -1 if the common
+  /// prefix matches.
+  int64_t FirstDivergence(const ReplayLog& other) const;
+
+  /// Latest stored checkpoint at-or-before `tick`, or nullptr.
+  const Checkpoint* LatestCheckpointBefore(Tick tick) const;
+
+ private:
+  int checkpoint_every_;
+  std::vector<uint64_t> checksums_;
+  std::vector<Checkpoint> checkpoints_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_DEBUG_CHECKPOINT_H_

@@ -1,0 +1,86 @@
+#include "src/debug/inspector.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sgl {
+
+std::string Inspector::DescribeEntity(EntityId id) const {
+  const World::Locator* loc = world_->Find(id);
+  if (loc == nullptr) {
+    return "<no entity @" + std::to_string(id) + ">";
+  }
+  const ClassDef& def = world_->catalog().Get(loc->cls);
+  std::string out = def.name() + "@" + std::to_string(id) + " {";
+  bool first = true;
+  for (const FieldDef& f : def.state_fields()) {
+    if (!first) out += ", ";
+    first = false;
+    out += f.name + ": " +
+           world_->table(loc->cls).GetValue(loc->row, f.index).ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<std::string> Inspector::FieldValues(EntityId id) const {
+  std::vector<std::string> out;
+  const World::Locator* loc = world_->Find(id);
+  if (loc == nullptr) return out;
+  const ClassDef& def = world_->catalog().Get(loc->cls);
+  for (const FieldDef& f : def.state_fields()) {
+    out.push_back(
+        f.name + " = " +
+        world_->table(loc->cls).GetValue(loc->row, f.index).ToString());
+  }
+  return out;
+}
+
+std::string Inspector::DescribeClass(const std::string& cls_name) const {
+  ClassId cls = world_->catalog().Find(cls_name);
+  if (cls == kInvalidClass) return "<no class '" + cls_name + "'>";
+  const ClassDef& def = world_->catalog().Get(cls);
+  const EntityTable& table = world_->table(cls);
+  std::string out = cls_name + ": " + std::to_string(table.size()) + " rows";
+  for (const FieldDef& f : def.state_fields()) {
+    if (!f.type.is_number()) continue;
+    ConstNumberColumn col = table.Num(f.index);
+    double mn = INFINITY, mx = -INFINITY, sum = 0;
+    for (size_t i = 0; i < table.size(); ++i) {
+      mn = std::min(mn, col[i]);
+      mx = std::max(mx, col[i]);
+      sum += col[i];
+    }
+    char buf[128];
+    if (table.empty()) {
+      std::snprintf(buf, sizeof(buf), "\n  %s: <empty>", f.name.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), "\n  %s: min=%g mean=%g max=%g",
+                    f.name.c_str(), mn,
+                    sum / static_cast<double>(table.size()), mx);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<EntityId> Inspector::FindWhere(const std::string& cls_name,
+                                           const std::string& field,
+                                           double lo, double hi) const {
+  std::vector<EntityId> out;
+  ClassId cls = world_->catalog().Find(cls_name);
+  if (cls == kInvalidClass) return out;
+  const ClassDef& def = world_->catalog().Get(cls);
+  FieldIdx f = def.FindState(field);
+  if (f == kInvalidField || !def.state_field(f).type.is_number()) return out;
+  const EntityTable& table = world_->table(cls);
+  ConstNumberColumn col = table.Num(f);
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (col[i] >= lo && col[i] <= hi) {
+      out.push_back(table.id_at(static_cast<RowIdx>(i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace sgl

@@ -1,0 +1,31 @@
+// Effect tracing hook (§3.3: "developers should be able to select an
+// individual NPC and view the effects assigned to it").
+//
+// When a sink is attached, every effect assignment (vectorized or scalar
+// path) reports (target, field, value, source assignment). The executor
+// checks one pointer when no sink is attached, so tracing is pay-as-you-go.
+
+#ifndef SGL_DEBUG_TRACE_H_
+#define SGL_DEBUG_TRACE_H_
+
+#include "src/common/types.h"
+#include "src/common/value.h"
+
+namespace sgl {
+
+/// Receives effect-assignment events during the query/effect phase.
+class EffectTraceSink {
+ public:
+  virtual ~EffectTraceSink() = default;
+
+  /// Called once per effect assignment. `assign_id` identifies the source
+  /// statement in the compiled program; `order_key` is the deterministic
+  /// ⊕-resolution key.
+  virtual void OnEffectAssign(Tick tick, EntityId target, ClassId target_cls,
+                              FieldIdx field, const Value& value,
+                              int assign_id, uint64_t order_key) = 0;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_DEBUG_TRACE_H_

@@ -1,0 +1,69 @@
+#include "src/debug/tracer.h"
+
+#include <algorithm>
+
+namespace sgl {
+
+void EffectTracer::Watch(EntityId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watched_.insert(id);
+}
+
+void EffectTracer::Unwatch(EntityId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watched_.erase(id);
+}
+
+bool EffectTracer::IsWatched(EntityId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watched_.count(id) > 0;
+}
+
+void EffectTracer::OnEffectAssign(Tick tick, EntityId target,
+                                  ClassId target_cls, FieldIdx field,
+                                  const Value& value, int assign_id,
+                                  uint64_t order_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (watched_.find(target) == watched_.end()) return;
+  TraceRecord rec;
+  rec.tick = tick;
+  rec.target = target;
+  rec.target_cls = target_cls;
+  rec.field = field;
+  rec.value = value;
+  rec.assign_id = assign_id;
+  rec.order_key = order_key;
+  records_.push_back(std::move(rec));
+}
+
+std::vector<TraceRecord> EffectTracer::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceRecord> out = records_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     if (a.tick != b.tick) return a.tick < b.tick;
+                     return a.order_key < b.order_key;
+                   });
+  return out;
+}
+
+std::vector<TraceRecord> EffectTracer::RecordsFor(EntityId id,
+                                                  Tick tick) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& rec : Records()) {
+    if (rec.target == id && rec.tick == tick) out.push_back(rec);
+  }
+  return out;
+}
+
+void EffectTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+size_t EffectTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+}  // namespace sgl

@@ -1,0 +1,74 @@
+#include "src/engine/engine.h"
+
+namespace sgl {
+
+StatusOr<std::unique_ptr<Engine>> Engine::Create(
+    const std::string& source, const EngineOptions& options) {
+  auto engine = std::unique_ptr<Engine>(new Engine());
+  SGL_ASSIGN_OR_RETURN(engine->program_, CompileSource(source));
+  engine->world_ = std::make_unique<World>(engine->program_->catalog.get());
+  if (options.layout != LayoutStrategy::kUnified) {
+    for (ClassId c = 0; c < engine->program_->catalog->num_classes(); ++c) {
+      const AffinityMatrix* affinity =
+          options.layout == LayoutStrategy::kAffinity
+              ? &engine->program_->affinity[static_cast<size_t>(c)]
+              : nullptr;
+      SGL_RETURN_IF_ERROR(
+          engine->world_->SetLayout(c, options.layout, affinity));
+    }
+  }
+  engine->executor_ = std::make_unique<TickExecutor>(
+      engine->world_.get(), engine->program_.get(), options.exec);
+  SGL_RETURN_IF_ERROR(engine->executor_->Init());
+  return engine;
+}
+
+Status Engine::AddPhysics(const PhysicsConfig& config) {
+  SGL_ASSIGN_OR_RETURN(auto comp,
+                       PhysicsComponent::Create(catalog(), config));
+  return executor_->RegisterComponent(std::move(comp));
+}
+
+Status Engine::AddPathfinder(const PathfinderConfig& config, GridMap map) {
+  SGL_ASSIGN_OR_RETURN(
+      auto comp, PathfinderComponent::Create(catalog(), config,
+                                             std::move(map)));
+  return executor_->RegisterComponent(std::move(comp));
+}
+
+Status Engine::AddComponent(std::unique_ptr<UpdateComponent> component) {
+  return executor_->RegisterComponent(std::move(component));
+}
+
+StatusOr<EntityId> Engine::Spawn(
+    const std::string& cls,
+    const std::vector<std::pair<std::string, Value>>& init) {
+  return world_->Spawn(cls, init);
+}
+
+Status Engine::Despawn(EntityId id) { return world_->Despawn(id); }
+
+StatusOr<Value> Engine::Get(EntityId id, const std::string& field) const {
+  return world_->Get(id, field);
+}
+
+Status Engine::Set(EntityId id, const std::string& field, const Value& v) {
+  return world_->Set(id, field, v);
+}
+
+Status Engine::Tick() { return executor_->RunTick(); }
+
+Status Engine::RunTicks(int n) {
+  for (int i = 0; i < n; ++i) {
+    SGL_RETURN_IF_ERROR(executor_->RunTick());
+  }
+  return Status::OK();
+}
+
+Status Engine::Restore(const Checkpoint& cp) {
+  SGL_RETURN_IF_ERROR(RestoreCheckpoint(cp, world_.get()));
+  executor_->set_tick(cp.tick);
+  return Status::OK();
+}
+
+}  // namespace sgl

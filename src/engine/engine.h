@@ -1,0 +1,99 @@
+// Engine: the public facade of the SGL system.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto engine = sgl::Engine::Create(source_text).value();
+//   auto id = engine->Spawn("Unit", {{"x", sgl::Value::Number(3)}}).value();
+//   engine->RunTicks(100);
+//   double hp = engine->Get(id, "health")->AsNumber();
+//
+// Create() parses + compiles the program (schema generation, §2.1), builds
+// the World with the chosen storage layout, and wires the executor with the
+// built-in update components (transaction engine + expression updater).
+// Physics / pathfinding components attach via AddPhysics / AddPathfinder
+// (§2.2). Debugging (§3.3) is exposed through inspector/tracer/checkpoint
+// accessors.
+
+#ifndef SGL_ENGINE_ENGINE_H_
+#define SGL_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/debug/checkpoint.h"
+#include "src/debug/inspector.h"
+#include "src/debug/tracer.h"
+#include "src/exec/tick_executor.h"
+#include "src/lang/compiler.h"
+#include "src/update/pathfind.h"
+#include "src/update/physics.h"
+
+namespace sgl {
+
+/// Engine construction options.
+struct EngineOptions {
+  ExecOptions exec;
+  /// Storage layout for numeric state columns (§2.1). kAffinity uses the
+  /// attribute co-occurrence mined by the compiler.
+  LayoutStrategy layout = LayoutStrategy::kUnified;
+};
+
+class Engine {
+ public:
+  /// Compiles `source` and builds a ready-to-tick engine.
+  static StatusOr<std::unique_ptr<Engine>> Create(
+      const std::string& source, const EngineOptions& options = {});
+
+  World& world() { return *world_; }
+  const Catalog& catalog() const { return *program_->catalog; }
+  const CompiledProgram& program() const { return *program_; }
+  TickExecutor& executor() { return *executor_; }
+
+  /// Attaches a physics component (§2.2). Call before the first tick.
+  Status AddPhysics(const PhysicsConfig& config);
+  /// Attaches an A* pathfinding component (§2.2).
+  Status AddPathfinder(const PathfinderConfig& config, GridMap map);
+  /// Attaches any custom update component.
+  Status AddComponent(std::unique_ptr<UpdateComponent> component);
+
+  /// Entity management (tick-boundary operations).
+  StatusOr<EntityId> Spawn(
+      const std::string& cls,
+      const std::vector<std::pair<std::string, Value>>& init = {});
+  Status Despawn(EntityId id);
+
+  StatusOr<Value> Get(EntityId id, const std::string& field) const;
+  Status Set(EntityId id, const std::string& field, const Value& v);
+
+  /// Runs one tick / n ticks.
+  Status Tick();
+  Status RunTicks(int n);
+  sgl::Tick tick() const { return executor_->tick(); }
+
+  const TickStats& last_stats() const { return executor_->last_stats(); }
+
+  // --- Debugging (§3.3) ---------------------------------------------------
+
+  /// EXPLAIN: the compiled relational plans of every script/handler.
+  std::string ExplainPlans() const { return program_->Explain(); }
+  Inspector inspector() const { return Inspector(world_.get()); }
+  /// Attaches a tracer (null detaches).
+  void SetTracer(EffectTracer* tracer) { executor_->set_trace(tracer); }
+  /// Snapshot / resume.
+  Checkpoint TakeCheckpoint() const {
+    return sgl::TakeCheckpoint(*world_, executor_->tick());
+  }
+  Status Restore(const Checkpoint& cp);
+
+ private:
+  Engine() = default;
+
+  std::unique_ptr<CompiledProgram> program_;
+  std::unique_ptr<World> world_;
+  std::unique_ptr<TickExecutor> executor_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_ENGINE_ENGINE_H_

@@ -1,0 +1,931 @@
+#include "src/exec/op_exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/stopwatch.h"
+
+namespace sgl {
+
+namespace {
+
+constexpr size_t kNlChunk = 4096;
+
+// Deterministic ⊕ order key: canonical serial execution order is
+// (statement, outer row, inner row) — identical for every join strategy,
+// thread count, and for the object-at-a-time path.
+inline uint64_t OrderKey(int assign_id, RowIdx outer, RowIdx inner) {
+  return (static_cast<uint64_t>(assign_id) << 44) |
+         (static_cast<uint64_t>(outer) << 22) | static_cast<uint64_t>(inner);
+}
+
+// --- Write application ------------------------------------------------
+
+struct PairRows {
+  const std::vector<RowIdx>* outer;
+  const std::vector<RowIdx>* inner;  // null outside pair contexts
+};
+
+VecContext MakeCtx(const ExecEnv& env, const EntityTable* inner_table,
+                   const PairRows& rows) {
+  VecContext ctx;
+  ctx.world = env.world;
+  ctx.outer = env.outer;
+  ctx.outer_rows = rows.outer;
+  ctx.inner = inner_table;
+  ctx.inner_rows = rows.inner;
+  ctx.locals = env.locals;
+  return ctx;
+}
+
+// Applies one batch of effect writes over a (possibly pair) row vector.
+void ApplyWrites(const std::vector<EffectWrite>& writes,
+                 const EntityTable* inner_table, const PairRows& rows,
+                 ExecEnv& env) {
+  const size_t n = rows.outer->size();
+  if (n == 0) return;
+  std::vector<RowIdx> sub_outer, sub_inner;
+  std::vector<uint8_t> keep;
+  std::vector<double> nums;
+  std::vector<uint8_t> bools;
+  std::vector<EntityId> refs, target_ids;
+
+  for (const EffectWrite& w : writes) {
+    // 1. Guard filter.
+    const std::vector<RowIdx>* outer_rows = rows.outer;
+    const std::vector<RowIdx>* inner_rows = rows.inner;
+    if (w.guard != nullptr) {
+      VecContext ctx = MakeCtx(env, inner_table, rows);
+      EvalBool(*w.guard, ctx, &keep);
+      sub_outer.clear();
+      sub_inner.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (!keep[i]) continue;
+        sub_outer.push_back((*rows.outer)[i]);
+        if (rows.inner != nullptr) sub_inner.push_back((*rows.inner)[i]);
+      }
+      outer_rows = &sub_outer;
+      inner_rows = rows.inner != nullptr ? &sub_inner : nullptr;
+    }
+    const size_t m = outer_rows->size();
+    if (m == 0) continue;
+    PairRows sub{outer_rows, inner_rows};
+    VecContext ctx = MakeCtx(env, inner_table, sub);
+
+    // 2. Resolve target rows.
+    EffectBuffer* sink = env.effect_sinks[static_cast<size_t>(w.target_cls)];
+    const EntityTable& target_table = env.world->table(w.target_cls);
+    auto target_row = [&](size_t i) -> RowIdx {
+      switch (w.target_kind) {
+        case TargetKind::kSelf:
+          return (*outer_rows)[i];
+        case TargetKind::kIter:
+          return (*inner_rows)[i];
+        case TargetKind::kRef: {
+          const World::Locator* loc = env.world->Find(target_ids[i]);
+          if (loc == nullptr || loc->cls != w.target_cls) return kInvalidRow;
+          return loc->row;
+        }
+      }
+      return kInvalidRow;
+    };
+    if (w.target_kind == TargetKind::kRef) {
+      EvalRef(*w.target_ref, ctx, &target_ids);
+    }
+
+    // 3. Evaluate values and scatter-accumulate.
+    const FieldDef& field =
+        env.world->catalog().Get(w.target_cls).effect_field(w.field);
+    auto key_at = [&](size_t i) {
+      RowIdx inner = inner_rows != nullptr ? (*inner_rows)[i] : 0;
+      return OrderKey(w.assign_id, (*outer_rows)[i], inner);
+    };
+    auto trace = [&](size_t i, RowIdx row, const Value& v) {
+      if (env.trace != nullptr) {
+        env.trace->OnEffectAssign(env.tick, target_table.id_at(row),
+                                  w.target_cls, w.field, v, w.assign_id,
+                                  key_at(i));
+      }
+    };
+    if (w.set_insert) {
+      EvalRef(*w.value, ctx, &refs);
+      for (size_t i = 0; i < m; ++i) {
+        RowIdx row = target_row(i);
+        if (row == kInvalidRow) continue;
+        sink->AddSetInsert(w.field, row, refs[i]);
+        trace(i, row, Value::Ref(refs[i]));
+      }
+    } else if (field.type.is_number()) {
+      EvalNum(*w.value, ctx, &nums);
+      for (size_t i = 0; i < m; ++i) {
+        RowIdx row = target_row(i);
+        if (row == kInvalidRow) continue;
+        sink->AddNumber(w.field, row, nums[i], key_at(i));
+        trace(i, row, Value::Number(nums[i]));
+      }
+    } else if (field.type.is_bool()) {
+      EvalBool(*w.value, ctx, &bools);
+      for (size_t i = 0; i < m; ++i) {
+        RowIdx row = target_row(i);
+        if (row == kInvalidRow) continue;
+        sink->AddBool(w.field, row, bools[i] != 0, key_at(i));
+        trace(i, row, Value::Bool(bools[i] != 0));
+      }
+    } else if (field.type.is_ref()) {
+      EvalRef(*w.value, ctx, &refs);
+      for (size_t i = 0; i < m; ++i) {
+        RowIdx row = target_row(i);
+        if (row == kInvalidRow) continue;
+        sink->AddRef(w.field, row, refs[i], key_at(i));
+        trace(i, row, Value::Ref(refs[i]));
+      }
+    }
+  }
+}
+
+// --- Accum fold --------------------------------------------------------
+
+// Running ⊕ accumulator for one outer row's accum variable.
+struct Fold {
+  double num = 0;
+  double sum = 0;
+  uint64_t cnt = 0;
+  bool b = false;
+  EntityId ref = kNullEntity;
+
+  void Reset() { *this = Fold(); }
+
+  void AddNum(Combinator comb, double v) {
+    switch (comb) {
+      case Combinator::kSum:
+      case Combinator::kAvg:
+        sum += v;
+        break;
+      case Combinator::kMin:
+        num = cnt == 0 ? v : std::min(num, v);
+        break;
+      case Combinator::kMax:
+        num = cnt == 0 ? v : std::max(num, v);
+        break;
+      case Combinator::kCount:
+        break;
+      case Combinator::kFirst:
+        if (cnt == 0) num = v;
+        break;
+      case Combinator::kLast:
+        num = v;
+        break;
+      default:
+        break;
+    }
+    ++cnt;
+  }
+  void AddBool(Combinator comb, bool v) {
+    switch (comb) {
+      case Combinator::kOr:
+        b = cnt == 0 ? v : (b || v);
+        break;
+      case Combinator::kAnd:
+        b = cnt == 0 ? v : (b && v);
+        break;
+      case Combinator::kFirst:
+        if (cnt == 0) b = v;
+        break;
+      case Combinator::kLast:
+        b = v;
+        break;
+      default:
+        break;
+    }
+    ++cnt;
+  }
+  void AddRef(Combinator comb, EntityId v) {
+    if (comb == Combinator::kFirst) {
+      if (cnt == 0) ref = v;
+    } else {  // kLast
+      ref = v;
+    }
+    ++cnt;
+  }
+
+  double FinalNum(Combinator comb) const {
+    if (cnt == 0) return 0.0;
+    switch (comb) {
+      case Combinator::kSum:
+      case Combinator::kAvg:
+        return comb == Combinator::kAvg ? sum / static_cast<double>(cnt) : sum;
+      case Combinator::kCount:
+        return static_cast<double>(cnt);
+      default:
+        return num;
+    }
+  }
+};
+
+// Writes the folded value into the accum local slot for `row`.
+void FlushFold(const AccumOp& op, const Fold& fold, RowIdx row,
+               LocalColumns* locals) {
+  const size_t slot = static_cast<size_t>(op.accum_slot);
+  if (op.accum_type.is_number()) {
+    locals->num[slot][row] = fold.FinalNum(op.accum_comb);
+  } else if (op.accum_type.is_bool()) {
+    locals->bools[slot][row] = fold.cnt > 0 && fold.b ? 1 : 0;
+  } else {
+    locals->refs[slot][row] = fold.cnt == 0 ? kNullEntity : fold.ref;
+  }
+}
+
+void PrefillSlot(const AccumOp& op, const std::vector<RowIdx>& rows,
+                 LocalColumns* locals) {
+  const size_t slot = static_cast<size_t>(op.accum_slot);
+  if (op.accum_type.is_number()) {
+    for (RowIdx r : rows) locals->num[slot][r] = 0.0;
+  } else if (op.accum_type.is_bool()) {
+    for (RowIdx r : rows) locals->bools[slot][r] = 0;
+  } else {
+    for (RowIdx r : rows) locals->refs[slot][r] = kNullEntity;
+  }
+}
+
+// Enumerates the candidate inner rows for one outer row under the prepared
+// access path (without the residual filter). Candidates are ascending.
+void Candidates(const AccumOp& op, const PreparedSite& site,
+                const ExecEnv& env, RowIdx outer_row,
+                const std::vector<std::vector<double>>& lo_cols,
+                const std::vector<std::vector<double>>& hi_cols,
+                const std::vector<double>& hash_keys,
+                const std::vector<EntityId>& id_keys, size_t outer_pos,
+                std::vector<RowIdx>* out) {
+  out->clear();
+  const EntityTable& inner = env.world->table(op.inner_cls);
+
+  if (op.inner_set_field != kInvalidField) {
+    // Set-valued domain: members in id order (matches the scalar path).
+    const EntitySet& set =
+        env.outer->SetCol(op.inner_set_field)[outer_row];
+    for (EntityId id : set) {
+      const World::Locator* loc = env.world->Find(id);
+      if (loc != nullptr && loc->cls == op.inner_cls) {
+        out->push_back(loc->row);
+      }
+    }
+    return;
+  }
+
+  switch (site.strategy) {
+    case JoinStrategy::kNestedLoop:
+      // Caller streams all rows in chunks; nothing to enumerate here.
+      break;
+    case JoinStrategy::kRangeTree:
+    case JoinStrategy::kGrid: {
+      std::vector<double> lo(op.range_dims.size());
+      std::vector<double> hi(op.range_dims.size());
+      for (size_t k = 0; k < op.range_dims.size(); ++k) {
+        lo[k] = op.range_dims[k].lo != nullptr
+                    ? lo_cols[k][outer_pos]
+                    : -std::numeric_limits<double>::infinity();
+        hi[k] = op.range_dims[k].hi != nullptr
+                    ? hi_cols[k][outer_pos]
+                    : std::numeric_limits<double>::infinity();
+      }
+      site.index->Query(lo.data(), hi.data(), out);
+      std::sort(out->begin(), out->end());
+      break;
+    }
+    case JoinStrategy::kHash: {
+      if (site.hash_field == kInvalidField) {
+        // Entity-id key: a directory lookup.
+        const World::Locator* loc = env.world->Find(id_keys[outer_pos]);
+        if (loc != nullptr && loc->cls == op.inner_cls) {
+          out->push_back(loc->row);
+        }
+      } else {
+        auto [begin, end] = site.hash->equal_range(hash_keys[outer_pos]);
+        for (auto it = begin; it != end; ++it) out->push_back(it->second);
+        std::sort(out->begin(), out->end());
+      }
+      break;
+    }
+  }
+  (void)inner;
+}
+
+void RunAccumVectorized(const AccumOp& op,
+                        const std::vector<RowIdx>& selection, ExecEnv& env) {
+  Stopwatch timer;
+  const PreparedSite& site = env.prepared->at(op.site_id);
+  const EntityTable& inner = env.world->table(op.inner_cls);
+
+  // Outer guard.
+  std::vector<RowIdx> S;
+  {
+    if (op.outer_guard != nullptr) {
+      PairRows rows{&selection, nullptr};
+      VecContext ctx = MakeCtx(env, nullptr, rows);
+      std::vector<uint8_t> keep;
+      EvalBool(*op.outer_guard, ctx, &keep);
+      for (size_t i = 0; i < selection.size(); ++i) {
+        if (keep[i]) S.push_back(selection[i]);
+      }
+    } else {
+      S = selection;
+    }
+  }
+  PrefillSlot(op, S, env.locals);
+  if (S.empty()) return;
+
+  // Precompute per-outer bounds / keys.
+  PairRows s_rows{&S, nullptr};
+  VecContext s_ctx = MakeCtx(env, nullptr, s_rows);
+  std::vector<std::vector<double>> lo_cols(op.range_dims.size());
+  std::vector<std::vector<double>> hi_cols(op.range_dims.size());
+  if (site.strategy == JoinStrategy::kRangeTree ||
+      site.strategy == JoinStrategy::kGrid) {
+    for (size_t k = 0; k < op.range_dims.size(); ++k) {
+      if (op.range_dims[k].lo != nullptr) {
+        EvalNum(*op.range_dims[k].lo, s_ctx, &lo_cols[k]);
+      }
+      if (op.range_dims[k].hi != nullptr) {
+        EvalNum(*op.range_dims[k].hi, s_ctx, &hi_cols[k]);
+      }
+    }
+  }
+  std::vector<double> hash_keys;
+  std::vector<EntityId> id_keys;
+  if (site.strategy == JoinStrategy::kHash) {
+    if (site.hash_field == kInvalidField) {
+      EvalRef(*op.hash_dims[0].key, s_ctx, &id_keys);
+    } else {
+      EvalNum(*op.hash_dims[0].key, s_ctx, &hash_keys);
+    }
+  }
+
+  const Expr* filter = site.strategy == JoinStrategy::kNestedLoop
+                           ? site.nl_filter.get()
+                           : site.post_index_filter.get();
+  const bool same_table = op.inner_cls == env.outer_cls &&
+                          op.inner_set_field == kInvalidField;
+
+  // Build the (outer, inner) pair list, outer-major, inner ascending.
+  std::vector<RowIdx> pair_outer, pair_inner;
+  std::vector<RowIdx> cand, chunk_outer, chunk_inner;
+  std::vector<uint8_t> keep;
+  int64_t candidates = 0;
+
+  auto filter_chunk = [&](RowIdx o) {
+    // chunk_inner holds candidates for outer row o; applies `filter` and
+    // appends survivors to the pair list.
+    if (chunk_inner.empty()) return;
+    chunk_outer.assign(chunk_inner.size(), o);
+    if (filter != nullptr) {
+      PairRows rows{&chunk_outer, &chunk_inner};
+      VecContext ctx = MakeCtx(env, &inner, rows);
+      EvalBool(*filter, ctx, &keep);
+      for (size_t i = 0; i < chunk_inner.size(); ++i) {
+        if (keep[i]) {
+          pair_outer.push_back(o);
+          pair_inner.push_back(chunk_inner[i]);
+        }
+      }
+    } else {
+      pair_outer.insert(pair_outer.end(), chunk_inner.size(), o);
+      pair_inner.insert(pair_inner.end(), chunk_inner.begin(),
+                        chunk_inner.end());
+    }
+  };
+
+  for (size_t pos = 0; pos < S.size(); ++pos) {
+    RowIdx o = S[pos];
+    if (site.strategy == JoinStrategy::kNestedLoop &&
+        op.inner_set_field == kInvalidField) {
+      // Stream the whole inner extent in chunks.
+      const size_t m = inner.size();
+      for (size_t base = 0; base < m; base += kNlChunk) {
+        size_t end = std::min(m, base + kNlChunk);
+        chunk_inner.clear();
+        for (size_t j = base; j < end; ++j) {
+          if (op.exclude_self && same_table && j == o) continue;
+          chunk_inner.push_back(static_cast<RowIdx>(j));
+        }
+        candidates += static_cast<int64_t>(chunk_inner.size());
+        filter_chunk(o);
+      }
+    } else {
+      Candidates(op, site, env, o, lo_cols, hi_cols, hash_keys, id_keys, pos,
+                 &cand);
+      chunk_inner.clear();
+      for (RowIdx j : cand) {
+        if (op.exclude_self && same_table && j == o) continue;
+        chunk_inner.push_back(j);
+      }
+      candidates += static_cast<int64_t>(chunk_inner.size());
+      filter_chunk(o);
+    }
+  }
+
+  // Evaluate accum assignments over all pairs, then fold in pair order.
+  const size_t npairs = pair_outer.size();
+  if (npairs > 0) {
+    PairRows pairs{&pair_outer, &pair_inner};
+    VecContext pctx = MakeCtx(env, &inner, pairs);
+    struct EvaledAssign {
+      std::vector<uint8_t> guard;
+      std::vector<double> nums;
+      std::vector<uint8_t> bools;
+      std::vector<EntityId> refs;
+    };
+    std::vector<EvaledAssign> evaled(op.accum_assigns.size());
+    for (size_t a = 0; a < op.accum_assigns.size(); ++a) {
+      const AccumAssign& assign = op.accum_assigns[a];
+      if (assign.guard != nullptr) {
+        EvalBool(*assign.guard, pctx, &evaled[a].guard);
+      }
+      if (op.accum_type.is_number()) {
+        EvalNum(*assign.value, pctx, &evaled[a].nums);
+      } else if (op.accum_type.is_bool()) {
+        EvalBool(*assign.value, pctx, &evaled[a].bools);
+      } else {
+        EvalRef(*assign.value, pctx, &evaled[a].refs);
+      }
+    }
+    Fold fold;
+    RowIdx cur = pair_outer[0];
+    for (size_t p = 0; p < npairs; ++p) {
+      if (pair_outer[p] != cur) {
+        FlushFold(op, fold, cur, env.locals);
+        fold.Reset();
+        cur = pair_outer[p];
+      }
+      for (size_t a = 0; a < op.accum_assigns.size(); ++a) {
+        if (!evaled[a].guard.empty() && !evaled[a].guard[p]) continue;
+        if (op.accum_type.is_number()) {
+          fold.AddNum(op.accum_comb, evaled[a].nums[p]);
+        } else if (op.accum_type.is_bool()) {
+          fold.AddBool(op.accum_comb, evaled[a].bools[p] != 0);
+        } else {
+          fold.AddRef(op.accum_comb, evaled[a].refs[p]);
+        }
+      }
+    }
+    FlushFold(op, fold, cur, env.locals);
+
+    // Pair-level effect writes.
+    ApplyWrites(op.pair_writes, &inner, pairs, env);
+  }
+
+  if (env.feedback != nullptr) {
+    SiteFeedback& fb = (*env.feedback)[static_cast<size_t>(op.site_id)];
+    fb.site = op.site_id;
+    fb.strategy = site.strategy;
+    fb.outer_rows += static_cast<int64_t>(S.size());
+    fb.candidates += candidates;
+    fb.matches += static_cast<int64_t>(npairs);
+    fb.micros += timer.ElapsedMicros();
+  }
+}
+
+void RunTxnEmitVectorized(const TxnEmitOp& op,
+                          const std::vector<RowIdx>& selection,
+                          ExecEnv& env) {
+  std::vector<RowIdx> R;
+  if (op.guard != nullptr) {
+    PairRows rows{&selection, nullptr};
+    VecContext ctx = MakeCtx(env, nullptr, rows);
+    std::vector<uint8_t> keep;
+    EvalBool(*op.guard, ctx, &keep);
+    for (size_t i = 0; i < selection.size(); ++i) {
+      if (keep[i]) R.push_back(selection[i]);
+    }
+  } else {
+    R = selection;
+  }
+  if (R.empty()) return;
+
+  PairRows rows{&R, nullptr};
+  VecContext ctx = MakeCtx(env, nullptr, rows);
+  struct EvaledWrite {
+    std::vector<EntityId> targets;
+    std::vector<double> nums;
+    std::vector<EntityId> refs;
+  };
+  std::vector<EvaledWrite> evaled(op.writes.size());
+  for (size_t wi = 0; wi < op.writes.size(); ++wi) {
+    const TxnWrite& w = op.writes[wi];
+    if (w.target_kind == TargetKind::kRef) {
+      EvalRef(*w.target_ref, ctx, &evaled[wi].targets);
+    }
+    if (w.op == TxnWriteOp::kAddDelta) {
+      EvalNum(*w.value, ctx, &evaled[wi].nums);
+    } else {
+      EvalRef(*w.value, ctx, &evaled[wi].refs);
+    }
+  }
+  for (size_t i = 0; i < R.size(); ++i) {
+    TxnIntent intent;
+    intent.order_key = (static_cast<uint64_t>(op.site_id) << 32) |
+                       static_cast<uint64_t>(R[i]);
+    intent.issuer = env.outer->id_at(R[i]);
+    intent.issuer_cls = env.outer_cls;
+    intent.issuer_row = R[i];
+    intent.op = &op;
+    intent.writes.reserve(op.writes.size());
+    for (size_t wi = 0; wi < op.writes.size(); ++wi) {
+      const TxnWrite& w = op.writes[wi];
+      TxnResolvedWrite rw;
+      rw.target = w.target_kind == TargetKind::kSelf ? intent.issuer
+                                                     : evaled[wi].targets[i];
+      rw.cls = w.target_cls;
+      rw.field = w.state_field;
+      rw.op = w.op;
+      if (w.op == TxnWriteOp::kAddDelta) {
+        rw.num = evaled[wi].nums[i];
+      } else {
+        rw.ref = evaled[wi].refs[i];
+      }
+      intent.writes.push_back(rw);
+    }
+    env.txn_sink->push_back(std::move(intent));
+  }
+}
+
+}  // namespace
+
+// --- Site preparation ---------------------------------------------------
+
+PreparedSite PrepareSite(const AccumOp& op, JoinStrategy strategy,
+                         const World& world, IndexManager* indexes,
+                         Tick tick) {
+  PreparedSite site;
+  site.strategy = strategy;
+
+  // Compose the pair filters from the op's predicate decomposition.
+  auto range_pred = [&](bool include) -> ExprPtr {
+    if (!include) return nullptr;
+    ExprPtr out;
+    const ClassDef& inner_def = world.catalog().Get(op.inner_cls);
+    for (const RangeDim& d : op.range_dims) {
+      const SglType& t = inner_def.state_field(d.inner_field).type;
+      if (d.lo != nullptr) {
+        ExprPtr c = CmpNum(CmpOp::kGe, StateRead(1, op.inner_cls,
+                                                 d.inner_field, t),
+                           d.lo->Clone());
+        out = out == nullptr ? std::move(c) : AndB(std::move(out),
+                                                   std::move(c));
+      }
+      if (d.hi != nullptr) {
+        ExprPtr c = CmpNum(CmpOp::kLe, StateRead(1, op.inner_cls,
+                                                 d.inner_field, t),
+                           d.hi->Clone());
+        out = out == nullptr ? std::move(c) : AndB(std::move(out),
+                                                   std::move(c));
+      }
+    }
+    return out;
+  };
+  auto hash_pred = [&](size_t skip_dim) -> ExprPtr {
+    ExprPtr out;
+    const ClassDef& inner_def = world.catalog().Get(op.inner_cls);
+    for (size_t k = 0; k < op.hash_dims.size(); ++k) {
+      if (k == skip_dim) continue;
+      const HashDim& d = op.hash_dims[k];
+      ExprPtr c;
+      if (d.inner_field == kInvalidField) {
+        auto cmp = std::make_unique<Expr>();
+        cmp->kind = ExprKind::kCmpRef;
+        cmp->type = SglType::Bool();
+        cmp->cmp = CmpOp::kEq;
+        cmp->kids.push_back(RowIdRead(1, op.inner_cls));
+        cmp->kids.push_back(d.key->Clone());
+        c = std::move(cmp);
+      } else {
+        const SglType& t = inner_def.state_field(d.inner_field).type;
+        c = CmpNum(CmpOp::kEq,
+                   StateRead(1, op.inner_cls, d.inner_field, t),
+                   d.key->Clone());
+      }
+      out = out == nullptr ? std::move(c) : AndB(std::move(out),
+                                                 std::move(c));
+    }
+    return out;
+  };
+  auto compose = [](ExprPtr a, ExprPtr b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    return AndB(std::move(a), std::move(b));
+  };
+
+  ExprPtr residual = op.residual != nullptr ? op.residual->Clone() : nullptr;
+  site.nl_filter =
+      compose(compose(range_pred(true), hash_pred(static_cast<size_t>(-1))),
+              residual != nullptr ? residual->Clone() : nullptr);
+
+  switch (strategy) {
+    case JoinStrategy::kNestedLoop:
+      break;
+    case JoinStrategy::kRangeTree:
+    case JoinStrategy::kGrid: {
+      IndexSpec spec;
+      spec.cls = op.inner_cls;
+      for (const RangeDim& d : op.range_dims) {
+        spec.fields.push_back(d.inner_field);
+      }
+      spec.kind = strategy == JoinStrategy::kRangeTree ? IndexKind::kRangeTree
+                                                       : IndexKind::kGrid;
+      site.index = indexes->GetOrBuild(world, spec, tick);
+      site.post_index_filter =
+          compose(hash_pred(static_cast<size_t>(-1)),
+                  residual != nullptr ? residual->Clone() : nullptr);
+      break;
+    }
+    case JoinStrategy::kHash: {
+      site.hash_field = op.hash_dims[0].inner_field;
+      if (site.hash_field != kInvalidField) {
+        const EntityTable& inner = world.table(op.inner_cls);
+        auto table = std::make_shared<std::unordered_multimap<double, RowIdx>>();
+        ConstNumberColumn col = inner.Num(site.hash_field);
+        table->reserve(inner.size());
+        for (size_t j = 0; j < inner.size(); ++j) {
+          table->emplace(col[j], static_cast<RowIdx>(j));
+        }
+        site.hash = std::move(table);
+      }
+      site.post_index_filter =
+          compose(compose(range_pred(true), hash_pred(0)),
+                  residual != nullptr ? residual->Clone() : nullptr);
+      break;
+    }
+  }
+  (void)residual;
+  return site;
+}
+
+// --- Vectorized driver ----------------------------------------------------
+
+void RunOpsVectorized(const std::vector<std::unique_ptr<PlanOp>>& ops,
+                      const std::vector<RowIdx>& selection, ExecEnv& env) {
+  if (selection.empty()) return;
+  for (const auto& op : ops) {
+    switch (op->kind) {
+      case PlanOp::Kind::kComputeLocals: {
+        auto* o = static_cast<const ComputeLocalsOp*>(op.get());
+        PairRows rows{&selection, nullptr};
+        VecContext ctx = MakeCtx(env, nullptr, rows);
+        for (const LocalDef& def : o->defs) {
+          const size_t slot = static_cast<size_t>(def.slot);
+          if (def.type.is_number()) {
+            std::vector<double> vals;
+            EvalNum(*def.value, ctx, &vals);
+            for (size_t i = 0; i < selection.size(); ++i) {
+              env.locals->num[slot][selection[i]] = vals[i];
+            }
+          } else if (def.type.is_bool()) {
+            std::vector<uint8_t> vals;
+            EvalBool(*def.value, ctx, &vals);
+            for (size_t i = 0; i < selection.size(); ++i) {
+              env.locals->bools[slot][selection[i]] = vals[i];
+            }
+          } else {
+            std::vector<EntityId> vals;
+            EvalRef(*def.value, ctx, &vals);
+            for (size_t i = 0; i < selection.size(); ++i) {
+              env.locals->refs[slot][selection[i]] = vals[i];
+            }
+          }
+        }
+        break;
+      }
+      case PlanOp::Kind::kEffects: {
+        auto* o = static_cast<const EffectsOp*>(op.get());
+        PairRows rows{&selection, nullptr};
+        ApplyWrites(o->writes, nullptr, rows, env);
+        break;
+      }
+      case PlanOp::Kind::kAccum:
+        RunAccumVectorized(*static_cast<const AccumOp*>(op.get()), selection,
+                           env);
+        break;
+      case PlanOp::Kind::kTxnEmit:
+        RunTxnEmitVectorized(*static_cast<const TxnEmitOp*>(op.get()),
+                             selection, env);
+        break;
+    }
+  }
+}
+
+// --- Scalar (object-at-a-time) driver --------------------------------------
+
+namespace {
+
+ScalarContext MakeScalarCtx(const ExecEnv& env, RowIdx row) {
+  ScalarContext ctx;
+  ctx.world = env.world;
+  ctx.outer_cls = env.outer_cls;
+  ctx.outer_row = row;
+  ctx.locals = env.locals;
+  return ctx;
+}
+
+void ApplyWriteScalar(const EffectWrite& w, RowIdx row, ClassId inner_cls,
+                      RowIdx inner_row, ExecEnv& env) {
+  ScalarContext ctx = MakeScalarCtx(env, row);
+  ctx.inner_cls = inner_cls;
+  ctx.inner_row = inner_row;
+  if (w.guard != nullptr && !EvalScalarBool(*w.guard, ctx)) return;
+  RowIdx target_row = kInvalidRow;
+  switch (w.target_kind) {
+    case TargetKind::kSelf:
+      target_row = row;
+      break;
+    case TargetKind::kIter:
+      target_row = inner_row;
+      break;
+    case TargetKind::kRef: {
+      EntityId id = EvalScalarRef(*w.target_ref, ctx);
+      const World::Locator* loc = env.world->Find(id);
+      if (loc == nullptr || loc->cls != w.target_cls) return;
+      target_row = loc->row;
+      break;
+    }
+  }
+  if (target_row == kInvalidRow) return;
+  EffectBuffer* sink = env.effect_sinks[static_cast<size_t>(w.target_cls)];
+  uint64_t key = OrderKey(w.assign_id, row,
+                          inner_row == kInvalidRow ? 0 : inner_row);
+  const FieldDef& field =
+      env.world->catalog().Get(w.target_cls).effect_field(w.field);
+  Value traced;
+  if (w.set_insert) {
+    EntityId v = EvalScalarRef(*w.value, ctx);
+    sink->AddSetInsert(w.field, target_row, v);
+    traced = Value::Ref(v);
+  } else if (field.type.is_number()) {
+    double v = EvalScalarNum(*w.value, ctx);
+    sink->AddNumber(w.field, target_row, v, key);
+    traced = Value::Number(v);
+  } else if (field.type.is_bool()) {
+    bool v = EvalScalarBool(*w.value, ctx);
+    sink->AddBool(w.field, target_row, v, key);
+    traced = Value::Bool(v);
+  } else {
+    EntityId v = EvalScalarRef(*w.value, ctx);
+    sink->AddRef(w.field, target_row, v, key);
+    traced = Value::Ref(v);
+  }
+  if (env.trace != nullptr) {
+    env.trace->OnEffectAssign(
+        env.tick, env.world->table(w.target_cls).id_at(target_row),
+        w.target_cls, w.field, traced, w.assign_id, key);
+  }
+}
+
+void RunAccumScalarBatch(const AccumOp& op,
+                         const std::vector<RowIdx>& selection, ExecEnv& env) {
+  const PreparedSite& site = env.prepared->at(op.site_id);
+  const EntityTable& inner = env.world->table(op.inner_cls);
+  const bool same_table = op.inner_cls == env.outer_cls &&
+                          op.inner_set_field == kInvalidField;
+
+  // Enumerate matches per entity (the object-at-a-time engine scans the
+  // whole domain per entity — that is the point of the baseline) and fold
+  // the accum variable as pairs are found. Pair-level effect writes are
+  // collected and applied statement-major afterwards so that ⊕ fold order
+  // over shared targets is the canonical (statement, outer, inner) order of
+  // the compiled engine — semantically identical, FP-identical.
+  std::vector<std::pair<RowIdx, RowIdx>> pairs;
+  for (RowIdx row : selection) {
+    ScalarContext octx = MakeScalarCtx(env, row);
+    Fold fold;
+    FlushFold(op, fold, row, env.locals);  // default the slot
+    if (op.outer_guard != nullptr &&
+        !EvalScalarBool(*op.outer_guard, octx)) {
+      continue;
+    }
+    std::vector<RowIdx> domain;
+    if (op.inner_set_field != kInvalidField) {
+      const EntitySet& set = env.outer->SetCol(op.inner_set_field)[row];
+      for (EntityId id : set) {
+        const World::Locator* loc = env.world->Find(id);
+        if (loc != nullptr && loc->cls == op.inner_cls) {
+          domain.push_back(loc->row);
+        }
+      }
+    } else {
+      domain.resize(inner.size());
+      for (size_t j = 0; j < inner.size(); ++j) {
+        domain[j] = static_cast<RowIdx>(j);
+      }
+    }
+    for (RowIdx j : domain) {
+      if (op.exclude_self && same_table && j == row) continue;
+      ScalarContext pctx = MakeScalarCtx(env, row);
+      pctx.inner_cls = op.inner_cls;
+      pctx.inner_row = j;
+      if (site.nl_filter != nullptr &&
+          !EvalScalarBool(*site.nl_filter, pctx)) {
+        continue;
+      }
+      for (const AccumAssign& assign : op.accum_assigns) {
+        if (assign.guard != nullptr &&
+            !EvalScalarBool(*assign.guard, pctx)) {
+          continue;
+        }
+        if (op.accum_type.is_number()) {
+          fold.AddNum(op.accum_comb, EvalScalarNum(*assign.value, pctx));
+        } else if (op.accum_type.is_bool()) {
+          fold.AddBool(op.accum_comb, EvalScalarBool(*assign.value, pctx));
+        } else {
+          fold.AddRef(op.accum_comb, EvalScalarRef(*assign.value, pctx));
+        }
+      }
+      if (!op.pair_writes.empty()) pairs.emplace_back(row, j);
+    }
+    FlushFold(op, fold, row, env.locals);
+  }
+  for (const EffectWrite& w : op.pair_writes) {
+    for (const auto& [row, j] : pairs) {
+      ApplyWriteScalar(w, row, op.inner_cls, j, env);
+    }
+  }
+}
+
+void RunTxnEmitScalar(const TxnEmitOp& op, RowIdx row, ExecEnv& env) {
+  ScalarContext ctx = MakeScalarCtx(env, row);
+  if (op.guard != nullptr && !EvalScalarBool(*op.guard, ctx)) return;
+  TxnIntent intent;
+  intent.order_key = (static_cast<uint64_t>(op.site_id) << 32) |
+                     static_cast<uint64_t>(row);
+  intent.issuer = env.outer->id_at(row);
+  intent.issuer_cls = env.outer_cls;
+  intent.issuer_row = row;
+  intent.op = &op;
+  for (const TxnWrite& w : op.writes) {
+    TxnResolvedWrite rw;
+    rw.target = w.target_kind == TargetKind::kSelf
+                    ? intent.issuer
+                    : EvalScalarRef(*w.target_ref, ctx);
+    rw.cls = w.target_cls;
+    rw.field = w.state_field;
+    rw.op = w.op;
+    if (w.op == TxnWriteOp::kAddDelta) {
+      rw.num = EvalScalarNum(*w.value, ctx);
+    } else {
+      rw.ref = EvalScalarRef(*w.value, ctx);
+    }
+    intent.writes.push_back(rw);
+  }
+  env.txn_sink->push_back(std::move(intent));
+}
+
+}  // namespace
+
+void RunOpsScalar(const std::vector<std::unique_ptr<PlanOp>>& ops,
+                  const std::vector<RowIdx>& selection, ExecEnv& env) {
+  // Statement-major iteration: for each op (and each write within it), all
+  // rows are processed with per-row scalar evaluation. This keeps the
+  // object-at-a-time cost profile (scalar predicates, full accum scans)
+  // while making ⊕ accumulation order identical to the compiled engine.
+  for (const auto& op : ops) {
+    switch (op->kind) {
+      case PlanOp::Kind::kComputeLocals: {
+        auto* o = static_cast<const ComputeLocalsOp*>(op.get());
+        for (const LocalDef& def : o->defs) {
+          const size_t slot = static_cast<size_t>(def.slot);
+          for (RowIdx row : selection) {
+            ScalarContext ctx = MakeScalarCtx(env, row);
+            if (def.type.is_number()) {
+              env.locals->num[slot][row] = EvalScalarNum(*def.value, ctx);
+            } else if (def.type.is_bool()) {
+              env.locals->bools[slot][row] =
+                  EvalScalarBool(*def.value, ctx) ? 1 : 0;
+            } else {
+              env.locals->refs[slot][row] = EvalScalarRef(*def.value, ctx);
+            }
+          }
+        }
+        break;
+      }
+      case PlanOp::Kind::kEffects: {
+        auto* o = static_cast<const EffectsOp*>(op.get());
+        for (const EffectWrite& w : o->writes) {
+          for (RowIdx row : selection) {
+            ApplyWriteScalar(w, row, kInvalidClass, kInvalidRow, env);
+          }
+        }
+        break;
+      }
+      case PlanOp::Kind::kAccum:
+        RunAccumScalarBatch(*static_cast<const AccumOp*>(op.get()),
+                            selection, env);
+        break;
+      case PlanOp::Kind::kTxnEmit:
+        for (RowIdx row : selection) {
+          RunTxnEmitScalar(*static_cast<const TxnEmitOp*>(op.get()), row,
+                           env);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace sgl

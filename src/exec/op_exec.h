@@ -1,0 +1,79 @@
+// Plan-operator execution: the vectorized set-at-a-time path (§2, §4) and
+// the scalar object-at-a-time path (the baseline a traditional engine would
+// use, and the comparator of bench E1). Both consume the same CompiledScript
+// ops over the same storage, so they are semantically interchangeable —
+// property tests assert equal end states.
+
+#ifndef SGL_EXEC_OP_EXEC_H_
+#define SGL_EXEC_OP_EXEC_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/debug/trace.h"
+#include "src/index/index_manager.h"
+#include "src/opt/adaptive.h"
+#include "src/ra/eval.h"
+#include "src/ra/plan.h"
+#include "src/txn/txn_engine.h"
+
+namespace sgl {
+
+/// Per-tick prepared access path for one AccumOp site.
+struct PreparedSite {
+  JoinStrategy strategy = JoinStrategy::kNestedLoop;
+  const SpatialIndex* index = nullptr;  ///< tree/grid strategies
+  /// Numeric-field hash strategy: inner field value -> rows.
+  std::shared_ptr<const std::unordered_multimap<double, RowIdx>> hash;
+  FieldIdx hash_field = kInvalidField;  ///< kInvalidField = entity-id probe
+  /// Pair filters, composed once per tick from the op's predicate pieces:
+  /// `nl_filter` re-checks everything (range + hash + residual + self);
+  /// `post_index_filter` omits what the access path already guarantees.
+  ExprPtr nl_filter;
+  ExprPtr post_index_filter;
+};
+
+/// Builds the prepared access path for `op` under `strategy` (builds or
+/// fetches the index / hash table; composes the residual filters).
+PreparedSite PrepareSite(const AccumOp& op, JoinStrategy strategy,
+                         const World& world, IndexManager* indexes,
+                         Tick tick);
+
+/// Everything one worker needs while running ops over a morsel.
+struct ExecEnv {
+  World* world = nullptr;
+  Tick tick = 0;
+  ClassId outer_cls = kInvalidClass;
+  const EntityTable* outer = nullptr;
+
+  /// Effect sinks, one per class (worker shard or the world's own buffers).
+  std::vector<EffectBuffer*> effect_sinks;
+  /// Transaction-intent sink (worker shard).
+  std::vector<TxnIntent>* txn_sink = nullptr;
+  /// Local columns of the running script/handler (full table size; morsels
+  /// write disjoint rows).
+  LocalColumns* locals = nullptr;
+  /// Prepared access paths by site id.
+  const std::map<int, PreparedSite>* prepared = nullptr;
+  /// Per-site runtime feedback accumulator (size = program's num_sites).
+  std::vector<SiteFeedback>* feedback = nullptr;
+  /// Optional tracing sink (§3.3). Null = off.
+  EffectTraceSink* trace = nullptr;
+};
+
+/// Runs `ops` set-at-a-time over `selection` (rows of env.outer).
+void RunOpsVectorized(const std::vector<std::unique_ptr<PlanOp>>& ops,
+                      const std::vector<RowIdx>& selection, ExecEnv& env);
+
+/// Runs `ops` with per-row scalar evaluation and full accum scans (the
+/// object-at-a-time baseline). Iteration is statement-major so ⊕
+/// accumulation order — including FP reassociation in sums — is identical
+/// to the vectorized path.
+void RunOpsScalar(const std::vector<std::unique_ptr<PlanOp>>& ops,
+                  const std::vector<RowIdx>& selection, ExecEnv& env);
+
+}  // namespace sgl
+
+#endif  // SGL_EXEC_OP_EXEC_H_

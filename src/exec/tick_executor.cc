@@ -1,0 +1,319 @@
+#include "src/exec/tick_executor.h"
+
+#include <algorithm>
+
+#include "src/common/stopwatch.h"
+#include "src/update/expr_updater.h"
+
+namespace sgl {
+
+namespace {
+
+/// Adapts TxnEngine to the update-component interface: it owns every state
+/// field written by atomic blocks plus the status fields (§3.1).
+class TxnComponent : public UpdateComponent {
+ public:
+  TxnComponent(TxnEngine* engine, const CompiledProgram* program)
+      : engine_(engine), program_(program) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::pair<ClassId, FieldIdx>> OwnedFields() const override {
+    std::vector<std::pair<ClassId, FieldIdx>> out;
+    for (size_t c = 0; c < program_->txn_owned.size(); ++c) {
+      for (FieldIdx f : program_->txn_owned[c]) {
+        out.emplace_back(static_cast<ClassId>(c), f);
+      }
+    }
+    return out;
+  }
+
+  void Update(World* world, Tick tick) override {
+    (void)tick;
+    engine_->ApplyUpdate(world);
+  }
+
+ private:
+  std::string name_ = "txn-engine";
+  TxnEngine* engine_;
+  const CompiledProgram* program_;
+};
+
+}  // namespace
+
+TickExecutor::TickExecutor(World* world, const CompiledProgram* program,
+                           ExecOptions options)
+    : world_(world),
+      program_(program),
+      options_(options),
+      controller_(options.planner, program->num_sites),
+      txn_(program) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+TickExecutor::~TickExecutor() = default;
+
+Status TickExecutor::Init() {
+  SGL_CHECK(!initialized_);
+  Catalog* catalog = program_->catalog.get();
+  SGL_RETURN_IF_ERROR(components_.Register(
+      catalog, std::make_unique<TxnComponent>(&txn_, program_)));
+  SGL_RETURN_IF_ERROR(components_.Register(
+      catalog, std::make_unique<ExprUpdater>(program_)));
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status TickExecutor::RegisterComponent(
+    std::unique_ptr<UpdateComponent> component) {
+  SGL_CHECK(initialized_ && "call Init() first");
+  return components_.Register(program_->catalog.get(), std::move(component));
+}
+
+void TickExecutor::AllocateLocals(const std::vector<SglType>& types,
+                                  size_t rows, LocalColumns* locals) {
+  locals->EnsureSlots(types.size());
+  for (size_t slot = 0; slot < types.size(); ++slot) {
+    if (types[slot].is_number()) {
+      locals->num[slot].assign(rows, 0.0);
+    } else if (types[slot].is_bool()) {
+      locals->bools[slot].assign(rows, 0);
+    } else {
+      locals->refs[slot].assign(rows, kNullEntity);
+    }
+  }
+}
+
+void TickExecutor::PrepareSites(
+    const std::vector<std::unique_ptr<PlanOp>>& ops, size_t outer_rows,
+    std::map<int, PreparedSite>* out) {
+  for (const auto& op : ops) {
+    if (op->kind != PlanOp::Kind::kAccum) continue;
+    const auto* accum = static_cast<const AccumOp*>(op.get());
+    JoinStrategy strategy;
+    if (options_.interpreted) {
+      strategy = JoinStrategy::kNestedLoop;
+    } else {
+      const TableStats* inner_stats =
+          stats_mgr_.has_stats() ? &stats_mgr_.Get(accum->inner_cls) : nullptr;
+      strategy = controller_.Choose(*accum, tick_, inner_stats, outer_rows);
+    }
+    (*out)[accum->site_id] =
+        PrepareSite(*accum, strategy, *world_, &indexes_, tick_);
+  }
+}
+
+void TickExecutor::RunUnit(
+    const std::vector<std::unique_ptr<PlanOp>>& ops, ClassId cls,
+    const std::vector<RowIdx>& selection, LocalColumns* locals,
+    const std::map<int, PreparedSite>& sites,
+    std::vector<std::vector<SiteFeedback>>* feedback_shards) {
+  const int num_classes = world_->catalog().num_classes();
+  auto make_env = [&](int shard) {
+    ExecEnv env;
+    env.world = world_;
+    env.tick = tick_;
+    env.outer_cls = cls;
+    env.outer = &world_->table(cls);
+    env.effect_sinks.resize(static_cast<size_t>(num_classes));
+    for (ClassId c = 0; c < num_classes; ++c) {
+      env.effect_sinks[static_cast<size_t>(c)] =
+          shard == 0 && options_.num_threads <= 1
+              ? &world_->effects(c)
+              : shard_effects_[static_cast<size_t>(shard)]
+                              [static_cast<size_t>(c)].get();
+    }
+    env.txn_sink = txn_.shard(shard);
+    env.locals = locals;
+    env.prepared = &sites;
+    env.feedback = &(*feedback_shards)[static_cast<size_t>(shard)];
+    env.trace = trace_;
+    return env;
+  };
+
+  if (options_.interpreted) {
+    ExecEnv env = make_env(0);
+    RunOpsScalar(ops, selection, env);
+    return;
+  }
+  if (options_.num_threads <= 1) {
+    ExecEnv env = make_env(0);
+    RunOpsVectorized(ops, selection, env);
+    return;
+  }
+  // Static morsel -> shard assignment: morsel m runs on shard m % T,
+  // each shard's morsels in increasing order — deterministic for a fixed
+  // thread count regardless of scheduling.
+  const size_t morsel = options_.morsel_size;
+  const int T = options_.num_threads;
+  const size_t num_morsels = (selection.size() + morsel - 1) / morsel;
+  pool_->ParallelFor(T, [&](int t) {
+    ExecEnv env = make_env(t);
+    std::vector<RowIdx> slice;
+    for (size_t m = static_cast<size_t>(t); m < num_morsels;
+         m += static_cast<size_t>(T)) {
+      size_t begin = m * morsel;
+      size_t end = std::min(selection.size(), begin + morsel);
+      slice.assign(selection.begin() + static_cast<ptrdiff_t>(begin),
+                   selection.begin() + static_cast<ptrdiff_t>(end));
+      RunOpsVectorized(ops, slice, env);
+    }
+  });
+}
+
+Status TickExecutor::RunTick() {
+  SGL_CHECK(initialized_ && "call Init() first");
+  Stopwatch total;
+  last_ = TickStats();
+  last_.tick = tick_;
+  const int num_classes = world_->catalog().num_classes();
+  const int shards = options_.num_threads > 1 ? options_.num_threads : 1;
+  const int64_t index_micros_before = indexes_.build_micros();
+
+  // --- Setup -----------------------------------------------------------
+  world_->ResetEffects();
+  if (!options_.interpreted) stats_mgr_.MaybeRefresh(*world_, tick_);
+  txn_.BeginTick(shards);
+  if (shards > 1) {
+    if (shard_effects_.size() != static_cast<size_t>(shards)) {
+      shard_effects_.clear();
+      shard_effects_.resize(static_cast<size_t>(shards));
+      for (auto& per_class : shard_effects_) {
+        for (ClassId c = 0; c < num_classes; ++c) {
+          per_class.push_back(
+              std::make_unique<EffectBuffer>(&world_->catalog().Get(c)));
+        }
+      }
+    }
+    for (auto& per_class : shard_effects_) {
+      for (ClassId c = 0; c < num_classes; ++c) {
+        per_class[static_cast<size_t>(c)]->Reset(world_->table(c).size());
+      }
+    }
+  }
+  std::vector<std::vector<SiteFeedback>> feedback_shards(
+      static_cast<size_t>(shards),
+      std::vector<SiteFeedback>(
+          static_cast<size_t>(program_->num_sites)));
+
+  // --- 1. Query + effect phase ------------------------------------------
+  Stopwatch query_timer;
+  for (const CompiledScript& script : program_->scripts) {
+    EntityTable& table = world_->table(script.cls);
+    if (table.empty()) continue;
+    LocalColumns locals;
+    AllocateLocals(script.local_types, table.size(), &locals);
+
+    // Phase dispatch on the PC column (§3.2).
+    std::vector<std::vector<RowIdx>> selections(
+        static_cast<size_t>(script.num_phases()));
+    if (script.num_phases() == 1) {
+      auto& all = selections[0];
+      all.resize(table.size());
+      for (size_t i = 0; i < table.size(); ++i) {
+        all[i] = static_cast<RowIdx>(i);
+      }
+    } else {
+      ConstNumberColumn pc = table.Num(script.pc_state);
+      for (size_t i = 0; i < table.size(); ++i) {
+        int phase = static_cast<int>(pc[i]);
+        if (phase < 0 || phase >= script.num_phases()) phase = 0;
+        selections[static_cast<size_t>(phase)].push_back(
+            static_cast<RowIdx>(i));
+      }
+    }
+    for (int k = 0; k < script.num_phases(); ++k) {
+      const auto& selection = selections[static_cast<size_t>(k)];
+      if (selection.empty()) continue;
+      std::map<int, PreparedSite> sites;
+      PrepareSites(script.phases[static_cast<size_t>(k)], selection.size(),
+                   &sites);
+      RunUnit(script.phases[static_cast<size_t>(k)], script.cls, selection,
+              &locals, sites, &feedback_shards);
+    }
+  }
+
+  // Reactive handlers (§3.2): conditions over current state, set-at-a-time.
+  for (const CompiledHandler& handler : program_->handlers) {
+    EntityTable& table = world_->table(handler.cls);
+    if (table.empty()) continue;
+    std::vector<RowIdx> all(table.size());
+    for (size_t i = 0; i < table.size(); ++i) all[i] = static_cast<RowIdx>(i);
+    LocalColumns locals;
+    AllocateLocals(handler.local_types, table.size(), &locals);
+    std::vector<RowIdx> selection;
+    if (options_.interpreted) {
+      ScalarContext ctx;
+      ctx.world = world_;
+      ctx.outer_cls = handler.cls;
+      ctx.locals = &locals;
+      for (RowIdx row : all) {
+        ctx.outer_row = row;
+        if (EvalScalarBool(*handler.cond, ctx)) selection.push_back(row);
+      }
+    } else {
+      VecContext ctx;
+      ctx.world = world_;
+      ctx.outer = &table;
+      ctx.outer_rows = &all;
+      ctx.locals = &locals;
+      std::vector<uint8_t> keep;
+      EvalBool(*handler.cond, ctx, &keep);
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (keep[i]) selection.push_back(all[i]);
+      }
+    }
+    if (selection.empty()) continue;
+    std::map<int, PreparedSite> sites;
+    PrepareSites(handler.ops, selection.size(), &sites);
+    RunUnit(handler.ops, handler.cls, selection, &locals, sites,
+            &feedback_shards);
+  }
+  last_.query_effect_micros = query_timer.ElapsedMicros();
+
+  // --- 2. Merge ---------------------------------------------------------
+  Stopwatch merge_timer;
+  if (shards > 1) {
+    for (int s = 0; s < shards; ++s) {
+      for (ClassId c = 0; c < num_classes; ++c) {
+        world_->effects(c).MergeFrom(
+            *shard_effects_[static_cast<size_t>(s)][static_cast<size_t>(c)]);
+      }
+    }
+  }
+  // Aggregate per-site feedback across shards and inform the controller.
+  last_.sites.assign(static_cast<size_t>(program_->num_sites),
+                     SiteFeedback());
+  for (const auto& shard : feedback_shards) {
+    for (size_t i = 0; i < shard.size(); ++i) {
+      if (shard[i].site < 0) continue;
+      SiteFeedback& agg = last_.sites[i];
+      agg.site = shard[i].site;
+      agg.strategy = shard[i].strategy;
+      agg.outer_rows += shard[i].outer_rows;
+      agg.candidates += shard[i].candidates;
+      agg.matches += shard[i].matches;
+      agg.micros += shard[i].micros;
+    }
+  }
+  for (const SiteFeedback& fb : last_.sites) {
+    if (fb.site >= 0) controller_.Feedback(fb);
+  }
+  last_.merge_micros = merge_timer.ElapsedMicros();
+
+  // --- 3. Update phase ----------------------------------------------------
+  Stopwatch update_timer;
+  components_.RunAll(world_, tick_);
+  last_.update_micros = update_timer.ElapsedMicros();
+
+  // --- 4. Bookkeeping ----------------------------------------------------
+  last_.txn = txn_.last_tick();
+  last_.index_build_micros = indexes_.build_micros() - index_micros_before;
+  last_.total_micros = total.ElapsedMicros();
+  ++tick_;
+  return Status::OK();
+}
+
+}  // namespace sgl

@@ -1,0 +1,118 @@
+// TickExecutor: drives the state-effect pattern (§2) each tick.
+//
+//   1 QUERY+EFFECT  compiled plans run set-at-a-time over each script's
+//                   class extent (multi-phase scripts dispatch on their PC
+//                   column), then reactive handlers; parallel mode splits
+//                   selections into fixed morsels with static morsel->thread
+//                   assignment and per-thread effect/intent shards — the
+//                   phases only read state, so no synchronization (§4.2)
+//   2 MERGE         shard buffers fold into the world's effect buffers in
+//                   shard order (⊕ combinators are order-insensitive;
+//                   first/last carry explicit keys)
+//   3 UPDATE        update components run over their disjoint state
+//                   partitions: transaction admission, declared update
+//                   rules, then any registered engine components (§2.2)
+//   4 BOOKKEEPING   statistics refresh, adaptive feedback, tick++
+//
+// Setting ExecOptions::interpreted runs the identical program object-at-a-
+// time (per-entity scalar evaluation, full scans in accum loops) — the
+// baseline that traditional game engines implement and bench E1 compares
+// against.
+
+#ifndef SGL_EXEC_TICK_EXECUTOR_H_
+#define SGL_EXEC_TICK_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/exec/op_exec.h"
+#include "src/update/update_component.h"
+
+namespace sgl {
+
+/// Executor configuration.
+struct ExecOptions {
+  int num_threads = 1;
+  size_t morsel_size = 2048;
+  AdaptiveController::Options planner;
+  bool interpreted = false;  ///< object-at-a-time baseline mode
+};
+
+/// Timings and counters for the last tick.
+struct TickStats {
+  Tick tick = 0;
+  int64_t query_effect_micros = 0;
+  int64_t merge_micros = 0;
+  int64_t update_micros = 0;
+  int64_t index_build_micros = 0;  ///< portion of query phase spent building
+  int64_t total_micros = 0;
+  std::vector<SiteFeedback> sites;  ///< per accum site, aggregated
+  TxnStats txn;
+};
+
+class TickExecutor {
+ public:
+  /// `world` and `program` must outlive the executor.
+  TickExecutor(World* world, const CompiledProgram* program,
+               ExecOptions options);
+  ~TickExecutor();
+
+  /// Registers the built-in components (transaction engine + expression
+  /// updater). Must run before the first tick; additional components
+  /// (physics, pathfinding) may be registered after.
+  Status Init();
+
+  /// Registers an engine update component (ownership checked, §2.2).
+  Status RegisterComponent(std::unique_ptr<UpdateComponent> component);
+
+  /// Executes one tick.
+  Status RunTick();
+
+  Tick tick() const { return tick_; }
+  /// Repositions the tick counter (checkpoint restore, §3.3).
+  void set_tick(Tick tick) { tick_ = tick; }
+  const TickStats& last_stats() const { return last_; }
+  const ExecOptions& options() const { return options_; }
+
+  AdaptiveController& controller() { return controller_; }
+  IndexManager& indexes() { return indexes_; }
+  TxnEngine& txn() { return txn_; }
+  StatsManager& table_stats() { return stats_mgr_; }
+  ComponentRegistry& components() { return components_; }
+
+  /// Attaches / detaches the effect tracer (§3.3). Null = off.
+  void set_trace(EffectTraceSink* sink) { trace_ = sink; }
+
+ private:
+  struct UnitRun;  // one (ops, selection) execution
+
+  void RunUnit(const std::vector<std::unique_ptr<PlanOp>>& ops,
+               ClassId cls, const std::vector<RowIdx>& selection,
+               LocalColumns* locals, const std::map<int, PreparedSite>& sites,
+               std::vector<std::vector<SiteFeedback>>* feedback_shards);
+  void PrepareSites(const std::vector<std::unique_ptr<PlanOp>>& ops,
+                    size_t outer_rows, std::map<int, PreparedSite>* out);
+  void AllocateLocals(const std::vector<SglType>& types, size_t rows,
+                      LocalColumns* locals);
+
+  World* world_;
+  const CompiledProgram* program_;
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  IndexManager indexes_;
+  StatsManager stats_mgr_;
+  AdaptiveController controller_;
+  TxnEngine txn_;
+  ComponentRegistry components_;
+  EffectTraceSink* trace_ = nullptr;
+  Tick tick_ = 0;
+  TickStats last_;
+  bool initialized_ = false;
+  /// Per-worker effect shards, [shard][class]; allocated when threads > 1.
+  std::vector<std::vector<std::unique_ptr<EffectBuffer>>> shard_effects_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_EXEC_TICK_EXECUTOR_H_

@@ -1,0 +1,136 @@
+#include "src/index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgl {
+
+GridIndex::GridIndex(int dims, double target_per_cell)
+    : dims_(dims), target_per_cell_(target_per_cell) {
+  SGL_CHECK(dims >= 1);
+  SGL_CHECK(target_per_cell > 0);
+}
+
+void GridIndex::Build(std::vector<std::vector<double>> coords) {
+  SGL_CHECK(static_cast<int>(coords.size()) == dims_);
+  coords_ = std::move(coords);
+  n_ = coords_.empty() ? 0 : coords_[0].size();
+  for (const auto& c : coords_) SGL_CHECK(c.size() == n_);
+
+  min_.assign(static_cast<size_t>(dims_), 0);
+  max_.assign(static_cast<size_t>(dims_), 0);
+  cell_size_.assign(static_cast<size_t>(dims_), 1);
+  cells_per_dim_.assign(static_cast<size_t>(dims_), 1);
+  cell_start_.assign(2, 0);
+  cell_items_.clear();
+  if (n_ == 0) return;
+
+  for (int k = 0; k < dims_; ++k) {
+    auto [lo, hi] = std::minmax_element(coords_[static_cast<size_t>(k)].begin(),
+                                        coords_[static_cast<size_t>(k)].end());
+    min_[static_cast<size_t>(k)] = *lo;
+    max_[static_cast<size_t>(k)] = *hi;
+  }
+  // Aim for n / target_per_cell cells total, spread evenly across dims.
+  double total_cells =
+      std::max(1.0, static_cast<double>(n_) / target_per_cell_);
+  int64_t per_dim = std::max<int64_t>(
+      1, static_cast<int64_t>(std::floor(
+             std::pow(total_cells, 1.0 / static_cast<double>(dims_)))));
+  size_t num_cells = 1;
+  for (int k = 0; k < dims_; ++k) {
+    cells_per_dim_[static_cast<size_t>(k)] = per_dim;
+    double extent =
+        max_[static_cast<size_t>(k)] - min_[static_cast<size_t>(k)];
+    cell_size_[static_cast<size_t>(k)] =
+        extent > 0 ? extent / static_cast<double>(per_dim) : 1.0;
+    num_cells *= static_cast<size_t>(per_dim);
+  }
+
+  // Counting sort points into cells (CSR).
+  std::vector<uint32_t> cell_of(n_);
+  std::vector<int64_t> cc(static_cast<size_t>(dims_));
+  cell_start_.assign(num_cells + 1, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    for (int k = 0; k < dims_; ++k) {
+      cc[static_cast<size_t>(k)] =
+          CellCoord(k, coords_[static_cast<size_t>(k)][i]);
+    }
+    uint32_t cell = static_cast<uint32_t>(CellIndex(cc));
+    cell_of[i] = cell;
+    ++cell_start_[cell + 1];
+  }
+  for (size_t c = 0; c < num_cells; ++c) cell_start_[c + 1] += cell_start_[c];
+  cell_items_.resize(n_);
+  std::vector<uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (size_t i = 0; i < n_; ++i) {
+    cell_items_[cursor[cell_of[i]]++] = static_cast<RowIdx>(i);
+  }
+}
+
+int64_t GridIndex::CellCoord(int dim, double v) const {
+  size_t k = static_cast<size_t>(dim);
+  double rel = (v - min_[k]) / cell_size_[k];
+  int64_t c = static_cast<int64_t>(std::floor(rel));
+  return std::clamp<int64_t>(c, 0, cells_per_dim_[k] - 1);
+}
+
+size_t GridIndex::CellIndex(const std::vector<int64_t>& cc) const {
+  size_t idx = 0;
+  for (int k = 0; k < dims_; ++k) {
+    idx = idx * static_cast<size_t>(cells_per_dim_[static_cast<size_t>(k)]) +
+          static_cast<size_t>(cc[static_cast<size_t>(k)]);
+  }
+  return idx;
+}
+
+void GridIndex::Query(const double* lo, const double* hi,
+                      std::vector<RowIdx>* out) const {
+  if (n_ == 0) return;
+  std::vector<int64_t> c_lo(static_cast<size_t>(dims_));
+  std::vector<int64_t> c_hi(static_cast<size_t>(dims_));
+  for (int k = 0; k < dims_; ++k) {
+    if (lo[k] > hi[k]) return;
+    c_lo[static_cast<size_t>(k)] = CellCoord(k, lo[k]);
+    c_hi[static_cast<size_t>(k)] = CellCoord(k, hi[k]);
+  }
+  // Iterate the (hyper)rectangle of cells.
+  std::vector<int64_t> cc = c_lo;
+  for (;;) {
+    size_t cell = CellIndex(cc);
+    for (uint32_t i = cell_start_[cell]; i < cell_start_[cell + 1]; ++i) {
+      RowIdx p = cell_items_[i];
+      bool inside = true;
+      for (int k = 0; k < dims_; ++k) {
+        double v = coords_[static_cast<size_t>(k)][p];
+        if (v < lo[k] || v > hi[k]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) out->push_back(p);
+    }
+    // Odometer increment over [c_lo, c_hi].
+    int k = dims_ - 1;
+    for (; k >= 0; --k) {
+      if (++cc[static_cast<size_t>(k)] <= c_hi[static_cast<size_t>(k)]) break;
+      cc[static_cast<size_t>(k)] = c_lo[static_cast<size_t>(k)];
+    }
+    if (k < 0) break;
+  }
+}
+
+size_t GridIndex::Count(const double* lo, const double* hi) const {
+  std::vector<RowIdx> tmp;
+  Query(lo, hi, &tmp);
+  return tmp.size();
+}
+
+size_t GridIndex::MemoryBytes() const {
+  size_t bytes = cell_start_.capacity() * sizeof(uint32_t) +
+                 cell_items_.capacity() * sizeof(RowIdx);
+  for (const auto& c : coords_) bytes += c.capacity() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace sgl

@@ -1,0 +1,52 @@
+// Uniform grid index: the game-industry workhorse alternative to range
+// trees. O(n) build via counting sort into cells (CSR layout), queries
+// enumerate overlapping cells and filter. Used by the optimizer as a
+// competing access path (E2) and by the physics broad-phase.
+
+#ifndef SGL_INDEX_GRID_INDEX_H_
+#define SGL_INDEX_GRID_INDEX_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace sgl {
+
+/// d-dimensional uniform grid over points identified by RowIdx 0..n-1.
+class GridIndex {
+ public:
+  /// `dims` >= 1; `target_per_cell` controls resolution: the grid picks
+  /// ~n / target_per_cell cells spread over the data's bounding box.
+  explicit GridIndex(int dims, double target_per_cell = 4.0);
+
+  int dims() const { return dims_; }
+  size_t size() const { return n_; }
+
+  /// (Re)builds over coords[k][i]. O(n + cells).
+  void Build(std::vector<std::vector<double>> coords);
+
+  /// Appends every point in the closed box to `out`.
+  void Query(const double* lo, const double* hi,
+             std::vector<RowIdx>* out) const;
+
+  size_t Count(const double* lo, const double* hi) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  int64_t CellCoord(int dim, double v) const;
+  size_t CellIndex(const std::vector<int64_t>& cc) const;
+
+  int dims_;
+  double target_per_cell_;
+  size_t n_ = 0;
+  std::vector<std::vector<double>> coords_;
+  std::vector<double> min_, max_, cell_size_;
+  std::vector<int64_t> cells_per_dim_;
+  std::vector<uint32_t> cell_start_;  // CSR offsets, size = #cells + 1
+  std::vector<RowIdx> cell_items_;    // point ids grouped by cell
+};
+
+}  // namespace sgl
+
+#endif  // SGL_INDEX_GRID_INDEX_H_

@@ -1,0 +1,102 @@
+#include "src/index/index_manager.h"
+
+#include "src/common/stopwatch.h"
+
+namespace sgl {
+
+namespace {
+
+class RangeTreeIndex : public SpatialIndex {
+ public:
+  explicit RangeTreeIndex(int dims) : tree_(dims) {}
+  void Build(std::vector<std::vector<double>> coords) {
+    tree_.Build(std::move(coords));
+  }
+  void Query(const double* lo, const double* hi,
+             std::vector<RowIdx>* out) const override {
+    tree_.Query(lo, hi, out);
+  }
+  size_t MemoryBytes() const override { return tree_.MemoryBytes(); }
+
+ private:
+  RangeTree tree_;
+};
+
+class GridIndexAdapter : public SpatialIndex {
+ public:
+  explicit GridIndexAdapter(int dims) : grid_(dims) {}
+  void Build(std::vector<std::vector<double>> coords) {
+    grid_.Build(std::move(coords));
+  }
+  void Query(const double* lo, const double* hi,
+             std::vector<RowIdx>* out) const override {
+    grid_.Query(lo, hi, out);
+  }
+  size_t MemoryBytes() const override { return grid_.MemoryBytes(); }
+
+ private:
+  GridIndex grid_;
+};
+
+std::vector<std::vector<double>> ExtractCoords(const World& world,
+                                               const IndexSpec& spec) {
+  const EntityTable& table = world.table(spec.cls);
+  const size_t n = table.size();
+  std::vector<std::vector<double>> coords(spec.fields.size());
+  for (size_t k = 0; k < spec.fields.size(); ++k) {
+    ConstNumberColumn col = table.Num(spec.fields[k]);
+    coords[k].resize(n);
+    for (size_t i = 0; i < n; ++i) coords[k][i] = col[i];
+  }
+  return coords;
+}
+
+}  // namespace
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kRangeTree: return "range-tree";
+    case IndexKind::kGrid: return "grid";
+  }
+  return "?";
+}
+
+const SpatialIndex* IndexManager::GetOrBuild(const World& world,
+                                             const IndexSpec& spec,
+                                             Tick tick) {
+  Entry& e = entries_[spec];
+  if (e.built_at == tick && e.index != nullptr) return e.index.get();
+  Stopwatch timer;
+  const int dims = static_cast<int>(spec.fields.size());
+  auto coords = ExtractCoords(world, spec);
+  switch (spec.kind) {
+    case IndexKind::kRangeTree: {
+      auto idx = std::make_unique<RangeTreeIndex>(dims);
+      idx->Build(std::move(coords));
+      e.index = std::move(idx);
+      break;
+    }
+    case IndexKind::kGrid: {
+      auto idx = std::make_unique<GridIndexAdapter>(dims);
+      idx->Build(std::move(coords));
+      e.index = std::move(idx);
+      break;
+    }
+  }
+  e.built_at = tick;
+  ++builds_;
+  build_micros_ += timer.ElapsedMicros();
+  return e.index.get();
+}
+
+void IndexManager::InvalidateAll() { entries_.clear(); }
+
+size_t IndexManager::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [spec, entry] : entries_) {
+    if (entry.index != nullptr) bytes += entry.index->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace sgl

@@ -1,0 +1,84 @@
+// IndexManager: owns the spatial indices compiled plans depend on and
+// rebuilds them lazily once per tick (§4.1: with O(n) updates per tick,
+// bulk rebuild dominates dynamic maintenance; build cost is part of every
+// tick and every benchmark).
+
+#ifndef SGL_INDEX_INDEX_MANAGER_H_
+#define SGL_INDEX_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/index/grid_index.h"
+#include "src/index/range_tree.h"
+#include "src/storage/world.h"
+
+namespace sgl {
+
+/// Which physical index structure backs an access path.
+enum class IndexKind : uint8_t { kRangeTree, kGrid };
+
+const char* IndexKindName(IndexKind kind);
+
+/// Identifies one index: a class, an ordered list of numeric state fields
+/// (the dimensions), and the structure kind.
+struct IndexSpec {
+  ClassId cls = kInvalidClass;
+  std::vector<FieldIdx> fields;
+  IndexKind kind = IndexKind::kRangeTree;
+
+  bool operator<(const IndexSpec& o) const {
+    if (cls != o.cls) return cls < o.cls;
+    if (fields != o.fields) return fields < o.fields;
+    return kind < o.kind;
+  }
+};
+
+/// Type-erasing handle over RangeTree / GridIndex.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+  virtual void Query(const double* lo, const double* hi,
+                     std::vector<RowIdx>* out) const = 0;
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// Rebuild-per-tick index cache with build-cost accounting.
+class IndexManager {
+ public:
+  IndexManager() = default;
+
+  /// Returns the index for `spec`, building it from the world's current
+  /// column contents if it has not yet been built for `tick`.
+  const SpatialIndex* GetOrBuild(const World& world, const IndexSpec& spec,
+                                 Tick tick);
+
+  /// Drops all built indices (e.g., after despawns compacted rows).
+  void InvalidateAll();
+
+  /// Cumulative statistics (reset with ResetStats).
+  int64_t builds() const { return builds_; }
+  int64_t build_micros() const { return build_micros_; }
+  void ResetStats() {
+    builds_ = 0;
+    build_micros_ = 0;
+  }
+
+  /// Heap bytes across all currently built indices.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<SpatialIndex> index;
+    Tick built_at = -1;
+  };
+  std::map<IndexSpec, Entry> entries_;
+  int64_t builds_ = 0;
+  int64_t build_micros_ = 0;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_INDEX_INDEX_MANAGER_H_

@@ -1,0 +1,95 @@
+#include "src/index/partitioned_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sgl {
+
+PartitionedIndex::PartitionedIndex(int dims, int shards, int leaf_size)
+    : dims_(dims), leaf_size_(leaf_size) {
+  SGL_CHECK(dims >= 1);
+  SGL_CHECK(shards >= 1);
+  trees_.resize(static_cast<size_t>(shards));
+  shard_rows_.resize(static_cast<size_t>(shards));
+  shard_lo_.resize(static_cast<size_t>(shards));
+  shard_hi_.resize(static_cast<size_t>(shards));
+}
+
+void PartitionedIndex::Build(std::vector<std::vector<double>> coords) {
+  SGL_CHECK(static_cast<int>(coords.size()) == dims_);
+  n_ = coords.empty() ? 0 : coords[0].size();
+  const int k = shards();
+
+  std::vector<RowIdx> order(n_);
+  for (size_t i = 0; i < n_; ++i) order[i] = static_cast<RowIdx>(i);
+  std::stable_sort(order.begin(), order.end(), [&](RowIdx a, RowIdx b) {
+    return coords[0][a] < coords[0][b];
+  });
+
+  for (int s = 0; s < k; ++s) {
+    size_t begin = n_ * static_cast<size_t>(s) / static_cast<size_t>(k);
+    size_t end = n_ * static_cast<size_t>(s + 1) / static_cast<size_t>(k);
+    auto& rows = shard_rows_[static_cast<size_t>(s)];
+    rows.assign(order.begin() + static_cast<ptrdiff_t>(begin),
+                order.begin() + static_cast<ptrdiff_t>(end));
+    std::vector<std::vector<double>> shard_coords(
+        static_cast<size_t>(dims_), std::vector<double>(rows.size()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (int d = 0; d < dims_; ++d) {
+        shard_coords[static_cast<size_t>(d)][i] =
+            coords[static_cast<size_t>(d)][rows[i]];
+      }
+    }
+    shard_lo_[static_cast<size_t>(s)] =
+        rows.empty() ? std::numeric_limits<double>::infinity()
+                     : shard_coords[0].front();
+    shard_hi_[static_cast<size_t>(s)] =
+        rows.empty() ? -std::numeric_limits<double>::infinity()
+                     : shard_coords[0].back();
+    trees_[static_cast<size_t>(s)] =
+        std::make_unique<RangeTree>(dims_, leaf_size_);
+    trees_[static_cast<size_t>(s)]->Build(std::move(shard_coords));
+  }
+}
+
+void PartitionedIndex::Query(const double* lo, const double* hi,
+                             std::vector<RowIdx>* out,
+                             int* shards_touched) const {
+  int touched = 0;
+  std::vector<RowIdx> local;
+  for (int s = 0; s < shards(); ++s) {
+    if (hi[0] < shard_lo_[static_cast<size_t>(s)] ||
+        lo[0] > shard_hi_[static_cast<size_t>(s)]) {
+      continue;
+    }
+    ++touched;
+    local.clear();
+    trees_[static_cast<size_t>(s)]->Query(lo, hi, &local);
+    for (RowIdx r : local) {
+      out->push_back(shard_rows_[static_cast<size_t>(s)][r]);
+    }
+  }
+  if (shards_touched != nullptr) *shards_touched = touched;
+}
+
+size_t PartitionedIndex::ShardMemoryBytes(int s) const {
+  size_t bytes = trees_[static_cast<size_t>(s)]->MemoryBytes();
+  bytes += shard_rows_[static_cast<size_t>(s)].capacity() * sizeof(RowIdx);
+  return bytes;
+}
+
+size_t PartitionedIndex::MaxShardMemoryBytes() const {
+  size_t best = 0;
+  for (int s = 0; s < shards(); ++s) {
+    best = std::max(best, ShardMemoryBytes(s));
+  }
+  return best;
+}
+
+size_t PartitionedIndex::TotalMemoryBytes() const {
+  size_t total = 0;
+  for (int s = 0; s < shards(); ++s) total += ShardMemoryBytes(s);
+  return total;
+}
+
+}  // namespace sgl

@@ -1,0 +1,56 @@
+// Partitioned range tree: a single-process simulation of the paper's
+// shared-nothing cluster question (§4.2) — "an interesting research question
+// is to consider techniques to partition indices across multiple nodes."
+//
+// Points are range-partitioned on dimension 0 into k shards, each holding
+// its own range tree. Per-shard memory is accounted separately (the quantity
+// that must fit in one machine's RAM) and queries report how many shards
+// they had to touch (a proxy for network fan-out).
+
+#ifndef SGL_INDEX_PARTITIONED_INDEX_H_
+#define SGL_INDEX_PARTITIONED_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/index/range_tree.h"
+
+namespace sgl {
+
+/// Range tree sharded k ways on dimension 0.
+class PartitionedIndex {
+ public:
+  PartitionedIndex(int dims, int shards, int leaf_size = 8);
+
+  int dims() const { return dims_; }
+  int shards() const { return static_cast<int>(trees_.size()); }
+  size_t size() const { return n_; }
+
+  /// (Re)builds: sorts on dim 0, splits into equal-population shards,
+  /// builds one tree per shard.
+  void Build(std::vector<std::vector<double>> coords);
+
+  /// Appends matches to `out`. If `shards_touched` is non-null it receives
+  /// the number of shards whose dim-0 range overlapped the box.
+  void Query(const double* lo, const double* hi, std::vector<RowIdx>* out,
+             int* shards_touched = nullptr) const;
+
+  /// Heap bytes of shard `s` (its tree plus its coordinate copies).
+  size_t ShardMemoryBytes(int s) const;
+  /// Max over shards — the per-machine memory requirement.
+  size_t MaxShardMemoryBytes() const;
+  size_t TotalMemoryBytes() const;
+
+ private:
+  int dims_;
+  int leaf_size_;
+  size_t n_ = 0;
+  std::vector<std::unique_ptr<RangeTree>> trees_;
+  std::vector<std::vector<RowIdx>> shard_rows_;  // local idx -> global RowIdx
+  std::vector<double> shard_lo_, shard_hi_;      // dim-0 bounds per shard
+};
+
+}  // namespace sgl
+
+#endif  // SGL_INDEX_PARTITIONED_INDEX_H_

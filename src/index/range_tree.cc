@@ -1,0 +1,201 @@
+#include "src/index/range_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgl {
+
+struct RangeTree::SegNode {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  std::unique_ptr<Layer> sub;  // associated structure on dim+1 (null at leaf)
+  std::unique_ptr<SegNode> left;
+  std::unique_ptr<SegNode> right;
+};
+
+struct RangeTree::Layer {
+  std::vector<double> keys;    // coord[dim] of items, ascending
+  std::vector<RowIdx> items;   // point ids in keys order
+  std::unique_ptr<SegNode> root;  // null for the last dimension
+};
+
+RangeTree::RangeTree(int dims, int leaf_size)
+    : dims_(dims), leaf_size_(leaf_size) {
+  SGL_CHECK(dims >= 1);
+  SGL_CHECK(leaf_size >= 1);
+}
+
+RangeTree::~RangeTree() = default;
+
+void RangeTree::Build(std::vector<std::vector<double>> coords) {
+  SGL_CHECK(static_cast<int>(coords.size()) == dims_);
+  coords_ = std::move(coords);
+  n_ = coords_.empty() ? 0 : coords_[0].size();
+  for (const auto& c : coords_) SGL_CHECK(c.size() == n_);
+  root_.reset();
+  if (n_ == 0) return;
+  std::vector<RowIdx> items(n_);
+  for (size_t i = 0; i < n_; ++i) items[i] = static_cast<RowIdx>(i);
+  std::stable_sort(items.begin(), items.end(), [&](RowIdx a, RowIdx b) {
+    return coords_[0][a] < coords_[0][b];
+  });
+  root_ = BuildLayer(0, std::move(items));
+}
+
+std::unique_ptr<RangeTree::Layer> RangeTree::BuildLayer(
+    int dim, std::vector<RowIdx> items) {
+  auto layer = std::make_unique<Layer>();
+  layer->keys.resize(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    layer->keys[i] = coords_[static_cast<size_t>(dim)][items[i]];
+  }
+  layer->items = std::move(items);
+  const uint32_t m = static_cast<uint32_t>(layer->items.size());
+  if (dim + 1 < dims_ && m > static_cast<uint32_t>(leaf_size_)) {
+    // Presort this layer's points by the next dimension once; BuildSeg
+    // distributes the sorted list down the hierarchy with stable partitions,
+    // so no further sorting happens (O(n log n) per dimension transition).
+    std::vector<RowIdx> by_next = layer->items;
+    std::stable_sort(by_next.begin(), by_next.end(), [&](RowIdx a, RowIdx b) {
+      return coords_[static_cast<size_t>(dim + 1)][a] <
+             coords_[static_cast<size_t>(dim + 1)][b];
+    });
+    // pos_of: position of each point in this layer's dim-sorted order.
+    // Indexed by RowIdx (global), valid only for this layer's points.
+    std::vector<uint32_t> pos_of(n_, 0);
+    for (uint32_t i = 0; i < m; ++i) pos_of[layer->items[i]] = i;
+    layer->root = BuildSeg(*layer, dim, 0, m, std::move(by_next), pos_of);
+  }
+  return layer;
+}
+
+std::unique_ptr<RangeTree::SegNode> RangeTree::BuildSeg(
+    const Layer& layer, int dim, uint32_t begin, uint32_t end,
+    std::vector<RowIdx> by_next, const std::vector<uint32_t>& pos_of) {
+  auto node = std::make_unique<SegNode>();
+  node->begin = begin;
+  node->end = end;
+  const uint32_t m = end - begin;
+  if (m <= static_cast<uint32_t>(leaf_size_)) {
+    return node;  // leaf: queries filter-scan layer.items[begin,end)
+  }
+  node->sub = BuildLayer(dim + 1, by_next);  // by_next is sorted by dim+1
+  const uint32_t mid = begin + m / 2;
+  std::vector<RowIdx> left_next, right_next;
+  left_next.reserve(mid - begin);
+  right_next.reserve(end - mid);
+  for (RowIdx p : node->sub->items) {  // == by_next content, moved above
+    if (pos_of[p] < mid) {
+      left_next.push_back(p);
+    } else {
+      right_next.push_back(p);
+    }
+  }
+  node->left = BuildSeg(layer, dim, begin, mid, std::move(left_next), pos_of);
+  node->right = BuildSeg(layer, dim, mid, end, std::move(right_next), pos_of);
+  return node;
+}
+
+void RangeTree::Query(const double* lo, const double* hi,
+                      std::vector<RowIdx>* out) const {
+  if (root_ == nullptr) return;
+  QueryLayer(*root_, 0, lo, hi, out);
+}
+
+size_t RangeTree::Count(const double* lo, const double* hi) const {
+  std::vector<RowIdx> tmp;
+  Query(lo, hi, &tmp);
+  return tmp.size();
+}
+
+void RangeTree::QueryLayer(const Layer& layer, int dim, const double* lo,
+                           const double* hi, std::vector<RowIdx>* out) const {
+  auto a_it = std::lower_bound(layer.keys.begin(), layer.keys.end(), lo[dim]);
+  auto b_it = std::upper_bound(layer.keys.begin(), layer.keys.end(), hi[dim]);
+  uint32_t a = static_cast<uint32_t>(a_it - layer.keys.begin());
+  uint32_t b = static_cast<uint32_t>(b_it - layer.keys.begin());
+  if (a >= b) return;
+  if (dim + 1 == dims_) {
+    // Last dimension: the [a, b) slice is exactly the answer.
+    out->insert(out->end(), layer.items.begin() + a, layer.items.begin() + b);
+    return;
+  }
+  if (layer.root == nullptr) {
+    // Small layer stored without hierarchy: filter remaining dims.
+    ScanFilter(layer, a, b, dim + 1, lo, hi, out);
+    return;
+  }
+  QuerySeg(layer, *layer.root, dim, a, b, lo, hi, out);
+}
+
+void RangeTree::QuerySeg(const Layer& layer, const SegNode& node, int dim,
+                         uint32_t a, uint32_t b, const double* lo,
+                         const double* hi, std::vector<RowIdx>* out) const {
+  if (node.end <= a || node.begin >= b) return;
+  if (a <= node.begin && node.end <= b && node.sub != nullptr) {
+    // Canonical node: dim-k constraint satisfied; descend to dim+1.
+    QueryLayer(*node.sub, dim + 1, lo, hi, out);
+    return;
+  }
+  if (node.left == nullptr) {
+    // Leaf interval (possibly partial overlap): the dim-k constraint holds
+    // exactly for positions in [max(a,begin), min(b,end)); filter the rest.
+    ScanFilter(layer, std::max(a, node.begin), std::min(b, node.end), dim + 1,
+               lo, hi, out);
+    return;
+  }
+  QuerySeg(layer, *node.left, dim, a, b, lo, hi, out);
+  QuerySeg(layer, *node.right, dim, a, b, lo, hi, out);
+}
+
+void RangeTree::ScanFilter(const Layer& layer, uint32_t begin, uint32_t end,
+                           int from_dim, const double* lo, const double* hi,
+                           std::vector<RowIdx>* out) const {
+  for (uint32_t i = begin; i < end; ++i) {
+    RowIdx p = layer.items[i];
+    bool inside = true;
+    for (int k = from_dim; k < dims_; ++k) {
+      double c = coords_[static_cast<size_t>(k)][p];
+      if (c < lo[k] || c > hi[k]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) out->push_back(p);
+  }
+}
+
+size_t RangeTree::LayerBytes(const Layer& layer) const {
+  size_t bytes = layer.keys.capacity() * sizeof(double) +
+                 layer.items.capacity() * sizeof(RowIdx);
+  // Walk the hierarchy.
+  std::vector<const SegNode*> stack;
+  if (layer.root != nullptr) stack.push_back(layer.root.get());
+  while (!stack.empty()) {
+    const SegNode* node = stack.back();
+    stack.pop_back();
+    bytes += sizeof(SegNode);
+    if (node->sub != nullptr) bytes += LayerBytes(*node->sub);
+    if (node->left != nullptr) stack.push_back(node->left.get());
+    if (node->right != nullptr) stack.push_back(node->right.get());
+  }
+  return bytes;
+}
+
+size_t RangeTree::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : coords_) bytes += c.capacity() * sizeof(double);
+  if (root_ != nullptr) bytes += LayerBytes(*root_);
+  return bytes;
+}
+
+size_t RangeTree::TheoreticalBytes(size_t n, int d, size_t entry_bytes) {
+  if (n == 0) return 0;
+  double logn = std::max(1.0, std::ceil(std::log2(static_cast<double>(n))));
+  double factor = 1.0;
+  for (int k = 1; k < d; ++k) factor *= logn;
+  return static_cast<size_t>(static_cast<double>(n) * factor *
+                             static_cast<double>(entry_bytes));
+}
+
+}  // namespace sgl

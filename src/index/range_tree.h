@@ -1,0 +1,87 @@
+// Static d-dimensional orthogonal range tree (§4.2).
+//
+// The paper: "SGL makes extensive use of large multi-dimensional orthogonal
+// range tree indices. Each of these trees takes Θ(n·log^(d−1) n) space ...
+// a tree with 100,000 entries of 16 bytes each takes about 2 GB to store."
+// This is that structure: a layered range tree — a balanced hierarchy on
+// dimension k whose every canonical node owns an associated tree over the
+// same points on dimension k+1; the final dimension is a sorted array.
+//
+// Because O(n) points move every tick (§4.1), the tree is bulk-rebuilt per
+// tick rather than dynamically maintained; Build uses presort + stable
+// distribution so construction is O(n·log^(d−1) n) too. Benchmarks charge
+// build cost to every tick.
+
+#ifndef SGL_INDEX_RANGE_TREE_H_
+#define SGL_INDEX_RANGE_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace sgl {
+
+/// Layered static range tree over points identified by RowIdx 0..n-1.
+class RangeTree {
+ public:
+  /// `dims` >= 1. `leaf_size` bounds the intervals stored without an
+  /// associated subtree (they are filter-scanned instead); larger leaves
+  /// trade memory for query-time filtering.
+  explicit RangeTree(int dims, int leaf_size = 8);
+  ~RangeTree();
+
+  RangeTree(const RangeTree&) = delete;
+  RangeTree& operator=(const RangeTree&) = delete;
+
+  int dims() const { return dims_; }
+  size_t size() const { return n_; }
+
+  /// (Re)builds over `coords`, where coords[k][i] is point i's k-th
+  /// coordinate. All vectors must have equal length.
+  void Build(std::vector<std::vector<double>> coords);
+
+  /// Appends every point inside the closed box [lo[k], hi[k]] for all k to
+  /// `out`. Result order is deterministic (tree order) but unspecified.
+  void Query(const double* lo, const double* hi,
+             std::vector<RowIdx>* out) const;
+
+  /// Number of points in the box without materializing them.
+  size_t Count(const double* lo, const double* hi) const;
+
+  /// Measured heap bytes of the structure (keys, items, nodes, coords).
+  size_t MemoryBytes() const;
+
+  /// The paper's space formula: n * max(1, ceil(log2 n))^(d-1) * entry_bytes.
+  static size_t TheoreticalBytes(size_t n, int d, size_t entry_bytes = 16);
+
+ private:
+  struct Layer;
+  struct SegNode;
+
+  std::unique_ptr<Layer> BuildLayer(int dim, std::vector<RowIdx> items);
+  std::unique_ptr<SegNode> BuildSeg(const Layer& layer, int dim,
+                                    uint32_t begin, uint32_t end,
+                                    std::vector<RowIdx> by_next,
+                                    const std::vector<uint32_t>& pos_of);
+  void QueryLayer(const Layer& layer, int dim, const double* lo,
+                  const double* hi, std::vector<RowIdx>* out) const;
+  void QuerySeg(const Layer& layer, const SegNode& node, int dim, uint32_t a,
+                uint32_t b, const double* lo, const double* hi,
+                std::vector<RowIdx>* out) const;
+  /// Filter-scan items[begin,end) of `layer` on dims >= `from_dim`.
+  void ScanFilter(const Layer& layer, uint32_t begin, uint32_t end,
+                  int from_dim, const double* lo, const double* hi,
+                  std::vector<RowIdx>* out) const;
+  size_t LayerBytes(const Layer& layer) const;
+
+  int dims_;
+  int leaf_size_;
+  size_t n_ = 0;
+  std::vector<std::vector<double>> coords_;
+  std::unique_ptr<Layer> root_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_INDEX_RANGE_TREE_H_

@@ -1,0 +1,140 @@
+// Untyped parse tree for SGL programs. The parser builds this; the compiler
+// (sema + desugar + plan generation) lowers it to CompiledProgram.
+
+#ifndef SGL_LANG_AST_H_
+#define SGL_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sgl {
+
+/// Source position carried through for error messages.
+struct SrcPos {
+  int line = 0;
+  int col = 0;
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+/// A surface type mention: "number", "bool", "ref<Unit>", "set<Item>".
+struct AstType {
+  std::string base;   ///< number | bool | ref | set
+  std::string param;  ///< class name for ref/set
+};
+
+enum class AstExprKind : uint8_t {
+  kNum,     ///< numeric literal
+  kBool,    ///< true/false
+  kNull,    ///< null
+  kIdent,   ///< bare identifier
+  kField,   ///< kids[0] . name
+  kUnary,   ///< op: "-" or "!"
+  kBinary,  ///< op: + - * / % < <= > >= == != && ||
+  kCall,    ///< name(args...) builtin call
+};
+
+struct AstExpr {
+  AstExprKind kind;
+  SrcPos pos;
+  double num = 0.0;
+  bool b = false;
+  std::string name;  ///< ident / field / call name
+  std::string op;    ///< unary/binary operator spelling
+  std::vector<std::unique_ptr<AstExpr>> kids;
+};
+
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+enum class AstStmtKind : uint8_t {
+  kLet,      ///< let type name = expr;
+  kAssign,   ///< lvalue <- expr;  (or <+ / <~)
+  kIf,       ///< if (expr) {..} else {..}
+  kAccum,    ///< accum .. with .. over .. from .. { } in { }
+  kWait,     ///< waitNextTick;
+  kAtomic,   ///< atomic "label" require(..)* { txn writes }
+  kRestart,  ///< restart [Script];
+};
+
+struct AstStmt {
+  AstStmtKind kind;
+  SrcPos pos;
+
+  // kLet: type name = expr. kAssign: value in expr.
+  AstType type;
+  std::string name;        ///< let var / assign field / atomic label /
+                           ///< restart target
+  AstExprPtr expr;         ///< let value / assign value / if condition
+  AstExprPtr target_base;  ///< kAssign: object expression (null = self)
+  std::string assign_op;   ///< "<-", "<+", "<~"
+
+  std::vector<std::unique_ptr<AstStmt>> block1;  ///< then / accum B1 / atomic
+  std::vector<std::unique_ptr<AstStmt>> block2;  ///< else / accum B2
+
+  // kAccum extras.
+  std::string comb;        ///< combinator name
+  AstType accum_type;      ///< accumulated value type
+  std::string iter_class;  ///< declared class of the iteration variable
+  std::string iter_name;   ///< iteration variable name
+  std::string from_name;   ///< class extent or set-field identifier
+
+  // kAtomic extras.
+  std::vector<AstExprPtr> constraints;
+};
+
+using AstStmtPtr = std::unique_ptr<AstStmt>;
+
+struct AstStateField {
+  AstType type;
+  std::string name;
+  AstExprPtr init;  ///< literal initializer; null = type default
+  SrcPos pos;
+};
+
+struct AstEffectField {
+  AstType type;
+  std::string name;
+  std::string comb;
+  SrcPos pos;
+};
+
+struct AstUpdateRule {
+  std::string field;
+  AstExprPtr value;
+  SrcPos pos;
+};
+
+struct AstClass {
+  std::string name;
+  std::vector<AstStateField> state;
+  std::vector<AstEffectField> effects;
+  std::vector<AstUpdateRule> updates;
+  SrcPos pos;
+};
+
+struct AstScript {
+  std::string name;
+  std::string cls;
+  std::vector<AstStmtPtr> body;
+  SrcPos pos;
+};
+
+struct AstHandler {
+  std::string name;  ///< optional; empty = auto-named
+  std::string cls;
+  AstExprPtr cond;
+  std::vector<AstStmtPtr> body;
+  SrcPos pos;
+};
+
+struct AstProgram {
+  std::vector<AstClass> classes;
+  std::vector<AstScript> scripts;
+  std::vector<AstHandler> handlers;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_LANG_AST_H_

@@ -1,0 +1,68 @@
+// The SGL compiler: AstProgram -> CompiledProgram.
+//
+// This is the paper's central translation (§2.1): imperative object-level
+// scripts become relational plans executed set-at-a-time. Passes:
+//   1. Class declarations -> ClassDefs (schema generation).
+//   2. Implicit-field injection: program counters for multi-tick scripts
+//      (§3.2) and status fields for atomic blocks (§3.1).
+//   3. Catalog registration + ref/set target resolution.
+//   4. Script/handler/update-rule lowering:
+//        - path-condition propagation turns nested conditionals into
+//          guarded effect writes (σ -> π -> ⊕),
+//        - accum-loops become joins; their predicates are decomposed into
+//          rectangular range dims (index-joinable), equality dims
+//          (hash-joinable), and a residual filter,
+//        - waitNextTick splits the body into phases dispatched on the
+//          implicit PC (the "direct translation to standard single-tick
+//          SGL programs" of §3.2),
+//        - atomic blocks become transaction-intent emission ops.
+//   5. Attribute-affinity mining for layout selection (§2.1).
+//
+// All access-rule violations (reading effects, writing state, waits inside
+// accum/atomic, etc.) are compile-time SemanticErrors with positions.
+
+#ifndef SGL_LANG_COMPILER_H_
+#define SGL_LANG_COMPILER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lang/ast.h"
+#include "src/ra/plan.h"
+#include "src/schema/catalog.h"
+#include "src/schema/layout.h"
+
+namespace sgl {
+
+/// The executable form of an SGL program.
+struct CompiledProgram {
+  std::unique_ptr<Catalog> catalog;
+  std::vector<CompiledScript> scripts;    ///< program order
+  std::vector<CompiledHandler> handlers;  ///< program order
+  std::vector<UpdateRule> update_rules;   ///< declared + auto PC rules
+  /// Per-class attribute co-occurrence (for LayoutStrategy::kAffinity).
+  std::vector<AffinityMatrix> affinity;
+  /// Per-class state fields owned by the transaction engine (targets of
+  /// atomic-block writes, plus status fields).
+  std::vector<std::vector<FieldIdx>> txn_owned;
+  int num_sites = 0;  ///< accum/txn site count (adaptive optimizer slots)
+
+  /// Human-readable plan dump (EXPLAIN) for every script and handler.
+  std::string Explain() const;
+
+  /// Index of the script with `name`, or -1.
+  int FindScript(const std::string& name) const;
+};
+
+/// Compiles a parsed program.
+StatusOr<std::unique_ptr<CompiledProgram>> Compile(const AstProgram& ast);
+
+/// Parses + compiles SGL source text.
+StatusOr<std::unique_ptr<CompiledProgram>> CompileSource(
+    const std::string& source);
+
+}  // namespace sgl
+
+#endif  // SGL_LANG_COMPILER_H_

@@ -1,0 +1,229 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sgl {
+
+const char* TokKindName(TokKind k) {
+  switch (k) {
+    case TokKind::kEof: return "<eof>";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kNumber: return "number";
+    case TokKind::kString: return "string";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kDot: return "'.'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEqEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kAndAnd: return "'&&'";
+    case TokKind::kOrOr: return "'||'";
+    case TokKind::kBang: return "'!'";
+    case TokKind::kArrow: return "'<-'";
+    case TokKind::kArrowPlus: return "'<+'";
+    case TokKind::kArrowTilde: return "'<~'";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1, col = 1;
+  const size_t n = source.size();
+
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < n ? source[i + off] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at line " + std::to_string(line) +
+                              ":" + std::to_string(col));
+  };
+  auto push = [&](TokKind kind, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.col = col;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (i < n && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= n) return error("unterminated block comment");
+      advance();
+      advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.line = line;
+      t.col = col;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+        t.text += peek();
+        advance();
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      Token t;
+      t.kind = TokKind::kNumber;
+      t.line = line;
+      t.col = col;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                       peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                       ((peek() == '+' || peek() == '-') &&
+                        (t.text.back() == 'e' || t.text.back() == 'E')))) {
+        t.text += peek();
+        advance();
+      }
+      t.num = std::strtod(t.text.c_str(), nullptr);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      Token t;
+      t.kind = TokKind::kString;
+      t.line = line;
+      t.col = col;
+      advance();
+      while (i < n && peek() != '"') {
+        t.text += peek();
+        advance();
+      }
+      if (i >= n) return error("unterminated string literal");
+      advance();
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokKind::kLParen); advance(); continue;
+      case ')': push(TokKind::kRParen); advance(); continue;
+      case '{': push(TokKind::kLBrace); advance(); continue;
+      case '}': push(TokKind::kRBrace); advance(); continue;
+      case ',': push(TokKind::kComma); advance(); continue;
+      case ';': push(TokKind::kSemi); advance(); continue;
+      case ':': push(TokKind::kColon); advance(); continue;
+      case '.': push(TokKind::kDot); advance(); continue;
+      case '+': push(TokKind::kPlus); advance(); continue;
+      case '-': push(TokKind::kMinus); advance(); continue;
+      case '*': push(TokKind::kStar); advance(); continue;
+      case '/': push(TokKind::kSlash); advance(); continue;
+      case '%': push(TokKind::kPercent); advance(); continue;
+      case '<':
+        if (peek(1) == '=') {
+          push(TokKind::kLe);
+          advance();
+          advance();
+        } else if (peek(1) == '-') {
+          push(TokKind::kArrow);
+          advance();
+          advance();
+        } else if (peek(1) == '+') {
+          push(TokKind::kArrowPlus);
+          advance();
+          advance();
+        } else if (peek(1) == '~') {
+          push(TokKind::kArrowTilde);
+          advance();
+          advance();
+        } else {
+          push(TokKind::kLt);
+          advance();
+        }
+        continue;
+      case '>':
+        if (peek(1) == '=') {
+          push(TokKind::kGe);
+          advance();
+          advance();
+        } else {
+          push(TokKind::kGt);
+          advance();
+        }
+        continue;
+      case '=':
+        if (peek(1) == '=') {
+          push(TokKind::kEqEq);
+          advance();
+          advance();
+        } else {
+          push(TokKind::kAssign);
+          advance();
+        }
+        continue;
+      case '!':
+        if (peek(1) == '=') {
+          push(TokKind::kNe);
+          advance();
+          advance();
+        } else {
+          push(TokKind::kBang);
+          advance();
+        }
+        continue;
+      case '&':
+        if (peek(1) == '&') {
+          push(TokKind::kAndAnd);
+          advance();
+          advance();
+          continue;
+        }
+        return error("stray '&' (did you mean '&&'?)");
+      case '|':
+        if (peek(1) == '|') {
+          push(TokKind::kOrOr);
+          advance();
+          advance();
+          continue;
+        }
+        return error("stray '|' (did you mean '||'?)");
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokKind::kEof);
+  return out;
+}
+
+}  // namespace sgl

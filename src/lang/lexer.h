@@ -1,0 +1,45 @@
+// Lexer for SGL source text (§2.1, Figs. 1–2 define the surface syntax).
+
+#ifndef SGL_LANG_LEXER_H_
+#define SGL_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sgl {
+
+enum class TokKind : uint8_t {
+  kEof,
+  kIdent,     ///< identifiers and keywords (parser matches text)
+  kNumber,    ///< numeric literal
+  kString,    ///< "double-quoted" (atomic-block labels)
+  kLParen, kRParen, kLBrace, kRBrace,
+  kComma, kSemi, kColon, kDot,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kLt, kLe, kGt, kGe, kEqEq, kNe, kAssign,     // = (update rules, defaults)
+  kAndAnd, kOrOr, kBang,
+  kArrow,       ///< <-  (effect assignment)
+  kArrowPlus,   ///< <+  (set insert)
+  kArrowTilde,  ///< <~  (set remove; atomic blocks only)
+};
+
+const char* TokKindName(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;   ///< kIdent/kString: content; kNumber: raw text
+  double num = 0.0;   ///< kNumber value
+  int line = 1;
+  int col = 1;
+};
+
+/// Tokenizes `source`. `//` line comments and `/* */` block comments are
+/// skipped. Fails with ParseError on unknown characters or unterminated
+/// strings/comments.
+StatusOr<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace sgl
+
+#endif  // SGL_LANG_LEXER_H_

@@ -1,0 +1,557 @@
+#include "src/lang/parser.h"
+
+#include "src/lang/lexer.h"
+
+namespace sgl {
+
+namespace {
+
+/// Token-stream parser. All Parse* methods return Status and write results
+/// through out-params so SGL_RETURN_IF_ERROR composes.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Status Run(AstProgram* out) {
+    while (!At(TokKind::kEof)) {
+      if (AtIdent("class")) {
+        AstClass cls;
+        SGL_RETURN_IF_ERROR(ParseClass(&cls));
+        out->classes.push_back(std::move(cls));
+      } else if (AtIdent("script")) {
+        AstScript script;
+        SGL_RETURN_IF_ERROR(ParseScript(&script));
+        out->scripts.push_back(std::move(script));
+      } else if (AtIdent("when")) {
+        AstHandler handler;
+        SGL_RETURN_IF_ERROR(ParseHandler(&handler));
+        out->handlers.push_back(std::move(handler));
+      } else {
+        return Err("expected 'class', 'script', or 'when'");
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Peek(size_t off = 1) const {
+    size_t i = pos_ + off;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool At(TokKind k) const { return Cur().kind == k; }
+  bool AtIdent(const char* text) const {
+    return Cur().kind == TokKind::kIdent && Cur().text == text;
+  }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool Eat(TokKind k) {
+    if (!At(k)) return false;
+    Advance();
+    return true;
+  }
+  bool EatIdent(const char* text) {
+    if (!AtIdent(text)) return false;
+    Advance();
+    return true;
+  }
+  SrcPos Pos() const { return SrcPos{Cur().line, Cur().col}; }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at " +
+                              std::to_string(Cur().line) + ":" +
+                              std::to_string(Cur().col) + " (found " +
+                              std::string(TokKindName(Cur().kind)) +
+                              (Cur().kind == TokKind::kIdent
+                                   ? " '" + Cur().text + "'"
+                                   : "") +
+                              ")");
+  }
+  Status Expect(TokKind k) {
+    if (!Eat(k)) return Err(std::string("expected ") + TokKindName(k));
+    return Status::OK();
+  }
+  Status ExpectIdent(const char* text) {
+    if (!EatIdent(text)) return Err(std::string("expected '") + text + "'");
+    return Status::OK();
+  }
+  Status ExpectAnyIdent(std::string* out) {
+    if (!At(TokKind::kIdent)) return Err("expected identifier");
+    *out = Cur().text;
+    Advance();
+    return Status::OK();
+  }
+
+  // --- Types ----------------------------------------------------------
+
+  Status ParseType(AstType* out) {
+    if (!At(TokKind::kIdent)) return Err("expected type");
+    out->base = Cur().text;
+    Advance();
+    if (out->base == "ref" || out->base == "set") {
+      SGL_RETURN_IF_ERROR(Expect(TokKind::kLt));
+      SGL_RETURN_IF_ERROR(ExpectAnyIdent(&out->param));
+      SGL_RETURN_IF_ERROR(Expect(TokKind::kGt));
+    } else if (out->base != "number" && out->base != "bool") {
+      return Err("unknown type '" + out->base + "'");
+    }
+    return Status::OK();
+  }
+
+  // --- Declarations ----------------------------------------------------
+
+  Status ParseClass(AstClass* out) {
+    out->pos = Pos();
+    SGL_RETURN_IF_ERROR(ExpectIdent("class"));
+    SGL_RETURN_IF_ERROR(ExpectAnyIdent(&out->name));
+    SGL_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
+    enum Section { kNone, kState, kEffects, kUpdate } section = kNone;
+    while (!At(TokKind::kRBrace)) {
+      if (AtIdent("state") && Peek().kind == TokKind::kColon) {
+        Advance();
+        Advance();
+        section = kState;
+        continue;
+      }
+      if (AtIdent("effects") && Peek().kind == TokKind::kColon) {
+        Advance();
+        Advance();
+        section = kEffects;
+        continue;
+      }
+      if (AtIdent("update") && Peek().kind == TokKind::kColon) {
+        Advance();
+        Advance();
+        section = kUpdate;
+        continue;
+      }
+      switch (section) {
+        case kNone:
+          return Err("expected 'state:', 'effects:', or 'update:'");
+        case kState: {
+          AstStateField f;
+          f.pos = Pos();
+          SGL_RETURN_IF_ERROR(ParseType(&f.type));
+          SGL_RETURN_IF_ERROR(ExpectAnyIdent(&f.name));
+          if (Eat(TokKind::kAssign)) {
+            SGL_RETURN_IF_ERROR(ParseExpr(&f.init));
+          }
+          SGL_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+          out->state.push_back(std::move(f));
+          break;
+        }
+        case kEffects: {
+          AstEffectField f;
+          f.pos = Pos();
+          SGL_RETURN_IF_ERROR(ParseType(&f.type));
+          SGL_RETURN_IF_ERROR(ExpectAnyIdent(&f.name));
+          SGL_RETURN_IF_ERROR(Expect(TokKind::kColon));
+          SGL_RETURN_IF_ERROR(ExpectAnyIdent(&f.comb));
+          SGL_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+          out->effects.push_back(std::move(f));
+          break;
+        }
+        case kUpdate: {
+          AstUpdateRule r;
+          r.pos = Pos();
+          SGL_RETURN_IF_ERROR(ExpectAnyIdent(&r.field));
+          SGL_RETURN_IF_ERROR(Expect(TokKind::kAssign));
+          SGL_RETURN_IF_ERROR(ParseExpr(&r.value));
+          SGL_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+          out->updates.push_back(std::move(r));
+          break;
+        }
+      }
+    }
+    return Expect(TokKind::kRBrace);
+  }
+
+  Status ParseScript(AstScript* out) {
+    out->pos = Pos();
+    SGL_RETURN_IF_ERROR(ExpectIdent("script"));
+    SGL_RETURN_IF_ERROR(ExpectAnyIdent(&out->name));
+    SGL_RETURN_IF_ERROR(ExpectIdent("for"));
+    SGL_RETURN_IF_ERROR(ExpectAnyIdent(&out->cls));
+    SGL_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
+    SGL_RETURN_IF_ERROR(ParseBlockBody(&out->body));
+    return Expect(TokKind::kRBrace);
+  }
+
+  Status ParseHandler(AstHandler* out) {
+    out->pos = Pos();
+    SGL_RETURN_IF_ERROR(ExpectIdent("when"));
+    SGL_RETURN_IF_ERROR(ExpectAnyIdent(&out->cls));
+    if (At(TokKind::kIdent)) {  // optional handler name
+      out->name = Cur().text;
+      Advance();
+    }
+    SGL_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+    SGL_RETURN_IF_ERROR(ParseExpr(&out->cond));
+    SGL_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+    SGL_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
+    SGL_RETURN_IF_ERROR(ParseBlockBody(&out->body));
+    return Expect(TokKind::kRBrace);
+  }
+
+  // --- Statements -------------------------------------------------------
+
+  Status ParseBlockBody(std::vector<AstStmtPtr>* out) {
+    while (!At(TokKind::kRBrace) && !At(TokKind::kEof)) {
+      AstStmtPtr stmt;
+      SGL_RETURN_IF_ERROR(ParseStmt(&stmt));
+      out->push_back(std::move(stmt));
+    }
+    return Status::OK();
+  }
+
+  Status ParseBracedBlock(std::vector<AstStmtPtr>* out) {
+    SGL_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
+    SGL_RETURN_IF_ERROR(ParseBlockBody(out));
+    return Expect(TokKind::kRBrace);
+  }
+
+  Status ParseStmt(AstStmtPtr* out) {
+    auto stmt = std::make_unique<AstStmt>();
+    stmt->pos = Pos();
+    if (AtIdent("let")) {
+      Advance();
+      stmt->kind = AstStmtKind::kLet;
+      SGL_RETURN_IF_ERROR(ParseType(&stmt->type));
+      SGL_RETURN_IF_ERROR(ExpectAnyIdent(&stmt->name));
+      SGL_RETURN_IF_ERROR(Expect(TokKind::kAssign));
+      SGL_RETURN_IF_ERROR(ParseExpr(&stmt->expr));
+      SGL_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+      *out = std::move(stmt);
+      return Status::OK();
+    }
+    if (AtIdent("if")) {
+      SGL_RETURN_IF_ERROR(ParseIf(stmt.get()));
+      *out = std::move(stmt);
+      return Status::OK();
+    }
+    if (AtIdent("waitNextTick")) {
+      Advance();
+      stmt->kind = AstStmtKind::kWait;
+      SGL_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+      *out = std::move(stmt);
+      return Status::OK();
+    }
+    if (AtIdent("restart")) {
+      Advance();
+      stmt->kind = AstStmtKind::kRestart;
+      if (At(TokKind::kIdent)) {
+        stmt->name = Cur().text;
+        Advance();
+      }
+      SGL_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+      *out = std::move(stmt);
+      return Status::OK();
+    }
+    if (AtIdent("accum")) {
+      SGL_RETURN_IF_ERROR(ParseAccum(stmt.get()));
+      *out = std::move(stmt);
+      return Status::OK();
+    }
+    if (AtIdent("atomic")) {
+      SGL_RETURN_IF_ERROR(ParseAtomic(stmt.get()));
+      *out = std::move(stmt);
+      return Status::OK();
+    }
+    // Effect assignment: lvalue (<-|<+|<~) expr ;
+    stmt->kind = AstStmtKind::kAssign;
+    AstExprPtr lvalue;
+    SGL_RETURN_IF_ERROR(ParsePostfix(&lvalue));
+    if (lvalue->kind == AstExprKind::kIdent) {
+      stmt->name = lvalue->name;
+      stmt->target_base = nullptr;
+    } else if (lvalue->kind == AstExprKind::kField) {
+      stmt->name = lvalue->name;
+      stmt->target_base = std::move(lvalue->kids[0]);
+    } else {
+      return Err("expected an assignable field before '<-'");
+    }
+    if (Eat(TokKind::kArrow)) {
+      stmt->assign_op = "<-";
+    } else if (Eat(TokKind::kArrowPlus)) {
+      stmt->assign_op = "<+";
+    } else if (Eat(TokKind::kArrowTilde)) {
+      stmt->assign_op = "<~";
+    } else {
+      return Err("expected '<-', '<+', or '<~'");
+    }
+    SGL_RETURN_IF_ERROR(ParseExpr(&stmt->expr));
+    SGL_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+    *out = std::move(stmt);
+    return Status::OK();
+  }
+
+  Status ParseIf(AstStmt* stmt) {
+    SGL_RETURN_IF_ERROR(ExpectIdent("if"));
+    stmt->kind = AstStmtKind::kIf;
+    SGL_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+    SGL_RETURN_IF_ERROR(ParseExpr(&stmt->expr));
+    SGL_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+    SGL_RETURN_IF_ERROR(ParseBracedBlock(&stmt->block1));
+    if (EatIdent("else")) {
+      if (AtIdent("if")) {
+        auto nested = std::make_unique<AstStmt>();
+        nested->pos = Pos();
+        SGL_RETURN_IF_ERROR(ParseIf(nested.get()));
+        stmt->block2.push_back(std::move(nested));
+      } else {
+        SGL_RETURN_IF_ERROR(ParseBracedBlock(&stmt->block2));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseAccum(AstStmt* stmt) {
+    SGL_RETURN_IF_ERROR(ExpectIdent("accum"));
+    stmt->kind = AstStmtKind::kAccum;
+    SGL_RETURN_IF_ERROR(ParseType(&stmt->accum_type));
+    SGL_RETURN_IF_ERROR(ExpectAnyIdent(&stmt->name));
+    SGL_RETURN_IF_ERROR(ExpectIdent("with"));
+    SGL_RETURN_IF_ERROR(ExpectAnyIdent(&stmt->comb));
+    SGL_RETURN_IF_ERROR(ExpectIdent("over"));
+    SGL_RETURN_IF_ERROR(ExpectAnyIdent(&stmt->iter_class));
+    SGL_RETURN_IF_ERROR(ExpectAnyIdent(&stmt->iter_name));
+    SGL_RETURN_IF_ERROR(ExpectIdent("from"));
+    SGL_RETURN_IF_ERROR(ExpectAnyIdent(&stmt->from_name));
+    SGL_RETURN_IF_ERROR(ParseBracedBlock(&stmt->block1));
+    SGL_RETURN_IF_ERROR(ExpectIdent("in"));
+    SGL_RETURN_IF_ERROR(ParseBracedBlock(&stmt->block2));
+    return Status::OK();
+  }
+
+  Status ParseAtomic(AstStmt* stmt) {
+    SGL_RETURN_IF_ERROR(ExpectIdent("atomic"));
+    stmt->kind = AstStmtKind::kAtomic;
+    if (At(TokKind::kString)) {
+      stmt->name = Cur().text;
+      Advance();
+    }
+    while (AtIdent("require")) {
+      Advance();
+      SGL_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+      AstExprPtr c;
+      SGL_RETURN_IF_ERROR(ParseExpr(&c));
+      SGL_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+      stmt->constraints.push_back(std::move(c));
+    }
+    SGL_RETURN_IF_ERROR(ParseBracedBlock(&stmt->block1));
+    return Status::OK();
+  }
+
+  // --- Expressions ------------------------------------------------------
+
+  AstExprPtr MakeBinary(std::string op, AstExprPtr a, AstExprPtr b,
+                        SrcPos pos) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExprKind::kBinary;
+    e->op = std::move(op);
+    e->pos = pos;
+    e->kids.push_back(std::move(a));
+    e->kids.push_back(std::move(b));
+    return e;
+  }
+
+  Status ParseExpr(AstExprPtr* out) { return ParseOr(out); }
+
+  Status ParseOr(AstExprPtr* out) {
+    SGL_RETURN_IF_ERROR(ParseAnd(out));
+    while (At(TokKind::kOrOr)) {
+      SrcPos pos = Pos();
+      Advance();
+      AstExprPtr rhs;
+      SGL_RETURN_IF_ERROR(ParseAnd(&rhs));
+      *out = MakeBinary("||", std::move(*out), std::move(rhs), pos);
+    }
+    return Status::OK();
+  }
+
+  Status ParseAnd(AstExprPtr* out) {
+    SGL_RETURN_IF_ERROR(ParseCmp(out));
+    while (At(TokKind::kAndAnd)) {
+      SrcPos pos = Pos();
+      Advance();
+      AstExprPtr rhs;
+      SGL_RETURN_IF_ERROR(ParseCmp(&rhs));
+      *out = MakeBinary("&&", std::move(*out), std::move(rhs), pos);
+    }
+    return Status::OK();
+  }
+
+  Status ParseCmp(AstExprPtr* out) {
+    SGL_RETURN_IF_ERROR(ParseAdd(out));
+    std::string op;
+    switch (Cur().kind) {
+      case TokKind::kLt: op = "<"; break;
+      case TokKind::kLe: op = "<="; break;
+      case TokKind::kGt: op = ">"; break;
+      case TokKind::kGe: op = ">="; break;
+      case TokKind::kEqEq: op = "=="; break;
+      case TokKind::kNe: op = "!="; break;
+      case TokKind::kArrow:
+        // "a <-b" in expression position is "a < -b": the lexer cannot
+        // distinguish this from the assignment arrow, so the parser does.
+        {
+          SrcPos pos = Pos();
+          Advance();
+          AstExprPtr rhs;
+          SGL_RETURN_IF_ERROR(ParseUnary(&rhs));
+          auto neg = std::make_unique<AstExpr>();
+          neg->kind = AstExprKind::kUnary;
+          neg->op = "-";
+          neg->pos = pos;
+          neg->kids.push_back(std::move(rhs));
+          // Continue the additive tail after the negated operand.
+          AstExprPtr full = std::move(neg);
+          SGL_RETURN_IF_ERROR(ParseAddTail(&full));
+          *out = MakeBinary("<", std::move(*out), std::move(full), pos);
+          return Status::OK();
+        }
+      default:
+        return Status::OK();
+    }
+    SrcPos pos = Pos();
+    Advance();
+    AstExprPtr rhs;
+    SGL_RETURN_IF_ERROR(ParseAdd(&rhs));
+    *out = MakeBinary(op, std::move(*out), std::move(rhs), pos);
+    return Status::OK();
+  }
+
+  Status ParseAdd(AstExprPtr* out) {
+    SGL_RETURN_IF_ERROR(ParseMul(out));
+    return ParseAddTail(out);
+  }
+
+  Status ParseAddTail(AstExprPtr* out) {
+    while (At(TokKind::kPlus) || At(TokKind::kMinus)) {
+      std::string op = At(TokKind::kPlus) ? "+" : "-";
+      SrcPos pos = Pos();
+      Advance();
+      AstExprPtr rhs;
+      SGL_RETURN_IF_ERROR(ParseMul(&rhs));
+      *out = MakeBinary(op, std::move(*out), std::move(rhs), pos);
+    }
+    return Status::OK();
+  }
+
+  Status ParseMul(AstExprPtr* out) {
+    SGL_RETURN_IF_ERROR(ParseUnary(out));
+    while (At(TokKind::kStar) || At(TokKind::kSlash) ||
+           At(TokKind::kPercent)) {
+      std::string op = At(TokKind::kStar)    ? "*"
+                       : At(TokKind::kSlash) ? "/"
+                                             : "%";
+      SrcPos pos = Pos();
+      Advance();
+      AstExprPtr rhs;
+      SGL_RETURN_IF_ERROR(ParseUnary(&rhs));
+      *out = MakeBinary(op, std::move(*out), std::move(rhs), pos);
+    }
+    return Status::OK();
+  }
+
+  Status ParseUnary(AstExprPtr* out) {
+    if (At(TokKind::kMinus) || At(TokKind::kBang)) {
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExprKind::kUnary;
+      e->op = At(TokKind::kMinus) ? "-" : "!";
+      e->pos = Pos();
+      Advance();
+      AstExprPtr kid;
+      SGL_RETURN_IF_ERROR(ParseUnary(&kid));
+      e->kids.push_back(std::move(kid));
+      *out = std::move(e);
+      return Status::OK();
+    }
+    return ParsePostfix(out);
+  }
+
+  Status ParsePostfix(AstExprPtr* out) {
+    SGL_RETURN_IF_ERROR(ParsePrimary(out));
+    while (At(TokKind::kDot)) {
+      SrcPos pos = Pos();
+      Advance();
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExprKind::kField;
+      e->pos = pos;
+      SGL_RETURN_IF_ERROR(ExpectAnyIdent(&e->name));
+      e->kids.push_back(std::move(*out));
+      *out = std::move(e);
+    }
+    return Status::OK();
+  }
+
+  Status ParsePrimary(AstExprPtr* out) {
+    auto e = std::make_unique<AstExpr>();
+    e->pos = Pos();
+    if (At(TokKind::kNumber)) {
+      e->kind = AstExprKind::kNum;
+      e->num = Cur().num;
+      Advance();
+      *out = std::move(e);
+      return Status::OK();
+    }
+    if (AtIdent("true") || AtIdent("false")) {
+      e->kind = AstExprKind::kBool;
+      e->b = AtIdent("true");
+      Advance();
+      *out = std::move(e);
+      return Status::OK();
+    }
+    if (AtIdent("null")) {
+      e->kind = AstExprKind::kNull;
+      Advance();
+      *out = std::move(e);
+      return Status::OK();
+    }
+    if (At(TokKind::kLParen)) {
+      Advance();
+      SGL_RETURN_IF_ERROR(ParseExpr(out));
+      return Expect(TokKind::kRParen);
+    }
+    if (At(TokKind::kIdent)) {
+      std::string name = Cur().text;
+      Advance();
+      if (At(TokKind::kLParen)) {
+        Advance();
+        e->kind = AstExprKind::kCall;
+        e->name = name;
+        if (!At(TokKind::kRParen)) {
+          for (;;) {
+            AstExprPtr arg;
+            SGL_RETURN_IF_ERROR(ParseExpr(&arg));
+            e->kids.push_back(std::move(arg));
+            if (!Eat(TokKind::kComma)) break;
+          }
+        }
+        SGL_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+        *out = std::move(e);
+        return Status::OK();
+      }
+      e->kind = AstExprKind::kIdent;
+      e->name = name;
+      *out = std::move(e);
+      return Status::OK();
+    }
+    return Err("expected an expression");
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<AstProgram> ParseProgram(const std::string& source) {
+  SGL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  AstProgram program;
+  Parser parser(std::move(tokens));
+  SGL_RETURN_IF_ERROR(parser.Run(&program));
+  return program;
+}
+
+}  // namespace sgl

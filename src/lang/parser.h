@@ -1,0 +1,19 @@
+// Recursive-descent parser: SGL source -> AstProgram.
+
+#ifndef SGL_LANG_PARSER_H_
+#define SGL_LANG_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/lang/ast.h"
+
+namespace sgl {
+
+/// Parses a complete SGL program (class/script/handler declarations).
+/// Returns ParseError with line:col on malformed input.
+StatusOr<AstProgram> ParseProgram(const std::string& source);
+
+}  // namespace sgl
+
+#endif  // SGL_LANG_PARSER_H_

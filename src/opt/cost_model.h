@@ -1,0 +1,54 @@
+// Analytical cost model for AccumOp join strategies (§4.1).
+//
+// Costs are in abstract "work units" (roughly: inner-tuple touches plus
+// per-probe overheads); only the *ranking* matters. Estimates combine the
+// sampled column statistics (selectivity of the average query box) with the
+// structural costs of each access path, including the per-tick index
+// rebuild — the workload's defining feature is that O(n) rows move per tick,
+// so build cost is charged to every tick.
+
+#ifndef SGL_OPT_COST_MODEL_H_
+#define SGL_OPT_COST_MODEL_H_
+
+#include "src/opt/stats.h"
+#include "src/ra/plan.h"
+
+namespace sgl {
+
+/// Tunable constants of the cost model (work units per operation).
+struct CostConstants {
+  double pair_eval = 1.0;       ///< evaluate predicates on one candidate
+  double emit = 0.5;            ///< materialize one match
+  double tree_build_factor = 4.0;   ///< per point per log-level
+  double tree_probe = 8.0;      ///< per-probe descend overhead factor
+  double grid_build = 1.5;      ///< per point
+  double grid_probe = 4.0;      ///< per-probe cell setup
+  double grid_slack = 2.0;      ///< candidate inflation from cell granularity
+  double hash_build = 1.2;      ///< per point
+  double hash_probe = 2.0;      ///< per probe
+};
+
+/// Inputs describing one potential execution of an AccumOp this tick.
+struct JoinCostInputs {
+  double outer_rows = 0;     ///< rows surviving the outer guard
+  double inner_rows = 0;     ///< size of the iteration domain
+  double box_selectivity = 1.0;  ///< est. fraction of inner in the range box
+  int range_dims = 0;        ///< number of extracted range dimensions
+  bool has_hash = false;     ///< an equality key was extracted
+  double hash_selectivity = 1.0;  ///< est. fraction matching the hash key
+};
+
+/// Estimated total work units for `strategy` under `in`.
+double EstimateJoinCost(JoinStrategy strategy, const JoinCostInputs& in,
+                        const CostConstants& c = CostConstants());
+
+/// Estimates the average box selectivity of an AccumOp's range predicate
+/// using column stats: the average query box side is derived from the lo/hi
+/// expressions when they are `field ± literal` forms, else falls back to
+/// `fallback_frac` of the column's range per dimension.
+double EstimateBoxSelectivity(const AccumOp& op, const TableStats& inner,
+                              double fallback_frac = 0.1);
+
+}  // namespace sgl
+
+#endif  // SGL_OPT_COST_MODEL_H_

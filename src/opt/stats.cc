@@ -1,0 +1,76 @@
+#include "src/opt/stats.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace sgl {
+
+double ColumnStats::RangeSelectivity(double lo, double hi) const {
+  if (samples == 0 || histogram.empty()) return 1.0;
+  if (hi < min || lo > max) return 0.0;
+  if (max <= min) return 1.0;  // constant column inside the range
+  const double width = (max - min) / static_cast<double>(histogram.size());
+  double covered = 0;
+  for (size_t b = 0; b < histogram.size(); ++b) {
+    double b_lo = min + width * static_cast<double>(b);
+    double b_hi = b_lo + width;
+    double overlap =
+        std::max(0.0, std::min(hi, b_hi) - std::max(lo, b_lo));
+    if (overlap <= 0) continue;
+    covered += static_cast<double>(histogram[b]) * (overlap / width);
+  }
+  return std::clamp(covered / static_cast<double>(samples), 0.0, 1.0);
+}
+
+StatsManager::StatsManager(int sample_size, int buckets, int refresh_every)
+    : sample_size_(sample_size),
+      buckets_(buckets),
+      refresh_every_(refresh_every) {}
+
+void StatsManager::MaybeRefresh(const World& world, Tick tick) {
+  if (last_refresh_ >= 0 && tick - last_refresh_ < refresh_every_) return;
+  Refresh(world, tick);
+}
+
+void StatsManager::Refresh(const World& world, Tick tick) {
+  last_refresh_ = tick;
+  const Catalog& catalog = world.catalog();
+  stats_.resize(static_cast<size_t>(catalog.num_classes()));
+  Rng rng(0x57a75ULL ^ static_cast<uint64_t>(tick));
+  for (ClassId c = 0; c < catalog.num_classes(); ++c) {
+    const EntityTable& table = world.table(c);
+    TableStats& ts = stats_[static_cast<size_t>(c)];
+    ts.row_count = table.size();
+    ts.columns.assign(catalog.Get(c).state_fields().size(), ColumnStats());
+    if (table.empty()) continue;
+    const size_t n = table.size();
+    const size_t take = std::min<size_t>(n, static_cast<size_t>(sample_size_));
+    for (const FieldDef& f : catalog.Get(c).state_fields()) {
+      if (!f.type.is_number()) continue;
+      ConstNumberColumn col = table.Num(f.index);
+      ColumnStats& cs = ts.columns[static_cast<size_t>(f.index)];
+      std::vector<double> sample(take);
+      for (size_t i = 0; i < take; ++i) {
+        size_t row = take == n ? i : rng.NextBelow(n);
+        sample[i] = col[row];
+      }
+      auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+      cs.min = *mn;
+      cs.max = *mx;
+      cs.samples = static_cast<uint32_t>(take);
+      cs.histogram.assign(static_cast<size_t>(buckets_), 0);
+      const double width =
+          cs.max > cs.min
+              ? (cs.max - cs.min) / static_cast<double>(buckets_)
+              : 1.0;
+      for (double v : sample) {
+        size_t b = static_cast<size_t>((v - cs.min) / width);
+        if (b >= cs.histogram.size()) b = cs.histogram.size() - 1;
+        ++cs.histogram[b];
+      }
+    }
+  }
+}
+
+}  // namespace sgl

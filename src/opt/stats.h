@@ -1,0 +1,85 @@
+// Lightweight runtime statistics (§4.1).
+//
+// The paper: "Ideally we would like to keep some sort of statistics about
+// the distribution of our data, but this is difficult to do efficiently."
+// We keep two cheap kinds: (1) periodic sampled per-column summaries
+// (min/max + equi-width histogram) used by the cost model's selectivity
+// estimates, and (2) per-site runtime feedback (EWMA of observed join
+// fan-outs and timings) used by the adaptive controller for drift detection.
+
+#ifndef SGL_OPT_STATS_H_
+#define SGL_OPT_STATS_H_
+
+#include <vector>
+
+#include "src/storage/world.h"
+
+namespace sgl {
+
+/// Sampled summary of one numeric column.
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<uint32_t> histogram;  ///< equi-width buckets over [min, max]
+  uint32_t samples = 0;
+
+  /// Estimated fraction of values in [lo, hi] (clamped to [0, 1]).
+  double RangeSelectivity(double lo, double hi) const;
+};
+
+/// Per-class statistics snapshot.
+struct TableStats {
+  size_t row_count = 0;
+  std::vector<ColumnStats> columns;  ///< indexed by state FieldIdx
+                                     ///< (non-numeric entries empty)
+};
+
+/// Periodically re-sampled statistics over every class.
+class StatsManager {
+ public:
+  /// `sample_size`: rows sampled per class per refresh; `buckets`:
+  /// histogram resolution; `refresh_every`: ticks between refreshes.
+  StatsManager(int sample_size = 512, int buckets = 32,
+               int refresh_every = 8);
+
+  /// Refreshes snapshots if due at `tick` (or if never built).
+  void MaybeRefresh(const World& world, Tick tick);
+
+  /// Forces a refresh now.
+  void Refresh(const World& world, Tick tick);
+
+  const TableStats& Get(ClassId cls) const {
+    return stats_[static_cast<size_t>(cls)];
+  }
+  bool has_stats() const { return !stats_.empty(); }
+  Tick last_refresh() const { return last_refresh_; }
+
+ private:
+  int sample_size_;
+  int buckets_;
+  int refresh_every_;
+  Tick last_refresh_ = -1;
+  std::vector<TableStats> stats_;
+};
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+  void Add(double v) {
+    value_ = initialized_ ? alpha_ * v + (1 - alpha_) * value_ : v;
+    initialized_ = true;
+  }
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void Reset() { initialized_ = false; value_ = 0; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_OPT_STATS_H_

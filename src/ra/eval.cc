@@ -1,0 +1,581 @@
+#include "src/ra/eval.h"
+
+#include <cmath>
+
+namespace sgl {
+
+namespace {
+
+// Resolves the (table, row) a side refers to, per output element.
+inline const EntityTable* SideTable(const VecContext& ctx, uint8_t side) {
+  return side == 0 ? ctx.outer : ctx.inner;
+}
+inline RowIdx SideRow(const VecContext& ctx, uint8_t side, size_t i) {
+  return side == 0 ? (*ctx.outer_rows)[i] : (*ctx.inner_rows)[i];
+}
+
+// Fetches the set a kSetContains/kSetSize operand denotes, for one output
+// element. Supports state set fields (either side) and ref-gathered sets.
+const EntitySet* ResolveSetVec(const Expr& e, const VecContext& ctx,
+                               size_t i) {
+  static const EntitySet kEmpty;
+  if (e.kind == ExprKind::kStateRead) {
+    const EntityTable* t = SideTable(ctx, e.side);
+    return &t->SetCol(e.field)[SideRow(ctx, e.side, i)];
+  }
+  if (e.kind == ExprKind::kRefState) {
+    std::vector<EntityId> ids;
+    // Per-element gather: evaluate the ref for just this element by
+    // delegating to scalar path (sets through refs are rare).
+    ScalarContext sc;
+    sc.world = ctx.world;
+    sc.outer_cls = ctx.outer->cls().id();
+    sc.outer_row = (*ctx.outer_rows)[i];
+    if (ctx.inner != nullptr) {
+      sc.inner_cls = ctx.inner->cls().id();
+      sc.inner_row = (*ctx.inner_rows)[i];
+    }
+    sc.locals = ctx.locals;
+    sc.effects = ctx.effects;
+    EntityId target = EvalScalarRef(*e.kids[0], sc);
+    const World::Locator* loc = ctx.world->Find(target);
+    if (loc == nullptr) return &kEmpty;
+    return &ctx.world->table(loc->cls).SetCol(e.field)[loc->row];
+  }
+  SGL_CHECK(false && "unsupported set operand");
+  return &kEmpty;
+}
+
+const EntitySet* ResolveSetScalar(const Expr& e, const ScalarContext& ctx) {
+  static const EntitySet kEmpty;
+  if (e.kind == ExprKind::kEffectRead) {
+    SGL_CHECK(ctx.effects != nullptr);
+    return &ctx.effects->FinalSet(e.field, ctx.outer_row);
+  }
+  if (e.kind == ExprKind::kStateRead) {
+    ClassId cls = e.side == 0 ? ctx.outer_cls : ctx.inner_cls;
+    RowIdx row = e.side == 0 ? ctx.outer_row : ctx.inner_row;
+    if (ctx.overlay != nullptr) {
+      EntityId id = ctx.world->table(cls).id_at(row);
+      const EntitySet* tentative = ctx.overlay->GetSet(id, e.field);
+      if (tentative != nullptr) return tentative;
+    }
+    return &ctx.world->table(cls).SetCol(e.field)[row];
+  }
+  if (e.kind == ExprKind::kRefState) {
+    EntityId target = EvalScalarRef(*e.kids[0], ctx);
+    if (ctx.overlay != nullptr) {
+      const EntitySet* tentative = ctx.overlay->GetSet(target, e.field);
+      if (tentative != nullptr) return tentative;
+    }
+    const World::Locator* loc = ctx.world->Find(target);
+    if (loc == nullptr) return &kEmpty;
+    return &ctx.world->table(loc->cls).SetCol(e.field)[loc->row];
+  }
+  if (e.kind == ExprKind::kIf) {
+    return ResolveSetScalar(
+        EvalScalarBool(*e.kids[0], ctx) ? *e.kids[1] : *e.kids[2], ctx);
+  }
+  SGL_CHECK(false && "unsupported set operand");
+  return &kEmpty;
+}
+
+inline double ApplyArith(ArithOp op, double a, double b) {
+  switch (op) {
+    case ArithOp::kAdd: return a + b;
+    case ArithOp::kSub: return a - b;
+    case ArithOp::kMul: return a * b;
+    case ArithOp::kDiv: return a / b;
+    case ArithOp::kMod: return std::fmod(a, b);
+    case ArithOp::kMin: return a < b ? a : b;
+    case ArithOp::kMax: return a > b ? a : b;
+    case ArithOp::kPow: return std::pow(a, b);
+  }
+  return 0;
+}
+
+inline double ApplyCall1(Call1Op op, double a) {
+  switch (op) {
+    case Call1Op::kAbs: return std::fabs(a);
+    case Call1Op::kSqrt: return std::sqrt(a);
+    case Call1Op::kFloor: return std::floor(a);
+    case Call1Op::kCeil: return std::ceil(a);
+  }
+  return 0;
+}
+
+inline bool ApplyCmp(CmpOp op, double a, double b) {
+  switch (op) {
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+  }
+  return false;
+}
+
+}  // namespace
+
+// --------------------------- Vectorized -------------------------------
+
+void EvalNum(const Expr& expr, const VecContext& ctx,
+             std::vector<double>* out) {
+  const size_t n = ctx.count();
+  out->resize(n);
+  switch (expr.kind) {
+    case ExprKind::kNumLit:
+      std::fill(out->begin(), out->end(), expr.num);
+      return;
+    case ExprKind::kStateRead: {
+      const EntityTable* t = SideTable(ctx, expr.side);
+      ConstNumberColumn col = t->Num(expr.field);
+      const std::vector<RowIdx>& rows =
+          expr.side == 0 ? *ctx.outer_rows : *ctx.inner_rows;
+      for (size_t i = 0; i < n; ++i) (*out)[i] = col[rows[i]];
+      return;
+    }
+    case ExprKind::kEffectRead: {
+      SGL_CHECK(ctx.effects != nullptr);
+      for (size_t i = 0; i < n; ++i) {
+        RowIdx r = (*ctx.outer_rows)[i];
+        (*out)[i] =
+            ctx.effects->Assigned(expr.field, r)
+                ? ctx.effects->FinalNumber(expr.field, r)
+                : 0.0;
+      }
+      return;
+    }
+    case ExprKind::kLocal: {
+      const std::vector<double>& col =
+          ctx.locals->num[static_cast<size_t>(expr.slot)];
+      for (size_t i = 0; i < n; ++i) (*out)[i] = col[(*ctx.outer_rows)[i]];
+      return;
+    }
+    case ExprKind::kRefState: {
+      std::vector<EntityId> ids;
+      EvalRef(*expr.kids[0], ctx, &ids);
+      for (size_t i = 0; i < n; ++i) {
+        const World::Locator* loc = ctx.world->Find(ids[i]);
+        (*out)[i] =
+            loc == nullptr
+                ? 0.0
+                : ctx.world->table(loc->cls).Num(expr.field)[loc->row];
+      }
+      return;
+    }
+    case ExprKind::kUnaryMinus: {
+      EvalNum(*expr.kids[0], ctx, out);
+      for (double& v : *out) v = -v;
+      return;
+    }
+    case ExprKind::kArith: {
+      std::vector<double> rhs;
+      EvalNum(*expr.kids[0], ctx, out);
+      EvalNum(*expr.kids[1], ctx, &rhs);
+      const ArithOp op = expr.arith;
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] = ApplyArith(op, (*out)[i], rhs[i]);
+      }
+      return;
+    }
+    case ExprKind::kCall1: {
+      EvalNum(*expr.kids[0], ctx, out);
+      const Call1Op op = expr.call1;
+      for (double& v : *out) v = ApplyCall1(op, v);
+      return;
+    }
+    case ExprKind::kIf: {
+      std::vector<uint8_t> cond;
+      std::vector<double> els;
+      EvalBool(*expr.kids[0], ctx, &cond);
+      EvalNum(*expr.kids[1], ctx, out);
+      EvalNum(*expr.kids[2], ctx, &els);
+      for (size_t i = 0; i < n; ++i) {
+        if (!cond[i]) (*out)[i] = els[i];
+      }
+      return;
+    }
+    case ExprKind::kClamp: {
+      std::vector<double> lo, hi;
+      EvalNum(*expr.kids[0], ctx, out);
+      EvalNum(*expr.kids[1], ctx, &lo);
+      EvalNum(*expr.kids[2], ctx, &hi);
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] = std::min(std::max((*out)[i], lo[i]), hi[i]);
+      }
+      return;
+    }
+    case ExprKind::kSetSize: {
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] =
+            static_cast<double>(ResolveSetVec(*expr.kids[0], ctx, i)->size());
+      }
+      return;
+    }
+    default:
+      SGL_CHECK(false && "expression is not numeric");
+  }
+}
+
+void EvalBool(const Expr& expr, const VecContext& ctx,
+              std::vector<uint8_t>* out) {
+  const size_t n = ctx.count();
+  out->resize(n);
+  switch (expr.kind) {
+    case ExprKind::kBoolLit:
+      std::fill(out->begin(), out->end(), expr.b ? 1 : 0);
+      return;
+    case ExprKind::kStateRead: {
+      const EntityTable* t = SideTable(ctx, expr.side);
+      const uint8_t* col = t->BoolCol(expr.field);
+      const std::vector<RowIdx>& rows =
+          expr.side == 0 ? *ctx.outer_rows : *ctx.inner_rows;
+      for (size_t i = 0; i < n; ++i) (*out)[i] = col[rows[i]];
+      return;
+    }
+    case ExprKind::kEffectRead: {
+      SGL_CHECK(ctx.effects != nullptr);
+      for (size_t i = 0; i < n; ++i) {
+        RowIdx r = (*ctx.outer_rows)[i];
+        (*out)[i] = ctx.effects->Assigned(expr.field, r)
+                        ? (ctx.effects->FinalBool(expr.field, r) ? 1 : 0)
+                        : 0;
+      }
+      return;
+    }
+    case ExprKind::kAssigned: {
+      SGL_CHECK(ctx.effects != nullptr);
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] = ctx.effects->Assigned(expr.field, (*ctx.outer_rows)[i]);
+      }
+      return;
+    }
+    case ExprKind::kLocal: {
+      const std::vector<uint8_t>& col =
+          ctx.locals->bools[static_cast<size_t>(expr.slot)];
+      for (size_t i = 0; i < n; ++i) (*out)[i] = col[(*ctx.outer_rows)[i]];
+      return;
+    }
+    case ExprKind::kRefState: {
+      std::vector<EntityId> ids;
+      EvalRef(*expr.kids[0], ctx, &ids);
+      for (size_t i = 0; i < n; ++i) {
+        const World::Locator* loc = ctx.world->Find(ids[i]);
+        (*out)[i] =
+            loc == nullptr
+                ? 0
+                : ctx.world->table(loc->cls).BoolCol(expr.field)[loc->row];
+      }
+      return;
+    }
+    case ExprKind::kNot: {
+      EvalBool(*expr.kids[0], ctx, out);
+      for (uint8_t& v : *out) v = v ? 0 : 1;
+      return;
+    }
+    case ExprKind::kCmpNum: {
+      std::vector<double> a, b;
+      EvalNum(*expr.kids[0], ctx, &a);
+      EvalNum(*expr.kids[1], ctx, &b);
+      const CmpOp op = expr.cmp;
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] = ApplyCmp(op, a[i], b[i]) ? 1 : 0;
+      }
+      return;
+    }
+    case ExprKind::kCmpRef: {
+      std::vector<EntityId> a, b;
+      EvalRef(*expr.kids[0], ctx, &a);
+      EvalRef(*expr.kids[1], ctx, &b);
+      for (size_t i = 0; i < n; ++i) {
+        bool eq = a[i] == b[i];
+        (*out)[i] = (expr.cmp == CmpOp::kEq ? eq : !eq) ? 1 : 0;
+      }
+      return;
+    }
+    case ExprKind::kCmpBool: {
+      std::vector<uint8_t> a, b;
+      EvalBool(*expr.kids[0], ctx, &a);
+      EvalBool(*expr.kids[1], ctx, &b);
+      for (size_t i = 0; i < n; ++i) {
+        bool eq = (a[i] != 0) == (b[i] != 0);
+        (*out)[i] = (expr.cmp == CmpOp::kEq ? eq : !eq) ? 1 : 0;
+      }
+      return;
+    }
+    case ExprKind::kAndB: {
+      std::vector<uint8_t> rhs;
+      EvalBool(*expr.kids[0], ctx, out);
+      EvalBool(*expr.kids[1], ctx, &rhs);
+      for (size_t i = 0; i < n; ++i) (*out)[i] &= rhs[i];
+      return;
+    }
+    case ExprKind::kOrB: {
+      std::vector<uint8_t> rhs;
+      EvalBool(*expr.kids[0], ctx, out);
+      EvalBool(*expr.kids[1], ctx, &rhs);
+      for (size_t i = 0; i < n; ++i) (*out)[i] |= rhs[i];
+      return;
+    }
+    case ExprKind::kIf: {
+      std::vector<uint8_t> cond, els;
+      EvalBool(*expr.kids[0], ctx, &cond);
+      EvalBool(*expr.kids[1], ctx, out);
+      EvalBool(*expr.kids[2], ctx, &els);
+      for (size_t i = 0; i < n; ++i) {
+        if (!cond[i]) (*out)[i] = els[i];
+      }
+      return;
+    }
+    case ExprKind::kSetContains: {
+      std::vector<EntityId> ids;
+      EvalRef(*expr.kids[1], ctx, &ids);
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] =
+            ResolveSetVec(*expr.kids[0], ctx, i)->Contains(ids[i]) ? 1 : 0;
+      }
+      return;
+    }
+    default:
+      SGL_CHECK(false && "expression is not boolean");
+  }
+}
+
+void EvalRef(const Expr& expr, const VecContext& ctx,
+             std::vector<EntityId>* out) {
+  const size_t n = ctx.count();
+  out->resize(n);
+  switch (expr.kind) {
+    case ExprKind::kNullRef:
+      std::fill(out->begin(), out->end(), kNullEntity);
+      return;
+    case ExprKind::kStateRead: {
+      const EntityTable* t = SideTable(ctx, expr.side);
+      const EntityId* col = t->RefCol(expr.field);
+      const std::vector<RowIdx>& rows =
+          expr.side == 0 ? *ctx.outer_rows : *ctx.inner_rows;
+      for (size_t i = 0; i < n; ++i) (*out)[i] = col[rows[i]];
+      return;
+    }
+    case ExprKind::kEffectRead: {
+      SGL_CHECK(ctx.effects != nullptr);
+      for (size_t i = 0; i < n; ++i) {
+        RowIdx r = (*ctx.outer_rows)[i];
+        (*out)[i] = ctx.effects->Assigned(expr.field, r)
+                        ? ctx.effects->FinalRef(expr.field, r)
+                        : kNullEntity;
+      }
+      return;
+    }
+    case ExprKind::kLocal: {
+      const std::vector<EntityId>& col =
+          ctx.locals->refs[static_cast<size_t>(expr.slot)];
+      for (size_t i = 0; i < n; ++i) (*out)[i] = col[(*ctx.outer_rows)[i]];
+      return;
+    }
+    case ExprKind::kRowId: {
+      const EntityTable* t = SideTable(ctx, expr.side);
+      const std::vector<RowIdx>& rows =
+          expr.side == 0 ? *ctx.outer_rows : *ctx.inner_rows;
+      for (size_t i = 0; i < n; ++i) (*out)[i] = t->id_at(rows[i]);
+      return;
+    }
+    case ExprKind::kRefState: {
+      std::vector<EntityId> ids;
+      EvalRef(*expr.kids[0], ctx, &ids);
+      for (size_t i = 0; i < n; ++i) {
+        const World::Locator* loc = ctx.world->Find(ids[i]);
+        (*out)[i] =
+            loc == nullptr
+                ? kNullEntity
+                : ctx.world->table(loc->cls).RefCol(expr.field)[loc->row];
+      }
+      return;
+    }
+    case ExprKind::kIf: {
+      std::vector<uint8_t> cond;
+      std::vector<EntityId> els;
+      EvalBool(*expr.kids[0], ctx, &cond);
+      EvalRef(*expr.kids[1], ctx, out);
+      EvalRef(*expr.kids[2], ctx, &els);
+      for (size_t i = 0; i < n; ++i) {
+        if (!cond[i]) (*out)[i] = els[i];
+      }
+      return;
+    }
+    default:
+      SGL_CHECK(false && "expression is not a reference");
+  }
+}
+
+// ----------------------------- Scalar ---------------------------------
+
+const EntitySet& EvalScalarSet(const Expr& expr, const ScalarContext& ctx) {
+  return *ResolveSetScalar(expr, ctx);
+}
+
+double EvalScalarNum(const Expr& expr, const ScalarContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kNumLit:
+      return expr.num;
+    case ExprKind::kStateRead: {
+      ClassId cls = expr.side == 0 ? ctx.outer_cls : ctx.inner_cls;
+      RowIdx row = expr.side == 0 ? ctx.outer_row : ctx.inner_row;
+      if (ctx.overlay != nullptr) {
+        EntityId id = ctx.world->table(cls).id_at(row);
+        auto v = ctx.overlay->GetNum(id, expr.field);
+        if (v.has_value()) return *v;
+      }
+      return ctx.world->table(cls).Num(expr.field)[row];
+    }
+    case ExprKind::kEffectRead: {
+      SGL_CHECK(ctx.effects != nullptr);
+      return ctx.effects->Assigned(expr.field, ctx.outer_row)
+                 ? ctx.effects->FinalNumber(expr.field, ctx.outer_row)
+                 : 0.0;
+    }
+    case ExprKind::kLocal:
+      return ctx.locals->num[static_cast<size_t>(expr.slot)][ctx.outer_row];
+    case ExprKind::kRefState: {
+      EntityId target = EvalScalarRef(*expr.kids[0], ctx);
+      if (ctx.overlay != nullptr) {
+        auto v = ctx.overlay->GetNum(target, expr.field);
+        if (v.has_value()) return *v;
+      }
+      const World::Locator* loc = ctx.world->Find(target);
+      if (loc == nullptr) return 0.0;
+      return ctx.world->table(loc->cls).Num(expr.field)[loc->row];
+    }
+    case ExprKind::kUnaryMinus:
+      return -EvalScalarNum(*expr.kids[0], ctx);
+    case ExprKind::kArith:
+      return ApplyArith(expr.arith, EvalScalarNum(*expr.kids[0], ctx),
+                        EvalScalarNum(*expr.kids[1], ctx));
+    case ExprKind::kCall1:
+      return ApplyCall1(expr.call1, EvalScalarNum(*expr.kids[0], ctx));
+    case ExprKind::kIf:
+      return EvalScalarBool(*expr.kids[0], ctx)
+                 ? EvalScalarNum(*expr.kids[1], ctx)
+                 : EvalScalarNum(*expr.kids[2], ctx);
+    case ExprKind::kClamp: {
+      double v = EvalScalarNum(*expr.kids[0], ctx);
+      double lo = EvalScalarNum(*expr.kids[1], ctx);
+      double hi = EvalScalarNum(*expr.kids[2], ctx);
+      return std::min(std::max(v, lo), hi);
+    }
+    case ExprKind::kSetSize:
+      return static_cast<double>(ResolveSetScalar(*expr.kids[0], ctx)->size());
+    default:
+      SGL_CHECK(false && "expression is not numeric");
+  }
+  return 0;
+}
+
+bool EvalScalarBool(const Expr& expr, const ScalarContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kBoolLit:
+      return expr.b;
+    case ExprKind::kStateRead: {
+      ClassId cls = expr.side == 0 ? ctx.outer_cls : ctx.inner_cls;
+      RowIdx row = expr.side == 0 ? ctx.outer_row : ctx.inner_row;
+      return ctx.world->table(cls).BoolCol(expr.field)[row] != 0;
+    }
+    case ExprKind::kEffectRead:
+      SGL_CHECK(ctx.effects != nullptr);
+      return ctx.effects->Assigned(expr.field, ctx.outer_row) &&
+             ctx.effects->FinalBool(expr.field, ctx.outer_row);
+    case ExprKind::kAssigned:
+      SGL_CHECK(ctx.effects != nullptr);
+      return ctx.effects->Assigned(expr.field, ctx.outer_row);
+    case ExprKind::kLocal:
+      return ctx.locals->bools[static_cast<size_t>(expr.slot)]
+                              [ctx.outer_row] != 0;
+    case ExprKind::kRefState: {
+      EntityId target = EvalScalarRef(*expr.kids[0], ctx);
+      const World::Locator* loc = ctx.world->Find(target);
+      if (loc == nullptr) return false;
+      return ctx.world->table(loc->cls).BoolCol(expr.field)[loc->row] != 0;
+    }
+    case ExprKind::kNot:
+      return !EvalScalarBool(*expr.kids[0], ctx);
+    case ExprKind::kCmpNum:
+      return ApplyCmp(expr.cmp, EvalScalarNum(*expr.kids[0], ctx),
+                      EvalScalarNum(*expr.kids[1], ctx));
+    case ExprKind::kCmpRef: {
+      bool eq = EvalScalarRef(*expr.kids[0], ctx) ==
+                EvalScalarRef(*expr.kids[1], ctx);
+      return expr.cmp == CmpOp::kEq ? eq : !eq;
+    }
+    case ExprKind::kCmpBool: {
+      bool eq = EvalScalarBool(*expr.kids[0], ctx) ==
+                EvalScalarBool(*expr.kids[1], ctx);
+      return expr.cmp == CmpOp::kEq ? eq : !eq;
+    }
+    case ExprKind::kAndB:
+      return EvalScalarBool(*expr.kids[0], ctx) &&
+             EvalScalarBool(*expr.kids[1], ctx);
+    case ExprKind::kOrB:
+      return EvalScalarBool(*expr.kids[0], ctx) ||
+             EvalScalarBool(*expr.kids[1], ctx);
+    case ExprKind::kIf:
+      return EvalScalarBool(*expr.kids[0], ctx)
+                 ? EvalScalarBool(*expr.kids[1], ctx)
+                 : EvalScalarBool(*expr.kids[2], ctx);
+    case ExprKind::kSetContains:
+      return ResolveSetScalar(*expr.kids[0], ctx)
+          ->Contains(EvalScalarRef(*expr.kids[1], ctx));
+    default:
+      SGL_CHECK(false && "expression is not boolean");
+  }
+  return false;
+}
+
+EntityId EvalScalarRef(const Expr& expr, const ScalarContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kNullRef:
+      return kNullEntity;
+    case ExprKind::kStateRead: {
+      ClassId cls = expr.side == 0 ? ctx.outer_cls : ctx.inner_cls;
+      RowIdx row = expr.side == 0 ? ctx.outer_row : ctx.inner_row;
+      if (ctx.overlay != nullptr) {
+        EntityId id = ctx.world->table(cls).id_at(row);
+        auto v = ctx.overlay->GetRef(id, expr.field);
+        if (v.has_value()) return *v;
+      }
+      return ctx.world->table(cls).RefCol(expr.field)[row];
+    }
+    case ExprKind::kEffectRead:
+      SGL_CHECK(ctx.effects != nullptr);
+      return ctx.effects->Assigned(expr.field, ctx.outer_row)
+                 ? ctx.effects->FinalRef(expr.field, ctx.outer_row)
+                 : kNullEntity;
+    case ExprKind::kLocal:
+      return ctx.locals->refs[static_cast<size_t>(expr.slot)][ctx.outer_row];
+    case ExprKind::kRowId: {
+      ClassId cls = expr.side == 0 ? ctx.outer_cls : ctx.inner_cls;
+      RowIdx row = expr.side == 0 ? ctx.outer_row : ctx.inner_row;
+      return ctx.world->table(cls).id_at(row);
+    }
+    case ExprKind::kRefState: {
+      EntityId target = EvalScalarRef(*expr.kids[0], ctx);
+      if (ctx.overlay != nullptr) {
+        auto v = ctx.overlay->GetRef(target, expr.field);
+        if (v.has_value()) return *v;
+      }
+      const World::Locator* loc = ctx.world->Find(target);
+      if (loc == nullptr) return kNullEntity;
+      return ctx.world->table(loc->cls).RefCol(expr.field)[loc->row];
+    }
+    case ExprKind::kIf:
+      return EvalScalarBool(*expr.kids[0], ctx)
+                 ? EvalScalarRef(*expr.kids[1], ctx)
+                 : EvalScalarRef(*expr.kids[2], ctx);
+    default:
+      SGL_CHECK(false && "expression is not a reference");
+  }
+  return kNullEntity;
+}
+
+}  // namespace sgl

@@ -1,0 +1,150 @@
+// Expression evaluation: vectorized (set-at-a-time) and scalar
+// (object-at-a-time / transaction admission).
+//
+// Vectorized evaluation produces one output element per selected row (or per
+// join pair); this is the engine the paper's declarative-processing claim
+// rests on. Scalar evaluation of the *same* IR powers the baseline
+// interpreter (E1's comparator) and the transaction engine's tentative-state
+// constraint checks, guaranteeing both paths share one semantics.
+
+#ifndef SGL_RA_EVAL_H_
+#define SGL_RA_EVAL_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ra/expr.h"
+#include "src/storage/world.h"
+
+namespace sgl {
+
+/// Storage for let-bound locals and accum results: full columns aligned to
+/// the outer class's table rows (slot-indexed; only the vector matching the
+/// slot's type is populated).
+struct LocalColumns {
+  std::vector<std::vector<double>> num;
+  std::vector<std::vector<uint8_t>> bools;
+  std::vector<std::vector<EntityId>> refs;
+
+  void EnsureSlots(size_t n) {
+    if (num.size() < n) {
+      num.resize(n);
+      bools.resize(n);
+      refs.resize(n);
+    }
+  }
+};
+
+/// Tentative state deltas used during transaction admission (§3.1): reads of
+/// overlaid fields see the would-be-committed value instead of the table.
+class StateOverlay {
+ public:
+  void SetNum(EntityId id, FieldIdx field, double v) {
+    nums_[Key(id, field)] = v;
+  }
+  std::optional<double> GetNum(EntityId id, FieldIdx field) const {
+    auto it = nums_.find(Key(id, field));
+    if (it == nums_.end()) return std::nullopt;
+    return it->second;
+  }
+  void SetSet(EntityId id, FieldIdx field, EntitySet v) {
+    sets_[Key(id, field)] = std::move(v);
+  }
+  const EntitySet* GetSet(EntityId id, FieldIdx field) const {
+    auto it = sets_.find(Key(id, field));
+    return it == sets_.end() ? nullptr : &it->second;
+  }
+  void SetRef(EntityId id, FieldIdx field, EntityId v) {
+    refs_[Key(id, field)] = v;
+  }
+  std::optional<EntityId> GetRef(EntityId id, FieldIdx field) const {
+    auto it = refs_.find(Key(id, field));
+    if (it == refs_.end()) return std::nullopt;
+    return it->second;
+  }
+  /// Removes an overlaid value (used to undo tentative transaction writes).
+  void EraseNum(EntityId id, FieldIdx field) { nums_.erase(Key(id, field)); }
+  void EraseSet(EntityId id, FieldIdx field) { sets_.erase(Key(id, field)); }
+  void EraseRef(EntityId id, FieldIdx field) { refs_.erase(Key(id, field)); }
+  void Clear() {
+    nums_.clear();
+    sets_.clear();
+    refs_.clear();
+  }
+  bool empty() const {
+    return nums_.empty() && sets_.empty() && refs_.empty();
+  }
+
+  /// Visits every overlaid value (write-back after admission).
+  template <typename NumFn, typename SetFn, typename RefFn>
+  void ForEach(NumFn num_fn, SetFn set_fn, RefFn ref_fn) const {
+    for (const auto& [key, v] : nums_) {
+      num_fn(static_cast<EntityId>(key >> 16),
+             static_cast<FieldIdx>(key & 0xffff), v);
+    }
+    for (const auto& [key, v] : sets_) {
+      set_fn(static_cast<EntityId>(key >> 16),
+             static_cast<FieldIdx>(key & 0xffff), v);
+    }
+    for (const auto& [key, v] : refs_) {
+      ref_fn(static_cast<EntityId>(key >> 16),
+             static_cast<FieldIdx>(key & 0xffff), v);
+    }
+  }
+
+ private:
+  static uint64_t Key(EntityId id, FieldIdx field) {
+    return (static_cast<uint64_t>(id) << 16) ^ static_cast<uint16_t>(field);
+  }
+  std::unordered_map<uint64_t, double> nums_;
+  std::unordered_map<uint64_t, EntitySet> sets_;
+  std::unordered_map<uint64_t, EntityId> refs_;
+};
+
+/// Context for vectorized evaluation. Output element i corresponds to
+/// outer row (*outer_rows)[i] (and inner row (*inner_rows)[i] in join
+/// contexts).
+struct VecContext {
+  const World* world = nullptr;
+  const EntityTable* outer = nullptr;
+  const std::vector<RowIdx>* outer_rows = nullptr;
+  const EntityTable* inner = nullptr;
+  const std::vector<RowIdx>* inner_rows = nullptr;
+  const LocalColumns* locals = nullptr;
+  const EffectBuffer* effects = nullptr;  // update-phase reads
+
+  size_t count() const { return outer_rows->size(); }
+};
+
+/// Context for one-row evaluation.
+struct ScalarContext {
+  const World* world = nullptr;
+  ClassId outer_cls = kInvalidClass;
+  RowIdx outer_row = kInvalidRow;
+  ClassId inner_cls = kInvalidClass;
+  RowIdx inner_row = kInvalidRow;
+  const LocalColumns* locals = nullptr;   // read at outer_row
+  const EffectBuffer* effects = nullptr;  // outer class's buffer
+  const StateOverlay* overlay = nullptr;  // txn tentative state
+};
+
+// Vectorized evaluation. `expr.type` must match the function's result type.
+void EvalNum(const Expr& expr, const VecContext& ctx,
+             std::vector<double>* out);
+void EvalBool(const Expr& expr, const VecContext& ctx,
+              std::vector<uint8_t>* out);
+void EvalRef(const Expr& expr, const VecContext& ctx,
+             std::vector<EntityId>* out);
+
+// Scalar evaluation.
+double EvalScalarNum(const Expr& expr, const ScalarContext& ctx);
+bool EvalScalarBool(const Expr& expr, const ScalarContext& ctx);
+EntityId EvalScalarRef(const Expr& expr, const ScalarContext& ctx);
+/// Set-valued scalar evaluation (state/effect/gathered/if expressions over
+/// sets — used by set-typed update rules).
+const EntitySet& EvalScalarSet(const Expr& expr, const ScalarContext& ctx);
+
+}  // namespace sgl
+
+#endif  // SGL_RA_EVAL_H_

@@ -1,0 +1,47 @@
+#include "src/schema/catalog.h"
+
+namespace sgl {
+
+StatusOr<ClassId> Catalog::Register(ClassDef def) {
+  if (by_name_.count(def.name())) {
+    return Status::AlreadyExists("class '" + def.name() +
+                                 "' already registered");
+  }
+  ClassId id = static_cast<ClassId>(classes_.size());
+  def.id_ = id;
+  by_name_[def.name()] = id;
+  classes_.push_back(std::make_unique<ClassDef>(std::move(def)));
+  finalized_ = false;
+  return id;
+}
+
+Status Catalog::Finalize() {
+  for (auto& cls : classes_) {
+    auto resolve = [&](std::vector<FieldDef>& fields) -> Status {
+      for (FieldDef& f : fields) {
+        if (f.type.kind != TypeKind::kRef && f.type.kind != TypeKind::kSet) {
+          continue;
+        }
+        ClassId target = Find(f.type.target_name);
+        if (target == kInvalidClass) {
+          return Status::NotFound("class '" + f.type.target_name +
+                                  "' referenced by field '" + cls->name() +
+                                  "." + f.name + "' does not exist");
+        }
+        f.type.target = target;
+      }
+      return Status::OK();
+    };
+    SGL_RETURN_IF_ERROR(resolve(cls->state_));
+    SGL_RETURN_IF_ERROR(resolve(cls->effects_));
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+ClassId Catalog::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidClass : it->second;
+}
+
+}  // namespace sgl

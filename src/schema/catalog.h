@@ -1,0 +1,59 @@
+// Catalog: the registry of all class definitions in a game.
+//
+// Compiling SGL class declarations into this catalog is the schema-generation
+// step of §2.1 — the programmer writes classes, the system derives tables.
+
+#ifndef SGL_SCHEMA_CATALOG_H_
+#define SGL_SCHEMA_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/schema/class_def.h"
+
+namespace sgl {
+
+/// Owns every ClassDef, assigns ClassIds, and resolves ref<>/set<> targets.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a class. Fails on duplicate name.
+  StatusOr<ClassId> Register(ClassDef def);
+
+  /// Resolves every ref<C>/set<C> target name to a ClassId. Fails if a
+  /// target class does not exist. Idempotent; call after all Register()s.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// ClassId for a name, or kInvalidClass.
+  ClassId Find(const std::string& name) const;
+
+  const ClassDef& Get(ClassId id) const {
+    SGL_CHECK(id >= 0 && static_cast<size_t>(id) < classes_.size());
+    return *classes_[static_cast<size_t>(id)];
+  }
+  ClassDef* GetMutable(ClassId id) {
+    SGL_CHECK(id >= 0 && static_cast<size_t>(id) < classes_.size());
+    return classes_[static_cast<size_t>(id)].get();
+  }
+
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<ClassDef>> classes_;
+  std::unordered_map<std::string, ClassId> by_name_;
+  bool finalized_ = false;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_SCHEMA_CATALOG_H_

@@ -1,0 +1,75 @@
+#include "src/schema/class_def.h"
+
+namespace sgl {
+
+namespace {
+bool ValueMatchesType(const Value& v, const SglType& t) {
+  switch (t.kind) {
+    case TypeKind::kNumber: return v.is_number();
+    case TypeKind::kBool: return v.is_bool();
+    case TypeKind::kRef: return v.is_ref();
+    case TypeKind::kSet: return v.is_set();
+  }
+  return false;
+}
+}  // namespace
+
+Status ClassDef::AddState(const std::string& name, SglType type,
+                          Value default_value) {
+  if (state_by_name_.count(name) || effect_by_name_.count(name)) {
+    return Status::AlreadyExists("field '" + name + "' already declared in '" +
+                                 name_ + "'");
+  }
+  if (!ValueMatchesType(default_value, type)) {
+    return Status::InvalidArgument("default for '" + name +
+                                   "' does not match type " + type.ToString());
+  }
+  FieldDef f;
+  f.name = name;
+  f.type = std::move(type);
+  f.is_state = true;
+  f.default_value = std::move(default_value);
+  f.index = static_cast<FieldIdx>(state_.size());
+  state_by_name_[name] = f.index;
+  state_.push_back(std::move(f));
+  return Status::OK();
+}
+
+Status ClassDef::AddState(const std::string& name, SglType type) {
+  Value def = type.DefaultValue();
+  return AddState(name, std::move(type), std::move(def));
+}
+
+Status ClassDef::AddEffect(const std::string& name, SglType type,
+                           Combinator comb) {
+  if (state_by_name_.count(name) || effect_by_name_.count(name)) {
+    return Status::AlreadyExists("field '" + name + "' already declared in '" +
+                                 name_ + "'");
+  }
+  if (!CombinatorValidFor(comb, type)) {
+    return Status::SemanticError("combinator '" +
+                                 std::string(CombinatorName(comb)) +
+                                 "' is invalid for type " + type.ToString());
+  }
+  FieldDef f;
+  f.name = name;
+  f.type = std::move(type);
+  f.is_state = false;
+  f.combinator = comb;
+  f.index = static_cast<FieldIdx>(effects_.size());
+  effect_by_name_[name] = f.index;
+  effects_.push_back(std::move(f));
+  return Status::OK();
+}
+
+FieldIdx ClassDef::FindState(const std::string& name) const {
+  auto it = state_by_name_.find(name);
+  return it == state_by_name_.end() ? kInvalidField : it->second;
+}
+
+FieldIdx ClassDef::FindEffect(const std::string& name) const {
+  auto it = effect_by_name_.find(name);
+  return it == effect_by_name_.end() ? kInvalidField : it->second;
+}
+
+}  // namespace sgl

@@ -1,0 +1,91 @@
+// Class definitions: the SGL replacement for SQL schemas (§2.1, Fig. 1).
+//
+// A class declares state variables (read-only during a tick, updated by
+// exactly one update component) and effect variables (write-only during a
+// tick, each with a ⊕ combinator). The relational schema is *generated*
+// from these definitions — the programmer never sees tables.
+
+#ifndef SGL_SCHEMA_CLASS_DEF_H_
+#define SGL_SCHEMA_CLASS_DEF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/schema/combinator.h"
+#include "src/schema/type.h"
+
+namespace sgl {
+
+/// One state or effect variable of a class.
+struct FieldDef {
+  std::string name;
+  SglType type;
+  bool is_state = true;
+  /// Effects only: how concurrent writes combine.
+  Combinator combinator = Combinator::kSum;
+  /// State only: initial value for newly spawned entities.
+  Value default_value;
+  /// Position within the class's state (or effect) field list.
+  FieldIdx index = kInvalidField;
+  /// State only: name of the update component that owns this field.
+  /// Empty means the default expression updater. Assigned during engine
+  /// component registration; disjointness is enforced there (§2.2).
+  std::string owner;
+};
+
+/// A complete class definition. Build with AddState/AddEffect, then register
+/// with a Catalog, which resolves ref/set targets and assigns the ClassId.
+class ClassDef {
+ public:
+  explicit ClassDef(std::string name) : name_(std::move(name)) {}
+
+  /// Declares a state variable with a default value. Fails on duplicate
+  /// names (across both sections) or a default of the wrong kind.
+  Status AddState(const std::string& name, SglType type, Value default_value);
+
+  /// Declares a state variable defaulting to the type's zero value.
+  Status AddState(const std::string& name, SglType type);
+
+  /// Declares an effect variable. Fails on duplicate names or a combinator
+  /// that is invalid for the type.
+  Status AddEffect(const std::string& name, SglType type, Combinator comb);
+
+  const std::string& name() const { return name_; }
+  ClassId id() const { return id_; }
+
+  const std::vector<FieldDef>& state_fields() const { return state_; }
+  const std::vector<FieldDef>& effect_fields() const { return effects_; }
+
+  /// Index of a state field, or kInvalidField.
+  FieldIdx FindState(const std::string& name) const;
+  /// Index of an effect field, or kInvalidField.
+  FieldIdx FindEffect(const std::string& name) const;
+
+  const FieldDef& state_field(FieldIdx i) const {
+    return state_[static_cast<size_t>(i)];
+  }
+  const FieldDef& effect_field(FieldIdx i) const {
+    return effects_[static_cast<size_t>(i)];
+  }
+
+  FieldDef* mutable_state_field(FieldIdx i) {
+    return &state_[static_cast<size_t>(i)];
+  }
+
+ private:
+  friend class Catalog;
+
+  std::string name_;
+  ClassId id_ = kInvalidClass;
+  std::vector<FieldDef> state_;
+  std::vector<FieldDef> effects_;
+  std::unordered_map<std::string, FieldIdx> state_by_name_;
+  std::unordered_map<std::string, FieldIdx> effect_by_name_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_SCHEMA_CLASS_DEF_H_

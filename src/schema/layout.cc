@@ -1,0 +1,87 @@
+#include "src/schema/layout.h"
+
+#include <algorithm>
+
+namespace sgl {
+
+const char* LayoutStrategyName(LayoutStrategy s) {
+  switch (s) {
+    case LayoutStrategy::kUnified: return "unified";
+    case LayoutStrategy::kPerField: return "per-field";
+    case LayoutStrategy::kAffinity: return "affinity";
+  }
+  return "?";
+}
+
+ColumnGrouping ComputeGrouping(const ClassDef& cls, LayoutStrategy strategy,
+                               const AffinityMatrix* affinity,
+                               int max_group_size) {
+  std::vector<FieldIdx> numeric;
+  for (const FieldDef& f : cls.state_fields()) {
+    if (f.type.is_number()) numeric.push_back(f.index);
+  }
+  ColumnGrouping out;
+  if (numeric.empty()) return out;
+
+  switch (strategy) {
+    case LayoutStrategy::kUnified:
+      out.groups.push_back(numeric);
+      return out;
+    case LayoutStrategy::kPerField:
+      for (FieldIdx f : numeric) out.groups.push_back({f});
+      return out;
+    case LayoutStrategy::kAffinity:
+      break;
+  }
+
+  // Affinity: start with singletons, greedily merge the highest-affinity
+  // pair whose merged size fits, until no positive-affinity pair remains.
+  if (affinity == nullptr ||
+      affinity->counts.size() < cls.state_fields().size()) {
+    out.groups.push_back(numeric);  // No data: behave like kUnified.
+    return out;
+  }
+  std::vector<std::vector<FieldIdx>> groups;
+  for (FieldIdx f : numeric) groups.push_back({f});
+
+  auto cross_affinity = [&](const std::vector<FieldIdx>& a,
+                            const std::vector<FieldIdx>& b) {
+    double total = 0;
+    for (FieldIdx i : a) {
+      for (FieldIdx j : b) {
+        total += affinity->counts[static_cast<size_t>(i)]
+                                 [static_cast<size_t>(j)];
+      }
+    }
+    return total;
+  };
+
+  for (;;) {
+    double best = 0;
+    int bi = -1, bj = -1;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      for (size_t j = i + 1; j < groups.size(); ++j) {
+        if (static_cast<int>(groups[i].size() + groups[j].size()) >
+            max_group_size) {
+          continue;
+        }
+        double a = cross_affinity(groups[i], groups[j]);
+        if (a > best) {
+          best = a;
+          bi = static_cast<int>(i);
+          bj = static_cast<int>(j);
+        }
+      }
+    }
+    if (bi < 0) break;
+    auto& gi = groups[static_cast<size_t>(bi)];
+    auto& gj = groups[static_cast<size_t>(bj)];
+    gi.insert(gi.end(), gj.begin(), gj.end());
+    std::sort(gi.begin(), gi.end());
+    groups.erase(groups.begin() + bj);
+  }
+  out.groups = std::move(groups);
+  return out;
+}
+
+}  // namespace sgl

@@ -1,0 +1,55 @@
+// Physical layout strategies for generated schemas (§2.1).
+//
+// The paper observes that because the compiler owns the schema, it can pick
+// the representation: "it is often best to break a class up into multiple
+// tables containing those attributes that commonly appear in expressions
+// together. In other cases it is preferable to construct a single table."
+// We realize this as column *groups* inside one entity table: a group's
+// numeric columns are interleaved (array-of-structs within the group), so
+// attributes read together share cache lines.
+
+#ifndef SGL_SCHEMA_LAYOUT_H_
+#define SGL_SCHEMA_LAYOUT_H_
+
+#include <vector>
+
+#include "src/schema/class_def.h"
+
+namespace sgl {
+
+/// How numeric state columns are grouped in storage.
+enum class LayoutStrategy {
+  kUnified,    ///< One interleaved group with every numeric state field.
+  kPerField,   ///< Pure columnar: each field its own contiguous array.
+  kAffinity,   ///< Greedy grouping by attribute co-occurrence in scripts.
+};
+
+const char* LayoutStrategyName(LayoutStrategy s);
+
+/// Symmetric attribute-affinity matrix over a class's numeric *state* fields:
+/// affinity[i][j] counts how often state fields i and j appear in the same
+/// compiled expression. Produced by the compiler, consumed here.
+struct AffinityMatrix {
+  /// counts[i][j] == counts[j][i]; diagonal = field's total appearances.
+  std::vector<std::vector<double>> counts;
+};
+
+/// Partition of a class's numeric state-field indices into storage groups.
+struct ColumnGrouping {
+  /// Each inner vector lists state FieldIdx values stored interleaved.
+  /// Every numeric state field appears in exactly one group. Non-numeric
+  /// fields (bool/ref/set) are always stored per-field.
+  std::vector<std::vector<FieldIdx>> groups;
+};
+
+/// Computes the grouping for `cls` under `strategy`. `affinity` is required
+/// for kAffinity (greedy agglomeration: repeatedly merge the pair of groups
+/// with the highest cross-affinity until no pair exceeds zero or groups
+/// would exceed `max_group_size` fields).
+ColumnGrouping ComputeGrouping(const ClassDef& cls, LayoutStrategy strategy,
+                               const AffinityMatrix* affinity = nullptr,
+                               int max_group_size = 8);
+
+}  // namespace sgl
+
+#endif  // SGL_SCHEMA_LAYOUT_H_

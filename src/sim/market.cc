@@ -1,0 +1,146 @@
+#include "src/sim/market.h"
+
+#include <map>
+
+namespace sgl {
+
+std::string MarketWorkload::Source() {
+  return R"sgl(
+class Item {
+  state:
+    number value = 10;
+    ref<Trader> owner = null;
+}
+
+class Trader {
+  state:
+    number gold = 100;
+    set<Item> items;
+    ref<Item> want = null;
+}
+
+script Buy for Trader {
+  if (want != null && want.owner != null && want.owner != self) {
+    atomic "buy"
+      require(gold >= 0)
+    {
+      gold <- -want.value;
+      want.owner.gold <- want.value;
+      want.owner.items <~ want;
+      items <+ want;
+      want.owner <- self;
+    }
+  }
+}
+)sgl";
+}
+
+StatusOr<std::unique_ptr<Engine>> MarketWorkload::Build(
+    const MarketConfig& config, const EngineOptions& options) {
+  SGL_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                       Engine::Create(Source(), options));
+  std::vector<EntityId> traders;
+  for (int i = 0; i < config.num_traders; ++i) {
+    SGL_ASSIGN_OR_RETURN(
+        EntityId id,
+        engine->Spawn("Trader",
+                      {{"gold", Value::Number(config.initial_gold)}}));
+    traders.push_back(id);
+  }
+  for (int i = 0; i < config.num_items; ++i) {
+    EntityId owner = traders[static_cast<size_t>(i) % traders.size()];
+    SGL_ASSIGN_OR_RETURN(
+        EntityId item,
+        engine->Spawn("Item", {{"value", Value::Number(config.item_value)},
+                               {"owner", Value::Ref(owner)}}));
+    auto items = engine->Get(owner, "items");
+    EntitySet set = items->AsSet();
+    set.Insert(item);
+    SGL_RETURN_IF_ERROR(engine->Set(owner, "items", Value::Set(set)));
+  }
+  return engine;
+}
+
+void MarketWorkload::AssignWants(Engine* engine, const MarketConfig& config,
+                                 Rng* rng) {
+  World& world = engine->world();
+  ClassId trader_cls = engine->catalog().Find("Trader");
+  ClassId item_cls = engine->catalog().Find("Item");
+  EntityTable& traders = world.table(trader_cls);
+  const EntityTable& items = world.table(item_cls);
+  FieldIdx want =
+      engine->catalog().Get(trader_cls).FindState("want");
+  EntityId* want_col = traders.RefCol(want);
+  for (size_t i = 0; i < traders.size(); ++i) want_col[i] = kNullEntity;
+  if (items.empty() || traders.empty()) return;
+
+  const int active = std::max(
+      1, static_cast<int>(config.active_fraction *
+                          static_cast<double>(items.size())));
+  for (int a = 0; a < active; ++a) {
+    RowIdx item_row = static_cast<RowIdx>(rng->NextBelow(items.size()));
+    EntityId item = items.id_at(item_row);
+    for (int b = 0; b < config.contention; ++b) {
+      RowIdx buyer = static_cast<RowIdx>(rng->NextBelow(traders.size()));
+      want_col[buyer] = item;  // later assignments may overwrite: fine
+    }
+  }
+}
+
+double MarketWorkload::TotalGold(Engine* engine) {
+  World& world = engine->world();
+  ClassId cls = engine->catalog().Find("Trader");
+  const EntityTable& table = world.table(cls);
+  ConstNumberColumn gold =
+      table.Num(engine->catalog().Get(cls).FindState("gold"));
+  double total = 0;
+  for (size_t i = 0; i < table.size(); ++i) total += gold[i];
+  return total;
+}
+
+bool MarketWorkload::OwnershipConsistent(Engine* engine) {
+  World& world = engine->world();
+  ClassId trader_cls = engine->catalog().Find("Trader");
+  ClassId item_cls = engine->catalog().Find("Item");
+  const EntityTable& traders = world.table(trader_cls);
+  const EntityTable& items = world.table(item_cls);
+  FieldIdx items_field = engine->catalog().Get(trader_cls).FindState("items");
+  FieldIdx owner_field = engine->catalog().Get(item_cls).FindState("owner");
+
+  // Count which sets contain each item.
+  std::map<EntityId, std::vector<EntityId>> holders;
+  for (size_t t = 0; t < traders.size(); ++t) {
+    const EntitySet& set = traders.SetCol(items_field)[t];
+    for (EntityId item : set) {
+      holders[item].push_back(traders.id_at(static_cast<RowIdx>(t)));
+    }
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    EntityId item = items.id_at(static_cast<RowIdx>(i));
+    EntityId owner = items.RefCol(owner_field)[i];
+    auto it = holders.find(item);
+    if (owner == kNullEntity) {
+      if (it != holders.end()) return false;  // in a set but unowned
+      continue;
+    }
+    if (it == holders.end() || it->second.size() != 1 ||
+        it->second[0] != owner) {
+      return false;  // duped, missing, or held by the wrong trader
+    }
+  }
+  return true;
+}
+
+bool MarketWorkload::NoNegativeGold(Engine* engine) {
+  World& world = engine->world();
+  ClassId cls = engine->catalog().Find("Trader");
+  const EntityTable& table = world.table(cls);
+  ConstNumberColumn gold =
+      table.Num(engine->catalog().Get(cls).FindState("gold"));
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (gold[i] < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace sgl

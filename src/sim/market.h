@@ -1,0 +1,64 @@
+// Marketplace workload (§3.1): financial exchanges of gold for items via
+// atomic regions with constraints.
+//
+// Traders hold gold and a set<Item>; each Item carries a ref<Trader> owner.
+// A purchase is one atomic region: pay the owner, transfer set membership,
+// flip the owner ref — guarded by `require(gold >= 0)` plus the engine's
+// structural rule that a set removal must find its element. When several
+// buyers contest one item in the same tick (the paper's "duping" scenario),
+// exactly one transaction commits; invariant helpers below verify gold
+// conservation and single ownership, which the tests assert after every
+// tick.
+
+#ifndef SGL_SIM_MARKET_H_
+#define SGL_SIM_MARKET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/engine.h"
+
+namespace sgl {
+
+struct MarketConfig {
+  int num_traders = 64;
+  int num_items = 128;
+  double initial_gold = 100.0;
+  double item_value = 10.0;
+  /// Buyers assigned to the same contested item each tick.
+  int contention = 4;
+  /// Fraction of items contested each tick.
+  double active_fraction = 0.25;
+  uint64_t seed = 11;
+};
+
+class MarketWorkload {
+ public:
+  static std::string Source();
+
+  /// Builds the engine, spawns traders and items, distributes ownership
+  /// round-robin.
+  static StatusOr<std::unique_ptr<Engine>> Build(
+      const MarketConfig& config, const EngineOptions& options);
+
+  /// Sets each active item's contending buyers' `want` fields for this tick
+  /// (and clears everyone else's). Call between ticks.
+  static void AssignWants(Engine* engine, const MarketConfig& config,
+                          Rng* rng);
+
+  /// Sum of all trader gold.
+  static double TotalGold(Engine* engine);
+
+  /// True iff every item with an owner is in exactly that owner's set, no
+  /// item is in two sets, and ownerless items are in no set.
+  static bool OwnershipConsistent(Engine* engine);
+
+  /// True iff no trader has negative gold.
+  static bool NoNegativeGold(Engine* engine);
+};
+
+}  // namespace sgl
+
+#endif  // SGL_SIM_MARKET_H_

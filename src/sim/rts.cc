@@ -1,0 +1,136 @@
+#include "src/sim/rts.h"
+
+namespace sgl {
+
+std::string RtsWorkload::Source() {
+  return R"sgl(
+class Unit {
+  state:
+    number player = 0;
+    number x = 0;
+    number y = 0;
+    number health = 100;
+    number range = 15;
+    number speed = 2;
+    number attack = 4;
+    number engaged = 0;     // owned by expr updater: 1 if fighting last tick
+  effects:
+    number vx : avg;
+    number vy : avg;
+    number damage : sum;
+    number foes_seen : last;
+  update:
+    x = clamp(x + vx, 0, 1000);
+    y = clamp(y + vy, 0, 1000);
+    health = max(health - damage, 0);
+    engaged = if(assigned(foes_seen), min(foes_seen, 1), 0);
+}
+
+script Combat for Unit {
+  accum number foes with sum over Unit w from Unit {
+    if (w.x >= x - range && w.x <= x + range &&
+        w.y >= y - range && w.y <= y + range &&
+        w.player != player && w.health > 0) {
+      foes <- 1;
+      w.damage <- attack / 8;
+    }
+  } in {
+    foes_seen <- foes;
+    if (foes == 0) {
+      // Explore: drift toward the arena centre.
+      if (x < 500) { vx <- speed; } else { vx <- -speed; }
+      if (y < 500) { vy <- speed; } else { vy <- -speed; }
+    }
+  }
+}
+
+// Reactive retreat (§3.2): badly hurt units run for their home edge.
+when Unit Flee (health > 0 && health < 25 && engaged > 0) {
+  if (player == 0) { vx <- -3; } else { vx <- 3; }
+}
+)sgl";
+}
+
+StatusOr<std::unique_ptr<Engine>> RtsWorkload::Build(
+    const RtsConfig& config, const EngineOptions& options) {
+  SGL_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                       Engine::Create(Source(), options));
+  Rng rng(config.seed);
+  for (int i = 0; i < config.num_units; ++i) {
+    double player = i % 2 == 0 ? 0.0 : 1.0;
+    double x, y;
+    if (config.clustered) {
+      int c = static_cast<int>(rng.NextBelow(
+          static_cast<uint64_t>(config.num_clusters)));
+      double cx = config.world_size * (0.2 + 0.6 * c /
+                                       std::max(1, config.num_clusters - 1));
+      double cy = config.world_size * 0.5;
+      x = cx + rng.Uniform(-config.cluster_radius, config.cluster_radius);
+      y = cy + rng.Uniform(-config.cluster_radius, config.cluster_radius);
+    } else {
+      x = rng.Uniform(0, config.world_size);
+      y = rng.Uniform(0, config.world_size);
+    }
+    SGL_ASSIGN_OR_RETURN(
+        EntityId id,
+        engine->Spawn("Unit", {{"player", Value::Number(player)},
+                               {"x", Value::Number(x)},
+                               {"y", Value::Number(y)},
+                               {"range", Value::Number(config.attack_range)}}));
+    (void)id;
+  }
+  return engine;
+}
+
+void RtsWorkload::RepositionMode(Engine* engine, const RtsConfig& config,
+                                 bool clustered, uint64_t seed) {
+  Rng rng(seed);
+  World& world = engine->world();
+  ClassId cls = engine->catalog().Find("Unit");
+  EntityTable& table = world.table(cls);
+  const ClassDef& def = engine->catalog().Get(cls);
+  NumberColumn x = table.Num(def.FindState("x"));
+  NumberColumn y = table.Num(def.FindState("y"));
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (clustered) {
+      int c = static_cast<int>(
+          rng.NextBelow(static_cast<uint64_t>(config.num_clusters)));
+      double cx = config.world_size * (0.2 + 0.6 * c /
+                                       std::max(1, config.num_clusters - 1));
+      double cy = config.world_size * 0.5;
+      x.at(i) =
+          cx + rng.Uniform(-config.cluster_radius, config.cluster_radius);
+      y.at(i) =
+          cy + rng.Uniform(-config.cluster_radius, config.cluster_radius);
+    } else {
+      x.at(i) = rng.Uniform(0, config.world_size);
+      y.at(i) = rng.Uniform(0, config.world_size);
+    }
+  }
+}
+
+double RtsWorkload::TotalHealth(Engine* engine) {
+  World& world = engine->world();
+  ClassId cls = engine->catalog().Find("Unit");
+  const EntityTable& table = world.table(cls);
+  ConstNumberColumn health =
+      table.Num(engine->catalog().Get(cls).FindState("health"));
+  double total = 0;
+  for (size_t i = 0; i < table.size(); ++i) total += health[i];
+  return total;
+}
+
+int RtsWorkload::AliveUnits(Engine* engine) {
+  World& world = engine->world();
+  ClassId cls = engine->catalog().Find("Unit");
+  const EntityTable& table = world.table(cls);
+  ConstNumberColumn health =
+      table.Num(engine->catalog().Get(cls).FindState("health"));
+  int alive = 0;
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (health[i] > 0) ++alive;
+  }
+  return alive;
+}
+
+}  // namespace sgl

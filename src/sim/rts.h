@@ -1,0 +1,55 @@
+// RTS battle workload — the Warcraft III-style scenario the paper's
+// predecessor evaluated ([17]) and this paper's running example (Figs. 1–2).
+//
+// Two factions of units; each unit counts enemies within its attack range
+// via an accum-loop (a 2-D range self-join), spreads damage to them, and
+// drifts toward the fight or explores. The workload has two *modes* (§4.1):
+// exploration (units spread uniformly — sparse joins) and battle (units
+// clumped around hotspots — dense joins); RepositionMode teleports units
+// between the two, driving the adaptive-optimizer experiments.
+
+#ifndef SGL_SIM_RTS_H_
+#define SGL_SIM_RTS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/engine/engine.h"
+
+namespace sgl {
+
+struct RtsConfig {
+  int num_units = 1024;
+  uint64_t seed = 42;
+  double world_size = 1000.0;
+  double attack_range = 15.0;
+  bool clustered = false;  ///< start in battle mode (hotspot clusters)
+  int num_clusters = 4;
+  double cluster_radius = 30.0;
+};
+
+class RtsWorkload {
+ public:
+  /// The SGL program: Unit class + Combat script + a flee handler.
+  static std::string Source();
+
+  /// Compiles the program, spawns units per `config`.
+  static StatusOr<std::unique_ptr<Engine>> Build(const RtsConfig& config,
+                                                 const EngineOptions& options);
+
+  /// Teleports all units into exploration (uniform) or battle (clustered)
+  /// positions — the workload-mode transitions of §4.1.
+  static void RepositionMode(Engine* engine, const RtsConfig& config,
+                             bool clustered, uint64_t seed);
+
+  /// Sum of all unit health (a conservation-style probe for tests).
+  static double TotalHealth(Engine* engine);
+
+  /// Number of units with health > 0.
+  static int AliveUnits(Engine* engine);
+};
+
+}  // namespace sgl
+
+#endif  // SGL_SIM_RTS_H_

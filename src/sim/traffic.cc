@@ -1,0 +1,89 @@
+#include "src/sim/traffic.h"
+
+#include "src/common/rng.h"
+
+namespace sgl {
+
+std::string TrafficWorkload::Source() {
+  return R"sgl(
+class Vehicle {
+  state:
+    number lane = 0;
+    number x = 0;
+    number v = 0;
+    number vmax = 3;
+    number horizon = 40;
+  effects:
+    number accel : sum;
+    number gap_seen : last;
+  update:
+    v = clamp(v + accel, 0, vmax);
+    x = (x + v) % 10000;
+}
+
+script Follow for Vehicle {
+  // Distance to the nearest leader in my lane within the horizon.
+  accum number gap with min over Vehicle w from Vehicle {
+    if (w.lane == lane && w.x >= x + 0.001 && w.x <= x + horizon) {
+      gap <- w.x - x;
+    }
+  } in {
+    gap_seen <- gap;
+    if (gap > 0 && gap < 10) {
+      accel <- -1;              // brake hard: leader close
+    } else {
+      if (gap > 0 && gap < 20) {
+        accel <- -0.2;          // ease off
+      } else {
+        accel <- 0.5;           // open road (gap==0 means nobody ahead)
+      }
+    }
+  }
+}
+)sgl";
+}
+
+StatusOr<std::unique_ptr<Engine>> TrafficWorkload::Build(
+    const TrafficConfig& config, const EngineOptions& options) {
+  SGL_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                       Engine::Create(Source(), options));
+  Rng rng(config.seed);
+  for (int i = 0; i < config.num_vehicles; ++i) {
+    double lane = static_cast<double>(
+        rng.NextBelow(static_cast<uint64_t>(config.num_lanes)));
+    SGL_ASSIGN_OR_RETURN(
+        EntityId id,
+        engine->Spawn("Vehicle",
+                      {{"lane", Value::Number(lane)},
+                       {"x", Value::Number(rng.Uniform(0,
+                                                       config.road_length))},
+                       {"v", Value::Number(rng.Uniform(0, 2))},
+                       {"horizon", Value::Number(config.horizon)}}));
+    (void)id;
+  }
+  return engine;
+}
+
+double TrafficWorkload::MeanSpeed(Engine* engine) {
+  World& world = engine->world();
+  ClassId cls = engine->catalog().Find("Vehicle");
+  const EntityTable& table = world.table(cls);
+  if (table.empty()) return 0;
+  ConstNumberColumn v = table.Num(engine->catalog().Get(cls).FindState("v"));
+  double total = 0;
+  for (size_t i = 0; i < table.size(); ++i) total += v[i];
+  return total / static_cast<double>(table.size());
+}
+
+bool TrafficWorkload::PositionsInBounds(Engine* engine, double road_length) {
+  World& world = engine->world();
+  ClassId cls = engine->catalog().Find("Vehicle");
+  const EntityTable& table = world.table(cls);
+  ConstNumberColumn x = table.Num(engine->catalog().Get(cls).FindState("x"));
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (!(x[i] >= 0 && x[i] < road_length)) return false;
+  }
+  return true;
+}
+
+}  // namespace sgl

@@ -1,0 +1,210 @@
+#include "src/storage/effect_buffer.h"
+
+namespace sgl {
+
+EffectBuffer::EffectBuffer(const ClassDef* cls) : cls_(cls) {
+  accums_.resize(cls_->effect_fields().size());
+  for (const FieldDef& f : cls_->effect_fields()) {
+    Accum& a = accums_[static_cast<size_t>(f.index)];
+    a.comb = f.combinator;
+    a.kind = f.type.kind;
+    a.keyed = (f.combinator == Combinator::kFirst ||
+               f.combinator == Combinator::kLast);
+  }
+}
+
+void EffectBuffer::Reset(size_t rows) {
+  rows_ = rows;
+  for (Accum& a : accums_) {
+    a.cnt.assign(rows, 0);
+    if (a.keyed) a.key.assign(rows, 0);
+    switch (a.kind) {
+      case TypeKind::kNumber:
+        a.num.assign(rows, NumericIdentity(a.comb));
+        break;
+      case TypeKind::kBool:
+        a.bools.assign(rows, a.comb == Combinator::kAnd ? 1 : 0);
+        break;
+      case TypeKind::kRef:
+        a.refs.assign(rows, kNullEntity);
+        break;
+      case TypeKind::kSet:
+        a.sets.assign(rows, EntitySet());
+        break;
+    }
+  }
+}
+
+void EffectBuffer::AddNumber(FieldIdx f, RowIdx row, double v,
+                             uint64_t order_key) {
+  Accum& a = accums_[static_cast<size_t>(f)];
+  SGL_DCHECK(a.kind == TypeKind::kNumber && row < rows_);
+  if (a.keyed) {
+    bool take = a.cnt[row] == 0 ||
+                (a.comb == Combinator::kFirst ? order_key < a.key[row]
+                                              : order_key > a.key[row]);
+    if (take) {
+      a.num[row] = v;
+      a.key[row] = order_key;
+    }
+  } else {
+    a.num[row] = CombineNumeric(a.comb, a.num[row], v);
+  }
+  ++a.cnt[row];
+}
+
+void EffectBuffer::AddBool(FieldIdx f, RowIdx row, bool v,
+                           uint64_t order_key) {
+  Accum& a = accums_[static_cast<size_t>(f)];
+  SGL_DCHECK(a.kind == TypeKind::kBool && row < rows_);
+  switch (a.comb) {
+    case Combinator::kOr:
+      a.bools[row] |= static_cast<uint8_t>(v);
+      break;
+    case Combinator::kAnd:
+      a.bools[row] &= static_cast<uint8_t>(v);
+      break;
+    default: {  // first/last
+      bool take = a.cnt[row] == 0 ||
+                  (a.comb == Combinator::kFirst ? order_key < a.key[row]
+                                                : order_key > a.key[row]);
+      if (take) {
+        a.bools[row] = v ? 1 : 0;
+        a.key[row] = order_key;
+      }
+      break;
+    }
+  }
+  ++a.cnt[row];
+}
+
+void EffectBuffer::AddRef(FieldIdx f, RowIdx row, EntityId v,
+                          uint64_t order_key) {
+  Accum& a = accums_[static_cast<size_t>(f)];
+  SGL_DCHECK(a.kind == TypeKind::kRef && row < rows_);
+  bool take = a.cnt[row] == 0 ||
+              (a.comb == Combinator::kFirst ? order_key < a.key[row]
+                                            : order_key > a.key[row]);
+  if (take) {
+    a.refs[row] = v;
+    a.key[row] = order_key;
+  }
+  ++a.cnt[row];
+}
+
+void EffectBuffer::AddSetInsert(FieldIdx f, RowIdx row, EntityId v) {
+  Accum& a = accums_[static_cast<size_t>(f)];
+  SGL_DCHECK(a.kind == TypeKind::kSet && row < rows_);
+  a.sets[row].Insert(v);
+  ++a.cnt[row];
+}
+
+void EffectBuffer::AddSetUnion(FieldIdx f, RowIdx row, const EntitySet& v) {
+  Accum& a = accums_[static_cast<size_t>(f)];
+  SGL_DCHECK(a.kind == TypeKind::kSet && row < rows_);
+  a.sets[row].UnionWith(v);
+  ++a.cnt[row];
+}
+
+void EffectBuffer::MergeFrom(const EffectBuffer& shard) {
+  SGL_CHECK(shard.rows_ == rows_ && shard.cls_ == cls_);
+  for (size_t fi = 0; fi < accums_.size(); ++fi) {
+    Accum& a = accums_[fi];
+    const Accum& s = shard.accums_[fi];
+    for (size_t row = 0; row < rows_; ++row) {
+      if (s.cnt[row] == 0) continue;
+      if (a.cnt[row] == 0) {
+        // Copy shard's accumulator wholesale.
+        switch (a.kind) {
+          case TypeKind::kNumber: a.num[row] = s.num[row]; break;
+          case TypeKind::kBool: a.bools[row] = s.bools[row]; break;
+          case TypeKind::kRef: a.refs[row] = s.refs[row]; break;
+          case TypeKind::kSet: a.sets[row] = s.sets[row]; break;
+        }
+        if (a.keyed) a.key[row] = s.key[row];
+        a.cnt[row] = s.cnt[row];
+        continue;
+      }
+      // Both sides assigned: combine.
+      if (a.keyed) {
+        bool take = a.comb == Combinator::kFirst ? s.key[row] < a.key[row]
+                                                 : s.key[row] > a.key[row];
+        if (take) {
+          switch (a.kind) {
+            case TypeKind::kNumber: a.num[row] = s.num[row]; break;
+            case TypeKind::kBool: a.bools[row] = s.bools[row]; break;
+            case TypeKind::kRef: a.refs[row] = s.refs[row]; break;
+            case TypeKind::kSet: break;
+          }
+          a.key[row] = s.key[row];
+        }
+      } else {
+        switch (a.comb) {
+          case Combinator::kSum:
+          case Combinator::kAvg:
+          case Combinator::kCount:
+            a.num[row] += s.num[row];
+            break;
+          case Combinator::kMin:
+            a.num[row] = std::min(a.num[row], s.num[row]);
+            break;
+          case Combinator::kMax:
+            a.num[row] = std::max(a.num[row], s.num[row]);
+            break;
+          case Combinator::kOr:
+            a.bools[row] |= s.bools[row];
+            break;
+          case Combinator::kAnd:
+            a.bools[row] &= s.bools[row];
+            break;
+          case Combinator::kUnion:
+            a.sets[row].UnionWith(s.sets[row]);
+            break;
+          case Combinator::kFirst:
+          case Combinator::kLast:
+            break;  // handled above
+        }
+      }
+      a.cnt[row] += s.cnt[row];
+    }
+  }
+}
+
+double EffectBuffer::FinalNumber(FieldIdx f, RowIdx row) const {
+  const Accum& a = accums_[static_cast<size_t>(f)];
+  SGL_DCHECK(a.kind == TypeKind::kNumber);
+  auto v = FinalizeNumeric(a.comb, a.num[row], a.cnt[row]);
+  SGL_DCHECK(v.has_value());
+  return *v;
+}
+
+bool EffectBuffer::FinalBool(FieldIdx f, RowIdx row) const {
+  const Accum& a = accums_[static_cast<size_t>(f)];
+  SGL_DCHECK(a.kind == TypeKind::kBool);
+  return a.bools[row] != 0;
+}
+
+EntityId EffectBuffer::FinalRef(FieldIdx f, RowIdx row) const {
+  const Accum& a = accums_[static_cast<size_t>(f)];
+  SGL_DCHECK(a.kind == TypeKind::kRef);
+  return a.refs[row];
+}
+
+const EntitySet& EffectBuffer::FinalSet(FieldIdx f, RowIdx row) const {
+  const Accum& a = accums_[static_cast<size_t>(f)];
+  SGL_DCHECK(a.kind == TypeKind::kSet);
+  return a.sets[row];
+}
+
+Value EffectBuffer::FinalValue(FieldIdx f, RowIdx row) const {
+  const Accum& a = accums_[static_cast<size_t>(f)];
+  switch (a.kind) {
+    case TypeKind::kNumber: return Value::Number(FinalNumber(f, row));
+    case TypeKind::kBool: return Value::Bool(FinalBool(f, row));
+    case TypeKind::kRef: return Value::Ref(FinalRef(f, row));
+    case TypeKind::kSet: return Value::Set(FinalSet(f, row));
+  }
+  return Value::Number(0);
+}
+
+}  // namespace sgl

@@ -1,0 +1,84 @@
+// EffectBuffer: per-class ⊕-accumulators for one tick's effect assignments.
+//
+// During the query/effect phase every `x <- v` lands here; nothing is visible
+// to reads until the update phase (state read-only / effects write-only, §2).
+// The parallel executor gives each worker its own shard and merges shards in
+// shard order; all combinators are order-insensitive (first/last carry
+// explicit order keys), so the merged result is independent of thread count.
+
+#ifndef SGL_STORAGE_EFFECT_BUFFER_H_
+#define SGL_STORAGE_EFFECT_BUFFER_H_
+
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/schema/class_def.h"
+
+namespace sgl {
+
+/// One tick's worth of effect accumulation for one class.
+class EffectBuffer {
+ public:
+  explicit EffectBuffer(const ClassDef* cls);
+
+  const ClassDef& cls() const { return *cls_; }
+  size_t rows() const { return rows_; }
+
+  /// Clears all accumulators to combinator identities for `rows` entities.
+  void Reset(size_t rows);
+
+  // --- Accumulation (query/effect phase) ------------------------------
+  // `order_key` must be globally unique and deterministic per assignment;
+  // it resolves kFirst/kLast. Ignored by other combinators.
+
+  void AddNumber(FieldIdx f, RowIdx row, double v, uint64_t order_key);
+  void AddBool(FieldIdx f, RowIdx row, bool v, uint64_t order_key);
+  void AddRef(FieldIdx f, RowIdx row, EntityId v, uint64_t order_key);
+  void AddSetInsert(FieldIdx f, RowIdx row, EntityId v);
+  void AddSetUnion(FieldIdx f, RowIdx row, const EntitySet& v);
+
+  /// Folds a worker shard into this buffer. Deterministic for any shard
+  /// content because every combinator is commutative/associative (or
+  /// order-keyed).
+  void MergeFrom(const EffectBuffer& shard);
+
+  // --- Reads (update phase) -------------------------------------------
+
+  /// True if the field received at least one assignment for `row`.
+  bool Assigned(FieldIdx f, RowIdx row) const {
+    return accums_[static_cast<size_t>(f)].cnt[row] > 0;
+  }
+  uint32_t Count(FieldIdx f, RowIdx row) const {
+    return accums_[static_cast<size_t>(f)].cnt[row];
+  }
+
+  /// Final (post-⊕, avg-finalized) value. Requires Assigned().
+  double FinalNumber(FieldIdx f, RowIdx row) const;
+  bool FinalBool(FieldIdx f, RowIdx row) const;
+  EntityId FinalRef(FieldIdx f, RowIdx row) const;
+  const EntitySet& FinalSet(FieldIdx f, RowIdx row) const;
+
+  /// Boxed read for the debugger / tracer.
+  Value FinalValue(FieldIdx f, RowIdx row) const;
+
+ private:
+  struct Accum {
+    Combinator comb = Combinator::kSum;
+    TypeKind kind = TypeKind::kNumber;
+    std::vector<double> num;
+    std::vector<uint8_t> bools;
+    std::vector<EntityId> refs;
+    std::vector<EntitySet> sets;
+    std::vector<uint32_t> cnt;
+    std::vector<uint64_t> key;  // kFirst/kLast only
+    bool keyed = false;
+  };
+
+  const ClassDef* cls_;
+  size_t rows_ = 0;
+  std::vector<Accum> accums_;  // indexed by effect FieldIdx
+};
+
+}  // namespace sgl
+
+#endif  // SGL_STORAGE_EFFECT_BUFFER_H_

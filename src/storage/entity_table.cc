@@ -1,0 +1,256 @@
+#include "src/storage/entity_table.h"
+
+#include <algorithm>
+
+namespace sgl {
+
+namespace {
+
+// Little serialization helpers: length-prefixed raw little-endian dumps.
+// The format is internal to one build; we never exchange checkpoints across
+// architectures.
+template <typename T>
+void PutPod(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool GetPod(const char** cursor, const char* end, T* v) {
+  if (static_cast<size_t>(end - *cursor) < sizeof(T)) return false;
+  std::memcpy(v, *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return true;
+}
+
+template <typename T>
+void PutVec(std::string* out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PutPod<uint64_t>(out, v.size());
+  out->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+template <typename T>
+bool GetVec(const char** cursor, const char* end, std::vector<T>* v) {
+  uint64_t n;
+  if (!GetPod(cursor, end, &n)) return false;
+  if (static_cast<size_t>(end - *cursor) < n * sizeof(T)) return false;
+  v->resize(n);
+  std::memcpy(v->data(), *cursor, n * sizeof(T));
+  *cursor += n * sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+EntityTable::EntityTable(const ClassDef* cls, ColumnGrouping grouping)
+    : cls_(cls), grouping_(std::move(grouping)) {
+  slots_.resize(cls_->state_fields().size());
+  for (const auto& group_fields : grouping_.groups) {
+    NumGroup g;
+    g.fields = group_fields;
+    g.stride = group_fields.size();
+    int gi = static_cast<int>(num_groups_.size());
+    for (size_t off = 0; off < group_fields.size(); ++off) {
+      FieldIdx f = group_fields[off];
+      SGL_CHECK(cls_->state_field(f).type.is_number());
+      slots_[static_cast<size_t>(f)] = {gi, off};
+    }
+    num_groups_.push_back(std::move(g));
+  }
+  // Non-numeric fields get per-field vectors; verify numeric coverage.
+  for (const FieldDef& f : cls_->state_fields()) {
+    switch (f.type.kind) {
+      case TypeKind::kNumber:
+        SGL_CHECK(slots_[static_cast<size_t>(f.index)].group >= 0 &&
+                  "numeric state field missing from grouping");
+        break;
+      case TypeKind::kBool:
+        slots_[static_cast<size_t>(f.index)] = {-1, bools_.size()};
+        bools_.emplace_back();
+        break;
+      case TypeKind::kRef:
+        slots_[static_cast<size_t>(f.index)] = {-1, refs_.size()};
+        refs_.emplace_back();
+        break;
+      case TypeKind::kSet:
+        slots_[static_cast<size_t>(f.index)] = {-1, sets_.size()};
+        sets_.emplace_back();
+        break;
+    }
+  }
+}
+
+NumberColumn EntityTable::Num(FieldIdx state_field) {
+  const FieldSlot& s = slots_[static_cast<size_t>(state_field)];
+  SGL_DCHECK(s.group >= 0);
+  NumGroup& g = num_groups_[static_cast<size_t>(s.group)];
+  return NumberColumn{g.data.data() + s.offset, g.stride};
+}
+
+ConstNumberColumn EntityTable::Num(FieldIdx state_field) const {
+  const FieldSlot& s = slots_[static_cast<size_t>(state_field)];
+  SGL_DCHECK(s.group >= 0);
+  const NumGroup& g = num_groups_[static_cast<size_t>(s.group)];
+  return ConstNumberColumn{g.data.data() + s.offset, g.stride};
+}
+
+uint8_t* EntityTable::BoolCol(FieldIdx f) {
+  return bools_[slots_[static_cast<size_t>(f)].offset].data();
+}
+const uint8_t* EntityTable::BoolCol(FieldIdx f) const {
+  return bools_[slots_[static_cast<size_t>(f)].offset].data();
+}
+EntityId* EntityTable::RefCol(FieldIdx f) {
+  return refs_[slots_[static_cast<size_t>(f)].offset].data();
+}
+const EntityId* EntityTable::RefCol(FieldIdx f) const {
+  return refs_[slots_[static_cast<size_t>(f)].offset].data();
+}
+EntitySet* EntityTable::SetCol(FieldIdx f) {
+  return sets_[slots_[static_cast<size_t>(f)].offset].data();
+}
+const EntitySet* EntityTable::SetCol(FieldIdx f) const {
+  return sets_[slots_[static_cast<size_t>(f)].offset].data();
+}
+
+RowIdx EntityTable::AddRow(EntityId id) {
+  RowIdx row = static_cast<RowIdx>(ids_.size());
+  ids_.push_back(id);
+  for (NumGroup& g : num_groups_) g.data.resize(g.data.size() + g.stride);
+  for (auto& b : bools_) b.push_back(0);
+  for (auto& r : refs_) r.push_back(kNullEntity);
+  for (auto& s : sets_) s.emplace_back();
+  // Apply declared defaults.
+  for (const FieldDef& f : cls_->state_fields()) {
+    Status st = SetValue(row, f.index, f.default_value);
+    SGL_CHECK(st.ok());
+  }
+  return row;
+}
+
+EntityId EntityTable::SwapRemoveRow(RowIdx row) {
+  SGL_CHECK(row < ids_.size());
+  RowIdx last = static_cast<RowIdx>(ids_.size() - 1);
+  EntityId moved = kNullEntity;
+  if (row != last) {
+    moved = ids_[last];
+    ids_[row] = ids_[last];
+    for (NumGroup& g : num_groups_) {
+      for (size_t k = 0; k < g.stride; ++k) {
+        g.data[row * g.stride + k] = g.data[last * g.stride + k];
+      }
+    }
+    for (auto& b : bools_) b[row] = b[last];
+    for (auto& r : refs_) r[row] = r[last];
+    for (auto& s : sets_) s[row] = std::move(s[last]);
+  }
+  ids_.pop_back();
+  for (NumGroup& g : num_groups_) g.data.resize(g.data.size() - g.stride);
+  for (auto& b : bools_) b.pop_back();
+  for (auto& r : refs_) r.pop_back();
+  for (auto& s : sets_) s.pop_back();
+  return moved;
+}
+
+Value EntityTable::GetValue(RowIdx row, FieldIdx state_field) const {
+  const FieldDef& f = cls_->state_field(state_field);
+  switch (f.type.kind) {
+    case TypeKind::kNumber:
+      return Value::Number(Num(state_field)[row]);
+    case TypeKind::kBool:
+      return Value::Bool(BoolCol(state_field)[row] != 0);
+    case TypeKind::kRef:
+      return Value::Ref(RefCol(state_field)[row]);
+    case TypeKind::kSet:
+      return Value::Set(SetCol(state_field)[row]);
+  }
+  return Value::Number(0);
+}
+
+Status EntityTable::SetValue(RowIdx row, FieldIdx state_field,
+                             const Value& v) {
+  const FieldDef& f = cls_->state_field(state_field);
+  switch (f.type.kind) {
+    case TypeKind::kNumber:
+      if (!v.is_number()) break;
+      Num(state_field).at(row) = v.AsNumber();
+      return Status::OK();
+    case TypeKind::kBool:
+      if (!v.is_bool()) break;
+      BoolCol(state_field)[row] = v.AsBool() ? 1 : 0;
+      return Status::OK();
+    case TypeKind::kRef:
+      if (!v.is_ref()) break;
+      RefCol(state_field)[row] = v.AsRef();
+      return Status::OK();
+    case TypeKind::kSet:
+      if (!v.is_set()) break;
+      SetCol(state_field)[row] = v.AsSet();
+      return Status::OK();
+  }
+  return Status::InvalidArgument("value kind mismatch for field '" + f.name +
+                                 "' of type " + f.type.ToString());
+}
+
+size_t EntityTable::MemoryBytes() const {
+  size_t bytes = ids_.capacity() * sizeof(EntityId);
+  for (const NumGroup& g : num_groups_) {
+    bytes += g.data.capacity() * sizeof(double);
+  }
+  for (const auto& b : bools_) bytes += b.capacity();
+  for (const auto& r : refs_) bytes += r.capacity() * sizeof(EntityId);
+  for (const auto& s : sets_) {
+    bytes += s.capacity() * sizeof(EntitySet);
+    for (const auto& es : s) bytes += es.size() * sizeof(EntityId);
+  }
+  return bytes;
+}
+
+void EntityTable::Serialize(std::string* out) const {
+  PutVec(out, ids_);
+  PutPod<uint64_t>(out, num_groups_.size());
+  for (const NumGroup& g : num_groups_) PutVec(out, g.data);
+  PutPod<uint64_t>(out, bools_.size());
+  for (const auto& b : bools_) PutVec(out, b);
+  PutPod<uint64_t>(out, refs_.size());
+  for (const auto& r : refs_) PutVec(out, r);
+  PutPod<uint64_t>(out, sets_.size());
+  for (const auto& s : sets_) {
+    PutPod<uint64_t>(out, s.size());
+    for (const EntitySet& es : s) PutVec(out, es.ids());
+  }
+}
+
+Status EntityTable::Deserialize(const char** cursor, const char* end) {
+  auto corrupt = [] { return Status::Internal("corrupt checkpoint"); };
+  if (!GetVec(cursor, end, &ids_)) return corrupt();
+  uint64_t n;
+  if (!GetPod(cursor, end, &n) || n != num_groups_.size()) return corrupt();
+  for (NumGroup& g : num_groups_) {
+    if (!GetVec(cursor, end, &g.data)) return corrupt();
+    if (g.data.size() != ids_.size() * g.stride) return corrupt();
+  }
+  if (!GetPod(cursor, end, &n) || n != bools_.size()) return corrupt();
+  for (auto& b : bools_) {
+    if (!GetVec(cursor, end, &b) || b.size() != ids_.size()) return corrupt();
+  }
+  if (!GetPod(cursor, end, &n) || n != refs_.size()) return corrupt();
+  for (auto& r : refs_) {
+    if (!GetVec(cursor, end, &r) || r.size() != ids_.size()) return corrupt();
+  }
+  if (!GetPod(cursor, end, &n) || n != sets_.size()) return corrupt();
+  for (auto& s : sets_) {
+    uint64_t m;
+    if (!GetPod(cursor, end, &m) || m != ids_.size()) return corrupt();
+    s.clear();
+    s.reserve(m);
+    for (uint64_t i = 0; i < m; ++i) {
+      std::vector<EntityId> ids;
+      if (!GetVec(cursor, end, &ids)) return corrupt();
+      s.emplace_back(std::move(ids));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sgl

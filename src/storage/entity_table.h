@@ -1,0 +1,117 @@
+// EntityTable: the generated relational representation of one SGL class.
+//
+// One dense, main-memory table per class. Numeric state fields are stored in
+// interleaved column groups chosen by the layout strategy (§2.1 — "break a
+// class up into multiple tables"); bool/ref/set state and all effect staging
+// are per-field. Rows are dense; despawn swap-removes. EntityIds are the
+// stable handles, RowIdx values are positions valid only within a tick.
+
+#ifndef SGL_STORAGE_ENTITY_TABLE_H_
+#define SGL_STORAGE_ENTITY_TABLE_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/schema/class_def.h"
+#include "src/schema/layout.h"
+
+namespace sgl {
+
+/// Unowned view of one numeric state column, possibly strided when the field
+/// lives inside an interleaved group. The hot-path accessor for expression
+/// evaluation.
+struct NumberColumn {
+  double* base = nullptr;
+  size_t stride = 1;
+
+  double operator[](size_t row) const { return base[row * stride]; }
+  double& at(size_t row) { return base[row * stride]; }
+};
+
+struct ConstNumberColumn {
+  const double* base = nullptr;
+  size_t stride = 1;
+
+  ConstNumberColumn() = default;
+  ConstNumberColumn(const double* b, size_t s) : base(b), stride(s) {}
+  ConstNumberColumn(const NumberColumn& c)  // NOLINT: implicit view decay
+      : base(c.base), stride(c.stride) {}
+
+  double operator[](size_t row) const { return base[row * stride]; }
+};
+
+/// Columnar storage for all live entities of one class.
+class EntityTable {
+ public:
+  /// Builds an empty table for `cls` using `grouping` for numeric state
+  /// fields (every numeric state FieldIdx must appear exactly once).
+  EntityTable(const ClassDef* cls, ColumnGrouping grouping);
+
+  const ClassDef& cls() const { return *cls_; }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// EntityId living at dense position `row`.
+  EntityId id_at(RowIdx row) const { return ids_[row]; }
+  const std::vector<EntityId>& ids() const { return ids_; }
+
+  /// Mutable / const views of a numeric state column.
+  NumberColumn Num(FieldIdx state_field);
+  ConstNumberColumn Num(FieldIdx state_field) const;
+
+  uint8_t* BoolCol(FieldIdx state_field);
+  const uint8_t* BoolCol(FieldIdx state_field) const;
+  EntityId* RefCol(FieldIdx state_field);
+  const EntityId* RefCol(FieldIdx state_field) const;
+  EntitySet* SetCol(FieldIdx state_field);
+  const EntitySet* SetCol(FieldIdx state_field) const;
+
+  /// Appends a row initialized to the class's default values; returns its
+  /// position. The caller (World) maintains the id -> row map.
+  RowIdx AddRow(EntityId id);
+
+  /// Swap-removes `row`. Returns the EntityId that moved into `row`
+  /// (kNullEntity if `row` was the last row). Caller updates its map.
+  EntityId SwapRemoveRow(RowIdx row);
+
+  /// Boxed read of any state field.
+  Value GetValue(RowIdx row, FieldIdx state_field) const;
+  /// Boxed write of any state field (kind must match).
+  Status SetValue(RowIdx row, FieldIdx state_field, const Value& v);
+
+  /// The grouping in force (for tests and EXPLAIN output).
+  const ColumnGrouping& grouping() const { return grouping_; }
+
+  /// Approximate heap bytes used by column storage (for E7 accounting).
+  size_t MemoryBytes() const;
+
+  /// Binary serialization (checkpointing, §3.3).
+  void Serialize(std::string* out) const;
+  Status Deserialize(const char** cursor, const char* end);
+
+ private:
+  struct NumGroup {
+    std::vector<FieldIdx> fields;  // state field indices, in storage order
+    size_t stride = 0;
+    std::vector<double> data;      // size() == rows * stride
+  };
+  struct FieldSlot {
+    int group = -1;    // index into num_groups_, or -1 for non-numeric
+    size_t offset = 0; // offset within the group, or index into per-field vec
+  };
+
+  const ClassDef* cls_;
+  ColumnGrouping grouping_;
+  std::vector<EntityId> ids_;
+  std::vector<NumGroup> num_groups_;
+  std::vector<FieldSlot> slots_;              // indexed by state FieldIdx
+  std::vector<std::vector<uint8_t>> bools_;   // one per bool state field
+  std::vector<std::vector<EntityId>> refs_;   // one per ref state field
+  std::vector<std::vector<EntitySet>> sets_;  // one per set state field
+};
+
+}  // namespace sgl
+
+#endif  // SGL_STORAGE_ENTITY_TABLE_H_

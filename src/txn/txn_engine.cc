@@ -1,0 +1,197 @@
+#include "src/txn/txn_engine.h"
+
+#include <algorithm>
+
+namespace sgl {
+
+void TxnEngine::BeginTick(int num_shards) {
+  shards_.assign(static_cast<size_t>(num_shards), {});
+}
+
+void TxnEngine::ApplyUpdate(World* world) {
+  last_tick_ = TxnStats();
+
+  // 1. Reset every status field to -1 ("no transaction this tick").
+  for (ClassId c = 0; c < world->catalog().num_classes(); ++c) {
+    const ClassDef& def = world->catalog().Get(c);
+    EntityTable& table = world->table(c);
+    for (const FieldDef& f : def.state_fields()) {
+      // Status fields are the numeric txn-owned fields named *_status.
+      if (!f.type.is_number()) continue;
+      bool is_status = f.name.size() > 7 &&
+                       f.name.rfind("_status") == f.name.size() - 7;
+      if (!is_status) continue;
+      bool owned = false;
+      for (FieldIdx tf : program_->txn_owned[static_cast<size_t>(c)]) {
+        if (tf == f.index) owned = true;
+      }
+      if (!owned) continue;
+      NumberColumn col = table.Num(f.index);
+      for (size_t r = 0; r < table.size(); ++r) col.at(r) = -1.0;
+    }
+  }
+
+  // 2. Gather intents in deterministic priority order.
+  std::vector<TxnIntent*> intents;
+  for (auto& shard : shards_) {
+    for (TxnIntent& intent : shard) intents.push_back(&intent);
+  }
+  std::stable_sort(intents.begin(), intents.end(),
+                   [](const TxnIntent* a, const TxnIntent* b) {
+                     return a->order_key < b->order_key;
+                   });
+  last_tick_.issued = static_cast<int64_t>(intents.size());
+
+  // 3. Greedy admission against the tentative-state overlay.
+  overlay_.Clear();
+  struct NumUndo {
+    EntityId id;
+    FieldIdx field;
+    bool had;
+    double old_value;
+  };
+  struct SetUndo {
+    EntityId id;
+    FieldIdx field;
+    bool had;
+    EntitySet old_value;
+  };
+  struct RefUndo {
+    EntityId id;
+    FieldIdx field;
+    bool had;
+    EntityId old_value;
+  };
+  std::vector<NumUndo> num_undo;
+  std::vector<SetUndo> set_undo;
+  std::vector<RefUndo> ref_undo;
+
+  for (TxnIntent* intent : intents) {
+    num_undo.clear();
+    set_undo.clear();
+    ref_undo.clear();
+    bool applicable = true;
+
+    // Tentatively apply writes.
+    for (const TxnResolvedWrite& w : intent->writes) {
+      const World::Locator* loc = world->Find(w.target);
+      if (loc == nullptr || loc->cls != w.cls) {
+        applicable = false;  // dangling target: abort
+        break;
+      }
+      if (w.op == TxnWriteOp::kAddDelta) {
+        auto prior = overlay_.GetNum(w.target, w.field);
+        num_undo.push_back(
+            NumUndo{w.target, w.field, prior.has_value(),
+                    prior.has_value() ? *prior : 0.0});
+        double base = prior.has_value()
+                          ? *prior
+                          : world->table(loc->cls).Num(w.field)[loc->row];
+        overlay_.SetNum(w.target, w.field, base + w.num);
+      } else if (w.op == TxnWriteOp::kSetRef) {
+        auto prior = overlay_.GetRef(w.target, w.field);
+        ref_undo.push_back(
+            RefUndo{w.target, w.field, prior.has_value(),
+                    prior.has_value() ? *prior : kNullEntity});
+        overlay_.SetRef(w.target, w.field, w.ref);
+      } else {
+        const EntitySet* prior = overlay_.GetSet(w.target, w.field);
+        set_undo.push_back(SetUndo{w.target, w.field, prior != nullptr,
+                                   prior != nullptr ? *prior : EntitySet()});
+        EntitySet base = prior != nullptr
+                             ? *prior
+                             : world->table(loc->cls).SetCol(w.field)[loc->row];
+        if (w.op == TxnWriteOp::kSetInsert) {
+          base.Insert(w.ref);
+        } else {
+          // Structural rule: removing an element that is not (tentatively)
+          // present aborts the transaction — double-spends of the same item
+          // in one tick die here (§3.1's "duping" prevention).
+          if (!base.Erase(w.ref)) {
+            applicable = false;
+            overlay_.SetSet(w.target, w.field, std::move(base));
+            break;
+          }
+        }
+        overlay_.SetSet(w.target, w.field, std::move(base));
+      }
+    }
+
+    // Evaluate constraints on the tentative state.
+    bool ok = applicable;
+    if (ok) {
+      ScalarContext ctx;
+      ctx.world = world;
+      ctx.outer_cls = intent->issuer_cls;
+      ctx.outer_row = intent->issuer_row;
+      ctx.overlay = &overlay_;
+      for (const ExprPtr& c : intent->op->constraints) {
+        if (!EvalScalarBool(*c, ctx)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+
+    if (!ok) {
+      // Roll the tentative writes back (reverse order restores precisely).
+      for (auto it = num_undo.rbegin(); it != num_undo.rend(); ++it) {
+        if (it->had) {
+          overlay_.SetNum(it->id, it->field, it->old_value);
+        } else {
+          overlay_.EraseNum(it->id, it->field);
+        }
+      }
+      for (auto it = set_undo.rbegin(); it != set_undo.rend(); ++it) {
+        if (it->had) {
+          overlay_.SetSet(it->id, it->field, std::move(it->old_value));
+        } else {
+          overlay_.EraseSet(it->id, it->field);
+        }
+      }
+      for (auto it = ref_undo.rbegin(); it != ref_undo.rend(); ++it) {
+        if (it->had) {
+          overlay_.SetRef(it->id, it->field, it->old_value);
+        } else {
+          overlay_.EraseRef(it->id, it->field);
+        }
+      }
+      ++last_tick_.aborted;
+    } else {
+      ++last_tick_.committed;
+    }
+
+    // Report status to the issuer (1 committed / 0 aborted).
+    const World::Locator* issuer = world->Find(intent->issuer);
+    if (issuer != nullptr && intent->op->status_field != kInvalidField) {
+      world->table(issuer->cls).Num(intent->op->status_field).at(issuer->row) =
+          ok ? 1.0 : 0.0;
+    }
+  }
+
+  // 4. Write committed state back to the tables.
+  overlay_.ForEach(
+      [&](EntityId id, FieldIdx field, double v) {
+        const World::Locator* loc = world->Find(id);
+        if (loc != nullptr) world->table(loc->cls).Num(field).at(loc->row) = v;
+      },
+      [&](EntityId id, FieldIdx field, const EntitySet& v) {
+        const World::Locator* loc = world->Find(id);
+        if (loc != nullptr) {
+          world->table(loc->cls).SetCol(field)[loc->row] = v;
+        }
+      },
+      [&](EntityId id, FieldIdx field, EntityId v) {
+        const World::Locator* loc = world->Find(id);
+        if (loc != nullptr) {
+          world->table(loc->cls).RefCol(field)[loc->row] = v;
+        }
+      });
+  overlay_.Clear();
+
+  total_.issued += last_tick_.issued;
+  total_.committed += last_tick_.committed;
+  total_.aborted += last_tick_.aborted;
+}
+
+}  // namespace sgl

@@ -1,0 +1,84 @@
+// The transaction engine — an update component (§2.2) implementing the
+// atomic/consistent semantics of §3.1.
+//
+// During the query/effect phase, atomic regions emit *intents* instead of
+// effects. At update time the engine processes intents in a deterministic
+// priority order (site id, then issuing row), tentatively applies each
+// intent's writes on a state overlay, and evaluates the region's require()
+// constraints against the tentative state. If every constraint holds, the
+// intent commits (its writes fold into the overlay); otherwise it aborts and
+// leaves no trace — this is exactly the paper's "engine chooses a subset of
+// the transactions issued during the tick that do not violate any
+// constraints; the remaining transactions abort." Committed overlay values
+// are then written back to the tables, and each issuer's status field is set
+// (1 committed / 0 aborted / -1 no transaction), which scripts read next
+// tick (§3.2's reactive reads).
+
+#ifndef SGL_TXN_TXN_ENGINE_H_
+#define SGL_TXN_TXN_ENGINE_H_
+
+#include <vector>
+
+#include "src/lang/compiler.h"
+#include "src/ra/eval.h"
+#include "src/storage/world.h"
+
+namespace sgl {
+
+/// A fully resolved single write of an intent.
+struct TxnResolvedWrite {
+  EntityId target = kNullEntity;
+  ClassId cls = kInvalidClass;
+  FieldIdx field = kInvalidField;
+  TxnWriteOp op = TxnWriteOp::kAddDelta;
+  double num = 0.0;          ///< kAddDelta
+  EntityId ref = kNullEntity;  ///< kSetInsert / kSetRemove
+};
+
+/// One atomic region instance issued by one entity in one tick.
+struct TxnIntent {
+  uint64_t order_key = 0;  ///< (site << 32) | issuing row: admission order
+  EntityId issuer = kNullEntity;
+  ClassId issuer_cls = kInvalidClass;
+  RowIdx issuer_row = kInvalidRow;
+  const TxnEmitOp* op = nullptr;
+  std::vector<TxnResolvedWrite> writes;
+};
+
+/// Cumulative + per-tick admission statistics.
+struct TxnStats {
+  int64_t issued = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+};
+
+/// Collects intents (sharded for the parallel executor) and runs admission.
+class TxnEngine {
+ public:
+  explicit TxnEngine(const CompiledProgram* program) : program_(program) {}
+
+  /// Prepares per-worker intent shards for a tick.
+  void BeginTick(int num_shards);
+
+  /// Worker-local intent sink (no synchronization needed).
+  std::vector<TxnIntent>* shard(int i) {
+    return &shards_[static_cast<size_t>(i)];
+  }
+
+  /// Admission + write-back + status reporting. Runs in the update phase.
+  void ApplyUpdate(World* world);
+
+  const TxnStats& total() const { return total_; }
+  const TxnStats& last_tick() const { return last_tick_; }
+
+ private:
+  const CompiledProgram* program_;
+  std::vector<std::vector<TxnIntent>> shards_;
+  StateOverlay overlay_;
+  TxnStats total_;
+  TxnStats last_tick_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_TXN_TXN_ENGINE_H_

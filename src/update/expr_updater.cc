@@ -1,0 +1,98 @@
+#include "src/update/expr_updater.h"
+
+#include "src/ra/eval.h"
+
+namespace sgl {
+
+ExprUpdater::ExprUpdater(const CompiledProgram* program)
+    : program_(program) {}
+
+std::vector<std::pair<ClassId, FieldIdx>> ExprUpdater::OwnedFields() const {
+  std::vector<std::pair<ClassId, FieldIdx>> out;
+  for (const UpdateRule& r : program_->update_rules) {
+    out.emplace_back(r.cls, r.state_field);
+  }
+  return out;
+}
+
+void ExprUpdater::Update(World* world, Tick tick) {
+  (void)tick;
+  // Group rules per class so each class gets one consistent snapshot pass.
+  for (ClassId c = 0; c < world->catalog().num_classes(); ++c) {
+    EntityTable& table = world->table(c);
+    if (table.empty()) continue;
+    std::vector<RowIdx> all_rows(table.size());
+    for (size_t i = 0; i < table.size(); ++i) {
+      all_rows[i] = static_cast<RowIdx>(i);
+    }
+    VecContext ctx;
+    ctx.world = world;
+    ctx.outer = &table;
+    ctx.outer_rows = &all_rows;
+    ctx.effects = &world->effects(c);
+
+    // Compute all new values against the pre-update snapshot...
+    struct Pending {
+      const UpdateRule* rule;
+      std::vector<double> nums;
+      std::vector<uint8_t> bools;
+      std::vector<EntityId> refs;
+      std::vector<EntitySet> sets;
+    };
+    std::vector<Pending> pending;
+    for (const UpdateRule& r : program_->update_rules) {
+      if (r.cls != c) continue;
+      Pending p;
+      p.rule = &r;
+      const SglType& type =
+          world->catalog().Get(c).state_field(r.state_field).type;
+      if (type.is_number()) {
+        EvalNum(*r.value, ctx, &p.nums);
+      } else if (type.is_bool()) {
+        EvalBool(*r.value, ctx, &p.bools);
+      } else if (type.is_ref()) {
+        EvalRef(*r.value, ctx, &p.refs);
+      } else {
+        // Set rules evaluate row-at-a-time (sets are heavyweight values).
+        ScalarContext sc;
+        sc.world = world;
+        sc.outer_cls = c;
+        sc.effects = ctx.effects;
+        p.sets.reserve(all_rows.size());
+        for (RowIdx row : all_rows) {
+          sc.outer_row = row;
+          p.sets.push_back(EvalScalarSet(*r.value, sc));
+        }
+      }
+      pending.push_back(std::move(p));
+    }
+    // ... then commit them.
+    for (Pending& p : pending) {
+      const SglType& type =
+          world->catalog().Get(c).state_field(p.rule->state_field).type;
+      if (type.is_number()) {
+        NumberColumn col = table.Num(p.rule->state_field);
+        for (size_t i = 0; i < all_rows.size(); ++i) {
+          col.at(all_rows[i]) = p.nums[i];
+        }
+      } else if (type.is_bool()) {
+        uint8_t* col = table.BoolCol(p.rule->state_field);
+        for (size_t i = 0; i < all_rows.size(); ++i) {
+          col[all_rows[i]] = p.bools[i];
+        }
+      } else if (type.is_ref()) {
+        EntityId* col = table.RefCol(p.rule->state_field);
+        for (size_t i = 0; i < all_rows.size(); ++i) {
+          col[all_rows[i]] = p.refs[i];
+        }
+      } else {
+        EntitySet* col = table.SetCol(p.rule->state_field);
+        for (size_t i = 0; i < all_rows.size(); ++i) {
+          col[all_rows[i]] = std::move(p.sets[i]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sgl

@@ -1,0 +1,34 @@
+// The default update component: evaluates the class-declared update rules
+// (`health = health - damage;`, §2.2) set-at-a-time. All rules of a class
+// read the same pre-update state snapshot: new values are computed into
+// buffers first and written back after, so rule order never matters.
+
+#ifndef SGL_UPDATE_EXPR_UPDATER_H_
+#define SGL_UPDATE_EXPR_UPDATER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/compiler.h"
+#include "src/update/update_component.h"
+
+namespace sgl {
+
+/// Applies UpdateRules; owns exactly the fields the rules target.
+class ExprUpdater : public UpdateComponent {
+ public:
+  /// Borrows the rules from `program` (must outlive this component).
+  explicit ExprUpdater(const CompiledProgram* program);
+
+  const std::string& name() const override { return name_; }
+  std::vector<std::pair<ClassId, FieldIdx>> OwnedFields() const override;
+  void Update(World* world, Tick tick) override;
+
+ private:
+  std::string name_ = "expr-updater";
+  const CompiledProgram* program_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_UPDATE_EXPR_UPDATER_H_

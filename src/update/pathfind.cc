@@ -1,0 +1,154 @@
+#include "src/update/pathfind.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+namespace sgl {
+
+std::vector<std::pair<int, int>> AStar(const GridMap& map, int sx, int sy,
+                                       int gx, int gy) {
+  if (map.Blocked(sx, sy) || map.Blocked(gx, gy)) return {};
+  const int w = map.width();
+  const int h = map.height();
+  auto idx = [w](int x, int y) { return y * w + x; };
+  const int n = w * h;
+  std::vector<int32_t> g(static_cast<size_t>(n), -1);
+  std::vector<int32_t> parent(static_cast<size_t>(n), -1);
+  auto heuristic = [&](int x, int y) {
+    return std::abs(x - gx) + std::abs(y - gy);
+  };
+  using Entry = std::pair<int32_t, int32_t>;  // (f, cell) — min-heap
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+  g[static_cast<size_t>(idx(sx, sy))] = 0;
+  open.emplace(heuristic(sx, sy), idx(sx, sy));
+  const int dx[4] = {1, -1, 0, 0};
+  const int dy[4] = {0, 0, 1, -1};
+  while (!open.empty()) {
+    auto [f, cell] = open.top();
+    open.pop();
+    int cx = cell % w;
+    int cy = cell / w;
+    int32_t gc = g[static_cast<size_t>(cell)];
+    if (f > gc + heuristic(cx, cy)) continue;  // stale entry
+    if (cx == gx && cy == gy) {
+      std::vector<std::pair<int, int>> path;
+      for (int c = cell; c != -1; c = parent[static_cast<size_t>(c)]) {
+        path.emplace_back(c % w, c / w);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (int k = 0; k < 4; ++k) {
+      int nx = cx + dx[k];
+      int ny = cy + dy[k];
+      if (map.Blocked(nx, ny)) continue;
+      int ncell = idx(nx, ny);
+      int32_t ng = gc + 1;
+      if (g[static_cast<size_t>(ncell)] < 0 ||
+          ng < g[static_cast<size_t>(ncell)]) {
+        g[static_cast<size_t>(ncell)] = ng;
+        parent[static_cast<size_t>(ncell)] = cell;
+        open.emplace(ng + heuristic(nx, ny), ncell);
+      }
+    }
+  }
+  return {};
+}
+
+StatusOr<std::unique_ptr<PathfinderComponent>> PathfinderComponent::Create(
+    const Catalog& catalog, const PathfinderConfig& config, GridMap map) {
+  auto comp = std::unique_ptr<PathfinderComponent>(new PathfinderComponent());
+  comp->config_ = config;
+  comp->map_ = std::move(map);
+  comp->cls_ = catalog.Find(config.cls);
+  if (comp->cls_ == kInvalidClass) {
+    return Status::NotFound("pathfinder: class '" + config.cls +
+                            "' not found");
+  }
+  const ClassDef& def = catalog.Get(comp->cls_);
+  auto state_num = [&](const std::string& field, FieldIdx* out) -> Status {
+    *out = def.FindState(field);
+    if (*out == kInvalidField || !def.state_field(*out).type.is_number()) {
+      return Status::NotFound("pathfinder: numeric state field '" +
+                              config.cls + "." + field + "' not found");
+    }
+    return Status::OK();
+  };
+  auto effect_num = [&](const std::string& field, FieldIdx* out) -> Status {
+    *out = def.FindEffect(field);
+    if (*out == kInvalidField || !def.effect_field(*out).type.is_number()) {
+      return Status::NotFound("pathfinder: numeric effect field '" +
+                              config.cls + "." + field + "' not found");
+    }
+    return Status::OK();
+  };
+  SGL_RETURN_IF_ERROR(state_num(config.x, &comp->x_));
+  SGL_RETURN_IF_ERROR(state_num(config.y, &comp->y_));
+  SGL_RETURN_IF_ERROR(effect_num(config.goal_x, &comp->goal_x_));
+  SGL_RETURN_IF_ERROR(effect_num(config.goal_y, &comp->goal_y_));
+  SGL_RETURN_IF_ERROR(state_num(config.waypoint_x, &comp->wx_));
+  SGL_RETURN_IF_ERROR(state_num(config.waypoint_y, &comp->wy_));
+  return comp;
+}
+
+std::vector<std::pair<ClassId, FieldIdx>> PathfinderComponent::OwnedFields()
+    const {
+  return {{cls_, wx_}, {cls_, wy_}};
+}
+
+void PathfinderComponent::Update(World* world, Tick tick) {
+  (void)tick;
+  EntityTable& table = world->table(cls_);
+  const EffectBuffer& effects = world->effects(cls_);
+  const size_t n = table.size();
+  if (n == 0) return;
+  ConstNumberColumn x = table.Num(x_);
+  ConstNumberColumn y = table.Num(y_);
+  NumberColumn wx = table.Num(wx_);
+  NumberColumn wy = table.Num(wy_);
+
+  // Per-tick memo: (start cell, goal cell) -> next waypoint cell.
+  std::map<std::tuple<int, int, int, int>, std::pair<int, int>> memo;
+
+  for (size_t i = 0; i < n; ++i) {
+    RowIdx r = static_cast<RowIdx>(i);
+    if (!effects.Assigned(goal_x_, r) || !effects.Assigned(goal_y_, r)) {
+      continue;  // no intent: waypoint untouched
+    }
+    double gx_pos = effects.FinalNumber(goal_x_, r);
+    double gy_pos = effects.FinalNumber(goal_y_, r);
+    int sx = map_.CellX(x[i]);
+    int sy = map_.CellY(y[i]);
+    int gx = map_.CellX(gx_pos);
+    int gy = map_.CellY(gy_pos);
+    auto key = std::make_tuple(sx, sy, gx, gy);
+    auto it = memo.find(key);
+    std::pair<int, int> next;
+    if (it != memo.end()) {
+      next = it->second;
+      ++total_.cache_hits;
+    } else {
+      auto path = AStar(map_, sx, sy, gx, gy);
+      ++total_.searches;
+      if (path.empty()) {
+        ++total_.unreachable;
+        next = {sx, sy};  // stay put
+      } else {
+        next = path.size() > 1 ? path[1] : path[0];
+      }
+      memo[key] = next;
+    }
+    if (next.first == gx && next.second == gy) {
+      // Final cell: head to the exact goal position, not the cell center.
+      wx.at(i) = gx_pos;
+      wy.at(i) = gy_pos;
+    } else {
+      wx.at(i) = map_.CenterX(next.first);
+      wy.at(i) = map_.CenterY(next.second);
+    }
+  }
+}
+
+}  // namespace sgl

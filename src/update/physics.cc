@@ -1,0 +1,187 @@
+#include "src/update/physics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgl {
+
+StatusOr<std::unique_ptr<PhysicsComponent>> PhysicsComponent::Create(
+    const Catalog& catalog, const PhysicsConfig& config) {
+  auto comp = std::unique_ptr<PhysicsComponent>(new PhysicsComponent());
+  comp->config_ = config;
+  comp->cls_ = catalog.Find(config.cls);
+  if (comp->cls_ == kInvalidClass) {
+    return Status::NotFound("physics: class '" + config.cls + "' not found");
+  }
+  const ClassDef& def = catalog.Get(comp->cls_);
+  auto state_num = [&](const std::string& name, FieldIdx* out) -> Status {
+    *out = def.FindState(name);
+    if (*out == kInvalidField || !def.state_field(*out).type.is_number()) {
+      return Status::NotFound("physics: numeric state field '" + config.cls +
+                              "." + name + "' not found");
+    }
+    return Status::OK();
+  };
+  SGL_RETURN_IF_ERROR(state_num(config.x, &comp->x_));
+  SGL_RETURN_IF_ERROR(state_num(config.y, &comp->y_));
+  SGL_RETURN_IF_ERROR(state_num(config.vx, &comp->vx_));
+  SGL_RETURN_IF_ERROR(state_num(config.vy, &comp->vy_));
+  auto effect_num = [&](const std::string& name, FieldIdx* out) -> Status {
+    *out = def.FindEffect(name);
+    if (*out == kInvalidField || !def.effect_field(*out).type.is_number()) {
+      return Status::NotFound("physics: numeric effect field '" + config.cls +
+                              "." + name + "' not found");
+    }
+    return Status::OK();
+  };
+  SGL_RETURN_IF_ERROR(effect_num(config.fx, &comp->fx_));
+  SGL_RETURN_IF_ERROR(effect_num(config.fy, &comp->fy_));
+  if (!config.radius.empty()) {
+    SGL_RETURN_IF_ERROR(state_num(config.radius, &comp->radius_));
+  }
+  return comp;
+}
+
+std::vector<std::pair<ClassId, FieldIdx>> PhysicsComponent::OwnedFields()
+    const {
+  return {{cls_, x_}, {cls_, y_}, {cls_, vx_}, {cls_, vy_}};
+}
+
+void PhysicsComponent::Update(World* world, Tick tick) {
+  (void)tick;
+  last_tick_ = PhysicsStats();
+  EntityTable& table = world->table(cls_);
+  const EffectBuffer& effects = world->effects(cls_);
+  const size_t n = table.size();
+  if (n == 0) return;
+
+  NumberColumn x = table.Num(x_);
+  NumberColumn y = table.Num(y_);
+  NumberColumn vx = table.Num(vx_);
+  NumberColumn vy = table.Num(vy_);
+
+  // 1. Integrate: v += f (script intent), clamp speed, x += v.
+  std::vector<double> nx(n), ny(n);
+  for (size_t i = 0; i < n; ++i) {
+    RowIdx r = static_cast<RowIdx>(i);
+    double ax = effects.Assigned(fx_, r) ? effects.FinalNumber(fx_, r) : 0.0;
+    double ay = effects.Assigned(fy_, r) ? effects.FinalNumber(fy_, r) : 0.0;
+    double nvx = (vx[i] + ax) * config_.damping;
+    double nvy = (vy[i] + ay) * config_.damping;
+    double speed = std::sqrt(nvx * nvx + nvy * nvy);
+    if (speed > config_.max_speed && speed > 0) {
+      double scale = config_.max_speed / speed;
+      nvx *= scale;
+      nvy *= scale;
+    }
+    vx.at(i) = nvx;
+    vy.at(i) = nvy;
+    nx[i] = x[i] + nvx;
+    ny[i] = y[i] + nvy;
+  }
+
+  std::vector<uint8_t> overridden(n, 0);
+
+  // 2. Collision resolution: uniform-grid broad phase over tentative
+  // positions, symmetric separation of overlapping circles. Deterministic:
+  // pairs are processed in (row, row) order.
+  if (config_.resolve_collisions) {
+    auto radius_of = [&](size_t i) {
+      return radius_ != kInvalidField ? table.Num(radius_)[i]
+                                      : config_.default_radius;
+    };
+    double max_r = config_.default_radius;
+    if (radius_ != kInvalidField) {
+      for (size_t i = 0; i < n; ++i) max_r = std::max(max_r, radius_of(i));
+    }
+    const double cell = std::max(1e-6, 2.0 * max_r);
+    for (int pass = 0; pass < config_.solver_iterations; ++pass) {
+      // Hash rows into cells.
+      const int64_t grid_w = static_cast<int64_t>(
+          std::max(1.0, std::ceil((config_.max_x - config_.min_x) / cell)));
+      auto cell_of = [&](double px, double py) {
+        int64_t cx = static_cast<int64_t>((px - config_.min_x) / cell);
+        int64_t cy = static_cast<int64_t>((py - config_.min_y) / cell);
+        return cy * grid_w + cx;
+      };
+      std::vector<std::pair<int64_t, RowIdx>> cells(n);
+      for (size_t i = 0; i < n; ++i) {
+        cells[i] = {cell_of(nx[i], ny[i]), static_cast<RowIdx>(i)};
+      }
+      std::sort(cells.begin(), cells.end());
+      // For each row, check neighbors in the 3x3 cell block with larger row
+      // id (each pair once).
+      auto find_cell = [&](int64_t key) {
+        return std::lower_bound(
+            cells.begin(), cells.end(), std::make_pair(key, RowIdx{0}));
+      };
+      bool any = false;
+      for (size_t i = 0; i < n; ++i) {
+        int64_t cx = static_cast<int64_t>((nx[i] - config_.min_x) / cell);
+        int64_t cy = static_cast<int64_t>((ny[i] - config_.min_y) / cell);
+        for (int64_t dy = -1; dy <= 1; ++dy) {
+          for (int64_t dx = -1; dx <= 1; ++dx) {
+            int64_t key = (cy + dy) * grid_w + (cx + dx);
+            for (auto it = find_cell(key);
+                 it != cells.end() && it->first == key; ++it) {
+              size_t j = it->second;
+              if (j <= i) continue;
+              double rr = radius_of(i) + radius_of(j);
+              double ddx = nx[j] - nx[i];
+              double ddy = ny[j] - ny[i];
+              double d2 = ddx * ddx + ddy * ddy;
+              if (d2 >= rr * rr) continue;
+              double d = std::sqrt(d2);
+              // Degenerate overlap: separate along a deterministic axis.
+              double ux = d > 1e-9 ? ddx / d : 1.0;
+              double uy = d > 1e-9 ? ddy / d : 0.0;
+              double push = 0.5 * (rr - d);
+              nx[i] -= ux * push;
+              ny[i] -= uy * push;
+              nx[j] += ux * push;
+              ny[j] += uy * push;
+              overridden[i] = overridden[j] = 1;
+              ++last_tick_.collision_pairs;
+              any = true;
+            }
+          }
+        }
+      }
+      if (!any) break;
+    }
+  }
+
+  // 3. Bounds: clamp and bounce.
+  for (size_t i = 0; i < n; ++i) {
+    bool hit = false;
+    if (nx[i] < config_.min_x) {
+      nx[i] = config_.min_x;
+      vx.at(i) = -vx[i] * config_.restitution;
+      hit = true;
+    } else if (nx[i] > config_.max_x) {
+      nx[i] = config_.max_x;
+      vx.at(i) = -vx[i] * config_.restitution;
+      hit = true;
+    }
+    if (ny[i] < config_.min_y) {
+      ny[i] = config_.min_y;
+      vy.at(i) = -vy[i] * config_.restitution;
+      hit = true;
+    } else if (ny[i] > config_.max_y) {
+      ny[i] = config_.max_y;
+      vy.at(i) = -vy[i] * config_.restitution;
+      hit = true;
+    }
+    if (hit) overridden[i] = 1;
+    x.at(i) = nx[i];
+    y.at(i) = ny[i];
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (overridden[i]) ++last_tick_.position_overrides;
+  }
+  total_.collision_pairs += last_tick_.collision_pairs;
+  total_.position_overrides += last_tick_.position_overrides;
+}
+
+}  // namespace sgl

@@ -1,0 +1,79 @@
+// Deterministic 2-D physics update component (§2.2).
+//
+// The paper's motivating example of a non-scriptable update component:
+// "most games include a dedicated physics engine ... the output of the
+// physics engine often does not correspond exactly to the effect assignments
+// of any individual script." This component owns a class's x/y/vx/vy,
+// integrates script force intents (effect fields), detects collisions with a
+// uniform-grid broad phase, and separates overlapping circles — so the
+// final position can legitimately differ from what any script intended.
+// The override counter quantifies exactly that divergence (bench E9).
+
+#ifndef SGL_UPDATE_PHYSICS_H_
+#define SGL_UPDATE_PHYSICS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/update/update_component.h"
+
+namespace sgl {
+
+/// Field bindings and world parameters for one PhysicsComponent.
+struct PhysicsConfig {
+  std::string cls;             ///< class to simulate
+  std::string x = "x", y = "y";
+  std::string vx = "vx", vy = "vy";
+  /// Effect fields carrying per-tick force/acceleration intents. Unassigned
+  /// entities coast.
+  std::string fx = "fx", fy = "fy";
+  /// Optional numeric state field giving per-entity radius; empty uses
+  /// `default_radius`.
+  std::string radius;
+  double default_radius = 0.5;
+  double max_speed = 10.0;
+  double damping = 1.0;        ///< velocity retained per tick (1 = none lost)
+  double min_x = 0, min_y = 0, max_x = 1000, max_y = 1000;
+  double restitution = 0.5;    ///< velocity bounce factor at walls
+  bool resolve_collisions = true;
+  int solver_iterations = 2;   ///< separation passes per tick
+};
+
+/// Counters exposed for tests and bench E9.
+struct PhysicsStats {
+  int64_t collision_pairs = 0;   ///< overlapping pairs separated
+  int64_t position_overrides = 0;  ///< entities whose integrated position
+                                   ///< was changed by collision/bounds
+};
+
+class PhysicsComponent : public UpdateComponent {
+ public:
+  /// Validates field names/types against the catalog.
+  static StatusOr<std::unique_ptr<PhysicsComponent>> Create(
+      const Catalog& catalog, const PhysicsConfig& config);
+
+  const std::string& name() const override { return name_; }
+  std::vector<std::pair<ClassId, FieldIdx>> OwnedFields() const override;
+  void Update(World* world, Tick tick) override;
+
+  const PhysicsStats& total() const { return total_; }
+  const PhysicsStats& last_tick() const { return last_tick_; }
+
+ private:
+  PhysicsComponent() = default;
+
+  std::string name_ = "physics";
+  PhysicsConfig config_;
+  ClassId cls_ = kInvalidClass;
+  FieldIdx x_ = kInvalidField, y_ = kInvalidField;
+  FieldIdx vx_ = kInvalidField, vy_ = kInvalidField;
+  FieldIdx fx_ = kInvalidField, fy_ = kInvalidField;  // effect fields
+  FieldIdx radius_ = kInvalidField;
+  PhysicsStats total_;
+  PhysicsStats last_tick_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_UPDATE_PHYSICS_H_

@@ -1,0 +1,34 @@
+#include "src/update/update_component.h"
+
+namespace sgl {
+
+Status ComponentRegistry::Register(Catalog* catalog,
+                                   std::unique_ptr<UpdateComponent> comp) {
+  for (const auto& [cls, field] : comp->OwnedFields()) {
+    auto it = ownership_.find({cls, field});
+    if (it != ownership_.end()) {
+      const ClassDef& def = catalog->Get(cls);
+      return Status::AlreadyExists(
+          "state field '" + def.name() + "." + def.state_field(field).name +
+          "' is already owned by component '" + it->second +
+          "'; state must be strictly partitioned among update components");
+    }
+  }
+  for (const auto& [cls, field] : comp->OwnedFields()) {
+    ownership_[{cls, field}] = comp->name();
+    catalog->GetMutable(cls)->mutable_state_field(field)->owner = comp->name();
+  }
+  components_.push_back(std::move(comp));
+  return Status::OK();
+}
+
+void ComponentRegistry::RunAll(World* world, Tick tick) {
+  for (auto& comp : components_) comp->Update(world, tick);
+}
+
+std::string ComponentRegistry::OwnerOf(ClassId cls, FieldIdx field) const {
+  auto it = ownership_.find({cls, field});
+  return it == ownership_.end() ? "" : it->second;
+}
+
+}  // namespace sgl

@@ -1,0 +1,65 @@
+// Update components (§2.2): each state attribute is owned by exactly one
+// component (expression updater, physics, pathfinding, transaction engine),
+// which updates it once per tick. The registry enforces the paper's "state
+// variables strictly partitioned among these components" invariant at
+// registration time, which is what removes ordering constraints between
+// components.
+
+#ifndef SGL_UPDATE_UPDATE_COMPONENT_H_
+#define SGL_UPDATE_UPDATE_COMPONENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/world.h"
+
+namespace sgl {
+
+/// A subsystem that updates the state fields it owns at the end of a tick,
+/// reading the (read-only) previous state and the merged effects.
+class UpdateComponent {
+ public:
+  virtual ~UpdateComponent() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// The state fields this component updates. Claimed exclusively.
+  virtual std::vector<std::pair<ClassId, FieldIdx>> OwnedFields() const = 0;
+
+  /// Runs the component's update for `tick`. May read any state and any
+  /// merged effect, but may write only its owned fields.
+  virtual void Update(World* world, Tick tick) = 0;
+};
+
+/// Owns the components and enforces disjoint field ownership.
+class ComponentRegistry {
+ public:
+  /// Registers a component; fails (and rejects the component) if any of its
+  /// owned fields is already claimed. Ownership is recorded in the field's
+  /// FieldDef::owner for introspection.
+  Status Register(Catalog* catalog, std::unique_ptr<UpdateComponent> comp);
+
+  /// Runs every component in registration order. Disjoint ownership makes
+  /// the order immaterial for state results.
+  void RunAll(World* world, Tick tick);
+
+  /// Component owning (cls, field), or empty string.
+  std::string OwnerOf(ClassId cls, FieldIdx field) const;
+
+  int num_components() const { return static_cast<int>(components_.size()); }
+  UpdateComponent* component(int i) {
+    return components_[static_cast<size_t>(i)].get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<UpdateComponent>> components_;
+  std::map<std::pair<ClassId, FieldIdx>, std::string> ownership_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_UPDATE_UPDATE_COMPONENT_H_

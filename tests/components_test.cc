@@ -1,0 +1,261 @@
+// Update components (§2.2): physics integration/collision/override
+// accounting, A* pathfinding, and ownership-partition enforcement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/engine/engine.h"
+
+namespace sgl {
+namespace {
+
+const char* kPhysicsWorld = R"sgl(
+class Body {
+  state:
+    number x = 0;
+    number y = 0;
+    number vx = 0;
+    number vy = 0;
+    number radius = 1;
+}
+script Push for Body {
+  fx <- 1;
+  fy <- 0;
+}
+)sgl";
+
+// The Body class needs the force effects; build the full source.
+std::string PhysicsSource() {
+  return R"sgl(
+class Body {
+  state:
+    number x = 0;
+    number y = 0;
+    number vx = 0;
+    number vy = 0;
+    number radius = 1;
+  effects:
+    number fx : sum;
+    number fy : sum;
+}
+script Push for Body {
+  fx <- 1;
+  fy <- 0;
+}
+)sgl";
+}
+
+PhysicsConfig BodyPhysics() {
+  PhysicsConfig config;
+  config.cls = "Body";
+  config.radius = "radius";
+  config.max_speed = 5;
+  config.min_x = 0;
+  config.min_y = 0;
+  config.max_x = 100;
+  config.max_y = 100;
+  return config;
+}
+
+TEST(Physics, IntegratesForceIntents) {
+  (void)kPhysicsWorld;
+  auto engine = Engine::Create(PhysicsSource());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_TRUE((*engine)->AddPhysics(BodyPhysics()).ok());
+  auto id = (*engine)->Spawn("Body", {{"x", Value::Number(10)},
+                                      {"y", Value::Number(50)}});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  // v: 0 -> 1; x: 10 -> 11.
+  EXPECT_DOUBLE_EQ(1.0, (*engine)->Get(*id, "vx")->AsNumber());
+  EXPECT_DOUBLE_EQ(11.0, (*engine)->Get(*id, "x")->AsNumber());
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_DOUBLE_EQ(2.0, (*engine)->Get(*id, "vx")->AsNumber());
+  EXPECT_DOUBLE_EQ(13.0, (*engine)->Get(*id, "x")->AsNumber());
+}
+
+TEST(Physics, SpeedClamped) {
+  auto engine = Engine::Create(PhysicsSource());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->AddPhysics(BodyPhysics()).ok());
+  auto id = (*engine)->Spawn("Body", {{"x", Value::Number(10)},
+                                      {"y", Value::Number(50)}});
+  ASSERT_TRUE((*engine)->RunTicks(20).ok());
+  EXPECT_LE((*engine)->Get(*id, "vx")->AsNumber(), 5.0 + 1e-9);
+}
+
+TEST(Physics, OverlappingBodiesSeparate) {
+  auto engine = Engine::Create(PhysicsSource());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->AddPhysics(BodyPhysics()).ok());
+  auto a = (*engine)->Spawn("Body", {{"x", Value::Number(50)},
+                                     {"y", Value::Number(50)}});
+  auto b = (*engine)->Spawn("Body", {{"x", Value::Number(50.5)},
+                                     {"y", Value::Number(50)}});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  double ax = (*engine)->Get(*a, "x")->AsNumber();
+  double ay = (*engine)->Get(*a, "y")->AsNumber();
+  double bx = (*engine)->Get(*b, "x")->AsNumber();
+  double by = (*engine)->Get(*b, "y")->AsNumber();
+  double d = std::hypot(ax - bx, ay - by);
+  EXPECT_GE(d, 1.9) << "radius-1 circles should separate to ~2 apart";
+}
+
+TEST(Physics, BoundsBounce) {
+  auto engine = Engine::Create(PhysicsSource());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->AddPhysics(BodyPhysics()).ok());
+  auto id = (*engine)->Spawn("Body", {{"x", Value::Number(99)},
+                                      {"y", Value::Number(50)},
+                                      {"vx", Value::Number(4)}});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_LE((*engine)->Get(*id, "x")->AsNumber(), 100.0);
+  EXPECT_LT((*engine)->Get(*id, "vx")->AsNumber(), 0.0) << "bounced";
+}
+
+TEST(Physics, IntentionOverridesCounted) {
+  // §2.2: physics output differs from script intention; the override
+  // counter quantifies it.
+  auto engine = Engine::Create(PhysicsSource());
+  ASSERT_TRUE(engine.ok());
+  auto comp = PhysicsComponent::Create((*engine)->catalog(), BodyPhysics());
+  ASSERT_TRUE(comp.ok());
+  PhysicsComponent* physics = comp->get();
+  ASSERT_TRUE((*engine)->AddComponent(std::move(*comp)).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*engine)
+                    ->Spawn("Body", {{"x", Value::Number(50 + 0.1 * i)},
+                                     {"y", Value::Number(50)}})
+                    .ok());
+  }
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_GT(physics->last_tick().collision_pairs, 0);
+  EXPECT_GT(physics->last_tick().position_overrides, 0);
+}
+
+TEST(Physics, OwnershipConflictWithUpdateRuleRejected) {
+  // An update rule on x conflicts with physics owning x.
+  const char* src = R"sgl(
+class Body {
+  state:
+    number x = 0;
+    number y = 0;
+    number vx = 0;
+    number vy = 0;
+  effects:
+    number fx : sum;
+    number fy : sum;
+  update:
+    x = x + 1;
+}
+)sgl";
+  auto engine = Engine::Create(src);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  PhysicsConfig config;
+  config.cls = "Body";
+  Status st = (*engine)->AddPhysics(config);
+  EXPECT_EQ(StatusCode::kAlreadyExists, st.code()) << st;
+}
+
+// --- Pathfinding --------------------------------------------------------------
+
+TEST(AStar, FindsShortestPathAroundWall) {
+  GridMap map(10, 10, 1.0);
+  for (int y = 0; y < 9; ++y) map.SetBlocked(5, y, true);  // wall with gap
+  auto path = AStar(map, 1, 1, 8, 1);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(std::make_pair(1, 1), path.front());
+  EXPECT_EQ(std::make_pair(8, 1), path.back());
+  // Must route through the gap at y=9.
+  bool through_gap = false;
+  for (auto& [x, y] : path) {
+    EXPECT_FALSE(map.Blocked(x, y));
+    if (x == 5 && y == 9) through_gap = true;
+  }
+  EXPECT_TRUE(through_gap);
+  // Path length: manhattan detour = |8-1| + 2*|9-1| = 23 steps -> 24 cells.
+  EXPECT_EQ(24u, path.size());
+}
+
+TEST(AStar, UnreachableReturnsEmpty) {
+  GridMap map(10, 10, 1.0);
+  for (int y = 0; y < 10; ++y) map.SetBlocked(5, y, true);  // full wall
+  EXPECT_TRUE(AStar(map, 1, 1, 8, 1).empty());
+}
+
+TEST(AStar, StartEqualsGoal) {
+  GridMap map(5, 5, 1.0);
+  auto path = AStar(map, 2, 2, 2, 2);
+  ASSERT_EQ(1u, path.size());
+}
+
+std::string PathSource() {
+  return R"sgl(
+class Walker {
+  state:
+    number x = 0;
+    number y = 0;
+    number waypoint_x = 0;
+    number waypoint_y = 0;
+    number tx = 0;
+    number ty = 0;
+  effects:
+    number goal_x : last;
+    number goal_y : last;
+  update:
+    x = waypoint_x;
+    y = waypoint_y;
+}
+script Seek for Walker {
+  goal_x <- tx;
+  goal_y <- ty;
+}
+)sgl";
+}
+
+TEST(Pathfinder, WalkerReachesGoalThroughMaze) {
+  auto engine = Engine::Create(PathSource());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  GridMap map(20, 20, 1.0);
+  for (int y = 0; y < 19; ++y) map.SetBlocked(10, y, true);
+  PathfinderConfig config;
+  config.cls = "Walker";
+  ASSERT_TRUE((*engine)->AddPathfinder(config, std::move(map)).ok());
+  auto id = (*engine)->Spawn("Walker", {{"x", Value::Number(2.5)},
+                                        {"y", Value::Number(2.5)},
+                                        {"waypoint_x", Value::Number(2.5)},
+                                        {"waypoint_y", Value::Number(2.5)},
+                                        {"tx", Value::Number(17.5)},
+                                        {"ty", Value::Number(2.5)}});
+  ASSERT_TRUE((*engine)->RunTicks(60).ok());
+  EXPECT_NEAR(17.5, (*engine)->Get(*id, "x")->AsNumber(), 1.0);
+  EXPECT_NEAR(2.5, (*engine)->Get(*id, "y")->AsNumber(), 1.0);
+}
+
+TEST(Pathfinder, SharedGoalsHitMemo) {
+  auto engine = Engine::Create(PathSource());
+  ASSERT_TRUE(engine.ok());
+  GridMap map(20, 20, 1.0);
+  PathfinderConfig config;
+  config.cls = "Walker";
+  auto comp = PathfinderComponent::Create((*engine)->catalog(), config,
+                                          std::move(map));
+  ASSERT_TRUE(comp.ok());
+  PathfinderComponent* pathfinder = comp->get();
+  ASSERT_TRUE((*engine)->AddComponent(std::move(*comp)).ok());
+  // 30 walkers at the same start cell heading to the same goal.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE((*engine)
+                    ->Spawn("Walker", {{"x", Value::Number(2.2)},
+                                       {"y", Value::Number(2.2)},
+                                       {"tx", Value::Number(15.5)},
+                                       {"ty", Value::Number(15.5)}})
+                    .ok());
+  }
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_EQ(1, pathfinder->total().searches);
+  EXPECT_EQ(29, pathfinder->total().cache_hits);
+}
+
+}  // namespace
+}  // namespace sgl

@@ -1,0 +1,227 @@
+// Lexer and parser: token classification, comments, the `<-` vs `< -`
+// ambiguity, precedence, error positions, and full-program parses. Plus
+// vectorized-vs-scalar expression evaluation equivalence.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/engine/engine.h"
+#include "src/lang/lexer.h"
+#include "src/lang/parser.h"
+
+namespace sgl {
+namespace {
+
+// --- Lexer ------------------------------------------------------------------
+
+TEST(Lexer, TokenKinds) {
+  auto toks = Lex("class x <- <+ <~ <= < 3.5 \"lbl\" && || == != %");
+  ASSERT_TRUE(toks.ok()) << toks.status();
+  std::vector<TokKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(std::vector<TokKind>(
+                {TokKind::kIdent, TokKind::kIdent, TokKind::kArrow,
+                 TokKind::kArrowPlus, TokKind::kArrowTilde, TokKind::kLe,
+                 TokKind::kLt, TokKind::kNumber, TokKind::kString,
+                 TokKind::kAndAnd, TokKind::kOrOr, TokKind::kEqEq,
+                 TokKind::kNe, TokKind::kPercent, TokKind::kEof}),
+            kinds);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto toks = Lex("a // line comment\n b /* block\n comment */ c");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(4u, toks->size());
+  EXPECT_EQ("a", (*toks)[0].text);
+  EXPECT_EQ("b", (*toks)[1].text);
+  EXPECT_EQ("c", (*toks)[2].text);
+}
+
+TEST(Lexer, NumbersWithExponents) {
+  auto toks = Lex("3 3.5 1e3 2.5e-2");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_DOUBLE_EQ(3, (*toks)[0].num);
+  EXPECT_DOUBLE_EQ(3.5, (*toks)[1].num);
+  EXPECT_DOUBLE_EQ(1000, (*toks)[2].num);
+  EXPECT_DOUBLE_EQ(0.025, (*toks)[3].num);
+}
+
+TEST(Lexer, LineColumnTracking) {
+  auto toks = Lex("a\n  b");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(1, (*toks)[0].line);
+  EXPECT_EQ(2, (*toks)[1].line);
+  EXPECT_EQ(3, (*toks)[1].col);
+}
+
+TEST(Lexer, ErrorsOnStrayCharacters) {
+  EXPECT_FALSE(Lex("a & b").ok());
+  EXPECT_FALSE(Lex("a # b").ok());
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("/* unterminated").ok());
+}
+
+// --- Parser -------------------------------------------------------------
+
+TEST(Parser, ArrowInExpressionMeansLessThanMinus) {
+  // `x <-3` inside an expression is x < -3, not an assignment.
+  const char* src = R"sgl(
+class A {
+  state:
+    number x = 0;
+  effects:
+    number e : sum;
+}
+script S for A {
+  if (x <-3) { e <- 1; }
+}
+)sgl";
+  auto engine = Engine::Create(src);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto low = (*engine)->Spawn("A", {{"x", Value::Number(-5)}});
+  auto high = (*engine)->Spawn("A", {{"x", Value::Number(5)}});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  const EffectBuffer& eff = (*engine)->world().effects(0);
+  EXPECT_TRUE(eff.Assigned(0, (*engine)->world().Find(*low)->row));
+  EXPECT_FALSE(eff.Assigned(0, (*engine)->world().Find(*high)->row));
+}
+
+TEST(Parser, PrecedenceMulBeforeAddBeforeCmp) {
+  auto ast = ParseProgram(R"sgl(
+class A { state: number r = 0; }
+script S for A {
+  let number v = 1 + 2 * 3 - 4;
+  let bool b = 1 + 1 < 3 && true;
+}
+)sgl");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  // Structural check via compile+execute instead of AST introspection:
+}
+
+TEST(Parser, PrecedenceEvaluatesCorrectly) {
+  const char* src = R"sgl(
+class A {
+  state:
+    number r = 0;
+  effects:
+    number e : last;
+  update:
+    r = e;
+}
+script S for A {
+  e <- 1 + 2 * 3 - 8 / 4 + 10 % 3;
+}
+)sgl";
+  auto engine = Engine::Create(src);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto id = (*engine)->Spawn("A", {});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_DOUBLE_EQ(6.0, (*engine)->Get(*id, "r")->AsNumber());  // 1+6-2+1
+}
+
+TEST(Parser, ElseIfChains) {
+  const char* src = R"sgl(
+class A {
+  state:
+    number x = 0;
+    number r = 0;
+  effects:
+    number e : last;
+  update:
+    r = e;
+}
+script S for A {
+  if (x < 10) { e <- 1; }
+  else if (x < 20) { e <- 2; }
+  else { e <- 3; }
+}
+)sgl";
+  auto engine = Engine::Create(src);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto a = (*engine)->Spawn("A", {{"x", Value::Number(5)}});
+  auto b = (*engine)->Spawn("A", {{"x", Value::Number(15)}});
+  auto c = (*engine)->Spawn("A", {{"x", Value::Number(25)}});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_DOUBLE_EQ(1.0, (*engine)->Get(*a, "r")->AsNumber());
+  EXPECT_DOUBLE_EQ(2.0, (*engine)->Get(*b, "r")->AsNumber());
+  EXPECT_DOUBLE_EQ(3.0, (*engine)->Get(*c, "r")->AsNumber());
+}
+
+TEST(Parser, ErrorMessagesCarryPositions) {
+  auto ast = ParseProgram("class A {\n  state:\n    number = 3;\n}");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_NE(std::string::npos, ast.status().message().find("3:"))
+      << ast.status();
+}
+
+TEST(Parser, RejectsMalformedConstructs) {
+  EXPECT_FALSE(ParseProgram("script S {").ok());    // missing 'for'
+  EXPECT_FALSE(ParseProgram("when A () {}").ok());  // empty condition
+  EXPECT_FALSE(
+      ParseProgram("class A {} script S for A { x <- ; }").ok());
+  EXPECT_FALSE(
+      ParseProgram("class A {} script S for A { accum number c with sum "
+                   "over A w Unit { } in { } }")
+          .ok());  // missing from
+}
+
+TEST(Parser, EmptySectionsAreFine) {
+  EXPECT_TRUE(ParseProgram("class A { state: effects: update: }").ok());
+  EXPECT_TRUE(ParseProgram("class A {}").ok());
+}
+
+// --- Vectorized vs scalar expression evaluation ------------------------------
+
+TEST(Eval, VectorizedMatchesScalarOnRandomPrograms) {
+  // One moderately gnarly expression exercising most node kinds, evaluated
+  // both ways over random data via the two engine modes.
+  const char* src = R"sgl(
+class A {
+  state:
+    number x = 0;
+    number y = 0;
+    bool flag = false;
+    ref<A> buddy = null;
+    number r = 0;
+  effects:
+    number e : sum;
+  update:
+    r = e;
+}
+script S for A {
+  let number base = clamp(x * 2 - y / 3, -50, 50);
+  let bool cond = (flag || x > y) && !(x == y);
+  e <- if(cond, base, -base) + min(x, y) + sqrt(abs(y))
+       + if(buddy != null, buddy.x, 0);
+}
+)sgl";
+  auto run = [&](bool interpreted) {
+    EngineOptions options;
+    options.exec.interpreted = interpreted;
+    auto engine = Engine::Create(src, options);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    Rng rng(31);
+    std::vector<EntityId> ids;
+    for (int i = 0; i < 64; ++i) {
+      auto id = (*engine)->Spawn(
+          "A", {{"x", Value::Number(rng.Uniform(-20, 20))},
+                {"y", Value::Number(rng.Uniform(-20, 20))},
+                {"flag", Value::Bool(rng.Bernoulli(0.5))}});
+      ids.push_back(*id);
+    }
+    for (size_t i = 1; i < ids.size(); i += 2) {
+      EXPECT_TRUE(
+          (*engine)->Set(ids[i], "buddy", Value::Ref(ids[i - 1])).ok());
+    }
+    EXPECT_TRUE((*engine)->Tick().ok());
+    std::vector<double> out;
+    for (EntityId id : ids) {
+      out.push_back((*engine)->Get(id, "r")->AsNumber());
+    }
+    return out;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace sgl

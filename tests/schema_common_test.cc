@@ -1,0 +1,270 @@
+// Foundations: Status/StatusOr, Value/EntitySet, Rng determinism, thread
+// pool, SGL types, combinators, class definitions, catalog resolution, and
+// layout-strategy grouping.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/schema/catalog.h"
+#include "src/schema/layout.h"
+
+namespace sgl {
+namespace {
+
+// --- Status -----------------------------------------------------------------
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status err = Status::ParseError("bad token");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(StatusCode::kParseError, err.code());
+  EXPECT_EQ("ParseError: bad token", err.ToString());
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  SGL_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(Status, StatusOrMacros) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(5, out);
+  EXPECT_EQ(StatusCode::kInvalidArgument, UseHalf(7, &out).code());
+}
+
+// --- Value / EntitySet --------------------------------------------------------
+
+TEST(Value, KindsAndEquality) {
+  EXPECT_TRUE(Value::Number(3).is_number());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Ref(7).is_ref());
+  EXPECT_TRUE(Value::Set(EntitySet({1, 2})).is_set());
+  EXPECT_EQ(Value::Number(3), Value::Number(3));
+  EXPECT_FALSE(Value::Number(3) == Value::Number(4));
+  EXPECT_EQ("3.5", Value::Number(3.5).ToString());
+  EXPECT_EQ("@7", Value::Ref(7).ToString());
+  EXPECT_EQ("{1,2}", Value::Set(EntitySet({2, 1, 2})).ToString());
+}
+
+TEST(EntitySet, InsertEraseContains) {
+  EntitySet s;
+  EXPECT_TRUE(s.Insert(5));
+  EXPECT_TRUE(s.Insert(3));
+  EXPECT_FALSE(s.Insert(5));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_TRUE(s.Erase(3));
+  EXPECT_FALSE(s.Erase(3));
+  EXPECT_EQ(1u, s.size());
+}
+
+TEST(EntitySet, UnionIntersect) {
+  EntitySet a({1, 2, 3});
+  EntitySet b({3, 4});
+  EntitySet u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(EntitySet({1, 2, 3, 4}), u);
+  EntitySet i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(EntitySet({3}), i);
+}
+
+// --- Rng ------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool diverged = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformRanges) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LT(v, 5);
+    uint64_t n = rng.NextBelow(10);
+    EXPECT_LT(n, 10u);
+    int64_t k = rng.UniformInt(2, 4);
+    EXPECT_GE(k, 2);
+    EXPECT_LE(k, 4);
+  }
+}
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](int i) { hits[static_cast<size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(1, h.load());
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { count++; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(50, count.load());
+}
+
+// --- Types / combinators ------------------------------------------------------
+
+TEST(SglType, ToStringAndDefaults) {
+  EXPECT_EQ("number", SglType::Number().ToString());
+  EXPECT_EQ("ref<Unit>", SglType::Ref("Unit").ToString());
+  EXPECT_EQ("set<Item>", SglType::Set("Item").ToString());
+  EXPECT_TRUE(SglType::Number().DefaultValue().is_number());
+  EXPECT_EQ(kNullEntity, SglType::Ref("U").DefaultValue().AsRef());
+}
+
+TEST(Combinator, NamesRoundTrip) {
+  for (Combinator c :
+       {Combinator::kSum, Combinator::kAvg, Combinator::kMin,
+        Combinator::kMax, Combinator::kCount, Combinator::kOr,
+        Combinator::kAnd, Combinator::kFirst, Combinator::kLast,
+        Combinator::kUnion}) {
+    auto parsed = CombinatorFromName(CombinatorName(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(c, *parsed);
+  }
+  EXPECT_FALSE(CombinatorFromName("bogus").has_value());
+}
+
+TEST(Combinator, ValidityMatrix) {
+  EXPECT_TRUE(CombinatorValidFor(Combinator::kSum, SglType::Number()));
+  EXPECT_FALSE(CombinatorValidFor(Combinator::kSum, SglType::Bool()));
+  EXPECT_TRUE(CombinatorValidFor(Combinator::kOr, SglType::Bool()));
+  EXPECT_FALSE(CombinatorValidFor(Combinator::kOr, SglType::Number()));
+  EXPECT_TRUE(CombinatorValidFor(Combinator::kFirst, SglType::Ref("U")));
+  EXPECT_FALSE(CombinatorValidFor(Combinator::kFirst, SglType::Set("U")));
+  EXPECT_TRUE(CombinatorValidFor(Combinator::kUnion, SglType::Set("U")));
+  EXPECT_FALSE(CombinatorValidFor(Combinator::kUnion, SglType::Number()));
+}
+
+TEST(Combinator, NumericFolding) {
+  EXPECT_DOUBLE_EQ(0.0, NumericIdentity(Combinator::kSum));
+  EXPECT_DOUBLE_EQ(5.0,
+                   CombineNumeric(Combinator::kSum,
+                                  CombineNumeric(Combinator::kSum, 0, 2), 3));
+  EXPECT_DOUBLE_EQ(
+      2.0, CombineNumeric(Combinator::kMin,
+                          NumericIdentity(Combinator::kMin), 2));
+  auto avg = FinalizeNumeric(Combinator::kAvg, 10.0, 4);
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_DOUBLE_EQ(2.5, *avg);
+  EXPECT_FALSE(FinalizeNumeric(Combinator::kSum, 0, 0).has_value());
+}
+
+// --- Catalog -------------------------------------------------------------
+
+TEST(Catalog, ResolvesMutualReferences) {
+  Catalog catalog;
+  ClassDef a("A");
+  ASSERT_TRUE(a.AddState("other", SglType::Ref("B")).ok());
+  ClassDef b("B");
+  ASSERT_TRUE(b.AddState("others", SglType::Set("A")).ok());
+  ASSERT_TRUE(catalog.Register(std::move(a)).ok());
+  ASSERT_TRUE(catalog.Register(std::move(b)).ok());
+  ASSERT_TRUE(catalog.Finalize().ok());
+  ClassId a_id = catalog.Find("A");
+  ClassId b_id = catalog.Find("B");
+  EXPECT_EQ(b_id, catalog.Get(a_id).state_field(0).type.target);
+  EXPECT_EQ(a_id, catalog.Get(b_id).state_field(0).type.target);
+}
+
+TEST(Catalog, DuplicateClassRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(ClassDef("A")).ok());
+  EXPECT_EQ(StatusCode::kAlreadyExists,
+            catalog.Register(ClassDef("A")).status().code());
+}
+
+TEST(Catalog, DanglingRefFailsFinalize) {
+  Catalog catalog;
+  ClassDef a("A");
+  ASSERT_TRUE(a.AddState("other", SglType::Ref("Missing")).ok());
+  ASSERT_TRUE(catalog.Register(std::move(a)).ok());
+  EXPECT_EQ(StatusCode::kNotFound, catalog.Finalize().code());
+}
+
+// --- Layout --------------------------------------------------------------
+
+ClassDef NumericClass(int fields) {
+  ClassDef def("N");
+  for (int i = 0; i < fields; ++i) {
+    EXPECT_TRUE(def.AddState("f" + std::to_string(i),
+                             SglType::Number()).ok());
+  }
+  return def;
+}
+
+TEST(Layout, UnifiedPutsAllInOneGroup) {
+  ClassDef def = NumericClass(6);
+  ColumnGrouping g = ComputeGrouping(def, LayoutStrategy::kUnified);
+  ASSERT_EQ(1u, g.groups.size());
+  EXPECT_EQ(6u, g.groups[0].size());
+}
+
+TEST(Layout, PerFieldMakesSingletons) {
+  ClassDef def = NumericClass(6);
+  ColumnGrouping g = ComputeGrouping(def, LayoutStrategy::kPerField);
+  EXPECT_EQ(6u, g.groups.size());
+}
+
+TEST(Layout, AffinityGroupsCoAccessedFields) {
+  ClassDef def = NumericClass(4);
+  AffinityMatrix m;
+  m.counts.assign(4, std::vector<double>(4, 0));
+  // f0 and f1 co-occur heavily; f2, f3 never with anything.
+  m.counts[0][1] = m.counts[1][0] = 10;
+  ColumnGrouping g = ComputeGrouping(def, LayoutStrategy::kAffinity, &m);
+  // Expect {f0,f1} together and f2, f3 alone.
+  ASSERT_EQ(3u, g.groups.size());
+  bool found_pair = false;
+  for (const auto& group : g.groups) {
+    if (group.size() == 2) {
+      EXPECT_EQ(0, group[0]);
+      EXPECT_EQ(1, group[1]);
+      found_pair = true;
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(Layout, EveryNumericFieldCoveredOnce) {
+  ClassDef def = NumericClass(9);
+  AffinityMatrix m;
+  m.counts.assign(9, std::vector<double>(9, 1));  // everything related
+  ColumnGrouping g =
+      ComputeGrouping(def, LayoutStrategy::kAffinity, &m, /*max=*/4);
+  std::vector<int> seen(9, 0);
+  for (const auto& group : g.groups) {
+    EXPECT_LE(group.size(), 4u);
+    for (FieldIdx f : group) seen[static_cast<size_t>(f)]++;
+  }
+  EXPECT_EQ(9, std::accumulate(seen.begin(), seen.end(), 0));
+  for (int s : seen) EXPECT_EQ(1, s);
+}
+
+}  // namespace
+}  // namespace sgl

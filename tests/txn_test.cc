@@ -1,0 +1,229 @@
+// Transaction semantics (§3.1): atomicity, constraint-driven aborts,
+// deterministic admission, duplication-bug prevention, status reporting.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/market.h"
+
+namespace sgl {
+namespace {
+
+// A minimal bank: every account tries to withdraw via an atomic region
+// constrained to stay non-negative.
+const char* kBank = R"sgl(
+class Account {
+  state:
+    number balance = 10;
+    number withdraw_amount = 0;
+}
+script Withdraw for Account {
+  if (withdraw_amount > 0) {
+    atomic "wd" require(balance >= 0) {
+      balance <- -withdraw_amount;
+    }
+  }
+}
+)sgl";
+
+TEST(Txn, WithdrawalWithinBalanceCommits) {
+  auto engine = Engine::Create(kBank);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto id = (*engine)->Spawn(
+      "Account", {{"withdraw_amount", Value::Number(4)}});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_DOUBLE_EQ(6.0, (*engine)->Get(*id, "balance")->AsNumber());
+  EXPECT_DOUBLE_EQ(1.0, (*engine)->Get(*id, "wd_status")->AsNumber());
+}
+
+TEST(Txn, OverdraftAborts) {
+  auto engine = Engine::Create(kBank);
+  ASSERT_TRUE(engine.ok());
+  auto id = (*engine)->Spawn(
+      "Account", {{"withdraw_amount", Value::Number(25)}});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_DOUBLE_EQ(10.0, (*engine)->Get(*id, "balance")->AsNumber());
+  EXPECT_DOUBLE_EQ(0.0, (*engine)->Get(*id, "wd_status")->AsNumber());
+}
+
+TEST(Txn, StatusIsMinusOneWithoutTransaction) {
+  auto engine = Engine::Create(kBank);
+  ASSERT_TRUE(engine.ok());
+  auto id = (*engine)->Spawn("Account", {});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_DOUBLE_EQ(-1.0, (*engine)->Get(*id, "wd_status")->AsNumber());
+}
+
+TEST(Txn, ExactBoundaryCommits) {
+  auto engine = Engine::Create(kBank);
+  ASSERT_TRUE(engine.ok());
+  auto id = (*engine)->Spawn(
+      "Account", {{"withdraw_amount", Value::Number(10)}});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_DOUBLE_EQ(0.0, (*engine)->Get(*id, "balance")->AsNumber());
+  EXPECT_DOUBLE_EQ(1.0, (*engine)->Get(*id, "wd_status")->AsNumber());
+}
+
+TEST(Txn, EngineCountsCommitsAndAborts) {
+  auto engine = Engine::Create(kBank);
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        (*engine)->Spawn("Account", {{"withdraw_amount", Value::Number(4)}})
+            .ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        (*engine)->Spawn("Account", {{"withdraw_amount", Value::Number(99)}})
+            .ok());
+  }
+  ASSERT_TRUE((*engine)->Tick().ok());
+  const TxnStats& stats = (*engine)->executor().txn().last_tick();
+  EXPECT_EQ(8, stats.issued);
+  EXPECT_EQ(5, stats.committed);
+  EXPECT_EQ(3, stats.aborted);
+}
+
+// Shared pool: several claimants drain one resource; the constraint lives
+// on the *pool*, so admission must serialize cross-entity conflicts.
+const char* kPool = R"sgl(
+class Pool {
+  state:
+    number stock = 5;
+}
+class Claimant {
+  state:
+    ref<Pool> pool = null;
+    number got = 0;   // txn-owned via atomic write below
+}
+script Claim for Claimant {
+  if (pool != null) {
+    atomic "claim" require(pool.stock >= 0) {
+      pool.stock <- -2;
+      got <- 1;
+    }
+  }
+}
+)sgl";
+
+TEST(Txn, SharedPoolAdmitsFeasibleSubsetOnly) {
+  auto engine = Engine::Create(kPool);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto pool = (*engine)->Spawn("Pool", {});
+  ASSERT_TRUE(pool.ok());
+  std::vector<EntityId> claimants;
+  for (int i = 0; i < 4; ++i) {
+    auto id = (*engine)->Spawn("Claimant", {{"pool", Value::Ref(*pool)}});
+    claimants.push_back(*id);
+  }
+  ASSERT_TRUE((*engine)->Tick().ok());
+  // stock 5, each claim takes 2: exactly 2 claims fit (5 -> 3 -> 1; a third
+  // would hit -1 and violate stock >= 0).
+  EXPECT_DOUBLE_EQ(1.0, (*engine)->Get(*pool, "stock")->AsNumber());
+  int committed = 0;
+  for (EntityId id : claimants) {
+    committed += (*engine)->Get(id, "claim_status")->AsNumber() == 1.0;
+  }
+  EXPECT_EQ(2, committed);
+  EXPECT_EQ(2, (*engine)->executor().txn().last_tick().aborted);
+}
+
+TEST(Txn, AdmissionOrderIsDeterministicBySpawnOrder) {
+  // Earlier-spawned entities win under equal sites.
+  auto engine = Engine::Create(kPool);
+  ASSERT_TRUE(engine.ok());
+  auto pool = (*engine)->Spawn("Pool", {{"stock", Value::Number(3)}});
+  auto first = (*engine)->Spawn("Claimant", {{"pool", Value::Ref(*pool)}});
+  auto second = (*engine)->Spawn("Claimant", {{"pool", Value::Ref(*pool)}});
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_DOUBLE_EQ(1.0, (*engine)->Get(*first, "claim_status")->AsNumber());
+  EXPECT_DOUBLE_EQ(0.0, (*engine)->Get(*second, "claim_status")->AsNumber());
+}
+
+// --- The duping scenario (§3.1) -------------------------------------------
+
+TEST(Txn, ContestedItemSellsExactlyOnce) {
+  MarketConfig config;
+  config.num_traders = 10;
+  config.num_items = 1;
+  config.contention = 8;
+  config.active_fraction = 1.0;
+  EngineOptions options;
+  auto engine = MarketWorkload::Build(config, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  Rng rng(3);
+  MarketWorkload::AssignWants(engine->get(), config, &rng);
+  ASSERT_TRUE((*engine)->Tick().ok());
+  EXPECT_TRUE(MarketWorkload::OwnershipConsistent(engine->get()));
+  const TxnStats& stats = (*engine)->executor().txn().last_tick();
+  EXPECT_EQ(1, stats.committed) << "contested item must sell exactly once";
+  EXPECT_EQ(stats.issued - 1, stats.aborted);
+}
+
+TEST(Txn, LongRunMarketNeverDupes) {
+  MarketConfig config;
+  config.num_traders = 24;
+  config.num_items = 48;
+  config.contention = 6;
+  EngineOptions options;
+  auto engine = MarketWorkload::Build(config, options);
+  ASSERT_TRUE(engine.ok());
+  Rng rng(17);
+  double gold0 = MarketWorkload::TotalGold(engine->get());
+  for (int t = 0; t < 50; ++t) {
+    MarketWorkload::AssignWants(engine->get(), config, &rng);
+    ASSERT_TRUE((*engine)->Tick().ok());
+    ASSERT_TRUE(MarketWorkload::OwnershipConsistent(engine->get()))
+        << "dupe at tick " << t;
+    ASSERT_TRUE(MarketWorkload::NoNegativeGold(engine->get()));
+  }
+  EXPECT_DOUBLE_EQ(gold0, MarketWorkload::TotalGold(engine->get()));
+}
+
+TEST(Txn, OwnershipTransferFlipsOwnerRef) {
+  MarketConfig config;
+  config.num_traders = 2;
+  config.num_items = 1;
+  config.contention = 2;
+  config.active_fraction = 1.0;
+  EngineOptions options;
+  auto engine = MarketWorkload::Build(config, options);
+  ASSERT_TRUE(engine.ok());
+  // Find the item and its original owner.
+  ClassId item_cls = (*engine)->catalog().Find("Item");
+  EntityId item = (*engine)->world().table(item_cls).id_at(0);
+  EntityId owner0 = (*engine)->Get(item, "owner")->AsRef();
+  Rng rng(8);
+  MarketWorkload::AssignWants(engine->get(), config, &rng);
+  ASSERT_TRUE((*engine)->Tick().ok());
+  if ((*engine)->executor().txn().last_tick().committed == 1) {
+    EntityId owner1 = (*engine)->Get(item, "owner")->AsRef();
+    EXPECT_NE(owner0, owner1);
+    EXPECT_TRUE((*engine)->Get(owner1, "items")->AsSet().Contains(item));
+    EXPECT_FALSE((*engine)->Get(owner0, "items")->AsSet().Contains(item));
+  }
+}
+
+// Writing a field both transactionally and via an update rule must be
+// rejected at compile time (§2.2 strict partitioning).
+TEST(Txn, OwnershipConflictWithUpdateRuleIsCompileError) {
+  const char* bad = R"sgl(
+class A {
+  state:
+    number gold = 0;
+  effects:
+    number dg : sum;
+  update:
+    gold = gold + dg;
+}
+script S for A {
+  atomic "t" { gold <- 1; }
+}
+)sgl";
+  auto engine = Engine::Create(bad);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(StatusCode::kSemanticError, engine.status().code());
+}
+
+}  // namespace
+}  // namespace sgl
