@@ -12,6 +12,8 @@
 // Expected shape: interpreted and compiled-nl grow ~O(n^2); compiled-tree
 // ~O(n log n). The compiled/interpreted gap widens with n.
 
+#include <algorithm>
+
 #include "bench/bench_util.h"
 
 namespace {
@@ -49,6 +51,24 @@ void BM_CompiledTree(benchmark::State& state) {
   state.counters["units"] = static_cast<double>(state.range(0));
 }
 
+// Full SGL on the grid access path — the zero-allocation steady state.
+// allocs_per_tick is the per-tick average over the timed window; after the
+// scratch pools reach high water it should report ~0.
+void BM_CompiledGrid(benchmark::State& state) {
+  auto engine = BuildRts(static_cast<int>(state.range(0)),
+                         sgl::PlanMode::kStaticGrid);
+  sgl_bench::WarmupSteadyState(engine.get());
+  int64_t allocs = 0;
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    allocs += engine->last_stats().allocs_per_tick;
+  }
+  state.counters["units"] = static_cast<double>(state.range(0));
+  state.counters["allocs_per_tick"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<int64_t>(1, state.iterations()));
+}
+
 BENCHMARK(BM_Interpreted)
     ->Arg(256)
     ->Arg(1024)
@@ -63,6 +83,15 @@ BENCHMARK(BM_CompiledNl)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.05);
 BENCHMARK(BM_CompiledTree)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(8192)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_CompiledGrid)
     ->Arg(256)
     ->Arg(1024)
     ->Arg(2048)

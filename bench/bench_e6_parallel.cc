@@ -18,19 +18,21 @@ void BM_ParallelTick(benchmark::State& state) {
   auto engine = sgl_bench::BuildRts(16384, sgl::PlanMode::kStaticRangeTree,
                                     /*interpreted=*/false, threads,
                                     /*clustered=*/false);
-  sgl_bench::Warmup(engine.get());
-  int64_t query_us = 0, merge_us = 0, update_us = 0;
+  sgl_bench::WarmupSteadyState(engine.get());
+  int64_t query_us = 0, merge_us = 0, update_us = 0, allocs = 0;
   for (auto _ : state) {
     if (!engine->Tick().ok()) state.SkipWithError("tick failed");
     query_us += engine->last_stats().query_effect_micros;
     merge_us += engine->last_stats().merge_micros;
     update_us += engine->last_stats().update_micros;
+    allocs += engine->last_stats().allocs_per_tick;
   }
   const double n = static_cast<double>(state.iterations());
   state.counters["threads"] = threads;
   state.counters["query_ms"] = static_cast<double>(query_us) / n / 1000.0;
   state.counters["merge_ms"] = static_cast<double>(merge_us) / n / 1000.0;
   state.counters["update_ms"] = static_cast<double>(update_us) / n / 1000.0;
+  state.counters["allocs_per_tick"] = static_cast<double>(allocs) / n;
   state.counters["hw_cores"] =
       static_cast<double>(std::thread::hardware_concurrency());
 }

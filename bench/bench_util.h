@@ -48,6 +48,17 @@ inline void Warmup(sgl::Engine* engine) {
   if (!engine->Tick().ok()) std::abort();
 }
 
+/// Multi-tick warmup that also brings the executor's scratch pools and
+/// index buffers to their high-water sizes, so the timed window measures
+/// the zero-allocation steady state rather than pool growth. 24 ticks
+/// covers the RTS workload's structural transitions (the flee handler only
+/// starts selecting rows once units drop below 25 health, ~tick 10).
+inline void WarmupSteadyState(sgl::Engine* engine, int ticks = 24) {
+  for (int t = 0; t < ticks; ++t) {
+    if (!engine->Tick().ok()) std::abort();
+  }
+}
+
 }  // namespace sgl_bench
 
 #endif  // SGL_BENCH_BENCH_UTIL_H_

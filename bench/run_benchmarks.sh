@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs the headline experiments and merges their google-benchmark JSON into
+# a single BENCH_<tag>.json at the repo root — one file per PR, recording
+# the performance trajectory (tick times, phase breakdown, allocs/tick).
+#
+#   E1  set-at-a-time vs object-at-a-time (tick ms + allocs_per_tick on the
+#       zero-allocation grid path)
+#   E6  multicore scaling (phase breakdown + allocs_per_tick)
+#   E7  index build cost / memory
+#
+# Usage: bench/run_benchmarks.sh [build_dir] [tag]
+#   build_dir  cmake build directory holding the bench_* binaries (default:
+#              build)
+#   tag        suffix for the output file (default: pr1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+TAG="${2:-pr1}"
+OUT="BENCH_${TAG}.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for exp in e1_set_at_a_time e6_parallel e7_index_memory; do
+  bin="$BUILD_DIR/bench_${exp}"
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  echo "== bench_${exp}" >&2
+  "$bin" --benchmark_out="$TMP/${exp}.json" --benchmark_out_format=json \
+    >/dev/null
+done
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json, os, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+keep = ("name", "real_time", "cpu_time", "time_unit", "iterations",
+        "allocs_per_tick", "units", "threads", "query_ms", "merge_ms",
+        "update_ms", "hw_cores", "bytes", "formula_bytes")
+merged = {}
+for f in sorted(os.listdir(tmp)):
+    with open(os.path.join(tmp, f)) as fh:
+        data = json.load(fh)
+    ctx = data.get("context", {})
+    merged[f[:-len(".json")]] = {
+        "date": ctx.get("date"),
+        "num_cpus": ctx.get("num_cpus"),
+        "build_type": ctx.get("library_build_type"),
+        "benchmarks": [
+            {k: b[k] for k in keep if k in b}
+            for b in data.get("benchmarks", [])
+        ],
+    }
+with open(out, "w") as fh:
+    json.dump(merged, fh, indent=1)
+    fh.write("\n")
+print(f"wrote {out}")
+EOF

@@ -1,0 +1,112 @@
+#include "src/common/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace sgl {
+namespace {
+
+std::atomic<int64_t> g_alloc_count{0};
+std::atomic<int64_t> g_alloc_bytes{0};
+
+#ifdef SGL_COUNT_ALLOCS
+inline void Note(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(static_cast<int64_t>(size),
+                          std::memory_order_relaxed);
+}
+
+void* CountedAlloc(std::size_t size) {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  Note(size);
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+#if defined(_WIN32)
+  void* p = _aligned_malloc(size != 0 ? size : align, align);
+#else
+  // aligned_alloc requires size to be a multiple of the alignment.
+  std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded != 0 ? rounded : align);
+#endif
+  if (p == nullptr) throw std::bad_alloc();
+  Note(size);
+  return p;
+}
+
+// On Windows _aligned_malloc memory must go back through _aligned_free;
+// everywhere else aligned_alloc pairs with free.
+inline void AlignedFree(void* p) {
+#if defined(_WIN32)
+  _aligned_free(p);
+#else
+  std::free(p);
+#endif
+}
+#endif  // SGL_COUNT_ALLOCS
+
+}  // namespace
+
+AllocCounts AllocCountersNow() {
+  AllocCounts c;
+  c.count = g_alloc_count.load(std::memory_order_relaxed);
+  c.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool AllocCountingEnabled() {
+#ifdef SGL_COUNT_ALLOCS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace sgl
+
+#ifdef SGL_COUNT_ALLOCS
+
+void* operator new(std::size_t size) { return sgl::CountedAlloc(size); }
+void* operator new[](std::size_t size) { return sgl::CountedAlloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) sgl::Note(size);
+  return p;
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return sgl::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return sgl::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  sgl::AlignedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  sgl::AlignedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  sgl::AlignedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  sgl::AlignedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // SGL_COUNT_ALLOCS

@@ -34,6 +34,10 @@ inline constexpr ClassId kInvalidClass = -1;
 using FieldIdx = int32_t;
 inline constexpr FieldIdx kInvalidField = -1;
 
+/// Upper bound on spatial-index dimensionality, small enough that query
+/// bounds live in stack arrays instead of per-query heap vectors.
+inline constexpr int kMaxIndexDims = 8;
+
 namespace internal {
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {

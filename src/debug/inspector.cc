@@ -5,6 +5,22 @@
 
 namespace sgl {
 
+std::string DescribeTickStats(const TickStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "tick %lld: %lldus (query %lld merge %lld update %lld | "
+                "index %lld) allocs/tick %lld (%lld B)",
+                static_cast<long long>(stats.tick),
+                static_cast<long long>(stats.total_micros),
+                static_cast<long long>(stats.query_effect_micros),
+                static_cast<long long>(stats.merge_micros),
+                static_cast<long long>(stats.update_micros),
+                static_cast<long long>(stats.index_build_micros),
+                static_cast<long long>(stats.allocs_per_tick),
+                static_cast<long long>(stats.bytes_per_tick));
+  return std::string(buf);
+}
+
 std::string Inspector::DescribeEntity(EntityId id) const {
   const World::Locator* loc = world_->Find(id);
   if (loc == nullptr) {

@@ -36,6 +36,7 @@ VecContext MakeCtx(const ExecEnv& env, const EntityTable* inner_table,
   ctx.inner = inner_table;
   ctx.inner_rows = rows.inner;
   ctx.locals = env.locals;
+  ctx.scratch = env.scratch;
   return ctx;
 }
 
@@ -45,11 +46,12 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
                  ExecEnv& env) {
   const size_t n = rows.outer->size();
   if (n == 0) return;
-  std::vector<RowIdx> sub_outer, sub_inner;
-  std::vector<uint8_t> keep;
-  std::vector<double> nums;
-  std::vector<uint8_t> bools;
-  std::vector<EntityId> refs, target_ids;
+  EvalScratch* sc = env.scratch;
+  ScopedVec<RowIdx> sub_outer(sc), sub_inner(sc);
+  ScopedVec<uint8_t> keep(sc);
+  ScopedVec<double> nums(sc);
+  ScopedVec<uint8_t> bools(sc);
+  ScopedVec<EntityId> refs(sc), target_ids(sc);
 
   for (const EffectWrite& w : writes) {
     // 1. Guard filter.
@@ -57,16 +59,18 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
     const std::vector<RowIdx>* inner_rows = rows.inner;
     if (w.guard != nullptr) {
       VecContext ctx = MakeCtx(env, inner_table, rows);
-      EvalBool(*w.guard, ctx, &keep);
-      sub_outer.clear();
-      sub_inner.clear();
+      EvalBool(*w.guard, ctx, keep.get());
+      sub_outer->clear();
+      sub_inner->clear();
+      sub_outer->reserve(n);
+      if (rows.inner != nullptr) sub_inner->reserve(n);
       for (size_t i = 0; i < n; ++i) {
-        if (!keep[i]) continue;
-        sub_outer.push_back((*rows.outer)[i]);
-        if (rows.inner != nullptr) sub_inner.push_back((*rows.inner)[i]);
+        if (!(*keep)[i]) continue;
+        sub_outer->push_back((*rows.outer)[i]);
+        if (rows.inner != nullptr) sub_inner->push_back((*rows.inner)[i]);
       }
-      outer_rows = &sub_outer;
-      inner_rows = rows.inner != nullptr ? &sub_inner : nullptr;
+      outer_rows = sub_outer.get();
+      inner_rows = rows.inner != nullptr ? sub_inner.get() : nullptr;
     }
     const size_t m = outer_rows->size();
     if (m == 0) continue;
@@ -83,7 +87,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
         case TargetKind::kIter:
           return (*inner_rows)[i];
         case TargetKind::kRef: {
-          const World::Locator* loc = env.world->Find(target_ids[i]);
+          const World::Locator* loc = env.world->Find((*target_ids)[i]);
           if (loc == nullptr || loc->cls != w.target_cls) return kInvalidRow;
           return loc->row;
         }
@@ -91,7 +95,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
       return kInvalidRow;
     };
     if (w.target_kind == TargetKind::kRef) {
-      EvalRef(*w.target_ref, ctx, &target_ids);
+      EvalRef(*w.target_ref, ctx, target_ids.get());
     }
 
     // 3. Evaluate values and scatter-accumulate.
@@ -109,36 +113,36 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
       }
     };
     if (w.set_insert) {
-      EvalRef(*w.value, ctx, &refs);
+      EvalRef(*w.value, ctx, refs.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
-        sink->AddSetInsert(w.field, row, refs[i]);
-        trace(i, row, Value::Ref(refs[i]));
+        sink->AddSetInsert(w.field, row, (*refs)[i]);
+        trace(i, row, Value::Ref((*refs)[i]));
       }
     } else if (field.type.is_number()) {
-      EvalNum(*w.value, ctx, &nums);
+      EvalNum(*w.value, ctx, nums.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
-        sink->AddNumber(w.field, row, nums[i], key_at(i));
-        trace(i, row, Value::Number(nums[i]));
+        sink->AddNumber(w.field, row, (*nums)[i], key_at(i));
+        trace(i, row, Value::Number((*nums)[i]));
       }
     } else if (field.type.is_bool()) {
-      EvalBool(*w.value, ctx, &bools);
+      EvalBool(*w.value, ctx, bools.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
-        sink->AddBool(w.field, row, bools[i] != 0, key_at(i));
-        trace(i, row, Value::Bool(bools[i] != 0));
+        sink->AddBool(w.field, row, (*bools)[i] != 0, key_at(i));
+        trace(i, row, Value::Bool((*bools)[i] != 0));
       }
     } else if (field.type.is_ref()) {
-      EvalRef(*w.value, ctx, &refs);
+      EvalRef(*w.value, ctx, refs.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
-        sink->AddRef(w.field, row, refs[i], key_at(i));
-        trace(i, row, Value::Ref(refs[i]));
+        sink->AddRef(w.field, row, (*refs)[i], key_at(i));
+        trace(i, row, Value::Ref((*refs)[i]));
       }
     }
   }
@@ -248,17 +252,58 @@ void PrefillSlot(const AccumOp& op, const std::vector<RowIdx>& rows,
   }
 }
 
+// RAII lease over one pool: counts acquisitions and releases them all at
+// scope exit, so early returns or future edits cannot desync the pool's
+// stack discipline.
+template <typename T>
+class PoolLease {
+ public:
+  explicit PoolLease(VecPool<T>* pool) : pool_(pool) {}
+  ~PoolLease() {
+    for (; count_ > 0; --count_) pool_->Release();
+  }
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+  std::vector<T>* Acquire() {
+    ++count_;
+    return pool_->Acquire();
+  }
+
+ private:
+  VecPool<T>* pool_;
+  size_t count_ = 0;
+};
+
+// RAII block of `n` pooled double vectors (per-dimension bound columns).
+class PooledNumCols {
+ public:
+  PooledNumCols(EvalScratch* sc, size_t n) : sc_(sc), n_(n) {
+    SGL_CHECK(n <= kMaxIndexDims);
+    for (size_t i = 0; i < n_; ++i) cols_[i] = sc_->num.Acquire();
+  }
+  ~PooledNumCols() {
+    for (size_t i = n_; i > 0; --i) sc_->num.Release();
+  }
+  PooledNumCols(const PooledNumCols&) = delete;
+  PooledNumCols& operator=(const PooledNumCols&) = delete;
+  std::vector<double>* operator[](size_t i) { return cols_[i]; }
+  const std::vector<double>* operator[](size_t i) const { return cols_[i]; }
+
+ private:
+  EvalScratch* sc_;
+  size_t n_;
+  std::vector<double>* cols_[kMaxIndexDims];
+};
+
 // Enumerates the candidate inner rows for one outer row under the prepared
 // access path (without the residual filter). Candidates are ascending.
 void Candidates(const AccumOp& op, const PreparedSite& site,
                 const ExecEnv& env, RowIdx outer_row,
-                const std::vector<std::vector<double>>& lo_cols,
-                const std::vector<std::vector<double>>& hi_cols,
+                const PooledNumCols& lo_cols, const PooledNumCols& hi_cols,
                 const std::vector<double>& hash_keys,
                 const std::vector<EntityId>& id_keys, size_t outer_pos,
                 std::vector<RowIdx>* out) {
   out->clear();
-  const EntityTable& inner = env.world->table(op.inner_cls);
 
   if (op.inner_set_field != kInvalidField) {
     // Set-valued domain: members in id order (matches the scalar path).
@@ -279,17 +324,17 @@ void Candidates(const AccumOp& op, const PreparedSite& site,
       break;
     case JoinStrategy::kRangeTree:
     case JoinStrategy::kGrid: {
-      std::vector<double> lo(op.range_dims.size());
-      std::vector<double> hi(op.range_dims.size());
+      double lo[kMaxIndexDims];
+      double hi[kMaxIndexDims];
       for (size_t k = 0; k < op.range_dims.size(); ++k) {
         lo[k] = op.range_dims[k].lo != nullptr
-                    ? lo_cols[k][outer_pos]
+                    ? (*lo_cols[k])[outer_pos]
                     : -std::numeric_limits<double>::infinity();
         hi[k] = op.range_dims[k].hi != nullptr
-                    ? hi_cols[k][outer_pos]
+                    ? (*hi_cols[k])[outer_pos]
                     : std::numeric_limits<double>::infinity();
       }
-      site.index->Query(lo.data(), hi.data(), out);
+      site.index->Query(lo, hi, out);
       std::sort(out->begin(), out->end());
       break;
     }
@@ -301,176 +346,188 @@ void Candidates(const AccumOp& op, const PreparedSite& site,
           out->push_back(loc->row);
         }
       } else {
-        auto [begin, end] = site.hash->equal_range(hash_keys[outer_pos]);
-        for (auto it = begin; it != end; ++it) out->push_back(it->second);
-        std::sort(out->begin(), out->end());
+        // Flat hash emits rows ascending already.
+        site.hash->Lookup(hash_keys[outer_pos], out);
       }
       break;
     }
   }
-  (void)inner;
 }
 
 void RunAccumVectorized(const AccumOp& op,
                         const std::vector<RowIdx>& selection, ExecEnv& env) {
   Stopwatch timer;
-  const PreparedSite& site = env.prepared->at(op.site_id);
+  const PreparedSite& site = (*env.prepared)[static_cast<size_t>(op.site_id)];
   const EntityTable& inner = env.world->table(op.inner_cls);
+  ExecScratch* sc = env.scratch;
 
-  // Outer guard.
-  std::vector<RowIdx> S;
-  {
-    if (op.outer_guard != nullptr) {
-      PairRows rows{&selection, nullptr};
-      VecContext ctx = MakeCtx(env, nullptr, rows);
-      std::vector<uint8_t> keep;
-      EvalBool(*op.outer_guard, ctx, &keep);
-      for (size_t i = 0; i < selection.size(); ++i) {
-        if (keep[i]) S.push_back(selection[i]);
-      }
-    } else {
-      S = selection;
+  // Outer guard. Guard-free units run straight off `selection` — no copy.
+  ScopedVec<RowIdx> s_holder(sc);
+  const std::vector<RowIdx>* S = &selection;
+  if (op.outer_guard != nullptr) {
+    PairRows rows{&selection, nullptr};
+    VecContext ctx = MakeCtx(env, nullptr, rows);
+    ScopedVec<uint8_t> keep(sc);
+    EvalBool(*op.outer_guard, ctx, keep.get());
+    s_holder->reserve(selection.size());
+    for (size_t i = 0; i < selection.size(); ++i) {
+      if ((*keep)[i]) s_holder->push_back(selection[i]);
     }
+    S = s_holder.get();
   }
-  PrefillSlot(op, S, env.locals);
-  if (S.empty()) return;
+  PrefillSlot(op, *S, env.locals);
+  if (S->empty()) return;
 
-  // Precompute per-outer bounds / keys.
-  PairRows s_rows{&S, nullptr};
+  // Precompute per-outer bounds / keys. Bound columns exist only for the
+  // indexed range strategies (other strategies never read them, and must
+  // not be constrained by the kMaxIndexDims stack-array limit).
+  PairRows s_rows{S, nullptr};
   VecContext s_ctx = MakeCtx(env, nullptr, s_rows);
-  std::vector<std::vector<double>> lo_cols(op.range_dims.size());
-  std::vector<std::vector<double>> hi_cols(op.range_dims.size());
-  if (site.strategy == JoinStrategy::kRangeTree ||
-      site.strategy == JoinStrategy::kGrid) {
+  const bool range_indexed = site.strategy == JoinStrategy::kRangeTree ||
+                             site.strategy == JoinStrategy::kGrid;
+  PooledNumCols lo_cols(sc, range_indexed ? op.range_dims.size() : 0);
+  PooledNumCols hi_cols(sc, range_indexed ? op.range_dims.size() : 0);
+  if (range_indexed) {
     for (size_t k = 0; k < op.range_dims.size(); ++k) {
       if (op.range_dims[k].lo != nullptr) {
-        EvalNum(*op.range_dims[k].lo, s_ctx, &lo_cols[k]);
+        EvalNum(*op.range_dims[k].lo, s_ctx, lo_cols[k]);
       }
       if (op.range_dims[k].hi != nullptr) {
-        EvalNum(*op.range_dims[k].hi, s_ctx, &hi_cols[k]);
+        EvalNum(*op.range_dims[k].hi, s_ctx, hi_cols[k]);
       }
     }
   }
-  std::vector<double> hash_keys;
-  std::vector<EntityId> id_keys;
+  ScopedVec<double> hash_keys(sc);
+  ScopedVec<EntityId> id_keys(sc);
   if (site.strategy == JoinStrategy::kHash) {
     if (site.hash_field == kInvalidField) {
-      EvalRef(*op.hash_dims[0].key, s_ctx, &id_keys);
+      EvalRef(*op.hash_dims[0].key, s_ctx, id_keys.get());
     } else {
-      EvalNum(*op.hash_dims[0].key, s_ctx, &hash_keys);
+      EvalNum(*op.hash_dims[0].key, s_ctx, hash_keys.get());
     }
   }
 
   const Expr* filter = site.strategy == JoinStrategy::kNestedLoop
-                           ? site.nl_filter.get()
-                           : site.post_index_filter.get();
+                           ? site.nl_filter
+                           : site.post_index_filter;
   const bool same_table = op.inner_cls == env.outer_cls &&
                           op.inner_set_field == kInvalidField;
 
   // Build the (outer, inner) pair list, outer-major, inner ascending.
-  std::vector<RowIdx> pair_outer, pair_inner;
-  std::vector<RowIdx> cand, chunk_outer, chunk_inner;
-  std::vector<uint8_t> keep;
+  ScopedVec<RowIdx> pair_outer(sc), pair_inner(sc);
+  ScopedVec<RowIdx> cand(sc), chunk_outer(sc), chunk_inner(sc);
+  ScopedVec<uint8_t> keep(sc);
+  pair_outer->reserve(S->size());
+  pair_inner->reserve(S->size());
+  chunk_inner->reserve(kNlChunk);
   int64_t candidates = 0;
 
   auto filter_chunk = [&](RowIdx o) {
     // chunk_inner holds candidates for outer row o; applies `filter` and
     // appends survivors to the pair list.
-    if (chunk_inner.empty()) return;
-    chunk_outer.assign(chunk_inner.size(), o);
+    if (chunk_inner->empty()) return;
+    ResizeAmortized(chunk_outer.get(), chunk_inner->size());
+    std::fill(chunk_outer->begin(), chunk_outer->end(), o);
     if (filter != nullptr) {
-      PairRows rows{&chunk_outer, &chunk_inner};
+      PairRows rows{chunk_outer.get(), chunk_inner.get()};
       VecContext ctx = MakeCtx(env, &inner, rows);
-      EvalBool(*filter, ctx, &keep);
-      for (size_t i = 0; i < chunk_inner.size(); ++i) {
-        if (keep[i]) {
-          pair_outer.push_back(o);
-          pair_inner.push_back(chunk_inner[i]);
+      EvalBool(*filter, ctx, keep.get());
+      for (size_t i = 0; i < chunk_inner->size(); ++i) {
+        if ((*keep)[i]) {
+          pair_outer->push_back(o);
+          pair_inner->push_back((*chunk_inner)[i]);
         }
       }
     } else {
-      pair_outer.insert(pair_outer.end(), chunk_inner.size(), o);
-      pair_inner.insert(pair_inner.end(), chunk_inner.begin(),
-                        chunk_inner.end());
+      pair_outer->insert(pair_outer->end(), chunk_inner->size(), o);
+      pair_inner->insert(pair_inner->end(), chunk_inner->begin(),
+                         chunk_inner->end());
     }
   };
 
-  for (size_t pos = 0; pos < S.size(); ++pos) {
-    RowIdx o = S[pos];
+  for (size_t pos = 0; pos < S->size(); ++pos) {
+    RowIdx o = (*S)[pos];
     if (site.strategy == JoinStrategy::kNestedLoop &&
         op.inner_set_field == kInvalidField) {
       // Stream the whole inner extent in chunks.
       const size_t m = inner.size();
       for (size_t base = 0; base < m; base += kNlChunk) {
         size_t end = std::min(m, base + kNlChunk);
-        chunk_inner.clear();
+        chunk_inner->clear();
         for (size_t j = base; j < end; ++j) {
           if (op.exclude_self && same_table && j == o) continue;
-          chunk_inner.push_back(static_cast<RowIdx>(j));
+          chunk_inner->push_back(static_cast<RowIdx>(j));
         }
-        candidates += static_cast<int64_t>(chunk_inner.size());
+        candidates += static_cast<int64_t>(chunk_inner->size());
         filter_chunk(o);
       }
     } else {
-      Candidates(op, site, env, o, lo_cols, hi_cols, hash_keys, id_keys, pos,
-                 &cand);
-      chunk_inner.clear();
-      for (RowIdx j : cand) {
+      Candidates(op, site, env, o, lo_cols, hi_cols, *hash_keys, *id_keys,
+                 pos, cand.get());
+      chunk_inner->clear();
+      chunk_inner->reserve(cand->size());
+      for (RowIdx j : *cand) {
         if (op.exclude_self && same_table && j == o) continue;
-        chunk_inner.push_back(j);
+        chunk_inner->push_back(j);
       }
-      candidates += static_cast<int64_t>(chunk_inner.size());
+      candidates += static_cast<int64_t>(chunk_inner->size());
       filter_chunk(o);
     }
   }
 
   // Evaluate accum assignments over all pairs, then fold in pair order.
-  const size_t npairs = pair_outer.size();
+  const size_t npairs = pair_outer->size();
   if (npairs > 0) {
-    PairRows pairs{&pair_outer, &pair_inner};
+    PairRows pairs{pair_outer.get(), pair_inner.get()};
     VecContext pctx = MakeCtx(env, &inner, pairs);
-    struct EvaledAssign {
-      std::vector<uint8_t> guard;
-      std::vector<double> nums;
-      std::vector<uint8_t> bools;
-      std::vector<EntityId> refs;
-    };
-    std::vector<EvaledAssign> evaled(op.accum_assigns.size());
+    auto& evaled = sc->assign_bufs;
+    if (evaled.size() < op.accum_assigns.size()) {
+      evaled.resize(op.accum_assigns.size());
+    }
+    PoolLease<uint8_t> bool_lease(&sc->bools);
+    PoolLease<double> num_lease(&sc->num);
+    PoolLease<EntityId> ref_lease(&sc->refs);
     for (size_t a = 0; a < op.accum_assigns.size(); ++a) {
       const AccumAssign& assign = op.accum_assigns[a];
+      evaled[a] = ExecScratch::AssignBufs();
       if (assign.guard != nullptr) {
-        EvalBool(*assign.guard, pctx, &evaled[a].guard);
+        evaled[a].guard = bool_lease.Acquire();
+        EvalBool(*assign.guard, pctx, evaled[a].guard);
       }
       if (op.accum_type.is_number()) {
-        EvalNum(*assign.value, pctx, &evaled[a].nums);
+        evaled[a].nums = num_lease.Acquire();
+        EvalNum(*assign.value, pctx, evaled[a].nums);
       } else if (op.accum_type.is_bool()) {
-        EvalBool(*assign.value, pctx, &evaled[a].bools);
+        evaled[a].bools = bool_lease.Acquire();
+        EvalBool(*assign.value, pctx, evaled[a].bools);
       } else {
-        EvalRef(*assign.value, pctx, &evaled[a].refs);
+        evaled[a].refs = ref_lease.Acquire();
+        EvalRef(*assign.value, pctx, evaled[a].refs);
       }
     }
     Fold fold;
-    RowIdx cur = pair_outer[0];
+    RowIdx cur = (*pair_outer)[0];
     for (size_t p = 0; p < npairs; ++p) {
-      if (pair_outer[p] != cur) {
+      if ((*pair_outer)[p] != cur) {
         FlushFold(op, fold, cur, env.locals);
         fold.Reset();
-        cur = pair_outer[p];
+        cur = (*pair_outer)[p];
       }
       for (size_t a = 0; a < op.accum_assigns.size(); ++a) {
-        if (!evaled[a].guard.empty() && !evaled[a].guard[p]) continue;
+        if (evaled[a].guard != nullptr && !(*evaled[a].guard)[p]) continue;
         if (op.accum_type.is_number()) {
-          fold.AddNum(op.accum_comb, evaled[a].nums[p]);
+          fold.AddNum(op.accum_comb, (*evaled[a].nums)[p]);
         } else if (op.accum_type.is_bool()) {
-          fold.AddBool(op.accum_comb, evaled[a].bools[p] != 0);
+          fold.AddBool(op.accum_comb, (*evaled[a].bools)[p] != 0);
         } else {
-          fold.AddRef(op.accum_comb, evaled[a].refs[p]);
+          fold.AddRef(op.accum_comb, (*evaled[a].refs)[p]);
         }
       }
     }
     FlushFold(op, fold, cur, env.locals);
 
-    // Pair-level effect writes.
+    // Pair-level effect writes. The leases stay live through this call;
+    // ApplyWrites' own acquisitions nest above them (LIFO holds).
     ApplyWrites(op.pair_writes, &inner, pairs, env);
   }
 
@@ -478,7 +535,7 @@ void RunAccumVectorized(const AccumOp& op,
     SiteFeedback& fb = (*env.feedback)[static_cast<size_t>(op.site_id)];
     fb.site = op.site_id;
     fb.strategy = site.strategy;
-    fb.outer_rows += static_cast<int64_t>(S.size());
+    fb.outer_rows += static_cast<int64_t>(S->size());
     fb.candidates += candidates;
     fb.matches += static_cast<int64_t>(npairs);
     fb.micros += timer.ElapsedMicros();
@@ -488,60 +545,65 @@ void RunAccumVectorized(const AccumOp& op,
 void RunTxnEmitVectorized(const TxnEmitOp& op,
                           const std::vector<RowIdx>& selection,
                           ExecEnv& env) {
-  std::vector<RowIdx> R;
+  ExecScratch* sc = env.scratch;
+  ScopedVec<RowIdx> r_holder(sc);
+  const std::vector<RowIdx>* R = &selection;
   if (op.guard != nullptr) {
     PairRows rows{&selection, nullptr};
     VecContext ctx = MakeCtx(env, nullptr, rows);
-    std::vector<uint8_t> keep;
-    EvalBool(*op.guard, ctx, &keep);
+    ScopedVec<uint8_t> keep(sc);
+    EvalBool(*op.guard, ctx, keep.get());
+    r_holder->reserve(selection.size());
     for (size_t i = 0; i < selection.size(); ++i) {
-      if (keep[i]) R.push_back(selection[i]);
+      if ((*keep)[i]) r_holder->push_back(selection[i]);
     }
-  } else {
-    R = selection;
+    R = r_holder.get();
   }
-  if (R.empty()) return;
+  if (R->empty()) return;
 
-  PairRows rows{&R, nullptr};
+  PairRows rows{R, nullptr};
   VecContext ctx = MakeCtx(env, nullptr, rows);
-  struct EvaledWrite {
-    std::vector<EntityId> targets;
-    std::vector<double> nums;
-    std::vector<EntityId> refs;
-  };
-  std::vector<EvaledWrite> evaled(op.writes.size());
+  auto& evaled = sc->assign_bufs;
+  if (evaled.size() < op.writes.size()) evaled.resize(op.writes.size());
+  PoolLease<double> num_lease(&sc->num);
+  PoolLease<EntityId> ref_lease(&sc->refs);
   for (size_t wi = 0; wi < op.writes.size(); ++wi) {
     const TxnWrite& w = op.writes[wi];
+    evaled[wi] = ExecScratch::AssignBufs();
     if (w.target_kind == TargetKind::kRef) {
-      EvalRef(*w.target_ref, ctx, &evaled[wi].targets);
+      evaled[wi].targets = ref_lease.Acquire();
+      EvalRef(*w.target_ref, ctx, evaled[wi].targets);
     }
     if (w.op == TxnWriteOp::kAddDelta) {
-      EvalNum(*w.value, ctx, &evaled[wi].nums);
+      evaled[wi].nums = num_lease.Acquire();
+      EvalNum(*w.value, ctx, evaled[wi].nums);
     } else {
-      EvalRef(*w.value, ctx, &evaled[wi].refs);
+      evaled[wi].refs = ref_lease.Acquire();
+      EvalRef(*w.value, ctx, evaled[wi].refs);
     }
   }
-  for (size_t i = 0; i < R.size(); ++i) {
+  for (size_t i = 0; i < R->size(); ++i) {
     TxnIntent intent;
     intent.order_key = (static_cast<uint64_t>(op.site_id) << 32) |
-                       static_cast<uint64_t>(R[i]);
-    intent.issuer = env.outer->id_at(R[i]);
+                       static_cast<uint64_t>((*R)[i]);
+    intent.issuer = env.outer->id_at((*R)[i]);
     intent.issuer_cls = env.outer_cls;
-    intent.issuer_row = R[i];
+    intent.issuer_row = (*R)[i];
     intent.op = &op;
     intent.writes.reserve(op.writes.size());
     for (size_t wi = 0; wi < op.writes.size(); ++wi) {
       const TxnWrite& w = op.writes[wi];
       TxnResolvedWrite rw;
-      rw.target = w.target_kind == TargetKind::kSelf ? intent.issuer
-                                                     : evaled[wi].targets[i];
+      rw.target = w.target_kind == TargetKind::kSelf
+                      ? intent.issuer
+                      : (*evaled[wi].targets)[i];
       rw.cls = w.target_cls;
       rw.field = w.state_field;
       rw.op = w.op;
       if (w.op == TxnWriteOp::kAddDelta) {
-        rw.num = evaled[wi].nums[i];
+        rw.num = (*evaled[wi].nums)[i];
       } else {
-        rw.ref = evaled[wi].refs[i];
+        rw.ref = (*evaled[wi].refs)[i];
       }
       intent.writes.push_back(rw);
     }
@@ -551,18 +613,65 @@ void RunTxnEmitVectorized(const TxnEmitOp& op,
 
 }  // namespace
 
+// --- Flat hash -----------------------------------------------------------
+
+namespace {
+
+// Total order over (key, row) pairs that is a strict weak ordering even for
+// NaN keys (std::sort on raw double operator< would be UB): NaN sorts after
+// every number, tied NaNs by row.
+struct FlatHashLess {
+  bool operator()(const std::pair<double, RowIdx>& a,
+                  const std::pair<double, RowIdx>& b) const {
+    const bool a_nan = std::isnan(a.first);
+    const bool b_nan = std::isnan(b.first);
+    if (a_nan || b_nan) {
+      if (a_nan != b_nan) return b_nan;  // numbers before NaNs
+      return a.second < b.second;
+    }
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  }
+};
+
+}  // namespace
+
+void FlatNumHash::Build(ConstNumberColumn col, size_t n) {
+  entries_.clear();
+  entries_.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    entries_.emplace_back(col[j], static_cast<RowIdx>(j));
+  }
+  std::sort(entries_.begin(), entries_.end(), FlatHashLess());
+}
+
+void FlatNumHash::Lookup(double key, std::vector<RowIdx>* out) const {
+  // NaN never equals anything — same semantics as the hash probe it
+  // replaced.
+  if (std::isnan(key)) return;
+  auto it = std::lower_bound(entries_.begin(), entries_.end(),
+                             std::make_pair(key, RowIdx{0}), FlatHashLess());
+  for (; it != entries_.end() && it->first == key; ++it) {
+    out->push_back(it->second);
+  }
+}
+
 // --- Site preparation ---------------------------------------------------
 
-PreparedSite PrepareSite(const AccumOp& op, JoinStrategy strategy,
-                         const World& world, IndexManager* indexes,
-                         Tick tick) {
-  PreparedSite site;
-  site.strategy = strategy;
+void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
+                 IndexManager* indexes, Tick tick, SiteCache* cache,
+                 PreparedSite* out) {
+  out->strategy = strategy;
+  out->index = nullptr;
+  out->hash = nullptr;
+  out->hash_field = kInvalidField;
 
-  // Compose the pair filters from the op's predicate decomposition.
+  // Compose the pair filters from the op's predicate decomposition. The
+  // compositions are pure functions of (op, strategy); they are cloned into
+  // the cache once and only recomposed when the strategy switches.
   auto range_pred = [&](bool include) -> ExprPtr {
     if (!include) return nullptr;
-    ExprPtr out;
+    ExprPtr composed;
     const ClassDef& inner_def = world.catalog().Get(op.inner_cls);
     for (const RangeDim& d : op.range_dims) {
       const SglType& t = inner_def.state_field(d.inner_field).type;
@@ -570,21 +679,23 @@ PreparedSite PrepareSite(const AccumOp& op, JoinStrategy strategy,
         ExprPtr c = CmpNum(CmpOp::kGe, StateRead(1, op.inner_cls,
                                                  d.inner_field, t),
                            d.lo->Clone());
-        out = out == nullptr ? std::move(c) : AndB(std::move(out),
-                                                   std::move(c));
+        composed = composed == nullptr ? std::move(c)
+                                       : AndB(std::move(composed),
+                                              std::move(c));
       }
       if (d.hi != nullptr) {
         ExprPtr c = CmpNum(CmpOp::kLe, StateRead(1, op.inner_cls,
                                                  d.inner_field, t),
                            d.hi->Clone());
-        out = out == nullptr ? std::move(c) : AndB(std::move(out),
-                                                   std::move(c));
+        composed = composed == nullptr ? std::move(c)
+                                       : AndB(std::move(composed),
+                                              std::move(c));
       }
     }
-    return out;
+    return composed;
   };
   auto hash_pred = [&](size_t skip_dim) -> ExprPtr {
-    ExprPtr out;
+    ExprPtr composed;
     const ClassDef& inner_def = world.catalog().Get(op.inner_cls);
     for (size_t k = 0; k < op.hash_dims.size(); ++k) {
       if (k == skip_dim) continue;
@@ -604,60 +715,77 @@ PreparedSite PrepareSite(const AccumOp& op, JoinStrategy strategy,
                    StateRead(1, op.inner_cls, d.inner_field, t),
                    d.key->Clone());
       }
-      out = out == nullptr ? std::move(c) : AndB(std::move(out),
-                                                 std::move(c));
+      composed = composed == nullptr ? std::move(c)
+                                     : AndB(std::move(composed),
+                                            std::move(c));
     }
-    return out;
+    return composed;
   };
   auto compose = [](ExprPtr a, ExprPtr b) {
     if (a == nullptr) return b;
     if (b == nullptr) return a;
     return AndB(std::move(a), std::move(b));
   };
+  auto residual = [&]() -> ExprPtr {
+    return op.residual != nullptr ? op.residual->Clone() : nullptr;
+  };
 
-  ExprPtr residual = op.residual != nullptr ? op.residual->Clone() : nullptr;
-  site.nl_filter =
-      compose(compose(range_pred(true), hash_pred(static_cast<size_t>(-1))),
-              residual != nullptr ? residual->Clone() : nullptr);
+  if (!cache->nl_built) {
+    cache->nl_filter =
+        compose(compose(range_pred(true), hash_pred(static_cast<size_t>(-1))),
+                residual());
+    cache->nl_built = true;
+  }
+  out->nl_filter = cache->nl_filter.get();
+
+  if (!cache->post_built || cache->post_strategy != strategy) {
+    switch (strategy) {
+      case JoinStrategy::kNestedLoop:
+        cache->post_index_filter = nullptr;
+        break;
+      case JoinStrategy::kRangeTree:
+      case JoinStrategy::kGrid:
+        cache->post_index_filter =
+            compose(hash_pred(static_cast<size_t>(-1)), residual());
+        break;
+      case JoinStrategy::kHash:
+        cache->post_index_filter =
+            compose(compose(range_pred(true), hash_pred(0)), residual());
+        break;
+    }
+    cache->post_strategy = strategy;
+    cache->post_built = true;
+  }
+  out->post_index_filter = cache->post_index_filter.get();
 
   switch (strategy) {
     case JoinStrategy::kNestedLoop:
       break;
     case JoinStrategy::kRangeTree:
     case JoinStrategy::kGrid: {
-      IndexSpec spec;
-      spec.cls = op.inner_cls;
-      for (const RangeDim& d : op.range_dims) {
-        spec.fields.push_back(d.inner_field);
+      if (!cache->spec_built) {
+        cache->spec.cls = op.inner_cls;
+        for (const RangeDim& d : op.range_dims) {
+          cache->spec.fields.push_back(d.inner_field);
+        }
+        cache->spec_built = true;
       }
-      spec.kind = strategy == JoinStrategy::kRangeTree ? IndexKind::kRangeTree
-                                                       : IndexKind::kGrid;
-      site.index = indexes->GetOrBuild(world, spec, tick);
-      site.post_index_filter =
-          compose(hash_pred(static_cast<size_t>(-1)),
-                  residual != nullptr ? residual->Clone() : nullptr);
+      cache->spec.kind = strategy == JoinStrategy::kRangeTree
+                             ? IndexKind::kRangeTree
+                             : IndexKind::kGrid;
+      out->index = indexes->GetOrBuild(world, cache->spec, tick);
       break;
     }
     case JoinStrategy::kHash: {
-      site.hash_field = op.hash_dims[0].inner_field;
-      if (site.hash_field != kInvalidField) {
+      out->hash_field = op.hash_dims[0].inner_field;
+      if (out->hash_field != kInvalidField) {
         const EntityTable& inner = world.table(op.inner_cls);
-        auto table = std::make_shared<std::unordered_multimap<double, RowIdx>>();
-        ConstNumberColumn col = inner.Num(site.hash_field);
-        table->reserve(inner.size());
-        for (size_t j = 0; j < inner.size(); ++j) {
-          table->emplace(col[j], static_cast<RowIdx>(j));
-        }
-        site.hash = std::move(table);
+        cache->hash.Build(inner.Num(out->hash_field), inner.size());
+        out->hash = &cache->hash;
       }
-      site.post_index_filter =
-          compose(compose(range_pred(true), hash_pred(0)),
-                  residual != nullptr ? residual->Clone() : nullptr);
       break;
     }
   }
-  (void)residual;
-  return site;
 }
 
 // --- Vectorized driver ----------------------------------------------------
@@ -665,6 +793,7 @@ PreparedSite PrepareSite(const AccumOp& op, JoinStrategy strategy,
 void RunOpsVectorized(const std::vector<std::unique_ptr<PlanOp>>& ops,
                       const std::vector<RowIdx>& selection, ExecEnv& env) {
   if (selection.empty()) return;
+  SGL_CHECK(env.scratch != nullptr);
   for (const auto& op : ops) {
     switch (op->kind) {
       case PlanOp::Kind::kComputeLocals: {
@@ -674,22 +803,22 @@ void RunOpsVectorized(const std::vector<std::unique_ptr<PlanOp>>& ops,
         for (const LocalDef& def : o->defs) {
           const size_t slot = static_cast<size_t>(def.slot);
           if (def.type.is_number()) {
-            std::vector<double> vals;
-            EvalNum(*def.value, ctx, &vals);
+            ScopedVec<double> vals(env.scratch);
+            EvalNum(*def.value, ctx, vals.get());
             for (size_t i = 0; i < selection.size(); ++i) {
-              env.locals->num[slot][selection[i]] = vals[i];
+              env.locals->num[slot][selection[i]] = (*vals)[i];
             }
           } else if (def.type.is_bool()) {
-            std::vector<uint8_t> vals;
-            EvalBool(*def.value, ctx, &vals);
+            ScopedVec<uint8_t> vals(env.scratch);
+            EvalBool(*def.value, ctx, vals.get());
             for (size_t i = 0; i < selection.size(); ++i) {
-              env.locals->bools[slot][selection[i]] = vals[i];
+              env.locals->bools[slot][selection[i]] = (*vals)[i];
             }
           } else {
-            std::vector<EntityId> vals;
-            EvalRef(*def.value, ctx, &vals);
+            ScopedVec<EntityId> vals(env.scratch);
+            EvalRef(*def.value, ctx, vals.get());
             for (size_t i = 0; i < selection.size(); ++i) {
-              env.locals->refs[slot][selection[i]] = vals[i];
+              env.locals->refs[slot][selection[i]] = (*vals)[i];
             }
           }
         }
@@ -781,7 +910,7 @@ void ApplyWriteScalar(const EffectWrite& w, RowIdx row, ClassId inner_cls,
 
 void RunAccumScalarBatch(const AccumOp& op,
                          const std::vector<RowIdx>& selection, ExecEnv& env) {
-  const PreparedSite& site = env.prepared->at(op.site_id);
+  const PreparedSite& site = (*env.prepared)[static_cast<size_t>(op.site_id)];
   const EntityTable& inner = env.world->table(op.inner_cls);
   const bool same_table = op.inner_cls == env.outer_cls &&
                           op.inner_set_field == kInvalidField;

@@ -21,25 +21,72 @@
 
 namespace sgl {
 
-/// Per-tick prepared access path for one AccumOp site.
+/// Flat multimap from a numeric inner field to its rows: a sorted
+/// (key, row) array rebuilt per tick into the same buffer (no node
+/// allocation, unlike unordered_multimap). Lookups append rows ascending,
+/// matching the canonical candidate order.
+class FlatNumHash {
+ public:
+  /// Rebuilds over `col[0..n)`, reusing the entry buffer's capacity.
+  void Build(ConstNumberColumn col, size_t n);
+  /// Appends every row whose key equals `key`, in ascending row order.
+  void Lookup(double key, std::vector<RowIdx>* out) const;
+
+ private:
+  std::vector<std::pair<double, RowIdx>> entries_;  // sorted by (key, row)
+};
+
+/// Per-tick prepared access path for one AccumOp site. All pointers borrow
+/// from the executor-owned SiteCache / IndexManager; PreparedSite itself is
+/// a plain value refreshed in place each tick.
 struct PreparedSite {
   JoinStrategy strategy = JoinStrategy::kNestedLoop;
   const SpatialIndex* index = nullptr;  ///< tree/grid strategies
-  /// Numeric-field hash strategy: inner field value -> rows.
-  std::shared_ptr<const std::unordered_multimap<double, RowIdx>> hash;
+  const FlatNumHash* hash = nullptr;    ///< numeric-field hash strategy
   FieldIdx hash_field = kInvalidField;  ///< kInvalidField = entity-id probe
-  /// Pair filters, composed once per tick from the op's predicate pieces:
+  /// Pair filters, composed from the op's predicate pieces:
   /// `nl_filter` re-checks everything (range + hash + residual + self);
   /// `post_index_filter` omits what the access path already guarantees.
-  ExprPtr nl_filter;
-  ExprPtr post_index_filter;
+  const Expr* nl_filter = nullptr;
+  const Expr* post_index_filter = nullptr;
 };
 
-/// Builds the prepared access path for `op` under `strategy` (builds or
-/// fetches the index / hash table; composes the residual filters).
-PreparedSite PrepareSite(const AccumOp& op, JoinStrategy strategy,
-                         const World& world, IndexManager* indexes,
-                         Tick tick);
+/// Executor-owned per-site cache backing PreparedSite across ticks: the
+/// composed filter expressions (rebuilt only when the strategy switches,
+/// not every tick), the index spec, and the reused hash-table buffer.
+struct SiteCache {
+  ExprPtr nl_filter;  ///< strategy-independent; composed once
+  bool nl_built = false;
+  ExprPtr post_index_filter;  ///< for `post_strategy`
+  JoinStrategy post_strategy = JoinStrategy::kNestedLoop;
+  bool post_built = false;
+  IndexSpec spec;  ///< tree/grid strategies; fields filled once
+  bool spec_built = false;
+  FlatNumHash hash;  ///< kHash strategy; rebuilt per tick in place
+};
+
+/// Per-worker execution scratch: the eval pools plus operator-level reusable
+/// buffers. Owned by the executor, one per shard; everything keeps its
+/// high-water capacity so steady-state ticks allocate nothing.
+struct ExecScratch : EvalScratch {
+  /// Reused holders for per-assign evaluated columns (accum folds and
+  /// transaction emission). The pointed-to vectors come from the pools.
+  struct AssignBufs {
+    std::vector<uint8_t>* guard = nullptr;
+    std::vector<double>* nums = nullptr;
+    std::vector<uint8_t>* bools = nullptr;
+    std::vector<EntityId>* refs = nullptr;
+    std::vector<EntityId>* targets = nullptr;
+  };
+  std::vector<AssignBufs> assign_bufs;
+};
+
+/// Refreshes the prepared access path for `op` under `strategy`: builds or
+/// fetches the index / hash table and composes the residual filters (cached
+/// in `cache`; recomposed only on a strategy switch).
+void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
+                 IndexManager* indexes, Tick tick, SiteCache* cache,
+                 PreparedSite* out);
 
 /// Everything one worker needs while running ops over a morsel.
 struct ExecEnv {
@@ -55,8 +102,10 @@ struct ExecEnv {
   /// Local columns of the running script/handler (full table size; morsels
   /// write disjoint rows).
   LocalColumns* locals = nullptr;
-  /// Prepared access paths by site id.
-  const std::map<int, PreparedSite>* prepared = nullptr;
+  /// Prepared access paths, indexed by site id (size = program num_sites).
+  const std::vector<PreparedSite>* prepared = nullptr;
+  /// This worker's scratch pools. Required on the vectorized path.
+  ExecScratch* scratch = nullptr;
   /// Per-site runtime feedback accumulator (size = program's num_sites).
   std::vector<SiteFeedback>* feedback = nullptr;
   /// Optional tracing sink (§3.3). Null = off.

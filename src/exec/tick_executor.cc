@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/alloc_hook.h"
 #include "src/common/stopwatch.h"
 #include "src/update/expr_updater.h"
 
@@ -51,6 +52,11 @@ TickExecutor::TickExecutor(World* world, const CompiledProgram* program,
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  site_cache_.resize(static_cast<size_t>(program_->num_sites));
+  prepared_.resize(static_cast<size_t>(program_->num_sites));
+  script_locals_.resize(program_->scripts.size());
+  script_selections_.resize(program_->scripts.size());
+  handler_locals_.resize(program_->handlers.size());
 }
 
 TickExecutor::~TickExecutor() = default;
@@ -86,9 +92,39 @@ void TickExecutor::AllocateLocals(const std::vector<SglType>& types,
   }
 }
 
+void TickExecutor::EnsureWorkers(int shards) {
+  const int num_classes = world_->catalog().num_classes();
+  if (shards > 1 && shard_effects_.size() != static_cast<size_t>(shards)) {
+    shard_effects_.clear();
+    shard_effects_.resize(static_cast<size_t>(shards));
+    for (auto& per_class : shard_effects_) {
+      for (ClassId c = 0; c < num_classes; ++c) {
+        per_class.push_back(
+            std::make_unique<EffectBuffer>(&world_->catalog().Get(c)));
+      }
+    }
+    workers_.clear();  // sink tables must be rebuilt
+  }
+  if (workers_.size() == static_cast<size_t>(shards)) return;
+  workers_.clear();
+  for (int s = 0; s < shards; ++s) {
+    auto w = std::make_unique<WorkerState>();
+    ExecEnv& env = w->env;
+    env.world = world_;
+    env.effect_sinks.resize(static_cast<size_t>(num_classes));
+    for (ClassId c = 0; c < num_classes; ++c) {
+      env.effect_sinks[static_cast<size_t>(c)] =
+          shards == 1 ? &world_->effects(c)
+                      : shard_effects_[static_cast<size_t>(s)]
+                                      [static_cast<size_t>(c)].get();
+    }
+    env.scratch = &w->scratch;
+    workers_.push_back(std::move(w));
+  }
+}
+
 void TickExecutor::PrepareSites(
-    const std::vector<std::unique_ptr<PlanOp>>& ops, size_t outer_rows,
-    std::map<int, PreparedSite>* out) {
+    const std::vector<std::unique_ptr<PlanOp>>& ops, size_t outer_rows) {
   for (const auto& op : ops) {
     if (op->kind != PlanOp::Kind::kAccum) continue;
     const auto* accum = static_cast<const AccumOp*>(op.get());
@@ -100,47 +136,34 @@ void TickExecutor::PrepareSites(
           stats_mgr_.has_stats() ? &stats_mgr_.Get(accum->inner_cls) : nullptr;
       strategy = controller_.Choose(*accum, tick_, inner_stats, outer_rows);
     }
-    (*out)[accum->site_id] =
-        PrepareSite(*accum, strategy, *world_, &indexes_, tick_);
+    PrepareSite(*accum, strategy, *world_, &indexes_, tick_,
+                &site_cache_[static_cast<size_t>(accum->site_id)],
+                &prepared_[static_cast<size_t>(accum->site_id)]);
   }
 }
 
 void TickExecutor::RunUnit(
     const std::vector<std::unique_ptr<PlanOp>>& ops, ClassId cls,
-    const std::vector<RowIdx>& selection, LocalColumns* locals,
-    const std::map<int, PreparedSite>& sites,
-    std::vector<std::vector<SiteFeedback>>* feedback_shards) {
-  const int num_classes = world_->catalog().num_classes();
-  auto make_env = [&](int shard) {
-    ExecEnv env;
-    env.world = world_;
+    const std::vector<RowIdx>& selection, LocalColumns* locals) {
+  auto configure = [&](int shard) -> ExecEnv& {
+    ExecEnv& env = workers_[static_cast<size_t>(shard)]->env;
     env.tick = tick_;
     env.outer_cls = cls;
     env.outer = &world_->table(cls);
-    env.effect_sinks.resize(static_cast<size_t>(num_classes));
-    for (ClassId c = 0; c < num_classes; ++c) {
-      env.effect_sinks[static_cast<size_t>(c)] =
-          shard == 0 && options_.num_threads <= 1
-              ? &world_->effects(c)
-              : shard_effects_[static_cast<size_t>(shard)]
-                              [static_cast<size_t>(c)].get();
-    }
     env.txn_sink = txn_.shard(shard);
     env.locals = locals;
-    env.prepared = &sites;
-    env.feedback = &(*feedback_shards)[static_cast<size_t>(shard)];
+    env.prepared = &prepared_;
+    env.feedback = &feedback_shards_[static_cast<size_t>(shard)];
     env.trace = trace_;
     return env;
   };
 
   if (options_.interpreted) {
-    ExecEnv env = make_env(0);
-    RunOpsScalar(ops, selection, env);
+    RunOpsScalar(ops, selection, configure(0));
     return;
   }
   if (options_.num_threads <= 1) {
-    ExecEnv env = make_env(0);
-    RunOpsVectorized(ops, selection, env);
+    RunOpsVectorized(ops, selection, configure(0));
     return;
   }
   // Static morsel -> shard assignment: morsel m runs on shard m % T,
@@ -150,8 +173,8 @@ void TickExecutor::RunUnit(
   const int T = options_.num_threads;
   const size_t num_morsels = (selection.size() + morsel - 1) / morsel;
   pool_->ParallelFor(T, [&](int t) {
-    ExecEnv env = make_env(t);
-    std::vector<RowIdx> slice;
+    ExecEnv& env = configure(t);
+    std::vector<RowIdx>& slice = workers_[static_cast<size_t>(t)]->slice;
     for (size_t m = static_cast<size_t>(t); m < num_morsels;
          m += static_cast<size_t>(T)) {
       size_t begin = m * morsel;
@@ -165,9 +188,18 @@ void TickExecutor::RunUnit(
 
 Status TickExecutor::RunTick() {
   SGL_CHECK(initialized_ && "call Init() first");
+  const AllocCounts alloc_before = AllocCountersNow();
   Stopwatch total;
-  last_ = TickStats();
+  // Field-wise reset keeps last_.sites' capacity across ticks.
   last_.tick = tick_;
+  last_.query_effect_micros = 0;
+  last_.merge_micros = 0;
+  last_.update_micros = 0;
+  last_.index_build_micros = 0;
+  last_.total_micros = 0;
+  last_.allocs_per_tick = 0;
+  last_.bytes_per_tick = 0;
+  last_.txn = TxnStats();
   const int num_classes = world_->catalog().num_classes();
   const int shards = options_.num_threads > 1 ? options_.num_threads : 1;
   const int64_t index_micros_before = indexes_.build_micros();
@@ -176,39 +208,35 @@ Status TickExecutor::RunTick() {
   world_->ResetEffects();
   if (!options_.interpreted) stats_mgr_.MaybeRefresh(*world_, tick_);
   txn_.BeginTick(shards);
+  EnsureWorkers(shards);
   if (shards > 1) {
-    if (shard_effects_.size() != static_cast<size_t>(shards)) {
-      shard_effects_.clear();
-      shard_effects_.resize(static_cast<size_t>(shards));
-      for (auto& per_class : shard_effects_) {
-        for (ClassId c = 0; c < num_classes; ++c) {
-          per_class.push_back(
-              std::make_unique<EffectBuffer>(&world_->catalog().Get(c)));
-        }
-      }
-    }
     for (auto& per_class : shard_effects_) {
       for (ClassId c = 0; c < num_classes; ++c) {
         per_class[static_cast<size_t>(c)]->Reset(world_->table(c).size());
       }
     }
   }
-  std::vector<std::vector<SiteFeedback>> feedback_shards(
-      static_cast<size_t>(shards),
-      std::vector<SiteFeedback>(
-          static_cast<size_t>(program_->num_sites)));
+  if (feedback_shards_.size() != static_cast<size_t>(shards)) {
+    feedback_shards_.resize(static_cast<size_t>(shards));
+  }
+  for (auto& shard : feedback_shards_) {
+    shard.assign(static_cast<size_t>(program_->num_sites), SiteFeedback());
+  }
 
   // --- 1. Query + effect phase ------------------------------------------
   Stopwatch query_timer;
-  for (const CompiledScript& script : program_->scripts) {
+  for (size_t si = 0; si < program_->scripts.size(); ++si) {
+    const CompiledScript& script = program_->scripts[si];
     EntityTable& table = world_->table(script.cls);
     if (table.empty()) continue;
-    LocalColumns locals;
+    LocalColumns& locals = script_locals_[si];
     AllocateLocals(script.local_types, table.size(), &locals);
 
     // Phase dispatch on the PC column (§3.2).
-    std::vector<std::vector<RowIdx>> selections(
-        static_cast<size_t>(script.num_phases()));
+    auto& selections = script_selections_[si];
+    if (selections.size() != static_cast<size_t>(script.num_phases())) {
+      selections.resize(static_cast<size_t>(script.num_phases()));
+    }
     if (script.num_phases() == 1) {
       auto& all = selections[0];
       all.resize(table.size());
@@ -216,6 +244,7 @@ Status TickExecutor::RunTick() {
         all[i] = static_cast<RowIdx>(i);
       }
     } else {
+      for (auto& sel : selections) sel.clear();
       ConstNumberColumn pc = table.Num(script.pc_state);
       for (size_t i = 0; i < table.size(); ++i) {
         int phase = static_cast<int>(pc[i]);
@@ -227,49 +256,50 @@ Status TickExecutor::RunTick() {
     for (int k = 0; k < script.num_phases(); ++k) {
       const auto& selection = selections[static_cast<size_t>(k)];
       if (selection.empty()) continue;
-      std::map<int, PreparedSite> sites;
-      PrepareSites(script.phases[static_cast<size_t>(k)], selection.size(),
-                   &sites);
+      PrepareSites(script.phases[static_cast<size_t>(k)], selection.size());
       RunUnit(script.phases[static_cast<size_t>(k)], script.cls, selection,
-              &locals, sites, &feedback_shards);
+              &locals);
     }
   }
 
   // Reactive handlers (§3.2): conditions over current state, set-at-a-time.
-  for (const CompiledHandler& handler : program_->handlers) {
+  for (size_t hi = 0; hi < program_->handlers.size(); ++hi) {
+    const CompiledHandler& handler = program_->handlers[hi];
     EntityTable& table = world_->table(handler.cls);
     if (table.empty()) continue;
-    std::vector<RowIdx> all(table.size());
-    for (size_t i = 0; i < table.size(); ++i) all[i] = static_cast<RowIdx>(i);
-    LocalColumns locals;
+    handler_all_.resize(table.size());
+    for (size_t i = 0; i < table.size(); ++i) {
+      handler_all_[i] = static_cast<RowIdx>(i);
+    }
+    LocalColumns& locals = handler_locals_[hi];
     AllocateLocals(handler.local_types, table.size(), &locals);
-    std::vector<RowIdx> selection;
+    handler_selection_.clear();
     if (options_.interpreted) {
       ScalarContext ctx;
       ctx.world = world_;
       ctx.outer_cls = handler.cls;
       ctx.locals = &locals;
-      for (RowIdx row : all) {
+      for (RowIdx row : handler_all_) {
         ctx.outer_row = row;
-        if (EvalScalarBool(*handler.cond, ctx)) selection.push_back(row);
+        if (EvalScalarBool(*handler.cond, ctx)) {
+          handler_selection_.push_back(row);
+        }
       }
     } else {
       VecContext ctx;
       ctx.world = world_;
       ctx.outer = &table;
-      ctx.outer_rows = &all;
+      ctx.outer_rows = &handler_all_;
       ctx.locals = &locals;
-      std::vector<uint8_t> keep;
-      EvalBool(*handler.cond, ctx, &keep);
-      for (size_t i = 0; i < all.size(); ++i) {
-        if (keep[i]) selection.push_back(all[i]);
+      ctx.scratch = &workers_[0]->scratch;
+      EvalBool(*handler.cond, ctx, &handler_keep_);
+      for (size_t i = 0; i < handler_all_.size(); ++i) {
+        if (handler_keep_[i]) handler_selection_.push_back(handler_all_[i]);
       }
     }
-    if (selection.empty()) continue;
-    std::map<int, PreparedSite> sites;
-    PrepareSites(handler.ops, selection.size(), &sites);
-    RunUnit(handler.ops, handler.cls, selection, &locals, sites,
-            &feedback_shards);
+    if (handler_selection_.empty()) continue;
+    PrepareSites(handler.ops, handler_selection_.size());
+    RunUnit(handler.ops, handler.cls, handler_selection_, &locals);
   }
   last_.query_effect_micros = query_timer.ElapsedMicros();
 
@@ -286,7 +316,7 @@ Status TickExecutor::RunTick() {
   // Aggregate per-site feedback across shards and inform the controller.
   last_.sites.assign(static_cast<size_t>(program_->num_sites),
                      SiteFeedback());
-  for (const auto& shard : feedback_shards) {
+  for (const auto& shard : feedback_shards_) {
     for (size_t i = 0; i < shard.size(); ++i) {
       if (shard[i].site < 0) continue;
       SiteFeedback& agg = last_.sites[i];
@@ -312,6 +342,9 @@ Status TickExecutor::RunTick() {
   last_.txn = txn_.last_tick();
   last_.index_build_micros = indexes_.build_micros() - index_micros_before;
   last_.total_micros = total.ElapsedMicros();
+  const AllocCounts alloc_after = AllocCountersNow();
+  last_.allocs_per_tick = alloc_after.count - alloc_before.count;
+  last_.bytes_per_tick = alloc_after.bytes - alloc_before.bytes;
   ++tick_;
   return Status::OK();
 }

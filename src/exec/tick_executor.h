@@ -18,6 +18,11 @@
 // time (per-entity scalar evaluation, full scans in accum loops) — the
 // baseline that traditional game engines implement and bench E1 compares
 // against.
+//
+// Steady-state ticks are allocation-free: every selection vector, local
+// column, prepared site, effect shard, and evaluation temporary lives in
+// executor-owned scratch with high-water reuse, and TickStats reports the
+// residual via allocs_per_tick / bytes_per_tick (see common/alloc_hook.h).
 
 #ifndef SGL_EXEC_TICK_EXECUTOR_H_
 #define SGL_EXEC_TICK_EXECUTOR_H_
@@ -47,6 +52,10 @@ struct TickStats {
   int64_t update_micros = 0;
   int64_t index_build_micros = 0;  ///< portion of query phase spent building
   int64_t total_micros = 0;
+  /// Heap traffic during the tick, across all threads (0 when the counting
+  /// hook is compiled out). Steady-state ticks should report ~0.
+  int64_t allocs_per_tick = 0;
+  int64_t bytes_per_tick = 0;
   std::vector<SiteFeedback> sites;  ///< per accum site, aggregated
   TxnStats txn;
 };
@@ -85,14 +94,21 @@ class TickExecutor {
   void set_trace(EffectTraceSink* sink) { trace_ = sink; }
 
  private:
-  struct UnitRun;  // one (ops, selection) execution
+  /// Everything one worker shard reuses across morsels and ticks: its
+  /// ExecEnv (with the per-class effect-sink table), its scratch pools,
+  /// and its morsel slice buffer.
+  struct WorkerState {
+    ExecEnv env;
+    ExecScratch scratch;
+    std::vector<RowIdx> slice;
+  };
 
+  void EnsureWorkers(int shards);
   void RunUnit(const std::vector<std::unique_ptr<PlanOp>>& ops,
                ClassId cls, const std::vector<RowIdx>& selection,
-               LocalColumns* locals, const std::map<int, PreparedSite>& sites,
-               std::vector<std::vector<SiteFeedback>>* feedback_shards);
+               LocalColumns* locals);
   void PrepareSites(const std::vector<std::unique_ptr<PlanOp>>& ops,
-                    size_t outer_rows, std::map<int, PreparedSite>* out);
+                    size_t outer_rows);
   void AllocateLocals(const std::vector<SglType>& types, size_t rows,
                       LocalColumns* locals);
 
@@ -111,6 +127,19 @@ class TickExecutor {
   bool initialized_ = false;
   /// Per-worker effect shards, [shard][class]; allocated when threads > 1.
   std::vector<std::vector<std::unique_ptr<EffectBuffer>>> shard_effects_;
+
+  // --- Steady-state scratch (high-water reuse, see header comment) ------
+  std::vector<std::unique_ptr<WorkerState>> workers_;  ///< one per shard
+  std::vector<SiteCache> site_cache_;    ///< by site id
+  std::vector<PreparedSite> prepared_;   ///< by site id, refreshed per unit
+  std::vector<LocalColumns> script_locals_;   ///< by script index
+  std::vector<LocalColumns> handler_locals_;  ///< by handler index
+  /// Per script: per-phase selections, reused across ticks.
+  std::vector<std::vector<std::vector<RowIdx>>> script_selections_;
+  std::vector<RowIdx> handler_all_;
+  std::vector<RowIdx> handler_selection_;
+  std::vector<uint8_t> handler_keep_;
+  std::vector<std::vector<SiteFeedback>> feedback_shards_;
 };
 
 }  // namespace sgl

@@ -7,23 +7,46 @@ namespace sgl {
 
 GridIndex::GridIndex(int dims, double target_per_cell)
     : dims_(dims), target_per_cell_(target_per_cell) {
-  SGL_CHECK(dims >= 1);
+  SGL_CHECK(dims >= 1 && dims <= kMaxIndexDims);
   SGL_CHECK(target_per_cell > 0);
-}
-
-void GridIndex::Build(std::vector<std::vector<double>> coords) {
-  SGL_CHECK(static_cast<int>(coords.size()) == dims_);
-  coords_ = std::move(coords);
-  n_ = coords_.empty() ? 0 : coords_[0].size();
-  for (const auto& c : coords_) SGL_CHECK(c.size() == n_);
-
+  coords_.resize(static_cast<size_t>(dims));
   min_.assign(static_cast<size_t>(dims_), 0);
   max_.assign(static_cast<size_t>(dims_), 0);
   cell_size_.assign(static_cast<size_t>(dims_), 1);
   cells_per_dim_.assign(static_cast<size_t>(dims_), 1);
-  cell_start_.assign(2, 0);
+}
+
+void GridIndex::Build(const std::vector<std::vector<double>>& coords) {
+  SGL_CHECK(static_cast<int>(coords.size()) == dims_);
+  n_ = coords.empty() ? 0 : coords[0].size();
+  for (int k = 0; k < dims_; ++k) {
+    SGL_CHECK(coords[static_cast<size_t>(k)].size() == n_);
+    // assign() reuses the existing buffer's capacity.
+    coords_[static_cast<size_t>(k)].assign(
+        coords[static_cast<size_t>(k)].begin(),
+        coords[static_cast<size_t>(k)].end());
+  }
+  BuildCells();
+}
+
+void GridIndex::Build(std::vector<std::vector<double>>&& coords) {
+  SGL_CHECK(static_cast<int>(coords.size()) == dims_);
+  n_ = coords.empty() ? 0 : coords[0].size();
+  for (const auto& c : coords) SGL_CHECK(c.size() == n_);
+  coords_.swap(coords);
+  BuildCells();
+}
+
+void GridIndex::BuildCells() {
   cell_items_.clear();
-  if (n_ == 0) return;
+  if (n_ == 0) {
+    cell_start_.assign(2, 0);
+    std::fill(min_.begin(), min_.end(), 0.0);
+    std::fill(max_.begin(), max_.end(), 0.0);
+    std::fill(cell_size_.begin(), cell_size_.end(), 1.0);
+    std::fill(cells_per_dim_.begin(), cells_per_dim_.end(), 1);
+    return;
+  }
 
   for (int k = 0; k < dims_; ++k) {
     auto [lo, hi] = std::minmax_element(coords_[static_cast<size_t>(k)].begin(),
@@ -47,24 +70,24 @@ void GridIndex::Build(std::vector<std::vector<double>> coords) {
     num_cells *= static_cast<size_t>(per_dim);
   }
 
-  // Counting sort points into cells (CSR).
-  std::vector<uint32_t> cell_of(n_);
-  std::vector<int64_t> cc(static_cast<size_t>(dims_));
+  // Counting sort points into cells (CSR). All scratch is member-owned and
+  // keeps its high-water capacity across rebuilds.
+  cell_of_.resize(n_);
+  int64_t cc[kMaxIndexDims];
   cell_start_.assign(num_cells + 1, 0);
   for (size_t i = 0; i < n_; ++i) {
     for (int k = 0; k < dims_; ++k) {
-      cc[static_cast<size_t>(k)] =
-          CellCoord(k, coords_[static_cast<size_t>(k)][i]);
+      cc[k] = CellCoord(k, coords_[static_cast<size_t>(k)][i]);
     }
     uint32_t cell = static_cast<uint32_t>(CellIndex(cc));
-    cell_of[i] = cell;
+    cell_of_[i] = cell;
     ++cell_start_[cell + 1];
   }
   for (size_t c = 0; c < num_cells; ++c) cell_start_[c + 1] += cell_start_[c];
   cell_items_.resize(n_);
-  std::vector<uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
   for (size_t i = 0; i < n_; ++i) {
-    cell_items_[cursor[cell_of[i]]++] = static_cast<RowIdx>(i);
+    cell_items_[cursor_[cell_of_[i]]++] = static_cast<RowIdx>(i);
   }
 }
 
@@ -75,11 +98,11 @@ int64_t GridIndex::CellCoord(int dim, double v) const {
   return std::clamp<int64_t>(c, 0, cells_per_dim_[k] - 1);
 }
 
-size_t GridIndex::CellIndex(const std::vector<int64_t>& cc) const {
+size_t GridIndex::CellIndex(const int64_t* cc) const {
   size_t idx = 0;
   for (int k = 0; k < dims_; ++k) {
     idx = idx * static_cast<size_t>(cells_per_dim_[static_cast<size_t>(k)]) +
-          static_cast<size_t>(cc[static_cast<size_t>(k)]);
+          static_cast<size_t>(cc[k]);
   }
   return idx;
 }
@@ -87,15 +110,16 @@ size_t GridIndex::CellIndex(const std::vector<int64_t>& cc) const {
 void GridIndex::Query(const double* lo, const double* hi,
                       std::vector<RowIdx>* out) const {
   if (n_ == 0) return;
-  std::vector<int64_t> c_lo(static_cast<size_t>(dims_));
-  std::vector<int64_t> c_hi(static_cast<size_t>(dims_));
+  int64_t c_lo[kMaxIndexDims];
+  int64_t c_hi[kMaxIndexDims];
   for (int k = 0; k < dims_; ++k) {
     if (lo[k] > hi[k]) return;
-    c_lo[static_cast<size_t>(k)] = CellCoord(k, lo[k]);
-    c_hi[static_cast<size_t>(k)] = CellCoord(k, hi[k]);
+    c_lo[k] = CellCoord(k, lo[k]);
+    c_hi[k] = CellCoord(k, hi[k]);
   }
   // Iterate the (hyper)rectangle of cells.
-  std::vector<int64_t> cc = c_lo;
+  int64_t cc[kMaxIndexDims];
+  std::copy(c_lo, c_lo + dims_, cc);
   for (;;) {
     size_t cell = CellIndex(cc);
     for (uint32_t i = cell_start_[cell]; i < cell_start_[cell + 1]; ++i) {
@@ -113,8 +137,8 @@ void GridIndex::Query(const double* lo, const double* hi,
     // Odometer increment over [c_lo, c_hi].
     int k = dims_ - 1;
     for (; k >= 0; --k) {
-      if (++cc[static_cast<size_t>(k)] <= c_hi[static_cast<size_t>(k)]) break;
-      cc[static_cast<size_t>(k)] = c_lo[static_cast<size_t>(k)];
+      if (++cc[k] <= c_hi[k]) break;
+      cc[k] = c_lo[k];
     }
     if (k < 0) break;
   }
@@ -128,7 +152,9 @@ size_t GridIndex::Count(const double* lo, const double* hi) const {
 
 size_t GridIndex::MemoryBytes() const {
   size_t bytes = cell_start_.capacity() * sizeof(uint32_t) +
-                 cell_items_.capacity() * sizeof(RowIdx);
+                 cell_items_.capacity() * sizeof(RowIdx) +
+                 cell_of_.capacity() * sizeof(uint32_t) +
+                 cursor_.capacity() * sizeof(uint32_t);
   for (const auto& c : coords_) bytes += c.capacity() * sizeof(double);
   return bytes;
 }

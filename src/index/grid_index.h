@@ -2,6 +2,10 @@
 // trees. O(n) build via counting sort into cells (CSR layout), queries
 // enumerate overlapping cells and filter. Used by the optimizer as a
 // competing access path (E2) and by the physics broad-phase.
+//
+// Rebuilt every tick, so Build reuses all internal buffers (coords copy,
+// CSR offsets/items, counting-sort scratch) at their high-water capacity:
+// a steady-state rebuild performs zero heap allocations.
 
 #ifndef SGL_INDEX_GRID_INDEX_H_
 #define SGL_INDEX_GRID_INDEX_H_
@@ -15,15 +19,20 @@ namespace sgl {
 /// d-dimensional uniform grid over points identified by RowIdx 0..n-1.
 class GridIndex {
  public:
-  /// `dims` >= 1; `target_per_cell` controls resolution: the grid picks
-  /// ~n / target_per_cell cells spread over the data's bounding box.
+  /// `dims` in [1, kMaxIndexDims]; `target_per_cell` controls resolution:
+  /// the grid picks ~n / target_per_cell cells over the data's bounding box.
   explicit GridIndex(int dims, double target_per_cell = 4.0);
 
   int dims() const { return dims_; }
   size_t size() const { return n_; }
 
-  /// (Re)builds over coords[k][i]. O(n + cells).
-  void Build(std::vector<std::vector<double>> coords);
+  /// (Re)builds over coords[k][i]. O(n + cells); no allocation once the
+  /// internal buffers have grown to the workload's high-water size.
+  void Build(const std::vector<std::vector<double>>& coords);
+  /// Move-in overload: swaps `coords` with the internal copy (the caller
+  /// gets last build's buffers back, capacity intact) — the per-tick
+  /// rebuild path copies each column exactly once.
+  void Build(std::vector<std::vector<double>>&& coords);
 
   /// Appends every point in the closed box to `out`.
   void Query(const double* lo, const double* hi,
@@ -34,8 +43,10 @@ class GridIndex {
   size_t MemoryBytes() const;
 
  private:
+  /// Shared rebuild body: bins coords_ into the CSR cell layout.
+  void BuildCells();
   int64_t CellCoord(int dim, double v) const;
-  size_t CellIndex(const std::vector<int64_t>& cc) const;
+  size_t CellIndex(const int64_t* cc) const;
 
   int dims_;
   double target_per_cell_;
@@ -45,6 +56,8 @@ class GridIndex {
   std::vector<int64_t> cells_per_dim_;
   std::vector<uint32_t> cell_start_;  // CSR offsets, size = #cells + 1
   std::vector<RowIdx> cell_items_;    // point ids grouped by cell
+  std::vector<uint32_t> cell_of_;     // build scratch: point -> cell
+  std::vector<uint32_t> cursor_;      // build scratch: CSR fill cursors
 };
 
 }  // namespace sgl

@@ -9,7 +9,7 @@ namespace {
 class RangeTreeIndex : public SpatialIndex {
  public:
   explicit RangeTreeIndex(int dims) : tree_(dims) {}
-  void Build(std::vector<std::vector<double>> coords) {
+  void Build(std::vector<std::vector<double>>&& coords) {
     tree_.Build(std::move(coords));
   }
   void Query(const double* lo, const double* hi,
@@ -25,7 +25,7 @@ class RangeTreeIndex : public SpatialIndex {
 class GridIndexAdapter : public SpatialIndex {
  public:
   explicit GridIndexAdapter(int dims) : grid_(dims) {}
-  void Build(std::vector<std::vector<double>> coords) {
+  void Build(std::vector<std::vector<double>>&& coords) {
     grid_.Build(std::move(coords));
   }
   void Query(const double* lo, const double* hi,
@@ -38,17 +38,17 @@ class GridIndexAdapter : public SpatialIndex {
   GridIndex grid_;
 };
 
-std::vector<std::vector<double>> ExtractCoords(const World& world,
-                                               const IndexSpec& spec) {
+// Copies the indexed columns into `coords`, reusing its buffers.
+void ExtractCoords(const World& world, const IndexSpec& spec,
+                   std::vector<std::vector<double>>* coords) {
   const EntityTable& table = world.table(spec.cls);
   const size_t n = table.size();
-  std::vector<std::vector<double>> coords(spec.fields.size());
+  coords->resize(spec.fields.size());
   for (size_t k = 0; k < spec.fields.size(); ++k) {
     ConstNumberColumn col = table.Num(spec.fields[k]);
-    coords[k].resize(n);
-    for (size_t i = 0; i < n; ++i) coords[k][i] = col[i];
+    (*coords)[k].resize(n);
+    for (size_t i = 0; i < n; ++i) (*coords)[k][i] = col[i];
   }
-  return coords;
 }
 
 }  // namespace
@@ -68,18 +68,23 @@ const SpatialIndex* IndexManager::GetOrBuild(const World& world,
   if (e.built_at == tick && e.index != nullptr) return e.index.get();
   Stopwatch timer;
   const int dims = static_cast<int>(spec.fields.size());
-  auto coords = ExtractCoords(world, spec);
+  // Build swaps e.coords with the index's previous column copy, so each
+  // rebuild performs exactly one O(dims*n) copy and both buffers keep
+  // their high-water capacity.
+  ExtractCoords(world, spec, &e.coords);
   switch (spec.kind) {
     case IndexKind::kRangeTree: {
-      auto idx = std::make_unique<RangeTreeIndex>(dims);
-      idx->Build(std::move(coords));
-      e.index = std::move(idx);
+      if (e.index == nullptr) {
+        e.index = std::make_unique<RangeTreeIndex>(dims);
+      }
+      static_cast<RangeTreeIndex*>(e.index.get())->Build(std::move(e.coords));
       break;
     }
     case IndexKind::kGrid: {
-      auto idx = std::make_unique<GridIndexAdapter>(dims);
-      idx->Build(std::move(coords));
-      e.index = std::move(idx);
+      if (e.index == nullptr) {
+        e.index = std::make_unique<GridIndexAdapter>(dims);
+      }
+      static_cast<GridIndexAdapter*>(e.index.get())->Build(std::move(e.coords));
       break;
     }
   }

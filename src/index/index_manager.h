@@ -73,6 +73,9 @@ class IndexManager {
   struct Entry {
     std::unique_ptr<SpatialIndex> index;
     Tick built_at = -1;
+    /// Reused column-extraction buffers: the per-tick rebuild copies the
+    /// world's columns here without allocating past the high-water mark.
+    std::vector<std::vector<double>> coords;
   };
   std::map<IndexSpec, Entry> entries_;
   int64_t builds_ = 0;

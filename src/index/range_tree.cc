@@ -27,11 +27,26 @@ RangeTree::RangeTree(int dims, int leaf_size)
 
 RangeTree::~RangeTree() = default;
 
-void RangeTree::Build(std::vector<std::vector<double>> coords) {
+void RangeTree::Build(const std::vector<std::vector<double>>& coords) {
   SGL_CHECK(static_cast<int>(coords.size()) == dims_);
-  coords_ = std::move(coords);
-  n_ = coords_.empty() ? 0 : coords_[0].size();
-  for (const auto& c : coords_) SGL_CHECK(c.size() == n_);
+  n_ = coords.empty() ? 0 : coords[0].size();
+  coords_.resize(coords.size());
+  for (size_t k = 0; k < coords.size(); ++k) {
+    SGL_CHECK(coords[k].size() == n_);
+    coords_[k].assign(coords[k].begin(), coords[k].end());
+  }
+  BuildLayers();
+}
+
+void RangeTree::Build(std::vector<std::vector<double>>&& coords) {
+  SGL_CHECK(static_cast<int>(coords.size()) == dims_);
+  n_ = coords.empty() ? 0 : coords[0].size();
+  for (const auto& c : coords) SGL_CHECK(c.size() == n_);
+  coords_.swap(coords);
+  BuildLayers();
+}
+
+void RangeTree::BuildLayers() {
   root_.reset();
   if (n_ == 0) return;
   std::vector<RowIdx> items(n_);

@@ -38,8 +38,13 @@ class RangeTree {
   size_t size() const { return n_; }
 
   /// (Re)builds over `coords`, where coords[k][i] is point i's k-th
-  /// coordinate. All vectors must have equal length.
-  void Build(std::vector<std::vector<double>> coords);
+  /// coordinate. All vectors must have equal length. The coordinate copy
+  /// reuses capacity; the layered hierarchy itself is node-allocated per
+  /// build (rebuilding without allocation is what GridIndex offers).
+  void Build(const std::vector<std::vector<double>>& coords);
+  /// Move-in overload: swaps `coords` with the internal copy (the caller
+  /// gets last build's buffers back) — one column copy per rebuild.
+  void Build(std::vector<std::vector<double>>&& coords);
 
   /// Appends every point inside the closed box [lo[k], hi[k]] for all k to
   /// `out`. Result order is deterministic (tree order) but unspecified.
@@ -59,6 +64,8 @@ class RangeTree {
   struct Layer;
   struct SegNode;
 
+  /// Shared rebuild body over the already-populated coords_.
+  void BuildLayers();
   std::unique_ptr<Layer> BuildLayer(int dim, std::vector<RowIdx> items);
   std::unique_ptr<SegNode> BuildSeg(const Layer& layer, int dim,
                                     uint32_t begin, uint32_t end,

@@ -17,15 +17,34 @@ const char* PlanModeName(PlanMode mode) {
 AdaptiveController::AdaptiveController(const Options& options, int num_sites)
     : options_(options), sites_(static_cast<size_t>(num_sites)) {}
 
-std::vector<JoinStrategy> AdaptiveController::Candidates(const AccumOp& op) {
-  std::vector<JoinStrategy> out{JoinStrategy::kNestedLoop};
-  if (op.inner_set_field != kInvalidField) return out;  // set domain: NL only
-  if (!op.range_dims.empty()) {
-    out.push_back(JoinStrategy::kRangeTree);
-    out.push_back(JoinStrategy::kGrid);
+namespace {
+
+// Tree/grid access paths are legal only up to the executor's stack-array
+// dimensionality bound (kMaxIndexDims).
+bool RangeIndexable(const AccumOp& op) {
+  return !op.range_dims.empty() &&
+         op.range_dims.size() <= static_cast<size_t>(kMaxIndexDims);
+}
+
+}  // namespace
+
+int AdaptiveController::CandidateList(const AccumOp& op,
+                                      JoinStrategy out[4]) {
+  int n = 0;
+  out[n++] = JoinStrategy::kNestedLoop;
+  if (op.inner_set_field != kInvalidField) return n;  // set domain: NL only
+  if (RangeIndexable(op)) {
+    out[n++] = JoinStrategy::kRangeTree;
+    out[n++] = JoinStrategy::kGrid;
   }
-  if (!op.hash_dims.empty()) out.push_back(JoinStrategy::kHash);
-  return out;
+  if (!op.hash_dims.empty()) out[n++] = JoinStrategy::kHash;
+  return n;
+}
+
+std::vector<JoinStrategy> AdaptiveController::Candidates(const AccumOp& op) {
+  JoinStrategy buf[4];
+  const int n = CandidateList(op, buf);
+  return std::vector<JoinStrategy>(buf, buf + n);
 }
 
 JoinStrategy AdaptiveController::CostBasedPick(const AccumOp& op,
@@ -46,10 +65,12 @@ JoinStrategy AdaptiveController::CostBasedPick(const AccumOp& op,
           : 0.05;
   JoinStrategy best = JoinStrategy::kNestedLoop;
   double best_cost = EstimateJoinCost(best, in);
-  for (JoinStrategy s : Candidates(op)) {
-    double cost = EstimateJoinCost(s, in);
+  JoinStrategy candidates[4];
+  const int count = CandidateList(op, candidates);
+  for (int i = 0; i < count; ++i) {
+    double cost = EstimateJoinCost(candidates[i], in);
     if (cost < best_cost) {
-      best = s;
+      best = candidates[i];
       best_cost = cost;
     }
   }
@@ -63,11 +84,11 @@ JoinStrategy AdaptiveController::Choose(const AccumOp& op, Tick tick,
     case PlanMode::kStaticNL:
       return JoinStrategy::kNestedLoop;
     case PlanMode::kStaticRangeTree:
-      return op.range_dims.empty() || op.inner_set_field != kInvalidField
+      return !RangeIndexable(op) || op.inner_set_field != kInvalidField
                  ? JoinStrategy::kNestedLoop
                  : JoinStrategy::kRangeTree;
     case PlanMode::kStaticGrid:
-      return op.range_dims.empty() || op.inner_set_field != kInvalidField
+      return !RangeIndexable(op) || op.inner_set_field != kInvalidField
                  ? JoinStrategy::kNestedLoop
                  : JoinStrategy::kGrid;
     case PlanMode::kStaticHash:

@@ -79,6 +79,9 @@ class AdaptiveController {
   /// Strategies legal for an op (NL always; tree/grid need range dims;
   /// hash needs a hash dim; set-domain iteration forces NL).
   static std::vector<JoinStrategy> Candidates(const AccumOp& op);
+  /// Allocation-free variant: fills `out[0..3]`, returns the count. The
+  /// per-tick cost-based pick uses this on the hot path.
+  static int CandidateList(const AccumOp& op, JoinStrategy out[4]);
 
  private:
   struct SiteState {

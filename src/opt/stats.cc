@@ -42,20 +42,25 @@ void StatsManager::Refresh(const World& world, Tick tick) {
     const EntityTable& table = world.table(c);
     TableStats& ts = stats_[static_cast<size_t>(c)];
     ts.row_count = table.size();
-    ts.columns.assign(catalog.Get(c).state_fields().size(), ColumnStats());
-    if (table.empty()) continue;
+    // resize (not assign) keeps each column's histogram buffer alive, so
+    // the periodic refresh stops allocating after the first pass.
+    ts.columns.resize(catalog.Get(c).state_fields().size());
+    if (table.empty()) {
+      for (ColumnStats& cs : ts.columns) cs.samples = 0;
+      continue;
+    }
     const size_t n = table.size();
     const size_t take = std::min<size_t>(n, static_cast<size_t>(sample_size_));
     for (const FieldDef& f : catalog.Get(c).state_fields()) {
       if (!f.type.is_number()) continue;
       ConstNumberColumn col = table.Num(f.index);
       ColumnStats& cs = ts.columns[static_cast<size_t>(f.index)];
-      std::vector<double> sample(take);
+      sample_.resize(take);
       for (size_t i = 0; i < take; ++i) {
         size_t row = take == n ? i : rng.NextBelow(n);
-        sample[i] = col[row];
+        sample_[i] = col[row];
       }
-      auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+      auto [mn, mx] = std::minmax_element(sample_.begin(), sample_.end());
       cs.min = *mn;
       cs.max = *mx;
       cs.samples = static_cast<uint32_t>(take);
@@ -64,7 +69,7 @@ void StatsManager::Refresh(const World& world, Tick tick) {
           cs.max > cs.min
               ? (cs.max - cs.min) / static_cast<double>(buckets_)
               : 1.0;
-      for (double v : sample) {
+      for (double v : sample_) {
         size_t b = static_cast<size_t>((v - cs.min) / width);
         if (b >= cs.histogram.size()) b = cs.histogram.size() - 1;
         ++cs.histogram[b];

@@ -60,6 +60,7 @@ class StatsManager {
   int refresh_every_;
   Tick last_refresh_ = -1;
   std::vector<TableStats> stats_;
+  std::vector<double> sample_;  ///< reused sampling buffer
 };
 
 /// Exponentially weighted moving average.

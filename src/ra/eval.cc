@@ -24,7 +24,6 @@ const EntitySet* ResolveSetVec(const Expr& e, const VecContext& ctx,
     return &t->SetCol(e.field)[SideRow(ctx, e.side, i)];
   }
   if (e.kind == ExprKind::kRefState) {
-    std::vector<EntityId> ids;
     // Per-element gather: evaluate the ref for just this element by
     // delegating to scalar path (sets through refs are rare).
     ScalarContext sc;
@@ -123,7 +122,7 @@ inline bool ApplyCmp(CmpOp op, double a, double b) {
 void EvalNum(const Expr& expr, const VecContext& ctx,
              std::vector<double>* out) {
   const size_t n = ctx.count();
-  out->resize(n);
+  ResizeAmortized(out, n);
   switch (expr.kind) {
     case ExprKind::kNumLit:
       std::fill(out->begin(), out->end(), expr.num);
@@ -154,10 +153,10 @@ void EvalNum(const Expr& expr, const VecContext& ctx,
       return;
     }
     case ExprKind::kRefState: {
-      std::vector<EntityId> ids;
-      EvalRef(*expr.kids[0], ctx, &ids);
+      ScopedVec<EntityId> ids(ctx.scratch);
+      EvalRef(*expr.kids[0], ctx, ids.get());
       for (size_t i = 0; i < n; ++i) {
-        const World::Locator* loc = ctx.world->Find(ids[i]);
+        const World::Locator* loc = ctx.world->Find((*ids)[i]);
         (*out)[i] =
             loc == nullptr
                 ? 0.0
@@ -171,12 +170,12 @@ void EvalNum(const Expr& expr, const VecContext& ctx,
       return;
     }
     case ExprKind::kArith: {
-      std::vector<double> rhs;
+      ScopedVec<double> rhs(ctx.scratch);
       EvalNum(*expr.kids[0], ctx, out);
-      EvalNum(*expr.kids[1], ctx, &rhs);
+      EvalNum(*expr.kids[1], ctx, rhs.get());
       const ArithOp op = expr.arith;
       for (size_t i = 0; i < n; ++i) {
-        (*out)[i] = ApplyArith(op, (*out)[i], rhs[i]);
+        (*out)[i] = ApplyArith(op, (*out)[i], (*rhs)[i]);
       }
       return;
     }
@@ -187,23 +186,24 @@ void EvalNum(const Expr& expr, const VecContext& ctx,
       return;
     }
     case ExprKind::kIf: {
-      std::vector<uint8_t> cond;
-      std::vector<double> els;
-      EvalBool(*expr.kids[0], ctx, &cond);
+      ScopedVec<uint8_t> cond(ctx.scratch);
+      ScopedVec<double> els(ctx.scratch);
+      EvalBool(*expr.kids[0], ctx, cond.get());
       EvalNum(*expr.kids[1], ctx, out);
-      EvalNum(*expr.kids[2], ctx, &els);
+      EvalNum(*expr.kids[2], ctx, els.get());
       for (size_t i = 0; i < n; ++i) {
-        if (!cond[i]) (*out)[i] = els[i];
+        if (!(*cond)[i]) (*out)[i] = (*els)[i];
       }
       return;
     }
     case ExprKind::kClamp: {
-      std::vector<double> lo, hi;
+      ScopedVec<double> lo(ctx.scratch);
+      ScopedVec<double> hi(ctx.scratch);
       EvalNum(*expr.kids[0], ctx, out);
-      EvalNum(*expr.kids[1], ctx, &lo);
-      EvalNum(*expr.kids[2], ctx, &hi);
+      EvalNum(*expr.kids[1], ctx, lo.get());
+      EvalNum(*expr.kids[2], ctx, hi.get());
       for (size_t i = 0; i < n; ++i) {
-        (*out)[i] = std::min(std::max((*out)[i], lo[i]), hi[i]);
+        (*out)[i] = std::min(std::max((*out)[i], (*lo)[i]), (*hi)[i]);
       }
       return;
     }
@@ -222,7 +222,7 @@ void EvalNum(const Expr& expr, const VecContext& ctx,
 void EvalBool(const Expr& expr, const VecContext& ctx,
               std::vector<uint8_t>* out) {
   const size_t n = ctx.count();
-  out->resize(n);
+  ResizeAmortized(out, n);
   switch (expr.kind) {
     case ExprKind::kBoolLit:
       std::fill(out->begin(), out->end(), expr.b ? 1 : 0);
@@ -259,10 +259,10 @@ void EvalBool(const Expr& expr, const VecContext& ctx,
       return;
     }
     case ExprKind::kRefState: {
-      std::vector<EntityId> ids;
-      EvalRef(*expr.kids[0], ctx, &ids);
+      ScopedVec<EntityId> ids(ctx.scratch);
+      EvalRef(*expr.kids[0], ctx, ids.get());
       for (size_t i = 0; i < n; ++i) {
-        const World::Locator* loc = ctx.world->Find(ids[i]);
+        const World::Locator* loc = ctx.world->Find((*ids)[i]);
         (*out)[i] =
             loc == nullptr
                 ? 0
@@ -276,65 +276,71 @@ void EvalBool(const Expr& expr, const VecContext& ctx,
       return;
     }
     case ExprKind::kCmpNum: {
-      std::vector<double> a, b;
-      EvalNum(*expr.kids[0], ctx, &a);
-      EvalNum(*expr.kids[1], ctx, &b);
+      ScopedVec<double> a(ctx.scratch);
+      ScopedVec<double> b(ctx.scratch);
+      EvalNum(*expr.kids[0], ctx, a.get());
+      EvalNum(*expr.kids[1], ctx, b.get());
       const CmpOp op = expr.cmp;
       for (size_t i = 0; i < n; ++i) {
-        (*out)[i] = ApplyCmp(op, a[i], b[i]) ? 1 : 0;
+        (*out)[i] = ApplyCmp(op, (*a)[i], (*b)[i]) ? 1 : 0;
       }
       return;
     }
     case ExprKind::kCmpRef: {
-      std::vector<EntityId> a, b;
-      EvalRef(*expr.kids[0], ctx, &a);
-      EvalRef(*expr.kids[1], ctx, &b);
+      ScopedVec<EntityId> a(ctx.scratch);
+      ScopedVec<EntityId> b(ctx.scratch);
+      EvalRef(*expr.kids[0], ctx, a.get());
+      EvalRef(*expr.kids[1], ctx, b.get());
       for (size_t i = 0; i < n; ++i) {
-        bool eq = a[i] == b[i];
+        bool eq = (*a)[i] == (*b)[i];
         (*out)[i] = (expr.cmp == CmpOp::kEq ? eq : !eq) ? 1 : 0;
       }
       return;
     }
     case ExprKind::kCmpBool: {
-      std::vector<uint8_t> a, b;
-      EvalBool(*expr.kids[0], ctx, &a);
-      EvalBool(*expr.kids[1], ctx, &b);
+      ScopedVec<uint8_t> a(ctx.scratch);
+      ScopedVec<uint8_t> b(ctx.scratch);
+      EvalBool(*expr.kids[0], ctx, a.get());
+      EvalBool(*expr.kids[1], ctx, b.get());
       for (size_t i = 0; i < n; ++i) {
-        bool eq = (a[i] != 0) == (b[i] != 0);
+        bool eq = ((*a)[i] != 0) == ((*b)[i] != 0);
         (*out)[i] = (expr.cmp == CmpOp::kEq ? eq : !eq) ? 1 : 0;
       }
       return;
     }
     case ExprKind::kAndB: {
-      std::vector<uint8_t> rhs;
+      ScopedVec<uint8_t> rhs(ctx.scratch);
       EvalBool(*expr.kids[0], ctx, out);
-      EvalBool(*expr.kids[1], ctx, &rhs);
-      for (size_t i = 0; i < n; ++i) (*out)[i] &= rhs[i];
+      EvalBool(*expr.kids[1], ctx, rhs.get());
+      for (size_t i = 0; i < n; ++i) (*out)[i] &= (*rhs)[i];
       return;
     }
     case ExprKind::kOrB: {
-      std::vector<uint8_t> rhs;
+      ScopedVec<uint8_t> rhs(ctx.scratch);
       EvalBool(*expr.kids[0], ctx, out);
-      EvalBool(*expr.kids[1], ctx, &rhs);
-      for (size_t i = 0; i < n; ++i) (*out)[i] |= rhs[i];
+      EvalBool(*expr.kids[1], ctx, rhs.get());
+      for (size_t i = 0; i < n; ++i) (*out)[i] |= (*rhs)[i];
       return;
     }
     case ExprKind::kIf: {
-      std::vector<uint8_t> cond, els;
-      EvalBool(*expr.kids[0], ctx, &cond);
+      ScopedVec<uint8_t> cond(ctx.scratch);
+      ScopedVec<uint8_t> els(ctx.scratch);
+      EvalBool(*expr.kids[0], ctx, cond.get());
       EvalBool(*expr.kids[1], ctx, out);
-      EvalBool(*expr.kids[2], ctx, &els);
+      EvalBool(*expr.kids[2], ctx, els.get());
       for (size_t i = 0; i < n; ++i) {
-        if (!cond[i]) (*out)[i] = els[i];
+        if (!(*cond)[i]) (*out)[i] = (*els)[i];
       }
       return;
     }
     case ExprKind::kSetContains: {
-      std::vector<EntityId> ids;
-      EvalRef(*expr.kids[1], ctx, &ids);
+      ScopedVec<EntityId> ids(ctx.scratch);
+      EvalRef(*expr.kids[1], ctx, ids.get());
       for (size_t i = 0; i < n; ++i) {
-        (*out)[i] =
-            ResolveSetVec(*expr.kids[0], ctx, i)->Contains(ids[i]) ? 1 : 0;
+        (*out)[i] = ResolveSetVec(*expr.kids[0], ctx, i)
+                            ->Contains((*ids)[i])
+                        ? 1
+                        : 0;
       }
       return;
     }
@@ -346,7 +352,7 @@ void EvalBool(const Expr& expr, const VecContext& ctx,
 void EvalRef(const Expr& expr, const VecContext& ctx,
              std::vector<EntityId>* out) {
   const size_t n = ctx.count();
-  out->resize(n);
+  ResizeAmortized(out, n);
   switch (expr.kind) {
     case ExprKind::kNullRef:
       std::fill(out->begin(), out->end(), kNullEntity);
@@ -383,10 +389,10 @@ void EvalRef(const Expr& expr, const VecContext& ctx,
       return;
     }
     case ExprKind::kRefState: {
-      std::vector<EntityId> ids;
-      EvalRef(*expr.kids[0], ctx, &ids);
+      ScopedVec<EntityId> ids(ctx.scratch);
+      EvalRef(*expr.kids[0], ctx, ids.get());
       for (size_t i = 0; i < n; ++i) {
-        const World::Locator* loc = ctx.world->Find(ids[i]);
+        const World::Locator* loc = ctx.world->Find((*ids)[i]);
         (*out)[i] =
             loc == nullptr
                 ? kNullEntity
@@ -395,13 +401,13 @@ void EvalRef(const Expr& expr, const VecContext& ctx,
       return;
     }
     case ExprKind::kIf: {
-      std::vector<uint8_t> cond;
-      std::vector<EntityId> els;
-      EvalBool(*expr.kids[0], ctx, &cond);
+      ScopedVec<uint8_t> cond(ctx.scratch);
+      ScopedVec<EntityId> els(ctx.scratch);
+      EvalBool(*expr.kids[0], ctx, cond.get());
       EvalRef(*expr.kids[1], ctx, out);
-      EvalRef(*expr.kids[2], ctx, &els);
+      EvalRef(*expr.kids[2], ctx, els.get());
       for (size_t i = 0; i < n; ++i) {
-        if (!cond[i]) (*out)[i] = els[i];
+        if (!(*cond)[i]) (*out)[i] = (*els)[i];
       }
       return;
     }

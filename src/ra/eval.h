@@ -10,6 +10,7 @@
 #ifndef SGL_RA_EVAL_H_
 #define SGL_RA_EVAL_H_
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,106 @@
 #include "src/storage/world.h"
 
 namespace sgl {
+
+/// A stack-disciplined pool of reusable vectors. Acquire/Release must nest
+/// like scopes (use ScopedVec); vectors keep their high-water capacity, so a
+/// steady-state workload stops allocating after warmup. Single-threaded —
+/// the executor owns one pool set per worker.
+template <typename T>
+class VecPool {
+ public:
+  std::vector<T>* Acquire() {
+    if (in_use_ == pool_.size()) {
+      pool_.push_back(std::make_unique<std::vector<T>>());
+    }
+    std::vector<T>* v = pool_[in_use_++].get();
+    v->clear();
+    return v;
+  }
+  /// Releases the most recently acquired vector (strict LIFO).
+  void Release() {
+    SGL_DCHECK(in_use_ > 0);
+    --in_use_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<T>>> pool_;  // stable addresses
+  size_t in_use_ = 0;
+};
+
+/// Per-worker pools for every element type the vectorized engine uses as
+/// evaluation or operator scratch (§4's "work done by something else" —
+/// allocator traffic — engineered away).
+struct EvalScratch {
+  VecPool<double> num;
+  VecPool<uint8_t> bools;
+  VecPool<EntityId> refs;
+  VecPool<RowIdx> rows;
+};
+
+/// resize(n) with geometric capacity growth. A cleared (size-0) vector
+/// resized to a slowly-rising n re-allocates on every call (libstdc++ grows
+/// it to exactly n); reserving max(n, 2*capacity) first restores amortized
+/// growth so pooled buffers stop allocating once past the workload's
+/// high-water mark.
+template <typename T>
+inline void ResizeAmortized(std::vector<T>* v, size_t n) {
+  if (n > v->capacity()) v->reserve(std::max(n, v->capacity() * 2));
+  v->resize(n);
+}
+
+namespace internal {
+template <typename T>
+struct PoolSelector;
+template <>
+struct PoolSelector<double> {
+  static VecPool<double>* Get(EvalScratch* s) {
+    return s != nullptr ? &s->num : nullptr;
+  }
+};
+template <>
+struct PoolSelector<uint8_t> {
+  static VecPool<uint8_t>* Get(EvalScratch* s) {
+    return s != nullptr ? &s->bools : nullptr;
+  }
+};
+template <>
+struct PoolSelector<EntityId> {
+  static VecPool<EntityId>* Get(EvalScratch* s) {
+    return s != nullptr ? &s->refs : nullptr;
+  }
+};
+template <>
+struct PoolSelector<RowIdx> {
+  static VecPool<RowIdx>* Get(EvalScratch* s) {
+    return s != nullptr ? &s->rows : nullptr;
+  }
+};
+}  // namespace internal
+
+/// RAII handle on a pooled vector; falls back to an owned vector when no
+/// scratch is available (cold paths, standalone eval calls).
+template <typename T>
+class ScopedVec {
+ public:
+  explicit ScopedVec(EvalScratch* scratch)
+      : pool_(internal::PoolSelector<T>::Get(scratch)),
+        v_(pool_ != nullptr ? pool_->Acquire() : &own_) {}
+  ~ScopedVec() {
+    if (pool_ != nullptr) pool_->Release();
+  }
+  ScopedVec(const ScopedVec&) = delete;
+  ScopedVec& operator=(const ScopedVec&) = delete;
+
+  std::vector<T>* get() { return v_; }
+  std::vector<T>& operator*() { return *v_; }
+  std::vector<T>* operator->() { return v_; }
+
+ private:
+  VecPool<T>* pool_;
+  std::vector<T> own_;  // fallback storage; must precede v_
+  std::vector<T>* v_;
+};
 
 /// Storage for let-bound locals and accum results: full columns aligned to
 /// the outer class's table rows (slot-indexed; only the vector matching the
@@ -113,6 +214,8 @@ struct VecContext {
   const std::vector<RowIdx>* inner_rows = nullptr;
   const LocalColumns* locals = nullptr;
   const EffectBuffer* effects = nullptr;  // update-phase reads
+  /// Pools for evaluation temporaries; null falls back to per-call vectors.
+  EvalScratch* scratch = nullptr;
 
   size_t count() const { return outer_rows->size(); }
 };

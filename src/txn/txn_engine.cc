@@ -5,7 +5,11 @@
 namespace sgl {
 
 void TxnEngine::BeginTick(int num_shards) {
-  shards_.assign(static_cast<size_t>(num_shards), {});
+  // resize + clear (not assign) keeps each shard's intent capacity.
+  if (shards_.size() != static_cast<size_t>(num_shards)) {
+    shards_.resize(static_cast<size_t>(num_shards));
+  }
+  for (auto& shard : shards_) shard.clear();
 }
 
 void TxnEngine::ApplyUpdate(World* world) {
@@ -31,8 +35,9 @@ void TxnEngine::ApplyUpdate(World* world) {
     }
   }
 
-  // 2. Gather intents in deterministic priority order.
-  std::vector<TxnIntent*> intents;
+  // 2. Gather intents in deterministic priority order (reused buffer).
+  std::vector<TxnIntent*>& intents = intents_;
+  intents.clear();
   for (auto& shard : shards_) {
     for (TxnIntent& intent : shard) intents.push_back(&intent);
   }

@@ -74,6 +74,7 @@ class TxnEngine {
  private:
   const CompiledProgram* program_;
   std::vector<std::vector<TxnIntent>> shards_;
+  std::vector<TxnIntent*> intents_;  ///< reused admission-order buffer
   StateOverlay overlay_;
   TxnStats total_;
   TxnStats last_tick_;

@@ -21,29 +21,30 @@ void ExprUpdater::Update(World* world, Tick tick) {
   for (ClassId c = 0; c < world->catalog().num_classes(); ++c) {
     EntityTable& table = world->table(c);
     if (table.empty()) continue;
-    std::vector<RowIdx> all_rows(table.size());
+    all_rows_.resize(table.size());
     for (size_t i = 0; i < table.size(); ++i) {
-      all_rows[i] = static_cast<RowIdx>(i);
+      all_rows_[i] = static_cast<RowIdx>(i);
     }
     VecContext ctx;
     ctx.world = world;
     ctx.outer = &table;
-    ctx.outer_rows = &all_rows;
+    ctx.outer_rows = &all_rows_;
     ctx.effects = &world->effects(c);
+    ctx.scratch = &scratch_;
+
+    class_rules_.clear();
+    for (const UpdateRule& r : program_->update_rules) {
+      if (r.cls == c) class_rules_.push_back(&r);
+    }
+    if (class_rules_.empty()) continue;
+    if (bufs_.size() < class_rules_.size()) {
+      bufs_.resize(class_rules_.size());
+    }
 
     // Compute all new values against the pre-update snapshot...
-    struct Pending {
-      const UpdateRule* rule;
-      std::vector<double> nums;
-      std::vector<uint8_t> bools;
-      std::vector<EntityId> refs;
-      std::vector<EntitySet> sets;
-    };
-    std::vector<Pending> pending;
-    for (const UpdateRule& r : program_->update_rules) {
-      if (r.cls != c) continue;
-      Pending p;
-      p.rule = &r;
+    for (size_t ri = 0; ri < class_rules_.size(); ++ri) {
+      const UpdateRule& r = *class_rules_[ri];
+      RuleBufs& p = bufs_[ri];
       const SglType& type =
           world->catalog().Get(c).state_field(r.state_field).type;
       if (type.is_number()) {
@@ -58,37 +59,39 @@ void ExprUpdater::Update(World* world, Tick tick) {
         sc.world = world;
         sc.outer_cls = c;
         sc.effects = ctx.effects;
-        p.sets.reserve(all_rows.size());
-        for (RowIdx row : all_rows) {
+        p.sets.clear();
+        p.sets.reserve(all_rows_.size());
+        for (RowIdx row : all_rows_) {
           sc.outer_row = row;
           p.sets.push_back(EvalScalarSet(*r.value, sc));
         }
       }
-      pending.push_back(std::move(p));
     }
     // ... then commit them.
-    for (Pending& p : pending) {
+    for (size_t ri = 0; ri < class_rules_.size(); ++ri) {
+      const UpdateRule& r = *class_rules_[ri];
+      RuleBufs& p = bufs_[ri];
       const SglType& type =
-          world->catalog().Get(c).state_field(p.rule->state_field).type;
+          world->catalog().Get(c).state_field(r.state_field).type;
       if (type.is_number()) {
-        NumberColumn col = table.Num(p.rule->state_field);
-        for (size_t i = 0; i < all_rows.size(); ++i) {
-          col.at(all_rows[i]) = p.nums[i];
+        NumberColumn col = table.Num(r.state_field);
+        for (size_t i = 0; i < all_rows_.size(); ++i) {
+          col.at(all_rows_[i]) = p.nums[i];
         }
       } else if (type.is_bool()) {
-        uint8_t* col = table.BoolCol(p.rule->state_field);
-        for (size_t i = 0; i < all_rows.size(); ++i) {
-          col[all_rows[i]] = p.bools[i];
+        uint8_t* col = table.BoolCol(r.state_field);
+        for (size_t i = 0; i < all_rows_.size(); ++i) {
+          col[all_rows_[i]] = p.bools[i];
         }
       } else if (type.is_ref()) {
-        EntityId* col = table.RefCol(p.rule->state_field);
-        for (size_t i = 0; i < all_rows.size(); ++i) {
-          col[all_rows[i]] = p.refs[i];
+        EntityId* col = table.RefCol(r.state_field);
+        for (size_t i = 0; i < all_rows_.size(); ++i) {
+          col[all_rows_[i]] = p.refs[i];
         }
       } else {
-        EntitySet* col = table.SetCol(p.rule->state_field);
-        for (size_t i = 0; i < all_rows.size(); ++i) {
-          col[all_rows[i]] = std::move(p.sets[i]);
+        EntitySet* col = table.SetCol(r.state_field);
+        for (size_t i = 0; i < all_rows_.size(); ++i) {
+          col[all_rows_[i]] = std::move(p.sets[i]);
         }
       }
     }

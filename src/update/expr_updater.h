@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/lang/compiler.h"
+#include "src/ra/eval.h"
 #include "src/update/update_component.h"
 
 namespace sgl {
@@ -25,8 +26,22 @@ class ExprUpdater : public UpdateComponent {
   void Update(World* world, Tick tick) override;
 
  private:
+  /// Snapshot buffers for one rule's new values (only the vector matching
+  /// the rule's type is used). Reused across rules, classes, and ticks.
+  struct RuleBufs {
+    std::vector<double> nums;
+    std::vector<uint8_t> bools;
+    std::vector<EntityId> refs;
+    std::vector<EntitySet> sets;
+  };
+
   std::string name_ = "expr-updater";
   const CompiledProgram* program_;
+  // Steady-state scratch (high-water reuse).
+  std::vector<RowIdx> all_rows_;
+  std::vector<const UpdateRule*> class_rules_;
+  std::vector<RuleBufs> bufs_;
+  EvalScratch scratch_;
 };
 
 }  // namespace sgl

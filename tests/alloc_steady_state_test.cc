@@ -1,0 +1,119 @@
+// Allocation-regression guard for the zero-allocation steady-state tick
+// pipeline: after a short warmup (index buffers, scratch pools, and effect
+// shards reach their high-water sizes), the QUERY→MERGE→UPDATE pipeline must
+// perform zero heap allocations per tick on the RTS workload — in serial and
+// in 4-thread parallel mode — and pooling must not change a single bit of
+// the simulation relative to the object-at-a-time reference execution.
+
+#include <gtest/gtest.h>
+
+#include "src/common/alloc_hook.h"
+#include "src/debug/checkpoint.h"
+#include "src/debug/inspector.h"
+#include "src/sim/rts.h"
+
+namespace sgl {
+namespace {
+
+// Warmup must cover the workload's structural transitions (the flee handler
+// only starts selecting rows once units drop below 25 health, ~tick 10), so
+// every execution path has touched its scratch before measurement begins.
+constexpr int kWarmupTicks = 24;
+constexpr int kMeasuredTicks = 10;
+
+EngineOptions Opts(PlanMode mode, int threads = 1, bool interpreted = false) {
+  EngineOptions options;
+  options.exec.planner.mode = mode;
+  options.exec.num_threads = threads;
+  options.exec.interpreted = interpreted;
+  return options;
+}
+
+std::unique_ptr<Engine> BuildRts(int units, const EngineOptions& options) {
+  RtsConfig config;
+  config.num_units = units;
+  // Battle mode from tick 0: join fan-out (and with it every scratch
+  // buffer's high-water mark) peaks during warmup instead of creeping up
+  // for hundreds of ticks as spread-out units slowly converge.
+  config.clustered = true;
+  auto engine = RtsWorkload::Build(config, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+// Runs warmup then measured ticks; returns total allocations observed in
+// the measured window and EXPECTs each tick to be allocation-free.
+int64_t MeasureSteadyState(Engine* engine) {
+  for (int t = 0; t < kWarmupTicks; ++t) {
+    EXPECT_TRUE(engine->Tick().ok());
+  }
+  int64_t total = 0;
+  for (int t = 0; t < kMeasuredTicks; ++t) {
+    EXPECT_TRUE(engine->Tick().ok());
+    const TickStats& stats = engine->last_stats();
+    total += stats.allocs_per_tick;
+    EXPECT_EQ(stats.allocs_per_tick, 0) << DescribeTickStats(stats);
+  }
+  return total;
+}
+
+TEST(AllocSteadyState, SerialGridIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  auto engine = BuildRts(800, Opts(PlanMode::kStaticGrid));
+  EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
+}
+
+TEST(AllocSteadyState, SerialCostBasedIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  auto engine = BuildRts(800, Opts(PlanMode::kCostBased));
+  EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
+}
+
+TEST(AllocSteadyState, Parallel4ThreadGridIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  auto engine = BuildRts(800, Opts(PlanMode::kStaticGrid, /*threads=*/4));
+  EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
+}
+
+TEST(AllocSteadyState, SerialNestedLoopIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  auto engine = BuildRts(250, Opts(PlanMode::kStaticNL));
+  EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
+}
+
+// Determinism guard: the pooled pipeline must produce bit-identical world
+// state across thread counts and against the unpooled object-at-a-time
+// reference path (the seed engine's semantics).
+TEST(AllocSteadyState, PoolingPreservesBitIdenticalState) {
+  const int ticks = kWarmupTicks + kMeasuredTicks;
+  const int units = 300;
+
+  auto serial = BuildRts(units, Opts(PlanMode::kStaticGrid));
+  ASSERT_TRUE(serial->RunTicks(ticks).ok());
+  const uint64_t serial_sum = WorldChecksum(serial->world());
+
+  auto parallel = BuildRts(units, Opts(PlanMode::kStaticGrid, 4));
+  ASSERT_TRUE(parallel->RunTicks(ticks).ok());
+  EXPECT_EQ(WorldChecksum(parallel->world()), serial_sum);
+
+  auto interpreted =
+      BuildRts(units, Opts(PlanMode::kStaticNL, 1, /*interpreted=*/true));
+  ASSERT_TRUE(interpreted->RunTicks(ticks).ok());
+  EXPECT_EQ(WorldChecksum(interpreted->world()), serial_sum);
+}
+
+// The counters themselves must move when the program allocates — otherwise
+// the == 0 assertions above would pass vacuously.
+TEST(AllocSteadyState, CountersObserveAllocations) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  const AllocCounts before = AllocCountersNow();
+  auto* sink = new std::vector<double>(1024);
+  const AllocCounts after = AllocCountersNow();
+  delete sink;
+  EXPECT_GT(after.count, before.count);
+  EXPECT_GE(after.bytes - before.bytes,
+            static_cast<int64_t>(1024 * sizeof(double)));
+}
+
+}  // namespace
+}  // namespace sgl
