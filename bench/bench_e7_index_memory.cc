@@ -9,11 +9,15 @@
 // bytes/entry — the series that motivates index partitioning.
 // Output 2 (table): k-way partitioned tree — max-per-shard memory drops
 // ~1/k (each machine of the simulated shared-nothing cluster holds 1/k).
-// Output 3 (benchmarks): build and query time for tree vs. grid.
+// Output 3 (benchmarks): cold build, steady-state rebuild (the per-tick
+// cost, with allocs_per_build asserting the flat layouts' zero-allocation
+// rebuild), and query time for tree vs. grid.
 
+#include <algorithm>
 #include <cinttypes>
 
 #include "bench/bench_util.h"
+#include "src/common/alloc_hook.h"
 #include "src/index/grid_index.h"
 #include "src/index/partitioned_index.h"
 #include "src/index/range_tree.h"
@@ -85,6 +89,47 @@ void BM_GridBuild(benchmark::State& state) {
   }
 }
 
+// Steady-state rebuild: one persistent index cycling its column buffer
+// through the move-in Build, exactly the per-tick path IndexManager drives.
+// allocs_per_build measures heap traffic per rebuild (0 for the flat
+// layouts once past high water).
+template <typename Index>
+void RebuildLoop(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const auto coords = RandomPoints(n, d, 5);
+  Index index(d);
+  auto buf = coords;
+  for (int warm = 0; warm < 3; ++warm) {
+    for (int k = 0; k < d; ++k) {
+      buf[static_cast<size_t>(k)].assign(coords[static_cast<size_t>(k)].begin(),
+                                         coords[static_cast<size_t>(k)].end());
+    }
+    index.Build(std::move(buf));
+  }
+  const sgl::AllocCounts before = sgl::AllocCountersNow();
+  for (auto _ : state) {
+    for (int k = 0; k < d; ++k) {
+      buf[static_cast<size_t>(k)].assign(coords[static_cast<size_t>(k)].begin(),
+                                         coords[static_cast<size_t>(k)].end());
+    }
+    index.Build(std::move(buf));
+    benchmark::DoNotOptimize(index.MemoryBytes());
+  }
+  const sgl::AllocCounts after = sgl::AllocCountersNow();
+  state.counters["allocs_per_build"] =
+      static_cast<double>(after.count - before.count) /
+      static_cast<double>(std::max<int64_t>(1, state.iterations()));
+}
+
+void BM_TreeRebuild(benchmark::State& state) {
+  RebuildLoop<sgl::RangeTree>(state);
+}
+
+void BM_GridRebuild(benchmark::State& state) {
+  RebuildLoop<sgl::GridIndex>(state);
+}
+
 void BM_TreeQuery(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const int d = static_cast<int>(state.range(1));
@@ -132,6 +177,18 @@ BENCHMARK(BM_TreeBuild)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.05);
 BENCHMARK(BM_GridBuild)
+    ->Args({16384, 2})
+    ->Args({65536, 2})
+    ->Args({16384, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_TreeRebuild)
+    ->Args({16384, 2})
+    ->Args({65536, 2})
+    ->Args({16384, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+BENCHMARK(BM_GridRebuild)
     ->Args({16384, 2})
     ->Args({65536, 2})
     ->Args({16384, 3})

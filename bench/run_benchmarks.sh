@@ -4,19 +4,19 @@
 # the performance trajectory (tick times, phase breakdown, allocs/tick).
 #
 #   E1  set-at-a-time vs object-at-a-time (tick ms + allocs_per_tick on the
-#       zero-allocation grid path)
+#       zero-allocation grid and range-tree paths)
 #   E6  multicore scaling (phase breakdown + allocs_per_tick)
-#   E7  index build cost / memory
+#   E7  index build / steady-state rebuild cost (allocs_per_build) / memory
 #
 # Usage: bench/run_benchmarks.sh [build_dir] [tag]
 #   build_dir  cmake build directory holding the bench_* binaries (default:
 #              build)
-#   tag        suffix for the output file (default: pr1)
+#   tag        suffix for the output file (default: pr2)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-TAG="${2:-pr1}"
+TAG="${2:-pr2}"
 OUT="BENCH_${TAG}.json"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -37,8 +37,9 @@ import json, os, sys
 
 tmp, out = sys.argv[1], sys.argv[2]
 keep = ("name", "real_time", "cpu_time", "time_unit", "iterations",
-        "allocs_per_tick", "units", "threads", "query_ms", "merge_ms",
-        "update_ms", "hw_cores", "bytes", "formula_bytes")
+        "allocs_per_tick", "allocs_per_build", "units", "threads",
+        "query_ms", "merge_ms", "update_ms", "hw_cores", "bytes",
+        "formula_bytes")
 merged = {}
 for f in sorted(os.listdir(tmp)):
     with open(os.path.join(tmp, f)) as fh:

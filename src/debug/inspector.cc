@@ -9,13 +9,14 @@ std::string DescribeTickStats(const TickStats& stats) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "tick %lld: %lldus (query %lld merge %lld update %lld | "
-                "index %lld) allocs/tick %lld (%lld B)",
+                "index %lld, %lld B resident) allocs/tick %lld (%lld B)",
                 static_cast<long long>(stats.tick),
                 static_cast<long long>(stats.total_micros),
                 static_cast<long long>(stats.query_effect_micros),
                 static_cast<long long>(stats.merge_micros),
                 static_cast<long long>(stats.update_micros),
                 static_cast<long long>(stats.index_build_micros),
+                static_cast<long long>(stats.index_memory_bytes),
                 static_cast<long long>(stats.allocs_per_tick),
                 static_cast<long long>(stats.bytes_per_tick));
   return std::string(buf);

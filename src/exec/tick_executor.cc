@@ -196,6 +196,7 @@ Status TickExecutor::RunTick() {
   last_.merge_micros = 0;
   last_.update_micros = 0;
   last_.index_build_micros = 0;
+  last_.index_memory_bytes = 0;
   last_.total_micros = 0;
   last_.allocs_per_tick = 0;
   last_.bytes_per_tick = 0;
@@ -341,6 +342,7 @@ Status TickExecutor::RunTick() {
   // --- 4. Bookkeeping ----------------------------------------------------
   last_.txn = txn_.last_tick();
   last_.index_build_micros = indexes_.build_micros() - index_micros_before;
+  last_.index_memory_bytes = static_cast<int64_t>(indexes_.MemoryBytes());
   last_.total_micros = total.ElapsedMicros();
   const AllocCounts alloc_after = AllocCountersNow();
   last_.allocs_per_tick = alloc_after.count - alloc_before.count;

@@ -51,6 +51,10 @@ struct TickStats {
   int64_t merge_micros = 0;
   int64_t update_micros = 0;
   int64_t index_build_micros = 0;  ///< portion of query phase spent building
+  /// Heap bytes resident in the spatial indices after the tick. The flat
+  /// index layouts make this an O(#indices) capacity sum, cheap enough to
+  /// sample every tick.
+  int64_t index_memory_bytes = 0;
   int64_t total_micros = 0;
   /// Heap traffic during the tick, across all threads (0 when the counting
   /// hook is compiled out). Steady-state ticks should report ~0.

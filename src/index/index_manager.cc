@@ -94,7 +94,9 @@ const SpatialIndex* IndexManager::GetOrBuild(const World& world,
   return e.index.get();
 }
 
-void IndexManager::InvalidateAll() { entries_.clear(); }
+void IndexManager::InvalidateAll() {
+  for (auto& [spec, entry] : entries_) entry.built_at = -1;
+}
 
 size_t IndexManager::MemoryBytes() const {
   size_t bytes = 0;

@@ -55,7 +55,9 @@ class IndexManager {
   const SpatialIndex* GetOrBuild(const World& world, const IndexSpec& spec,
                                  Tick tick);
 
-  /// Drops all built indices (e.g., after despawns compacted rows).
+  /// Marks all built indices stale (e.g., after despawns compacted rows).
+  /// The structures and their high-water buffers are kept: the next
+  /// GetOrBuild for a spec rebuilds in place without allocating.
   void InvalidateAll();
 
   /// Cumulative statistics (reset with ResetStats).

@@ -6,6 +6,11 @@
 // its own range tree. Per-shard memory is accounted separately (the quantity
 // that must fit in one machine's RAM) and queries report how many shards
 // they had to touch (a proxy for network fan-out).
+//
+// Like the underlying flat RangeTree, rebuilds reuse everything: the shard
+// trees are constructed once, and the per-shard column buffers cycle
+// through the tree's move-in Build, so a steady-state Build allocates
+// nothing and queries append straight into the caller's vector.
 
 #ifndef SGL_INDEX_PARTITIONED_INDEX_H_
 #define SGL_INDEX_PARTITIONED_INDEX_H_
@@ -28,15 +33,16 @@ class PartitionedIndex {
   size_t size() const { return n_; }
 
   /// (Re)builds: sorts on dim 0, splits into equal-population shards,
-  /// builds one tree per shard.
-  void Build(std::vector<std::vector<double>> coords);
+  /// rebuilds each shard's tree in place (high-water buffer reuse).
+  void Build(const std::vector<std::vector<double>>& coords);
 
   /// Appends matches to `out`. If `shards_touched` is non-null it receives
   /// the number of shards whose dim-0 range overlapped the box.
   void Query(const double* lo, const double* hi, std::vector<RowIdx>* out,
              int* shards_touched = nullptr) const;
 
-  /// Heap bytes of shard `s` (its tree plus its coordinate copies).
+  /// Heap bytes of shard `s`: its tree, its row translation, and its
+  /// persistent column staging buffers.
   size_t ShardMemoryBytes(int s) const;
   /// Max over shards — the per-machine memory requirement.
   size_t MaxShardMemoryBytes() const;
@@ -44,11 +50,14 @@ class PartitionedIndex {
 
  private:
   int dims_;
-  int leaf_size_;
   size_t n_ = 0;
-  std::vector<std::unique_ptr<RangeTree>> trees_;
+  std::vector<std::unique_ptr<RangeTree>> trees_;  ///< built once, reused
   std::vector<std::vector<RowIdx>> shard_rows_;  // local idx -> global RowIdx
   std::vector<double> shard_lo_, shard_hi_;      // dim-0 bounds per shard
+  /// Per-shard column staging, cycled through RangeTree's move-in Build so
+  /// every rebuild gets the previous build's capacity back.
+  std::vector<std::vector<std::vector<double>>> shard_coords_;
+  std::vector<RowIdx> order_;  ///< build scratch: dim-0 sort order
 };
 
 }  // namespace sgl

@@ -3,36 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/vec_util.h"
+
 namespace sgl {
-
-struct RangeTree::SegNode {
-  uint32_t begin = 0;
-  uint32_t end = 0;
-  std::unique_ptr<Layer> sub;  // associated structure on dim+1 (null at leaf)
-  std::unique_ptr<SegNode> left;
-  std::unique_ptr<SegNode> right;
-};
-
-struct RangeTree::Layer {
-  std::vector<double> keys;    // coord[dim] of items, ascending
-  std::vector<RowIdx> items;   // point ids in keys order
-  std::unique_ptr<SegNode> root;  // null for the last dimension
-};
 
 RangeTree::RangeTree(int dims, int leaf_size)
     : dims_(dims), leaf_size_(leaf_size) {
   SGL_CHECK(dims >= 1);
   SGL_CHECK(leaf_size >= 1);
+  // Sized up front so the first move-in Build already hands the caller a
+  // dims()-column vector (the documented buffer-return contract).
+  coords_.resize(static_cast<size_t>(dims));
 }
-
-RangeTree::~RangeTree() = default;
 
 void RangeTree::Build(const std::vector<std::vector<double>>& coords) {
   SGL_CHECK(static_cast<int>(coords.size()) == dims_);
   n_ = coords.empty() ? 0 : coords[0].size();
-  coords_.resize(coords.size());
+  SGL_CHECK(n_ < kNone);
   for (size_t k = 0; k < coords.size(); ++k) {
     SGL_CHECK(coords[k].size() == n_);
+    // assign() reuses the existing buffer's capacity.
     coords_[k].assign(coords[k].begin(), coords[k].end());
   }
   BuildLayers();
@@ -41,166 +31,274 @@ void RangeTree::Build(const std::vector<std::vector<double>>& coords) {
 void RangeTree::Build(std::vector<std::vector<double>>&& coords) {
   SGL_CHECK(static_cast<int>(coords.size()) == dims_);
   n_ = coords.empty() ? 0 : coords[0].size();
+  SGL_CHECK(n_ < kNone);
   for (const auto& c : coords) SGL_CHECK(c.size() == n_);
-  coords_.swap(coords);
+  coords_.swap(coords);  // the caller now holds the previous build's columns
   BuildLayers();
 }
 
 void RangeTree::BuildLayers() {
-  root_.reset();
+  layers_.clear();
+  nodes_.clear();
+  keys_.clear();
+  items_.clear();
+  tasks_.clear();
   if (n_ == 0) return;
-  std::vector<RowIdx> items(n_);
-  for (size_t i = 0; i < n_; ++i) items[i] = static_cast<RowIdx>(i);
-  std::stable_sort(items.begin(), items.end(), [&](RowIdx a, RowIdx b) {
-    return coords_[0][a] < coords_[0][b];
+
+  // Root layer: all points sorted by dimension 0. Ties break on the point
+  // id, giving a deterministic total order without the scratch buffer a
+  // stable sort would allocate.
+  const uint32_t n = static_cast<uint32_t>(n_);
+  ResizeAmortized(&items_, n_);
+  for (uint32_t i = 0; i < n; ++i) items_[i] = i;
+  const std::vector<double>& k0 = coords_[0];
+  std::sort(items_.begin(), items_.end(), [&k0](RowIdx a, RowIdx b) {
+    return k0[a] != k0[b] ? k0[a] < k0[b] : a < b;
   });
-  root_ = BuildLayer(0, std::move(items));
+  ResizeAmortized(&keys_, n_);
+  for (uint32_t i = 0; i < n; ++i) keys_[i] = k0[items_[i]];
+  Layer root;
+  root.count = n;
+  layers_.push_back(root);
+  tasks_.push_back(0);
+
+  // Layers are built to completion one at a time (sub-layers spawned by a
+  // hierarchy wait in tasks_), so all scratch below is reused serially.
+  for (size_t head = 0; head < tasks_.size(); ++head) {
+    BuildHierarchy(tasks_[head]);
+  }
 }
 
-std::unique_ptr<RangeTree::Layer> RangeTree::BuildLayer(
-    int dim, std::vector<RowIdx> items) {
-  auto layer = std::make_unique<Layer>();
-  layer->keys.resize(items.size());
-  for (size_t i = 0; i < items.size(); ++i) {
-    layer->keys[i] = coords_[static_cast<size_t>(dim)][items[i]];
-  }
-  layer->items = std::move(items);
-  const uint32_t m = static_cast<uint32_t>(layer->items.size());
-  if (dim + 1 < dims_ && m > static_cast<uint32_t>(leaf_size_)) {
-    // Presort this layer's points by the next dimension once; BuildSeg
-    // distributes the sorted list down the hierarchy with stable partitions,
-    // so no further sorting happens (O(n log n) per dimension transition).
-    std::vector<RowIdx> by_next = layer->items;
-    std::stable_sort(by_next.begin(), by_next.end(), [&](RowIdx a, RowIdx b) {
-      return coords_[static_cast<size_t>(dim + 1)][a] <
-             coords_[static_cast<size_t>(dim + 1)][b];
-    });
-    // pos_of: position of each point in this layer's dim-sorted order.
-    // Indexed by RowIdx (global), valid only for this layer's points.
-    std::vector<uint32_t> pos_of(n_, 0);
-    for (uint32_t i = 0; i < m; ++i) pos_of[layer->items[i]] = i;
-    layer->root = BuildSeg(*layer, dim, 0, m, std::move(by_next), pos_of);
-  }
-  return layer;
+uint32_t RangeTree::NewLayer(int dim, const RowIdx* src, uint32_t m) {
+  // The concatenated arena is Θ(n·log^(d−1) n) entries — it can overflow
+  // 32-bit offsets long before n itself does.
+  SGL_CHECK(items_.size() + m < static_cast<size_t>(kNone));
+  const uint32_t off = static_cast<uint32_t>(items_.size());
+  ResizeAmortized(&items_, items_.size() + m);
+  std::copy(src, src + m, items_.begin() + off);
+  ResizeAmortized(&keys_, keys_.size() + m);
+  const std::vector<double>& kd = coords_[static_cast<size_t>(dim)];
+  for (uint32_t i = 0; i < m; ++i) keys_[off + i] = kd[src[i]];
+  Layer layer;
+  layer.off = off;
+  layer.count = m;
+  layer.dim = static_cast<uint32_t>(dim);
+  layers_.push_back(layer);
+  const uint32_t idx = static_cast<uint32_t>(layers_.size() - 1);
+  tasks_.push_back(idx);
+  return idx;
 }
 
-std::unique_ptr<RangeTree::SegNode> RangeTree::BuildSeg(
-    const Layer& layer, int dim, uint32_t begin, uint32_t end,
-    std::vector<RowIdx> by_next, const std::vector<uint32_t>& pos_of) {
-  auto node = std::make_unique<SegNode>();
-  node->begin = begin;
-  node->end = end;
-  const uint32_t m = end - begin;
-  if (m <= static_cast<uint32_t>(leaf_size_)) {
-    return node;  // leaf: queries filter-scan layer.items[begin,end)
+void RangeTree::BuildHierarchy(uint32_t li) {
+  const Layer layer = layers_[li];  // by value: layers_ grows below
+  const int dim = static_cast<int>(layer.dim);
+  const uint32_t m = layer.count;
+  if (dim + 1 >= dims_ || m <= static_cast<uint32_t>(leaf_size_)) {
+    return;  // sorted-array layer: queries bisect and scan it directly
   }
-  node->sub = BuildLayer(dim + 1, by_next);  // by_next is sorted by dim+1
-  const uint32_t mid = begin + m / 2;
-  std::vector<RowIdx> left_next, right_next;
-  left_next.reserve(mid - begin);
-  right_next.reserve(end - mid);
-  for (RowIdx p : node->sub->items) {  // == by_next content, moved above
-    if (pos_of[p] < mid) {
-      left_next.push_back(p);
-    } else {
-      right_next.push_back(p);
+
+  // This layer's points sorted by the next dimension; each hierarchy level
+  // distributes the order down the node slices with stable partitions, so
+  // no further sorting happens (O(m log m) per dimension transition).
+  ResizeAmortized(&level_, m);
+  std::copy(items_.begin() + layer.off, items_.begin() + layer.off + m,
+            level_.begin());
+  const std::vector<double>& nk = coords_[static_cast<size_t>(dim) + 1];
+  std::sort(level_.begin(), level_.end(), [&nk](RowIdx a, RowIdx b) {
+    return nk[a] != nk[b] ? nk[a] < nk[b] : a < b;
+  });
+
+  // pos_of_: position of each point in this layer's dim-sorted order.
+  // Indexed by RowIdx (global); only this layer's points are written and
+  // read, so the buffer carries stale values across layers harmlessly.
+  ResizeAmortized(&pos_of_, n_);
+  for (uint32_t i = 0; i < m; ++i) pos_of_[items_[layer.off + i]] = i;
+
+  SegNode root;
+  root.end = m;
+  layers_[li].root = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(root);
+  pend_.clear();
+  pend_.push_back(Pending{layers_[li].root, 0});
+
+  // Level-order expansion with ping-pong slice buffers: pend_ holds the
+  // internal nodes of the current level plus where their dim+1-sorted slice
+  // starts in *cur; expanding a node appends its associated layer, creates
+  // its children, and partitions its slice into *nxt for any internal child.
+  std::vector<RowIdx>* cur = &level_;
+  std::vector<RowIdx>* nxt = &next_level_;
+  while (!pend_.empty()) {
+    nxt->clear();
+    pend_next_.clear();
+    for (const Pending& p : pend_) {
+      const SegNode nd = nodes_[p.node];  // by value: nodes_ grows below
+      const uint32_t span = nd.end - nd.begin;
+      nodes_[p.node].sub = NewLayer(dim + 1, cur->data() + p.slice_off, span);
+      const uint32_t mid = nd.begin + span / 2;
+      const uint32_t first_child = static_cast<uint32_t>(nodes_.size());
+      nodes_[p.node].first_child = first_child;
+      SegNode left, right;
+      left.begin = nd.begin;
+      left.end = mid;
+      right.begin = mid;
+      right.end = nd.end;
+      nodes_.push_back(left);
+      nodes_.push_back(right);
+      // Partition the slice, writing only the halves an internal child will
+      // consume (a leaf child's slice is never read again).
+      const bool left_internal = mid - nd.begin > static_cast<uint32_t>(leaf_size_);
+      const bool right_internal = nd.end - mid > static_cast<uint32_t>(leaf_size_);
+      if (!left_internal && !right_internal) continue;
+      uint32_t lw = kNone, rw = kNone;
+      if (left_internal) {
+        lw = static_cast<uint32_t>(nxt->size());
+        ResizeAmortized(nxt, nxt->size() + (mid - nd.begin));
+        pend_next_.push_back(Pending{first_child, lw});
+      }
+      if (right_internal) {
+        rw = static_cast<uint32_t>(nxt->size());
+        ResizeAmortized(nxt, nxt->size() + (nd.end - mid));
+        pend_next_.push_back(Pending{first_child + 1, rw});
+      }
+      for (uint32_t i = 0; i < span; ++i) {
+        const RowIdx pt = (*cur)[p.slice_off + i];
+        if (pos_of_[pt] < mid) {
+          if (lw != kNone) (*nxt)[lw++] = pt;
+        } else {
+          if (rw != kNone) (*nxt)[rw++] = pt;
+        }
+      }
     }
+    pend_.swap(pend_next_);
+    std::swap(cur, nxt);
   }
-  node->left = BuildSeg(layer, dim, begin, mid, std::move(left_next), pos_of);
-  node->right = BuildSeg(layer, dim, mid, end, std::move(right_next), pos_of);
-  return node;
+}
+
+void RangeTree::KeyRange(const Layer& layer, double lo, double hi,
+                         uint32_t* a, uint32_t* b) const {
+  const double* first = keys_.data() + layer.off;
+  const double* last = first + layer.count;
+  *a = static_cast<uint32_t>(std::lower_bound(first, last, lo) - first);
+  *b = static_cast<uint32_t>(std::upper_bound(first, last, hi) - first);
 }
 
 void RangeTree::Query(const double* lo, const double* hi,
                       std::vector<RowIdx>* out) const {
-  if (root_ == nullptr) return;
-  QueryLayer(*root_, 0, lo, hi, out);
+  if (layers_.empty()) return;
+  QueryLayer(0, lo, hi, out);
 }
 
 size_t RangeTree::Count(const double* lo, const double* hi) const {
-  std::vector<RowIdx> tmp;
-  Query(lo, hi, &tmp);
-  return tmp.size();
+  if (layers_.empty()) return 0;
+  return CountLayer(0, lo, hi);
 }
 
-void RangeTree::QueryLayer(const Layer& layer, int dim, const double* lo,
-                           const double* hi, std::vector<RowIdx>* out) const {
-  auto a_it = std::lower_bound(layer.keys.begin(), layer.keys.end(), lo[dim]);
-  auto b_it = std::upper_bound(layer.keys.begin(), layer.keys.end(), hi[dim]);
-  uint32_t a = static_cast<uint32_t>(a_it - layer.keys.begin());
-  uint32_t b = static_cast<uint32_t>(b_it - layer.keys.begin());
+void RangeTree::QueryLayer(uint32_t li, const double* lo, const double* hi,
+                           std::vector<RowIdx>* out) const {
+  const Layer& layer = layers_[li];
+  const int dim = static_cast<int>(layer.dim);
+  uint32_t a, b;
+  KeyRange(layer, lo[dim], hi[dim], &a, &b);
   if (a >= b) return;
   if (dim + 1 == dims_) {
     // Last dimension: the [a, b) slice is exactly the answer.
-    out->insert(out->end(), layer.items.begin() + a, layer.items.begin() + b);
+    out->insert(out->end(), items_.begin() + layer.off + a,
+                items_.begin() + layer.off + b);
     return;
   }
-  if (layer.root == nullptr) {
+  if (layer.root == kNone) {
     // Small layer stored without hierarchy: filter remaining dims.
     ScanFilter(layer, a, b, dim + 1, lo, hi, out);
     return;
   }
-  QuerySeg(layer, *layer.root, dim, a, b, lo, hi, out);
+  QuerySeg(layer, layer.root, a, b, lo, hi, out);
 }
 
-void RangeTree::QuerySeg(const Layer& layer, const SegNode& node, int dim,
-                         uint32_t a, uint32_t b, const double* lo,
-                         const double* hi, std::vector<RowIdx>* out) const {
-  if (node.end <= a || node.begin >= b) return;
-  if (a <= node.begin && node.end <= b && node.sub != nullptr) {
+void RangeTree::QuerySeg(const Layer& layer, uint32_t ni, uint32_t a,
+                         uint32_t b, const double* lo, const double* hi,
+                         std::vector<RowIdx>* out) const {
+  const SegNode& nd = nodes_[ni];
+  if (nd.end <= a || nd.begin >= b) return;
+  if (a <= nd.begin && nd.end <= b && nd.sub != kNone) {
     // Canonical node: dim-k constraint satisfied; descend to dim+1.
-    QueryLayer(*node.sub, dim + 1, lo, hi, out);
+    QueryLayer(nd.sub, lo, hi, out);
     return;
   }
-  if (node.left == nullptr) {
+  if (nd.first_child == kNone) {
     // Leaf interval (possibly partial overlap): the dim-k constraint holds
     // exactly for positions in [max(a,begin), min(b,end)); filter the rest.
-    ScanFilter(layer, std::max(a, node.begin), std::min(b, node.end), dim + 1,
-               lo, hi, out);
+    ScanFilter(layer, std::max(a, nd.begin), std::min(b, nd.end),
+               static_cast<int>(layer.dim) + 1, lo, hi, out);
     return;
   }
-  QuerySeg(layer, *node.left, dim, a, b, lo, hi, out);
-  QuerySeg(layer, *node.right, dim, a, b, lo, hi, out);
+  QuerySeg(layer, nd.first_child, a, b, lo, hi, out);
+  QuerySeg(layer, nd.first_child + 1, a, b, lo, hi, out);
 }
 
-void RangeTree::ScanFilter(const Layer& layer, uint32_t begin, uint32_t end,
-                           int from_dim, const double* lo, const double* hi,
-                           std::vector<RowIdx>* out) const {
+size_t RangeTree::CountLayer(uint32_t li, const double* lo,
+                             const double* hi) const {
+  const Layer& layer = layers_[li];
+  const int dim = static_cast<int>(layer.dim);
+  uint32_t a, b;
+  KeyRange(layer, lo[dim], hi[dim], &a, &b);
+  if (a >= b) return 0;
+  if (dim + 1 == dims_) return b - a;
+  if (layer.root == kNone) {
+    return ScanFilter(layer, a, b, dim + 1, lo, hi, nullptr);
+  }
+  return CountSeg(layer, layer.root, a, b, lo, hi);
+}
+
+size_t RangeTree::CountSeg(const Layer& layer, uint32_t ni, uint32_t a,
+                           uint32_t b, const double* lo,
+                           const double* hi) const {
+  const SegNode& nd = nodes_[ni];
+  if (nd.end <= a || nd.begin >= b) return 0;
+  if (a <= nd.begin && nd.end <= b && nd.sub != kNone) {
+    return CountLayer(nd.sub, lo, hi);
+  }
+  if (nd.first_child == kNone) {
+    return ScanFilter(layer, std::max(a, nd.begin), std::min(b, nd.end),
+                      static_cast<int>(layer.dim) + 1, lo, hi, nullptr);
+  }
+  return CountSeg(layer, nd.first_child, a, b, lo, hi) +
+         CountSeg(layer, nd.first_child + 1, a, b, lo, hi);
+}
+
+size_t RangeTree::ScanFilter(const Layer& layer, uint32_t begin, uint32_t end,
+                             int from_dim, const double* lo, const double* hi,
+                             std::vector<RowIdx>* out) const {
+  size_t hits = 0;
   for (uint32_t i = begin; i < end; ++i) {
-    RowIdx p = layer.items[i];
+    const RowIdx p = items_[layer.off + i];
     bool inside = true;
     for (int k = from_dim; k < dims_; ++k) {
-      double c = coords_[static_cast<size_t>(k)][p];
+      const double c = coords_[static_cast<size_t>(k)][p];
       if (c < lo[k] || c > hi[k]) {
         inside = false;
         break;
       }
     }
-    if (inside) out->push_back(p);
+    if (inside) {
+      ++hits;
+      if (out != nullptr) out->push_back(p);
+    }
   }
-}
-
-size_t RangeTree::LayerBytes(const Layer& layer) const {
-  size_t bytes = layer.keys.capacity() * sizeof(double) +
-                 layer.items.capacity() * sizeof(RowIdx);
-  // Walk the hierarchy.
-  std::vector<const SegNode*> stack;
-  if (layer.root != nullptr) stack.push_back(layer.root.get());
-  while (!stack.empty()) {
-    const SegNode* node = stack.back();
-    stack.pop_back();
-    bytes += sizeof(SegNode);
-    if (node->sub != nullptr) bytes += LayerBytes(*node->sub);
-    if (node->left != nullptr) stack.push_back(node->left.get());
-    if (node->right != nullptr) stack.push_back(node->right.get());
-  }
-  return bytes;
+  return hits;
 }
 
 size_t RangeTree::MemoryBytes() const {
-  size_t bytes = 0;
+  size_t bytes = keys_.capacity() * sizeof(double) +
+                 items_.capacity() * sizeof(RowIdx) +
+                 layers_.capacity() * sizeof(Layer) +
+                 nodes_.capacity() * sizeof(SegNode) +
+                 pos_of_.capacity() * sizeof(uint32_t) +
+                 level_.capacity() * sizeof(RowIdx) +
+                 next_level_.capacity() * sizeof(RowIdx) +
+                 pend_.capacity() * sizeof(Pending) +
+                 pend_next_.capacity() * sizeof(Pending) +
+                 tasks_.capacity() * sizeof(uint32_t);
   for (const auto& c : coords_) bytes += c.capacity() * sizeof(double);
-  if (root_ != nullptr) bytes += LayerBytes(*root_);
   return bytes;
 }
 

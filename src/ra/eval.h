@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/vec_util.h"
 #include "src/ra/expr.h"
 #include "src/storage/world.h"
 
@@ -55,17 +56,6 @@ struct EvalScratch {
   VecPool<EntityId> refs;
   VecPool<RowIdx> rows;
 };
-
-/// resize(n) with geometric capacity growth. A cleared (size-0) vector
-/// resized to a slowly-rising n re-allocates on every call (libstdc++ grows
-/// it to exactly n); reserving max(n, 2*capacity) first restores amortized
-/// growth so pooled buffers stop allocating once past the workload's
-/// high-water mark.
-template <typename T>
-inline void ResizeAmortized(std::vector<T>* v, size_t n) {
-  if (n > v->capacity()) v->reserve(std::max(n, v->capacity() * 2));
-  v->resize(n);
-}
 
 namespace internal {
 template <typename T>

@@ -2,10 +2,12 @@
 // programs — random class shapes, guarded effect assignments, expression
 // trees, accum loops with box predicates, update rules — and assert that
 // the compiled set-at-a-time engine and the object-at-a-time interpreter
-// produce identical worlds, across every join strategy. This is the
+// produce identical worlds, across every index strategy: every random
+// program runs under forced nested-loop, range-tree, and grid access paths
+// plus the cost-based picker, and all must agree bit-for-bit. This is the
 // wide-net version of the hand-written equivalence tests: any divergence in
-// predicate extraction, guard rebuilding, ⊕ order keys, or fold order
-// shows up here.
+// predicate extraction, guard rebuilding, ⊕ order keys, fold order, or an
+// index returning a wrong candidate set shows up here.
 
 #include <gtest/gtest.h>
 
@@ -194,17 +196,24 @@ uint64_t RunProgram(const std::string& src, uint64_t spawn_seed,
   return WorldChecksum((*engine)->world());
 }
 
+/// The four index strategies every random program is swept under.
+constexpr PlanMode kSweptModes[] = {PlanMode::kStaticNL,
+                                    PlanMode::kStaticRangeTree,
+                                    PlanMode::kStaticGrid,
+                                    PlanMode::kCostBased};
+
 class FuzzEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzEquivalence, CompiledMatchesInterpretedOnRandomProgram) {
   Rng rng(GetParam());
   std::string program = RandomProgram(&rng);
   SCOPED_TRACE(program);
-  uint64_t compiled =
-      RunProgram(program, GetParam(), false, PlanMode::kStaticNL, 6);
   uint64_t interpreted =
       RunProgram(program, GetParam(), true, PlanMode::kStaticNL, 6);
-  EXPECT_EQ(compiled, interpreted);
+  for (PlanMode mode : kSweptModes) {
+    EXPECT_EQ(interpreted, RunProgram(program, GetParam(), false, mode, 6))
+        << "strategy " << PlanModeName(mode);
+  }
 }
 
 TEST_P(FuzzEquivalence, StrategiesAgreeOnRandomProgram) {
@@ -213,8 +222,8 @@ TEST_P(FuzzEquivalence, StrategiesAgreeOnRandomProgram) {
   SCOPED_TRACE(program);
   uint64_t nl =
       RunProgram(program, GetParam(), false, PlanMode::kStaticNL, 6);
-  for (PlanMode mode : {PlanMode::kStaticRangeTree, PlanMode::kStaticGrid,
-                        PlanMode::kCostBased}) {
+  for (PlanMode mode : kSweptModes) {
+    if (mode == PlanMode::kStaticNL) continue;
     EXPECT_EQ(nl, RunProgram(program, GetParam(), false, mode, 6))
         << "strategy " << PlanModeName(mode);
   }
