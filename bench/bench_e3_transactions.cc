@@ -23,8 +23,15 @@ void BM_MarketContention(benchmark::State& state) {
     state.SkipWithError("build failed");
     return;
   }
+  // Bring the flat intent logs, overlay columns, and set-slice pools to
+  // their steady-state high-water marks before timing (matches the
+  // alloc_steady_state_test warmup for the market).
   sgl::Rng rng(1234);
-  int64_t issued = 0, committed = 0, aborted = 0;
+  for (int t = 0; t < 40; ++t) {
+    sgl::MarketWorkload::AssignWants(engine->get(), config, &rng);
+    if (!(*engine)->Tick().ok()) state.SkipWithError("warmup failed");
+  }
+  int64_t issued = 0, committed = 0, aborted = 0, allocs = 0;
   bool consistent = true;
   for (auto _ : state) {
     state.PauseTiming();
@@ -35,6 +42,7 @@ void BM_MarketContention(benchmark::State& state) {
     issued += txn.issued;
     committed += txn.committed;
     aborted += txn.aborted;
+    allocs += (*engine)->last_stats().allocs_per_tick;
     state.PauseTiming();
     consistent =
         consistent && sgl::MarketWorkload::OwnershipConsistent(engine->get());
@@ -47,6 +55,7 @@ void BM_MarketContention(benchmark::State& state) {
       issued > 0 ? static_cast<double>(aborted) / static_cast<double>(issued)
                  : 0.0;
   state.counters["consistent"] = consistent ? 1.0 : 0.0;
+  state.counters["allocs_per_tick"] = static_cast<double>(allocs) / n;
 }
 
 BENCHMARK(BM_MarketContention)
@@ -83,11 +92,16 @@ script W for Account {
       state.SkipWithError("spawn failed");
     }
   }
+  sgl_bench::WarmupSteadyState(engine->get(), 8);
+  int64_t allocs = 0;
   for (auto _ : state) {
     if (!(*engine)->Tick().ok()) state.SkipWithError("tick failed");
+    allocs += (*engine)->last_stats().allocs_per_tick;
   }
   state.counters["txns/s"] = benchmark::Counter(
       static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["allocs_per_tick"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
 }
 
 BENCHMARK(BM_AdmissionThroughput)

@@ -25,21 +25,25 @@ std::unique_ptr<sgl::Engine> BuildTraffic(int vehicles, sgl::PlanMode mode,
 void BM_TrafficCostBased(benchmark::State& state) {
   auto engine = BuildTraffic(static_cast<int>(state.range(0)),
                              sgl::PlanMode::kCostBased);
-  sgl_bench::Warmup(engine.get());
+  sgl_bench::WarmupSteadyState(engine.get());
+  int64_t allocs = 0;
   for (auto _ : state) {
     if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    allocs += engine->last_stats().allocs_per_tick;
   }
   state.counters["vehicle_ticks/s"] = benchmark::Counter(
       static_cast<double>(state.range(0)),
       benchmark::Counter::kIsIterationInvariantRate);
   state.counters["mean_speed"] =
       sgl::TrafficWorkload::MeanSpeed(engine.get());
+  state.counters["allocs_per_tick"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
 }
 
 void BM_TrafficNestedLoop(benchmark::State& state) {
   auto engine = BuildTraffic(static_cast<int>(state.range(0)),
                              sgl::PlanMode::kStaticNL);
-  sgl_bench::Warmup(engine.get());
+  sgl_bench::WarmupSteadyState(engine.get());
   for (auto _ : state) {
     if (!engine->Tick().ok()) state.SkipWithError("tick failed");
   }
@@ -51,13 +55,17 @@ void BM_TrafficNestedLoop(benchmark::State& state) {
 void BM_TrafficParallel(benchmark::State& state) {
   auto engine = BuildTraffic(100000, sgl::PlanMode::kCostBased,
                              static_cast<int>(state.range(0)));
-  sgl_bench::Warmup(engine.get());
+  sgl_bench::WarmupSteadyState(engine.get());
+  int64_t allocs = 0;
   for (auto _ : state) {
     if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    allocs += engine->last_stats().allocs_per_tick;
   }
   state.counters["threads"] = static_cast<double>(state.range(0));
   state.counters["vehicle_ticks/s"] = benchmark::Counter(
       100000.0, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["allocs_per_tick"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
 }
 
 BENCHMARK(BM_TrafficCostBased)

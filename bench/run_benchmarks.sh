@@ -5,23 +5,28 @@
 #
 #   E1  set-at-a-time vs object-at-a-time (tick ms + allocs_per_tick on the
 #       zero-allocation grid and range-tree paths)
+#   E3  transaction throughput / abort behaviour under contention, plus
+#       admission-engine scaling (allocs_per_tick on the flat write path)
 #   E6  multicore scaling (phase breakdown + allocs_per_tick)
 #   E7  index build / steady-state rebuild cost (allocs_per_build) / memory
+#   E8  traffic scaling under the cost-based planner (vehicle_ticks/s +
+#       allocs_per_tick)
 #
 # Usage: bench/run_benchmarks.sh [build_dir] [tag]
 #   build_dir  cmake build directory holding the bench_* binaries (default:
 #              build)
-#   tag        suffix for the output file (default: pr2)
+#   tag        suffix for the output file (default: pr3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-TAG="${2:-pr2}"
+TAG="${2:-pr3}"
 OUT="BENCH_${TAG}.json"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-for exp in e1_set_at_a_time e6_parallel e7_index_memory; do
+for exp in e1_set_at_a_time e3_transactions e6_parallel e7_index_memory \
+           e8_traffic; do
   bin="$BUILD_DIR/bench_${exp}"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -39,7 +44,8 @@ tmp, out = sys.argv[1], sys.argv[2]
 keep = ("name", "real_time", "cpu_time", "time_unit", "iterations",
         "allocs_per_tick", "allocs_per_build", "units", "threads",
         "query_ms", "merge_ms", "update_ms", "hw_cores", "bytes",
-        "formula_bytes")
+        "formula_bytes", "issued/tick", "committed/tick", "abort_rate",
+        "consistent", "txns/s", "vehicle_ticks/s", "mean_speed")
 merged = {}
 for f in sorted(os.listdir(tmp)):
     with open(os.path.join(tmp, f)) as fh:

@@ -4,38 +4,85 @@
 
 namespace sgl {
 
-void EntitySet::Normalize() {
-  std::sort(ids_.begin(), ids_.end());
-  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+void EntitySet::Grow(size_t need) {
+  // Double from the current capacity so repeated one-element inserts touch
+  // the allocator only O(log n) times; once heap, capacity never shrinks.
+  size_t new_cap = cap_;
+  while (new_cap < need) new_cap *= 2;
+  EntityId* fresh = new EntityId[new_cap];
+  std::memcpy(fresh, data(), size_ * sizeof(EntityId));
+  FreeHeap();
+  heap_ = fresh;
+  cap_ = static_cast<uint32_t>(new_cap);
+}
+
+void EntitySet::AssignNormalized(const EntityId* src, size_t n) {
+  if (n == 0) {
+    size_ = 0;
+    return;
+  }
+  if (n > cap_) Grow(n);
+  EntityId* dst = MutableData();
+  std::memcpy(dst, src, n * sizeof(EntityId));
+  std::sort(dst, dst + n);
+  size_ = static_cast<uint32_t>(std::unique(dst, dst + n) - dst);
 }
 
 bool EntitySet::Insert(EntityId id) {
-  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-  if (it != ids_.end() && *it == id) return false;
-  ids_.insert(it, id);
+  EntityId* d = MutableData();
+  EntityId* it = std::lower_bound(d, d + size_, id);
+  if (it != d + size_ && *it == id) return false;
+  const size_t pos = static_cast<size_t>(it - d);
+  if (size_ == cap_) {
+    Grow(size_ + 1);
+    d = MutableData();
+  }
+  std::memmove(d + pos + 1, d + pos, (size_ - pos) * sizeof(EntityId));
+  d[pos] = id;
+  ++size_;
   return true;
 }
 
 bool EntitySet::Erase(EntityId id) {
-  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-  if (it == ids_.end() || *it != id) return false;
-  ids_.erase(it);
+  EntityId* d = MutableData();
+  EntityId* it = std::lower_bound(d, d + size_, id);
+  if (it == d + size_ || *it != id) return false;
+  std::memmove(it, it + 1,
+               static_cast<size_t>(d + size_ - it - 1) * sizeof(EntityId));
+  --size_;
   return true;
 }
 
-void EntitySet::UnionWith(const EntitySet& other) {
-  std::vector<EntityId> merged;
-  merged.reserve(ids_.size() + other.ids_.size());
-  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
-                 other.ids_.end(), std::back_inserter(merged));
-  ids_ = std::move(merged);
+void EntitySet::UnionWith(const EntitySet& other,
+                          std::vector<EntityId>* scratch) {
+  if (other.empty()) return;
+  scratch->clear();
+  if (scratch->capacity() < size_ + other.size_) {
+    scratch->reserve(size_ + other.size_);
+  }
+  std::set_union(begin(), end(), other.begin(), other.end(),
+                 std::back_inserter(*scratch));
+  AssignSorted(scratch->data(), scratch->size());
 }
 
 void EntitySet::IntersectWith(const EntitySet& other) {
-  std::vector<EntityId> merged;
-  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
-                        other.ids_.end(), std::back_inserter(merged));
-  ids_ = std::move(merged);
+  EntityId* d = MutableData();
+  const EntityId* a = d;
+  const EntityId* a_end = d + size_;
+  const EntityId* b = other.begin();
+  const EntityId* b_end = other.end();
+  EntityId* out = d;
+  while (a != a_end && b != b_end) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      *out++ = *a++;
+      ++b;
+    }
+  }
+  size_ = static_cast<uint32_t>(out - d);
 }
 
 std::string Value::ToString() const {

@@ -6,6 +6,7 @@
 #define SGL_COMMON_VALUE_H_
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <variant>
 #include <vector>
@@ -16,38 +17,134 @@ namespace sgl {
 
 /// A sorted, duplicate-free set of entity ids. The canonical runtime
 /// representation of SGL's `set<C>` type.
+///
+/// Representation invariants (the write-path arenas rely on these):
+///   - Elements are always sorted ascending and unique; `data()[0..size())`
+///     is directly binary-searchable.
+///   - Small-size optimization: up to kInlineCapacity elements live inline
+///     (no heap block). Once a set grows past that, it switches to a heap
+///     buffer and *never returns to the inline representation* — capacity is
+///     a high-water mark, so steady-state mutation cycles
+///     (insert/erase/copy-assign of similarly sized sets) are
+///     allocation-free.
+///   - Copy assignment reuses the destination's existing buffer whenever the
+///     source fits (it never shrinks); this is what lets effect write-back
+///     and the transaction overlay copy sets through pooled slots without
+///     heap traffic after warmup.
+///   - Move steals the heap buffer when there is one and leaves the source
+///     empty-inline.
 class EntitySet {
  public:
+  /// Elements stored inline before the first heap spill. Sized so the whole
+  /// set object stays within one cache line (4+4 bytes of size/capacity plus
+  /// a 4*8-byte union = 40 bytes).
+  static constexpr size_t kInlineCapacity = 4;
+
   EntitySet() = default;
-  explicit EntitySet(std::vector<EntityId> ids) : ids_(std::move(ids)) {
-    Normalize();
+  /// Takes arbitrary ids; sorts and dedups.
+  explicit EntitySet(const std::vector<EntityId>& ids) {
+    AssignNormalized(ids.data(), ids.size());
   }
+  EntitySet(std::initializer_list<EntityId> ids) {
+    AssignNormalized(ids.begin(), ids.size());
+  }
+  EntitySet(const EntitySet& other) { *this = other; }
+  EntitySet(EntitySet&& other) noexcept { MoveFrom(&other); }
+  EntitySet& operator=(const EntitySet& other) {
+    if (this != &other) AssignSorted(other.data(), other.size());
+    return *this;
+  }
+  EntitySet& operator=(EntitySet&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  ~EntitySet() { FreeHeap(); }
 
   /// Inserts id; returns true if it was not already present.
   bool Insert(EntityId id);
   /// Removes id; returns true if it was present.
   bool Erase(EntityId id);
   bool Contains(EntityId id) const {
-    return std::binary_search(ids_.begin(), ids_.end(), id);
+    return std::binary_search(begin(), end(), id);
   }
-  size_t size() const { return ids_.size(); }
-  bool empty() const { return ids_.empty(); }
-  void clear() { ids_.clear(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }  // keeps capacity (high-water reuse)
 
-  /// Set union with other, in place.
-  void UnionWith(const EntitySet& other);
-  /// Set intersection with other, in place.
+  /// Grows capacity to at least n elements (never shrinks).
+  void Reserve(size_t n) {
+    if (n > cap_) Grow(n);
+  }
+  size_t capacity() const { return cap_; }
+
+  /// Replaces the contents with `src[0..n)`, which must already be sorted
+  /// and duplicate-free. Reuses the existing buffer when it fits.
+  void AssignSorted(const EntityId* src, size_t n) {
+    if (n > cap_) Grow(n);
+    if (n > 0) std::memmove(MutableData(), src, n * sizeof(EntityId));
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  /// Set union with other, in place. `scratch` is caller-provided merge
+  /// space (cleared and reused; keeps its high-water capacity) so
+  /// steady-state unions perform no allocation.
+  void UnionWith(const EntitySet& other, std::vector<EntityId>* scratch);
+  /// Set intersection with other, in place (no scratch needed: the write
+  /// cursor never overtakes the read cursor).
   void IntersectWith(const EntitySet& other);
 
-  const std::vector<EntityId>& ids() const { return ids_; }
-  auto begin() const { return ids_.begin(); }
-  auto end() const { return ids_.end(); }
+  const EntityId* data() const {
+    return is_inline() ? inline_ : heap_;
+  }
+  const EntityId* begin() const { return data(); }
+  const EntityId* end() const { return data() + size_; }
 
-  bool operator==(const EntitySet& other) const { return ids_ == other.ids_; }
+  /// Heap bytes held by this set (0 while inline). For memory accounting.
+  size_t HeapBytes() const {
+    return is_inline() ? 0 : cap_ * sizeof(EntityId);
+  }
+
+  bool operator==(const EntitySet& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data(), other.data(),
+                                      size_ * sizeof(EntityId)) == 0);
+  }
+  bool operator!=(const EntitySet& other) const { return !(*this == other); }
 
  private:
-  void Normalize();
-  std::vector<EntityId> ids_;  // Always sorted, unique.
+  bool is_inline() const { return cap_ == kInlineCapacity; }
+  EntityId* MutableData() { return is_inline() ? inline_ : heap_; }
+  void Grow(size_t need);
+  void FreeHeap() {
+    if (!is_inline()) {
+      delete[] heap_;
+      cap_ = kInlineCapacity;
+    }
+  }
+  void MoveFrom(EntitySet* other) noexcept {
+    if (other->is_inline()) {
+      size_ = other->size_;
+      cap_ = kInlineCapacity;
+      std::memcpy(inline_, other->inline_, size_ * sizeof(EntityId));
+    } else {
+      heap_ = other->heap_;
+      cap_ = other->cap_;
+      size_ = other->size_;
+      other->cap_ = kInlineCapacity;
+    }
+    other->size_ = 0;
+  }
+  void AssignNormalized(const EntityId* src, size_t n);
+
+  uint32_t size_ = 0;
+  uint32_t cap_ = kInlineCapacity;
+  union {
+    EntityId inline_[kInlineCapacity];
+    EntityId* heap_;
+  };
 };
 
 /// Tag for the dynamic type held by a Value.

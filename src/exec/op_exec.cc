@@ -583,19 +583,15 @@ void RunTxnEmitVectorized(const TxnEmitOp& op,
     }
   }
   for (size_t i = 0; i < R->size(); ++i) {
-    TxnIntent intent;
-    intent.order_key = (static_cast<uint64_t>(op.site_id) << 32) |
-                       static_cast<uint64_t>((*R)[i]);
-    intent.issuer = env.outer->id_at((*R)[i]);
-    intent.issuer_cls = env.outer_cls;
-    intent.issuer_row = (*R)[i];
-    intent.op = &op;
-    intent.writes.reserve(op.writes.size());
+    const EntityId issuer = env.outer->id_at((*R)[i]);
+    env.txn_sink->StartIntent((static_cast<uint64_t>(op.site_id) << 32) |
+                                  static_cast<uint64_t>((*R)[i]),
+                              issuer, env.outer_cls, (*R)[i], &op);
     for (size_t wi = 0; wi < op.writes.size(); ++wi) {
       const TxnWrite& w = op.writes[wi];
       TxnResolvedWrite rw;
       rw.target = w.target_kind == TargetKind::kSelf
-                      ? intent.issuer
+                      ? issuer
                       : (*evaled[wi].targets)[i];
       rw.cls = w.target_cls;
       rw.field = w.state_field;
@@ -605,9 +601,8 @@ void RunTxnEmitVectorized(const TxnEmitOp& op,
       } else {
         rw.ref = (*evaled[wi].refs)[i];
       }
-      intent.writes.push_back(rw);
+      env.txn_sink->AddWrite(rw);
     }
-    env.txn_sink->push_back(std::move(intent));
   }
 }
 
@@ -981,17 +976,14 @@ void RunAccumScalarBatch(const AccumOp& op,
 void RunTxnEmitScalar(const TxnEmitOp& op, RowIdx row, ExecEnv& env) {
   ScalarContext ctx = MakeScalarCtx(env, row);
   if (op.guard != nullptr && !EvalScalarBool(*op.guard, ctx)) return;
-  TxnIntent intent;
-  intent.order_key = (static_cast<uint64_t>(op.site_id) << 32) |
-                     static_cast<uint64_t>(row);
-  intent.issuer = env.outer->id_at(row);
-  intent.issuer_cls = env.outer_cls;
-  intent.issuer_row = row;
-  intent.op = &op;
+  const EntityId issuer = env.outer->id_at(row);
+  env.txn_sink->StartIntent((static_cast<uint64_t>(op.site_id) << 32) |
+                                static_cast<uint64_t>(row),
+                            issuer, env.outer_cls, row, &op);
   for (const TxnWrite& w : op.writes) {
     TxnResolvedWrite rw;
     rw.target = w.target_kind == TargetKind::kSelf
-                    ? intent.issuer
+                    ? issuer
                     : EvalScalarRef(*w.target_ref, ctx);
     rw.cls = w.target_cls;
     rw.field = w.state_field;
@@ -1001,9 +993,8 @@ void RunTxnEmitScalar(const TxnEmitOp& op, RowIdx row, ExecEnv& env) {
     } else {
       rw.ref = EvalScalarRef(*w.value, ctx);
     }
-    intent.writes.push_back(rw);
+    env.txn_sink->AddWrite(rw);
   }
-  env.txn_sink->push_back(std::move(intent));
 }
 
 }  // namespace

@@ -97,8 +97,8 @@ struct ExecEnv {
 
   /// Effect sinks, one per class (worker shard or the world's own buffers).
   std::vector<EffectBuffer*> effect_sinks;
-  /// Transaction-intent sink (worker shard).
-  std::vector<TxnIntent>* txn_sink = nullptr;
+  /// Transaction-intent sink (worker shard's flat intent log).
+  TxnIntentLog* txn_sink = nullptr;
   /// Local columns of the running script/handler (full table size; morsels
   /// write disjoint rows).
   LocalColumns* locals = nullptr;

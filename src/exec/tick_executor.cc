@@ -314,6 +314,11 @@ Status TickExecutor::RunTick() {
       }
     }
   }
+  // Canonicalize set-effect logs (sort + dedup + pooled materialization)
+  // now that the last shard has merged; update-phase reads require it.
+  for (ClassId c = 0; c < num_classes; ++c) {
+    world_->effects(c).FinalizeSets();
+  }
   // Aggregate per-site feedback across shards and inform the controller.
   last_.sites.assign(static_cast<size_t>(program_->num_sites),
                      SiteFeedback());

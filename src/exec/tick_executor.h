@@ -19,9 +19,12 @@
 // baseline that traditional game engines implement and bench E1 compares
 // against.
 //
-// Steady-state ticks are allocation-free: every selection vector, local
-// column, prepared site, effect shard, and evaluation temporary lives in
-// executor-owned scratch with high-water reuse, and TickStats reports the
+// Steady-state ticks are allocation-free on both halves of the tick: every
+// selection vector, local column, prepared site, effect shard, and
+// evaluation temporary lives in executor-owned scratch with high-water
+// reuse (reads), and the write path — per-worker flat intent logs, the
+// dense epoch StateOverlay, CSR-pooled set effects — never boxes per row
+// (see txn/txn_engine.h, storage/effect_buffer.h). TickStats reports the
 // residual via allocs_per_tick / bytes_per_tick (see common/alloc_hook.h).
 
 #ifndef SGL_EXEC_TICK_EXECUTOR_H_

@@ -55,20 +55,20 @@ const EntitySet* ResolveSetScalar(const Expr& e, const ScalarContext& ctx) {
     ClassId cls = e.side == 0 ? ctx.outer_cls : ctx.inner_cls;
     RowIdx row = e.side == 0 ? ctx.outer_row : ctx.inner_row;
     if (ctx.overlay != nullptr) {
-      EntityId id = ctx.world->table(cls).id_at(row);
-      const EntitySet* tentative = ctx.overlay->GetSet(id, e.field);
+      const EntitySet* tentative = ctx.overlay->GetSet(cls, row, e.field);
       if (tentative != nullptr) return tentative;
     }
     return &ctx.world->table(cls).SetCol(e.field)[row];
   }
   if (e.kind == ExprKind::kRefState) {
     EntityId target = EvalScalarRef(*e.kids[0], ctx);
-    if (ctx.overlay != nullptr) {
-      const EntitySet* tentative = ctx.overlay->GetSet(target, e.field);
-      if (tentative != nullptr) return tentative;
-    }
     const World::Locator* loc = ctx.world->Find(target);
     if (loc == nullptr) return &kEmpty;
+    if (ctx.overlay != nullptr) {
+      const EntitySet* tentative =
+          ctx.overlay->GetSet(loc->cls, loc->row, e.field);
+      if (tentative != nullptr) return tentative;
+    }
     return &ctx.world->table(loc->cls).SetCol(e.field)[loc->row];
   }
   if (e.kind == ExprKind::kIf) {
@@ -430,9 +430,8 @@ double EvalScalarNum(const Expr& expr, const ScalarContext& ctx) {
       ClassId cls = expr.side == 0 ? ctx.outer_cls : ctx.inner_cls;
       RowIdx row = expr.side == 0 ? ctx.outer_row : ctx.inner_row;
       if (ctx.overlay != nullptr) {
-        EntityId id = ctx.world->table(cls).id_at(row);
-        auto v = ctx.overlay->GetNum(id, expr.field);
-        if (v.has_value()) return *v;
+        const double* v = ctx.overlay->GetNum(cls, row, expr.field);
+        if (v != nullptr) return *v;
       }
       return ctx.world->table(cls).Num(expr.field)[row];
     }
@@ -446,12 +445,12 @@ double EvalScalarNum(const Expr& expr, const ScalarContext& ctx) {
       return ctx.locals->num[static_cast<size_t>(expr.slot)][ctx.outer_row];
     case ExprKind::kRefState: {
       EntityId target = EvalScalarRef(*expr.kids[0], ctx);
-      if (ctx.overlay != nullptr) {
-        auto v = ctx.overlay->GetNum(target, expr.field);
-        if (v.has_value()) return *v;
-      }
       const World::Locator* loc = ctx.world->Find(target);
       if (loc == nullptr) return 0.0;
+      if (ctx.overlay != nullptr) {
+        const double* v = ctx.overlay->GetNum(loc->cls, loc->row, expr.field);
+        if (v != nullptr) return *v;
+      }
       return ctx.world->table(loc->cls).Num(expr.field)[loc->row];
     }
     case ExprKind::kUnaryMinus:
@@ -546,9 +545,8 @@ EntityId EvalScalarRef(const Expr& expr, const ScalarContext& ctx) {
       ClassId cls = expr.side == 0 ? ctx.outer_cls : ctx.inner_cls;
       RowIdx row = expr.side == 0 ? ctx.outer_row : ctx.inner_row;
       if (ctx.overlay != nullptr) {
-        EntityId id = ctx.world->table(cls).id_at(row);
-        auto v = ctx.overlay->GetRef(id, expr.field);
-        if (v.has_value()) return *v;
+        const EntityId* v = ctx.overlay->GetRef(cls, row, expr.field);
+        if (v != nullptr) return *v;
       }
       return ctx.world->table(cls).RefCol(expr.field)[row];
     }
@@ -566,12 +564,13 @@ EntityId EvalScalarRef(const Expr& expr, const ScalarContext& ctx) {
     }
     case ExprKind::kRefState: {
       EntityId target = EvalScalarRef(*expr.kids[0], ctx);
-      if (ctx.overlay != nullptr) {
-        auto v = ctx.overlay->GetRef(target, expr.field);
-        if (v.has_value()) return *v;
-      }
       const World::Locator* loc = ctx.world->Find(target);
       if (loc == nullptr) return kNullEntity;
+      if (ctx.overlay != nullptr) {
+        const EntityId* v =
+            ctx.overlay->GetRef(loc->cls, loc->row, expr.field);
+        if (v != nullptr) return *v;
+      }
       return ctx.world->table(loc->cls).RefCol(expr.field)[loc->row];
     }
     case ExprKind::kIf:
@@ -582,6 +581,92 @@ EntityId EvalScalarRef(const Expr& expr, const ScalarContext& ctx) {
       SGL_CHECK(false && "expression is not a reference");
   }
   return kNullEntity;
+}
+
+// --------------------------- StateOverlay ------------------------------
+
+void StateOverlay::BeginTick(
+    const World& world, const std::vector<std::vector<FieldIdx>>& txn_owned) {
+  const Catalog& catalog = world.catalog();
+  if (field_map_.empty()) {
+    // First tick: lay out one FieldOverlay per (class, txn-owned field).
+    // The txn-owned partition is fixed at compile time, so this runs once.
+    field_map_.resize(static_cast<size_t>(catalog.num_classes()));
+    for (ClassId c = 0; c < catalog.num_classes(); ++c) {
+      const ClassDef& def = catalog.Get(c);
+      auto& per_class = field_map_[static_cast<size_t>(c)];
+      per_class.assign(def.state_fields().size(), -1);
+      if (static_cast<size_t>(c) >= txn_owned.size()) continue;
+      for (FieldIdx fi : txn_owned[static_cast<size_t>(c)]) {
+        per_class[static_cast<size_t>(fi)] =
+            static_cast<int32_t>(fields_.size());
+        FieldOverlay ov;
+        ov.cls = c;
+        ov.field = fi;
+        ov.kind = def.state_field(fi).type.kind;
+        fields_.push_back(std::move(ov));
+      }
+    }
+  }
+  for (FieldOverlay& f : fields_) {
+    const size_t rows = world.table(f.cls).size();
+    if (f.epoch.size() < rows) {
+      // Growth only; new rows get epoch 0 (= absent). Shrunk tables keep
+      // their larger buffers (rows past size() are simply never addressed).
+      f.epoch.resize(rows, 0u);
+      switch (f.kind) {
+        case TypeKind::kNumber: f.num.resize(rows); break;
+        case TypeKind::kRef: f.ref.resize(rows); break;
+        case TypeKind::kSet: f.set_slot.resize(rows); break;
+        case TypeKind::kBool: break;
+      }
+    }
+  }
+}
+
+bool StateOverlay::Touch(FieldOverlay* f, RowIdx row) {
+  if (f->epoch[row] == epoch_) return false;
+  f->epoch[row] = epoch_;
+  touched_.push_back(
+      Touched{static_cast<uint32_t>(f - fields_.data()), row});
+  return true;
+}
+
+double* StateOverlay::MutableNum(ClassId cls, RowIdx row, FieldIdx field,
+                                 bool* fresh) {
+  FieldOverlay* f = FindField(cls, field);
+  SGL_DCHECK(f != nullptr && f->kind == TypeKind::kNumber &&
+             row < f->epoch.size());
+  *fresh = Touch(f, row);
+  return &f->num[row];
+}
+
+EntityId* StateOverlay::MutableRef(ClassId cls, RowIdx row, FieldIdx field,
+                                   bool* fresh) {
+  FieldOverlay* f = FindField(cls, field);
+  SGL_DCHECK(f != nullptr && f->kind == TypeKind::kRef &&
+             row < f->epoch.size());
+  *fresh = Touch(f, row);
+  return &f->ref[row];
+}
+
+EntitySet* StateOverlay::MutableSet(ClassId cls, RowIdx row, FieldIdx field,
+                                    bool* fresh) {
+  FieldOverlay* f = FindField(cls, field);
+  SGL_DCHECK(f != nullptr && f->kind == TypeKind::kSet &&
+             row < f->epoch.size());
+  *fresh = Touch(f, row);
+  if (*fresh) {
+    if (set_pool_used_ == set_pool_.size()) {
+      set_pool_.push_back(std::make_unique<EntitySet>());
+    }
+    EntitySet* s = set_pool_[set_pool_used_].get();
+    s->clear();  // pooled slot keeps its high-water capacity
+    f->set_slot[row] = static_cast<uint32_t>(set_pool_used_);
+    ++set_pool_used_;
+    return s;
+  }
+  return set_pool_[f->set_slot[row]].get();
 }
 
 }  // namespace sgl

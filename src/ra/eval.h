@@ -129,68 +129,130 @@ struct LocalColumns {
 
 /// Tentative state deltas used during transaction admission (§3.1): reads of
 /// overlaid fields see the would-be-committed value instead of the table.
+///
+/// Layout: one dense column per (class, txn-owned field), parallel to the
+/// class's table rows, with a per-row epoch stamp — a row's overlay entry is
+/// live iff its stamp equals the current epoch, so Clear() is a counter
+/// bump, not a scan or free. Set values live in a pool of reusable
+/// EntitySets (stable addresses, capacity kept across ticks); the column
+/// stores the pool slot. A touched-list records live entries in write order
+/// for write-back. All buffers are high-water: after warmup, a tick of
+/// admission performs zero heap allocations.
 class StateOverlay {
  public:
-  void SetNum(EntityId id, FieldIdx field, double v) {
-    nums_[Key(id, field)] = v;
-  }
-  std::optional<double> GetNum(EntityId id, FieldIdx field) const {
-    auto it = nums_.find(Key(id, field));
-    if (it == nums_.end()) return std::nullopt;
-    return it->second;
-  }
-  void SetSet(EntityId id, FieldIdx field, EntitySet v) {
-    sets_[Key(id, field)] = std::move(v);
-  }
-  const EntitySet* GetSet(EntityId id, FieldIdx field) const {
-    auto it = sets_.find(Key(id, field));
-    return it == sets_.end() ? nullptr : &it->second;
-  }
-  void SetRef(EntityId id, FieldIdx field, EntityId v) {
-    refs_[Key(id, field)] = v;
-  }
-  std::optional<EntityId> GetRef(EntityId id, FieldIdx field) const {
-    auto it = refs_.find(Key(id, field));
-    if (it == refs_.end()) return std::nullopt;
-    return it->second;
-  }
-  /// Removes an overlaid value (used to undo tentative transaction writes).
-  void EraseNum(EntityId id, FieldIdx field) { nums_.erase(Key(id, field)); }
-  void EraseSet(EntityId id, FieldIdx field) { sets_.erase(Key(id, field)); }
-  void EraseRef(EntityId id, FieldIdx field) { refs_.erase(Key(id, field)); }
+  /// Sizes the per-field columns against the current table sizes. Call once
+  /// per tick before writing; reuses buffers across ticks. `txn_owned`
+  /// lists, per class, every state field atomic blocks may write.
+  void BeginTick(const World& world,
+                 const std::vector<std::vector<FieldIdx>>& txn_owned);
+
+  /// Drops every overlaid value (epoch bump; buffers retained).
   void Clear() {
-    nums_.clear();
-    sets_.clear();
-    refs_.clear();
-  }
-  bool empty() const {
-    return nums_.empty() && sets_.empty() && refs_.empty();
+    touched_.clear();
+    set_pool_used_ = 0;
+    if (++epoch_ == 0) {  // wrapped: old stamps would alias the new epoch
+      for (FieldOverlay& f : fields_) {
+        std::fill(f.epoch.begin(), f.epoch.end(), 0u);
+      }
+      epoch_ = 1;
+    }
   }
 
-  /// Visits every overlaid value (write-back after admission).
+  // --- Reads (scalar evaluation during admission) ---------------------
+  // Return nullptr when (cls, row, field) has no live overlay entry —
+  // including fields no atomic block writes (no column exists for them).
+
+  const double* GetNum(ClassId cls, RowIdx row, FieldIdx field) const {
+    const FieldOverlay* f = FindField(cls, field);
+    return f != nullptr && f->epoch[row] == epoch_ ? &f->num[row] : nullptr;
+  }
+  const EntityId* GetRef(ClassId cls, RowIdx row, FieldIdx field) const {
+    const FieldOverlay* f = FindField(cls, field);
+    return f != nullptr && f->epoch[row] == epoch_ ? &f->ref[row] : nullptr;
+  }
+  const EntitySet* GetSet(ClassId cls, RowIdx row, FieldIdx field) const {
+    const FieldOverlay* f = FindField(cls, field);
+    return f != nullptr && f->epoch[row] == epoch_
+               ? set_pool_[f->set_slot[row]].get()
+               : nullptr;
+  }
+
+  // --- Writes (transaction engine only) -------------------------------
+  // Mutable* returns the entry's value slot; *fresh reports whether the
+  // entry was just created (caller seeds it from the table and records the
+  // undo). A fresh set entry's EntitySet is a cleared pooled slot.
+
+  double* MutableNum(ClassId cls, RowIdx row, FieldIdx field, bool* fresh);
+  EntityId* MutableRef(ClassId cls, RowIdx row, FieldIdx field, bool* fresh);
+  EntitySet* MutableSet(ClassId cls, RowIdx row, FieldIdx field, bool* fresh);
+
+  /// Removes an overlaid value (used to undo tentative transaction writes).
+  void Erase(ClassId cls, RowIdx row, FieldIdx field) {
+    FieldOverlay* f = FindField(cls, field);
+    SGL_DCHECK(f != nullptr);
+    f->epoch[row] = 0;
+  }
+
+  /// Visits every live entry in touch order (write-back after admission).
+  /// Entries erased after their first touch are skipped; a re-touched entry
+  /// may be visited twice with the same final value (write-back is
+  /// idempotent per key).
   template <typename NumFn, typename SetFn, typename RefFn>
-  void ForEach(NumFn num_fn, SetFn set_fn, RefFn ref_fn) const {
-    for (const auto& [key, v] : nums_) {
-      num_fn(static_cast<EntityId>(key >> 16),
-             static_cast<FieldIdx>(key & 0xffff), v);
-    }
-    for (const auto& [key, v] : sets_) {
-      set_fn(static_cast<EntityId>(key >> 16),
-             static_cast<FieldIdx>(key & 0xffff), v);
-    }
-    for (const auto& [key, v] : refs_) {
-      ref_fn(static_cast<EntityId>(key >> 16),
-             static_cast<FieldIdx>(key & 0xffff), v);
+  void ForEachTouched(NumFn num_fn, SetFn set_fn, RefFn ref_fn) const {
+    for (const Touched& t : touched_) {
+      const FieldOverlay& f = fields_[t.field_index];
+      if (f.epoch[t.row] != epoch_) continue;  // undone
+      switch (f.kind) {
+        case TypeKind::kNumber:
+          num_fn(f.cls, t.row, f.field, f.num[t.row]);
+          break;
+        case TypeKind::kSet:
+          set_fn(f.cls, t.row, f.field, *set_pool_[f.set_slot[t.row]]);
+          break;
+        case TypeKind::kRef:
+          ref_fn(f.cls, t.row, f.field, f.ref[t.row]);
+          break;
+        case TypeKind::kBool:
+          break;  // bools are never txn-owned
+      }
     }
   }
 
  private:
-  static uint64_t Key(EntityId id, FieldIdx field) {
-    return (static_cast<uint64_t>(id) << 16) ^ static_cast<uint16_t>(field);
+  /// Dense overlay columns for one (class, field).
+  struct FieldOverlay {
+    ClassId cls = kInvalidClass;
+    FieldIdx field = kInvalidField;
+    TypeKind kind = TypeKind::kNumber;
+    std::vector<uint32_t> epoch;     ///< live iff == current epoch
+    std::vector<double> num;         ///< kNumber only
+    std::vector<EntityId> ref;       ///< kRef only
+    std::vector<uint32_t> set_slot;  ///< kSet only: index into set_pool_
+  };
+  struct Touched {
+    uint32_t field_index;  ///< into fields_
+    RowIdx row;
+  };
+
+  const FieldOverlay* FindField(ClassId cls, FieldIdx field) const {
+    const auto& per_class = field_map_[static_cast<size_t>(cls)];
+    if (static_cast<size_t>(field) >= per_class.size()) return nullptr;
+    const int32_t idx = per_class[static_cast<size_t>(field)];
+    return idx < 0 ? nullptr : &fields_[static_cast<size_t>(idx)];
   }
-  std::unordered_map<uint64_t, double> nums_;
-  std::unordered_map<uint64_t, EntitySet> sets_;
-  std::unordered_map<uint64_t, EntityId> refs_;
+  FieldOverlay* FindField(ClassId cls, FieldIdx field) {
+    return const_cast<FieldOverlay*>(
+        static_cast<const StateOverlay*>(this)->FindField(cls, field));
+  }
+  /// Stamps (field, row) live; returns true if it was not live before.
+  bool Touch(FieldOverlay* f, RowIdx row);
+
+  std::vector<std::vector<int32_t>> field_map_;  ///< [cls][field] -> fields_
+  std::vector<FieldOverlay> fields_;
+  std::vector<Touched> touched_;
+  std::vector<std::unique_ptr<EntitySet>> set_pool_;
+  size_t set_pool_used_ = 0;
+  uint32_t epoch_ = 1;
 };
 
 /// Context for vectorized evaluation. Output element i corresponds to

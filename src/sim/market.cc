@@ -55,8 +55,26 @@ StatusOr<std::unique_ptr<Engine>> MarketWorkload::Build(
                                {"owner", Value::Ref(owner)}}));
     auto items = engine->Get(owner, "items");
     EntitySet set = items->AsSet();
+    set.Reserve(set.size() + 1);
     set.Insert(item);
-    SGL_RETURN_IF_ERROR(engine->Set(owner, "items", Value::Set(set)));
+    SGL_RETURN_IF_ERROR(
+        engine->Set(owner, "items", Value::Set(std::move(set))));
+  }
+  if (config.inventory_capacity >= 0) {
+    // Provision every inventory's buffer up front (see MarketConfig); the
+    // transaction overlay mirrors row capacity when it seeds tentative
+    // copies, so trading never outgrows provisioned storage.
+    const size_t cap = config.inventory_capacity > 0
+                           ? static_cast<size_t>(config.inventory_capacity)
+                           : static_cast<size_t>(config.num_items);
+    World& world = engine->world();
+    ClassId trader_cls = engine->catalog().Find("Trader");
+    FieldIdx items_field =
+        engine->catalog().Get(trader_cls).FindState("items");
+    EntitySet* col = world.table(trader_cls).SetCol(items_field);
+    for (size_t t = 0; t < world.table(trader_cls).size(); ++t) {
+      col[t].Reserve(cap);
+    }
   }
   return engine;
 }

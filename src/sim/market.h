@@ -32,6 +32,13 @@ struct MarketConfig {
   /// Fraction of items contested each tick.
   double active_fraction = 0.25;
   uint64_t seed = 11;
+  /// Per-trader inventory capacity provisioned at build time (the standard
+  /// zero-allocation game-server pattern: size pools to the worst case up
+  /// front). 0 = auto (num_items, the hard bound on any one inventory);
+  /// < 0 disables pre-sizing. With pre-sizing, steady-state market ticks
+  /// perform no heap allocation — inventory churn reuses provisioned
+  /// buffers in the tables and the transaction overlay alike.
+  int inventory_capacity = 0;
 };
 
 class MarketWorkload {

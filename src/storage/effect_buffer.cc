@@ -1,5 +1,7 @@
 #include "src/storage/effect_buffer.h"
 
+#include <algorithm>
+
 namespace sgl {
 
 EffectBuffer::EffectBuffer(const ClassDef* cls) : cls_(cls) {
@@ -15,6 +17,7 @@ EffectBuffer::EffectBuffer(const ClassDef* cls) : cls_(cls) {
 
 void EffectBuffer::Reset(size_t rows) {
   rows_ = rows;
+  set_pool_used_ = 0;
   for (Accum& a : accums_) {
     a.cnt.assign(rows, 0);
     if (a.keyed) a.key.assign(rows, 0);
@@ -29,7 +32,9 @@ void EffectBuffer::Reset(size_t rows) {
         a.refs.assign(rows, kNullEntity);
         break;
       case TypeKind::kSet:
-        a.sets.assign(rows, EntitySet());
+        a.set_log.clear();
+        a.set_ref.assign(rows, kNoSet);
+        a.sets_final = false;
         break;
     }
   }
@@ -94,15 +99,15 @@ void EffectBuffer::AddRef(FieldIdx f, RowIdx row, EntityId v,
 
 void EffectBuffer::AddSetInsert(FieldIdx f, RowIdx row, EntityId v) {
   Accum& a = accums_[static_cast<size_t>(f)];
-  SGL_DCHECK(a.kind == TypeKind::kSet && row < rows_);
-  a.sets[row].Insert(v);
+  SGL_DCHECK(a.kind == TypeKind::kSet && row < rows_ && !a.sets_final);
+  a.set_log.push_back(SetEntry{row, v});
   ++a.cnt[row];
 }
 
 void EffectBuffer::AddSetUnion(FieldIdx f, RowIdx row, const EntitySet& v) {
   Accum& a = accums_[static_cast<size_t>(f)];
-  SGL_DCHECK(a.kind == TypeKind::kSet && row < rows_);
-  a.sets[row].UnionWith(v);
+  SGL_DCHECK(a.kind == TypeKind::kSet && row < rows_ && !a.sets_final);
+  for (EntityId id : v) a.set_log.push_back(SetEntry{row, id});
   ++a.cnt[row];
 }
 
@@ -111,6 +116,13 @@ void EffectBuffer::MergeFrom(const EffectBuffer& shard) {
   for (size_t fi = 0; fi < accums_.size(); ++fi) {
     Accum& a = accums_[fi];
     const Accum& s = shard.accums_[fi];
+    if (a.kind == TypeKind::kSet) {
+      // Log concatenation: FinalizeSets' sort canonicalizes the union, so
+      // the result is independent of shard order and thread count.
+      a.set_log.insert(a.set_log.end(), s.set_log.begin(), s.set_log.end());
+      for (size_t row = 0; row < rows_; ++row) a.cnt[row] += s.cnt[row];
+      continue;
+    }
     for (size_t row = 0; row < rows_; ++row) {
       if (s.cnt[row] == 0) continue;
       if (a.cnt[row] == 0) {
@@ -119,7 +131,7 @@ void EffectBuffer::MergeFrom(const EffectBuffer& shard) {
           case TypeKind::kNumber: a.num[row] = s.num[row]; break;
           case TypeKind::kBool: a.bools[row] = s.bools[row]; break;
           case TypeKind::kRef: a.refs[row] = s.refs[row]; break;
-          case TypeKind::kSet: a.sets[row] = s.sets[row]; break;
+          case TypeKind::kSet: break;  // handled above
         }
         if (a.keyed) a.key[row] = s.key[row];
         a.cnt[row] = s.cnt[row];
@@ -158,14 +170,44 @@ void EffectBuffer::MergeFrom(const EffectBuffer& shard) {
             a.bools[row] &= s.bools[row];
             break;
           case Combinator::kUnion:
-            a.sets[row].UnionWith(s.sets[row]);
-            break;
           case Combinator::kFirst:
           case Combinator::kLast:
             break;  // handled above
         }
       }
       a.cnt[row] += s.cnt[row];
+    }
+  }
+}
+
+void EffectBuffer::FinalizeSets() {
+  for (Accum& a : accums_) {
+    if (a.kind != TypeKind::kSet || a.sets_final) continue;
+    a.sets_final = true;
+    if (a.set_log.empty()) continue;
+    // Canonical order: (row, element). std::sort is in-place; duplicate
+    // (row, element) pairs collapse during the per-row copy below.
+    std::sort(a.set_log.begin(), a.set_log.end(),
+              [](const SetEntry& x, const SetEntry& y) {
+                return x.row != y.row ? x.row < y.row : x.elem < y.elem;
+              });
+    size_t i = 0;
+    const size_t n = a.set_log.size();
+    while (i < n) {
+      const RowIdx row = a.set_log[i].row;
+      size_t end = i + 1;
+      while (end < n && a.set_log[end].row == row) ++end;
+      if (set_pool_used_ == set_pool_.size()) {
+        set_pool_.push_back(std::make_unique<EntitySet>());
+      }
+      EntitySet* out = set_pool_[set_pool_used_].get();
+      out->clear();
+      out->Reserve(end - i);
+      for (; i < end; ++i) {
+        out->Insert(a.set_log[i].elem);  // ascending input: appends, dedups
+      }
+      a.set_ref[row] = static_cast<uint32_t>(set_pool_used_);
+      ++set_pool_used_;
     }
   }
 }
@@ -191,9 +233,11 @@ EntityId EffectBuffer::FinalRef(FieldIdx f, RowIdx row) const {
 }
 
 const EntitySet& EffectBuffer::FinalSet(FieldIdx f, RowIdx row) const {
+  static const EntitySet kEmpty;
   const Accum& a = accums_[static_cast<size_t>(f)];
-  SGL_DCHECK(a.kind == TypeKind::kSet);
-  return a.sets[row];
+  SGL_DCHECK(a.kind == TypeKind::kSet && a.sets_final);
+  const uint32_t slot = a.set_ref[row];
+  return slot == kNoSet ? kEmpty : *set_pool_[slot];
 }
 
 Value EffectBuffer::FinalValue(FieldIdx f, RowIdx row) const {

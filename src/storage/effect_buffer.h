@@ -5,10 +5,19 @@
 // The parallel executor gives each worker its own shard and merges shards in
 // shard order; all combinators are order-insensitive (first/last carry
 // explicit order keys), so the merged result is independent of thread count.
+//
+// Set-typed accumulators are CSR-pooled rather than value-per-row: inserts
+// and unions append (row, element) pairs to one contiguous log per field;
+// FinalizeSets() (run once after merge, before the update phase reads) sorts
+// the log, dedups it per row, and materializes one pooled EntitySet per
+// *assigned* row. Accumulation and merging are therefore O(1) appends into
+// high-water buffers — no per-row set objects, no allocation after warmup —
+// and the sort makes the result independent of append (thread) order.
 
 #ifndef SGL_STORAGE_EFFECT_BUFFER_H_
 #define SGL_STORAGE_EFFECT_BUFFER_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/common/value.h"
@@ -39,8 +48,14 @@ class EffectBuffer {
 
   /// Folds a worker shard into this buffer. Deterministic for any shard
   /// content because every combinator is commutative/associative (or
-  /// order-keyed).
+  /// order-keyed); set logs concatenate and are canonicalized by
+  /// FinalizeSets().
   void MergeFrom(const EffectBuffer& shard);
+
+  /// Canonicalizes the set logs (sort + per-row dedup + pooled
+  /// materialization). Must run after the last Add*/MergeFrom of the tick
+  /// and before any FinalSet/FinalValue read. Idempotent per tick.
+  void FinalizeSets();
 
   // --- Reads (update phase) -------------------------------------------
 
@@ -56,27 +71,46 @@ class EffectBuffer {
   double FinalNumber(FieldIdx f, RowIdx row) const;
   bool FinalBool(FieldIdx f, RowIdx row) const;
   EntityId FinalRef(FieldIdx f, RowIdx row) const;
+  /// Requires FinalizeSets() to have run this tick. Unassigned rows yield
+  /// the empty set (the kUnion identity).
   const EntitySet& FinalSet(FieldIdx f, RowIdx row) const;
 
   /// Boxed read for the debugger / tracer.
   Value FinalValue(FieldIdx f, RowIdx row) const;
 
  private:
+  /// One (row, element) set-effect assignment, log-ordered.
+  struct SetEntry {
+    RowIdx row;
+    EntityId elem;
+  };
+  static constexpr uint32_t kNoSet = static_cast<uint32_t>(-1);
+
   struct Accum {
     Combinator comb = Combinator::kSum;
     TypeKind kind = TypeKind::kNumber;
     std::vector<double> num;
     std::vector<uint8_t> bools;
     std::vector<EntityId> refs;
-    std::vector<EntitySet> sets;
     std::vector<uint32_t> cnt;
     std::vector<uint64_t> key;  // kFirst/kLast only
     bool keyed = false;
+    // Set kind only: the CSR log plus per-row handle into set_pool_
+    // (kNoSet = unassigned). Both keep high-water capacity across ticks.
+    std::vector<SetEntry> set_log;
+    std::vector<uint32_t> set_ref;
+    bool sets_final = false;
   };
 
   const ClassDef* cls_;
   size_t rows_ = 0;
   std::vector<Accum> accums_;  // indexed by effect FieldIdx
+  /// Materialized per-assigned-row sets, shared by all set fields of the
+  /// class. unique_ptr keeps addresses stable while the pool grows (FinalSet
+  /// hands out references); each slot's EntitySet keeps its capacity, so
+  /// steady-state finalization allocates nothing.
+  std::vector<std::unique_ptr<EntitySet>> set_pool_;
+  size_t set_pool_used_ = 0;
 };
 
 }  // namespace sgl

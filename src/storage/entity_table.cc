@@ -26,16 +26,20 @@ template <typename T>
 void PutVec(std::string* out, const std::vector<T>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   PutPod<uint64_t>(out, v.size());
-  out->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+  if (!v.empty()) {
+    out->append(reinterpret_cast<const char*>(v.data()),
+                v.size() * sizeof(T));
+  }
 }
 
 template <typename T>
 bool GetVec(const char** cursor, const char* end, std::vector<T>* v) {
   uint64_t n;
   if (!GetPod(cursor, end, &n)) return false;
-  if (static_cast<size_t>(end - *cursor) < n * sizeof(T)) return false;
+  // Divide instead of multiplying: n * sizeof(T) could wrap for a corrupt n.
+  if (n > static_cast<size_t>(end - *cursor) / sizeof(T)) return false;
   v->resize(n);
-  std::memcpy(v->data(), *cursor, n * sizeof(T));
+  if (n > 0) std::memcpy(v->data(), *cursor, n * sizeof(T));
   *cursor += n * sizeof(T);
   return true;
 }
@@ -201,7 +205,7 @@ size_t EntityTable::MemoryBytes() const {
   for (const auto& r : refs_) bytes += r.capacity() * sizeof(EntityId);
   for (const auto& s : sets_) {
     bytes += s.capacity() * sizeof(EntitySet);
-    for (const auto& es : s) bytes += es.size() * sizeof(EntityId);
+    for (const auto& es : s) bytes += es.HeapBytes();
   }
   return bytes;
 }
@@ -217,7 +221,11 @@ void EntityTable::Serialize(std::string* out) const {
   PutPod<uint64_t>(out, sets_.size());
   for (const auto& s : sets_) {
     PutPod<uint64_t>(out, s.size());
-    for (const EntitySet& es : s) PutVec(out, es.ids());
+    for (const EntitySet& es : s) {
+      PutPod<uint64_t>(out, es.size());
+      out->append(reinterpret_cast<const char*>(es.data()),
+                  es.size() * sizeof(EntityId));
+    }
   }
 }
 
@@ -247,7 +255,9 @@ Status EntityTable::Deserialize(const char** cursor, const char* end) {
     for (uint64_t i = 0; i < m; ++i) {
       std::vector<EntityId> ids;
       if (!GetVec(cursor, end, &ids)) return corrupt();
-      s.emplace_back(std::move(ids));
+      // EntitySet copies the elements into its own (possibly inline)
+      // storage; the source vector cannot be adopted.
+      s.emplace_back(ids);
     }
   }
   return Status::OK();

@@ -5,11 +5,11 @@
 namespace sgl {
 
 void TxnEngine::BeginTick(int num_shards) {
-  // resize + clear (not assign) keeps each shard's intent capacity.
+  // resize + Clear (not assign) keeps each shard's log capacity.
   if (shards_.size() != static_cast<size_t>(num_shards)) {
     shards_.resize(static_cast<size_t>(num_shards));
   }
-  for (auto& shard : shards_) shard.clear();
+  for (TxnIntentLog& shard : shards_) shard.Clear();
 }
 
 void TxnEngine::ApplyUpdate(World* world) {
@@ -35,90 +35,111 @@ void TxnEngine::ApplyUpdate(World* world) {
     }
   }
 
-  // 2. Gather intents in deterministic priority order (reused buffer).
-  std::vector<TxnIntent*>& intents = intents_;
-  intents.clear();
-  for (auto& shard : shards_) {
-    for (TxnIntent& intent : shard) intents.push_back(&intent);
+  // 2. Admission order: index handles into the shard logs, sorted by order
+  // key. Keys are unique per (site, issuing row), so the (shard, index)
+  // tie-break never influences results for a well-formed tick — admission
+  // is independent of how intents were partitioned across workers.
+  order_.clear();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t i = 0; i < shards_[s].num_intents(); ++i) {
+      order_.push_back(IntentRef{shards_[s].intent(i).order_key,
+                                 static_cast<uint32_t>(s),
+                                 static_cast<uint32_t>(i)});
+    }
   }
-  std::stable_sort(intents.begin(), intents.end(),
-                   [](const TxnIntent* a, const TxnIntent* b) {
-                     return a->order_key < b->order_key;
-                   });
-  last_tick_.issued = static_cast<int64_t>(intents.size());
+  std::sort(order_.begin(), order_.end(),
+            [](const IntentRef& a, const IntentRef& b) {
+              if (a.order_key != b.order_key) return a.order_key < b.order_key;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.index < b.index;
+            });
+  last_tick_.issued = static_cast<int64_t>(order_.size());
 
   // 3. Greedy admission against the tentative-state overlay.
+  overlay_.BeginTick(*world, program_->txn_owned);
   overlay_.Clear();
-  struct NumUndo {
-    EntityId id;
-    FieldIdx field;
-    bool had;
-    double old_value;
-  };
-  struct SetUndo {
-    EntityId id;
-    FieldIdx field;
-    bool had;
-    EntitySet old_value;
-  };
-  struct RefUndo {
-    EntityId id;
-    FieldIdx field;
-    bool had;
-    EntityId old_value;
-  };
-  std::vector<NumUndo> num_undo;
-  std::vector<SetUndo> set_undo;
-  std::vector<RefUndo> ref_undo;
 
-  for (TxnIntent* intent : intents) {
-    num_undo.clear();
-    set_undo.clear();
-    ref_undo.clear();
+  for (const IntentRef& ref : order_) {
+    const TxnIntentLog& log = shards_[ref.shard];
+    const TxnIntent& intent = log.intent(ref.index);
+    const TxnResolvedWrite* writes = log.writes(intent);
+    undo_.clear();
     bool applicable = true;
 
-    // Tentatively apply writes.
-    for (const TxnResolvedWrite& w : intent->writes) {
+    // Tentatively apply the intent's write slice.
+    for (uint32_t wi = 0; wi < intent.num_writes; ++wi) {
+      const TxnResolvedWrite& w = writes[wi];
       const World::Locator* loc = world->Find(w.target);
       if (loc == nullptr || loc->cls != w.cls) {
         applicable = false;  // dangling target: abort
         break;
       }
       if (w.op == TxnWriteOp::kAddDelta) {
-        auto prior = overlay_.GetNum(w.target, w.field);
-        num_undo.push_back(
-            NumUndo{w.target, w.field, prior.has_value(),
-                    prior.has_value() ? *prior : 0.0});
-        double base = prior.has_value()
-                          ? *prior
-                          : world->table(loc->cls).Num(w.field)[loc->row];
-        overlay_.SetNum(w.target, w.field, base + w.num);
+        bool fresh;
+        double* slot = overlay_.MutableNum(loc->cls, loc->row, w.field,
+                                           &fresh);
+        Undo u;
+        u.kind = Undo::kNum;
+        u.had = !fresh;
+        u.cls = loc->cls;
+        u.row = loc->row;
+        u.field = w.field;
+        u.old_num = fresh ? 0.0 : *slot;
+        undo_.push_back(u);
+        const double base =
+            fresh ? world->table(loc->cls).Num(w.field)[loc->row] : *slot;
+        *slot = base + w.num;
       } else if (w.op == TxnWriteOp::kSetRef) {
-        auto prior = overlay_.GetRef(w.target, w.field);
-        ref_undo.push_back(
-            RefUndo{w.target, w.field, prior.has_value(),
-                    prior.has_value() ? *prior : kNullEntity});
-        overlay_.SetRef(w.target, w.field, w.ref);
+        bool fresh;
+        EntityId* slot = overlay_.MutableRef(loc->cls, loc->row, w.field,
+                                             &fresh);
+        Undo u;
+        u.kind = Undo::kRef;
+        u.had = !fresh;
+        u.cls = loc->cls;
+        u.row = loc->row;
+        u.field = w.field;
+        u.old_ref = fresh ? kNullEntity : *slot;
+        undo_.push_back(u);
+        *slot = w.ref;
       } else {
-        const EntitySet* prior = overlay_.GetSet(w.target, w.field);
-        set_undo.push_back(SetUndo{w.target, w.field, prior != nullptr,
-                                   prior != nullptr ? *prior : EntitySet()});
-        EntitySet base = prior != nullptr
-                             ? *prior
-                             : world->table(loc->cls).SetCol(w.field)[loc->row];
+        bool fresh;
+        EntitySet* set = overlay_.MutableSet(loc->cls, loc->row, w.field,
+                                             &fresh);
+        Undo u;
+        u.cls = loc->cls;
+        u.row = loc->row;
+        u.field = w.field;
+        u.elem = w.ref;
+        if (fresh) {
+          // First touch this tick: seed the pooled slot from the table.
+          // Mirroring the row's provisioned *capacity* (not just its size)
+          // lets pre-sized workloads stay allocation-free through the
+          // overlay as well.
+          const EntitySet& base =
+              world->table(loc->cls).SetCol(w.field)[loc->row];
+          set->Reserve(base.capacity());
+          *set = base;
+          u.kind = Undo::kSetFresh;
+          undo_.push_back(u);
+        }
         if (w.op == TxnWriteOp::kSetInsert) {
-          base.Insert(w.ref);
+          if (set->Insert(w.ref)) {
+            u.kind = Undo::kSetInsert;
+            undo_.push_back(u);
+          }
         } else {
           // Structural rule: removing an element that is not (tentatively)
           // present aborts the transaction — double-spends of the same item
           // in one tick die here (§3.1's "duping" prevention).
-          if (!base.Erase(w.ref)) {
+          if (set->Erase(w.ref)) {
+            u.kind = Undo::kSetErase;
+            undo_.push_back(u);
+          } else {
             applicable = false;
-            overlay_.SetSet(w.target, w.field, std::move(base));
             break;
           }
         }
-        overlay_.SetSet(w.target, w.field, std::move(base));
       }
     }
 
@@ -127,10 +148,10 @@ void TxnEngine::ApplyUpdate(World* world) {
     if (ok) {
       ScalarContext ctx;
       ctx.world = world;
-      ctx.outer_cls = intent->issuer_cls;
-      ctx.outer_row = intent->issuer_row;
+      ctx.outer_cls = intent.issuer_cls;
+      ctx.outer_row = intent.issuer_row;
       ctx.overlay = &overlay_;
-      for (const ExprPtr& c : intent->op->constraints) {
+      for (const ExprPtr& c : intent.op->constraints) {
         if (!EvalScalarBool(*c, ctx)) {
           ok = false;
           break;
@@ -139,26 +160,39 @@ void TxnEngine::ApplyUpdate(World* world) {
     }
 
     if (!ok) {
-      // Roll the tentative writes back (reverse order restores precisely).
-      for (auto it = num_undo.rbegin(); it != num_undo.rend(); ++it) {
-        if (it->had) {
-          overlay_.SetNum(it->id, it->field, it->old_value);
-        } else {
-          overlay_.EraseNum(it->id, it->field);
-        }
-      }
-      for (auto it = set_undo.rbegin(); it != set_undo.rend(); ++it) {
-        if (it->had) {
-          overlay_.SetSet(it->id, it->field, std::move(it->old_value));
-        } else {
-          overlay_.EraseSet(it->id, it->field);
-        }
-      }
-      for (auto it = ref_undo.rbegin(); it != ref_undo.rend(); ++it) {
-        if (it->had) {
-          overlay_.SetRef(it->id, it->field, it->old_value);
-        } else {
-          overlay_.EraseRef(it->id, it->field);
+      // Roll the tentative writes back (reverse order restores precisely;
+      // set mutations are undone by their inverse operation, so no set
+      // value is ever copied for rollback).
+      for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+        bool fresh;
+        switch (it->kind) {
+          case Undo::kNum:
+            if (it->had) {
+              *overlay_.MutableNum(it->cls, it->row, it->field, &fresh) =
+                  it->old_num;
+            } else {
+              overlay_.Erase(it->cls, it->row, it->field);
+            }
+            break;
+          case Undo::kRef:
+            if (it->had) {
+              *overlay_.MutableRef(it->cls, it->row, it->field, &fresh) =
+                  it->old_ref;
+            } else {
+              overlay_.Erase(it->cls, it->row, it->field);
+            }
+            break;
+          case Undo::kSetFresh:
+            overlay_.Erase(it->cls, it->row, it->field);
+            break;
+          case Undo::kSetInsert:
+            overlay_.MutableSet(it->cls, it->row, it->field, &fresh)
+                ->Erase(it->elem);
+            break;
+          case Undo::kSetErase:
+            overlay_.MutableSet(it->cls, it->row, it->field, &fresh)
+                ->Insert(it->elem);
+            break;
         }
       }
       ++last_tick_.aborted;
@@ -167,30 +201,25 @@ void TxnEngine::ApplyUpdate(World* world) {
     }
 
     // Report status to the issuer (1 committed / 0 aborted).
-    const World::Locator* issuer = world->Find(intent->issuer);
-    if (issuer != nullptr && intent->op->status_field != kInvalidField) {
-      world->table(issuer->cls).Num(intent->op->status_field).at(issuer->row) =
+    const World::Locator* issuer = world->Find(intent.issuer);
+    if (issuer != nullptr && intent.op->status_field != kInvalidField) {
+      world->table(issuer->cls).Num(intent.op->status_field).at(issuer->row) =
           ok ? 1.0 : 0.0;
     }
   }
 
-  // 4. Write committed state back to the tables.
-  overlay_.ForEach(
-      [&](EntityId id, FieldIdx field, double v) {
-        const World::Locator* loc = world->Find(id);
-        if (loc != nullptr) world->table(loc->cls).Num(field).at(loc->row) = v;
+  // 4. Write committed state back to the tables. Rows were resolved at
+  // admission time and are stable within the tick, so no directory lookups;
+  // set write-back copy-assigns into the row's existing buffer.
+  overlay_.ForEachTouched(
+      [&](ClassId cls, RowIdx row, FieldIdx field, double v) {
+        world->table(cls).Num(field).at(row) = v;
       },
-      [&](EntityId id, FieldIdx field, const EntitySet& v) {
-        const World::Locator* loc = world->Find(id);
-        if (loc != nullptr) {
-          world->table(loc->cls).SetCol(field)[loc->row] = v;
-        }
+      [&](ClassId cls, RowIdx row, FieldIdx field, const EntitySet& v) {
+        world->table(cls).SetCol(field)[row] = v;
       },
-      [&](EntityId id, FieldIdx field, EntityId v) {
-        const World::Locator* loc = world->Find(id);
-        if (loc != nullptr) {
-          world->table(loc->cls).RefCol(field)[loc->row] = v;
-        }
+      [&](ClassId cls, RowIdx row, FieldIdx field, EntityId v) {
+        world->table(cls).RefCol(field)[row] = v;
       });
   overlay_.Clear();
 

@@ -54,16 +54,22 @@ void ExprUpdater::Update(World* world, Tick tick) {
       } else if (type.is_ref()) {
         EvalRef(*r.value, ctx, &p.refs);
       } else {
-        // Set rules evaluate row-at-a-time (sets are heavyweight values).
+        // Set rules evaluate row-at-a-time into one flat CSR snapshot (the
+        // evaluated sets alias table or effect storage, so they must be
+        // staged before any write-back).
         ScalarContext sc;
         sc.world = world;
         sc.outer_cls = c;
         sc.effects = ctx.effects;
-        p.sets.clear();
-        p.sets.reserve(all_rows_.size());
+        p.set_elems.clear();
+        p.set_offsets.clear();
+        p.set_offsets.reserve(all_rows_.size() + 1);
+        p.set_offsets.push_back(0);
         for (RowIdx row : all_rows_) {
           sc.outer_row = row;
-          p.sets.push_back(EvalScalarSet(*r.value, sc));
+          const EntitySet& v = EvalScalarSet(*r.value, sc);
+          p.set_elems.insert(p.set_elems.end(), v.begin(), v.end());
+          p.set_offsets.push_back(static_cast<uint32_t>(p.set_elems.size()));
         }
       }
     }
@@ -91,7 +97,11 @@ void ExprUpdater::Update(World* world, Tick tick) {
       } else {
         EntitySet* col = table.SetCol(r.state_field);
         for (size_t i = 0; i < all_rows_.size(); ++i) {
-          col[all_rows_[i]] = std::move(p.sets[i]);
+          // Slices are sorted-unique (they came from EntitySets); assigning
+          // reuses the destination row's buffer when it fits.
+          col[all_rows_[i]].AssignSorted(
+              p.set_elems.data() + p.set_offsets[i],
+              p.set_offsets[i + 1] - p.set_offsets[i]);
         }
       }
     }

@@ -26,13 +26,17 @@ class ExprUpdater : public UpdateComponent {
   void Update(World* world, Tick tick) override;
 
  private:
-  /// Snapshot buffers for one rule's new values (only the vector matching
+  /// Snapshot buffers for one rule's new values (only the storage matching
   /// the rule's type is used). Reused across rules, classes, and ticks.
+  /// Set rules stage into one flat CSR buffer (set_elems sliced by
+  /// set_offsets, one slice per row) instead of per-row EntitySet copies;
+  /// commit copy-assigns each slice into the row's existing set buffer.
   struct RuleBufs {
     std::vector<double> nums;
     std::vector<uint8_t> bools;
     std::vector<EntityId> refs;
-    std::vector<EntitySet> sets;
+    std::vector<EntityId> set_elems;
+    std::vector<uint32_t> set_offsets;  ///< size rows + 1
   };
 
   std::string name_ = "expr-updater";

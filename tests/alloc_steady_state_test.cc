@@ -5,12 +5,19 @@
 // in 4-thread parallel mode — and pooling must not change a single bit of
 // the simulation relative to the object-at-a-time reference execution.
 
+// PR 3 extends the guarantee to the *write* path: the transaction-heavy
+// market workload (E3 — flat intent logs, dense epoch overlay, pooled set
+// slices) and the traffic workload (E8) must also tick allocation-free, in
+// serial and 4-thread mode, with bit-identical state across execution modes.
+
 #include <gtest/gtest.h>
 
 #include "src/common/alloc_hook.h"
 #include "src/debug/checkpoint.h"
 #include "src/debug/inspector.h"
+#include "src/sim/market.h"
 #include "src/sim/rts.h"
+#include "src/sim/traffic.h"
 
 namespace sgl {
 namespace {
@@ -120,6 +127,116 @@ TEST(AllocSteadyState, PoolingPreservesBitIdenticalState) {
       BuildRts(units, Opts(PlanMode::kStaticNL, 1, /*interpreted=*/true));
   ASSERT_TRUE(interpreted->RunTicks(ticks).ok());
   EXPECT_EQ(WorldChecksum(interpreted->world()), serial_sum);
+}
+
+// --- E3: transaction-heavy market (the write path) ------------------------
+
+MarketConfig MarketCfg() {
+  MarketConfig config;
+  config.num_traders = 256;
+  config.num_items = 512;
+  config.contention = 8;
+  config.active_fraction = 0.25;
+  return config;
+}
+
+EngineOptions MarketOpts(int threads) {
+  EngineOptions options = Opts(PlanMode::kCostBased, threads);
+  // Small morsels force multi-shard intent emission in parallel mode, so
+  // the flat intent logs and index-based admission ordering are exercised
+  // across genuinely different shard partitionings.
+  options.exec.morsel_size = 64;
+  return options;
+}
+
+// Inventory churn makes the market's structural warmup longer than the RTS
+// one: set-slice pools, intent logs, and overlay columns reach their
+// high-water marks only after a few dozen ticks of trading.
+constexpr int kMarketWarmupTicks = 40;
+
+// Runs the market with per-tick want reassignment; asserts every measured
+// tick is allocation-free and returns the final world checksum.
+uint64_t RunMarketSteadyState(int threads, bool interpreted,
+                              bool check_allocs) {
+  MarketConfig config = MarketCfg();
+  EngineOptions options = MarketOpts(threads);
+  options.exec.interpreted = interpreted;
+  auto engine = MarketWorkload::Build(config, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  Rng rng(1234);
+  for (int t = 0; t < kMarketWarmupTicks; ++t) {
+    MarketWorkload::AssignWants(engine->get(), config, &rng);
+    EXPECT_TRUE((*engine)->Tick().ok());
+  }
+  for (int t = 0; t < kMeasuredTicks; ++t) {
+    MarketWorkload::AssignWants(engine->get(), config, &rng);
+    EXPECT_TRUE((*engine)->Tick().ok());
+    const TickStats& stats = (*engine)->last_stats();
+    if (check_allocs) {
+      EXPECT_EQ(stats.allocs_per_tick, 0) << DescribeTickStats(stats);
+    }
+    EXPECT_GT(stats.txn.issued, 0) << "tick must exercise the txn path";
+  }
+  EXPECT_TRUE(MarketWorkload::OwnershipConsistent(engine->get()));
+  return WorldChecksum((*engine)->world());
+}
+
+TEST(AllocSteadyState, SerialMarketTransactionsAreAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  RunMarketSteadyState(/*threads=*/1, /*interpreted=*/false,
+                       /*check_allocs=*/true);
+}
+
+TEST(AllocSteadyState, Parallel4ThreadMarketTransactionsAreAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  RunMarketSteadyState(/*threads=*/4, /*interpreted=*/false,
+                       /*check_allocs=*/true);
+}
+
+// The flat write path must not change a single bit of the simulation:
+// serial, 4-thread (multi-shard intent logs), and the object-at-a-time
+// reference all converge to the same world state, statistics included.
+TEST(AllocSteadyState, MarketStateIsBitIdenticalAcrossModes) {
+  const uint64_t serial = RunMarketSteadyState(1, false, false);
+  EXPECT_EQ(serial, RunMarketSteadyState(4, false, false));
+  EXPECT_EQ(serial, RunMarketSteadyState(1, true, false));
+}
+
+// --- E8: traffic (cost-based planner, keyed effects) ----------------------
+
+uint64_t RunTrafficSteadyState(int threads, bool check_allocs) {
+  TrafficConfig config;
+  config.num_vehicles = 4000;
+  config.num_lanes = 32;
+  EngineOptions options = Opts(PlanMode::kCostBased, threads);
+  options.exec.morsel_size = 512;
+  auto engine = TrafficWorkload::Build(config, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  for (int t = 0; t < kWarmupTicks; ++t) {
+    EXPECT_TRUE((*engine)->Tick().ok());
+  }
+  for (int t = 0; t < kMeasuredTicks; ++t) {
+    EXPECT_TRUE((*engine)->Tick().ok());
+    const TickStats& stats = (*engine)->last_stats();
+    if (check_allocs) {
+      EXPECT_EQ(stats.allocs_per_tick, 0) << DescribeTickStats(stats);
+    }
+  }
+  return WorldChecksum((*engine)->world());
+}
+
+TEST(AllocSteadyState, SerialTrafficIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  RunTrafficSteadyState(/*threads=*/1, /*check_allocs=*/true);
+}
+
+TEST(AllocSteadyState, Parallel4ThreadTrafficIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  RunTrafficSteadyState(/*threads=*/4, /*check_allocs=*/true);
+}
+
+TEST(AllocSteadyState, TrafficStateIsBitIdenticalAcrossThreadCounts) {
+  EXPECT_EQ(RunTrafficSteadyState(1, false), RunTrafficSteadyState(4, false));
 }
 
 // The counters themselves must move when the program allocates — otherwise

@@ -71,12 +71,44 @@ TEST(EntitySet, InsertEraseContains) {
 TEST(EntitySet, UnionIntersect) {
   EntitySet a({1, 2, 3});
   EntitySet b({3, 4});
+  std::vector<EntityId> scratch;
   EntitySet u = a;
-  u.UnionWith(b);
+  u.UnionWith(b, &scratch);
   EXPECT_EQ(EntitySet({1, 2, 3, 4}), u);
   EntitySet i = a;
   i.IntersectWith(b);
   EXPECT_EQ(EntitySet({3}), i);
+}
+
+// The small-size-optimized representation: sets at or below the inline
+// capacity never touch the heap; spilling preserves contents and order; a
+// spilled set keeps its heap buffer (capacity is a high-water mark), so
+// copy-assigning a similarly sized value back in is allocation-free.
+TEST(EntitySet, InlineAndSpillRepresentation) {
+  EntitySet s;
+  for (size_t k = 0; k < EntitySet::kInlineCapacity; ++k) {
+    EXPECT_TRUE(s.Insert(static_cast<EntityId>(100 - k)));
+  }
+  EXPECT_EQ(0u, s.HeapBytes());  // still inline
+  EXPECT_TRUE(s.Insert(1000));   // spills
+  EXPECT_GT(s.HeapBytes(), 0u);
+  EXPECT_EQ(EntitySet::kInlineCapacity + 1, s.size());
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_TRUE(s.Contains(1000));
+
+  const size_t heap_bytes = s.HeapBytes();
+  EntitySet copy = s;  // copies spill too
+  EXPECT_EQ(copy, s);
+  s.clear();
+  EXPECT_EQ(heap_bytes, s.HeapBytes());  // capacity survives clear
+  s = copy;                              // refills the existing buffer
+  EXPECT_EQ(heap_bytes, s.HeapBytes());
+  EXPECT_EQ(copy, s);
+
+  EntitySet moved = std::move(s);  // steals the heap buffer
+  EXPECT_EQ(copy, moved);
+  EXPECT_TRUE(s.empty());  // NOLINT(bugprone-use-after-move): documented
+  EXPECT_EQ(0u, s.HeapBytes());
 }
 
 // --- Rng ------------------------------------------------------------------

@@ -197,11 +197,47 @@ TEST(EffectBuffer, SetUnionAccumulates) {
   buf.AddSetInsert(s, 0, 5);  // dup
   EntitySet other({7, 3});
   buf.AddSetUnion(s, 0, other);
+  buf.FinalizeSets();  // canonicalizes the CSR log before reads
   const EntitySet& result = buf.FinalSet(s, 0);
   EXPECT_EQ(3u, result.size());
   EXPECT_TRUE(result.Contains(3));
   EXPECT_TRUE(result.Contains(5));
   EXPECT_TRUE(result.Contains(7));
+}
+
+// Shard merge concatenates set logs; finalization canonicalizes, so the
+// result is identical no matter how assignments were split across shards.
+TEST(EffectBuffer, SetMergeIsShardOrderInsensitive) {
+  Catalog catalog = MakeCatalog();
+  const ClassDef& def = catalog.Get(0);
+  FieldIdx s = def.FindEffect("s");
+
+  EffectBuffer merged(&def), shard_a(&def), shard_b(&def);
+  merged.Reset(2);
+  shard_a.Reset(2);
+  shard_b.Reset(2);
+  shard_a.AddSetInsert(s, 0, 9);
+  shard_a.AddSetInsert(s, 1, 2);
+  shard_b.AddSetInsert(s, 0, 4);
+  shard_b.AddSetInsert(s, 0, 9);  // duplicate across shards
+  merged.MergeFrom(shard_b);      // reversed shard order on purpose
+  merged.MergeFrom(shard_a);
+  merged.FinalizeSets();
+
+  EffectBuffer direct(&def);
+  direct.Reset(2);
+  direct.AddSetInsert(s, 0, 9);
+  direct.AddSetInsert(s, 1, 2);
+  direct.AddSetInsert(s, 0, 4);
+  direct.AddSetInsert(s, 0, 9);
+  direct.FinalizeSets();
+
+  for (RowIdx row = 0; row < 2; ++row) {
+    EXPECT_EQ(direct.Count(s, row), merged.Count(s, row));
+    EXPECT_EQ(direct.FinalSet(s, row), merged.FinalSet(s, row));
+  }
+  EXPECT_TRUE(merged.FinalSet(s, 0) == EntitySet({4, 9}));
+  EXPECT_TRUE(merged.FinalSet(s, 1) == EntitySet({2}));
 }
 
 // --- Serialization -----------------------------------------------------------
