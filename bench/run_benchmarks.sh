@@ -11,22 +11,25 @@
 #   E7  index build / steady-state rebuild cost (allocs_per_build) / memory
 #   E8  traffic scaling under the cost-based planner (vehicle_ticks/s +
 #       allocs_per_tick)
+#   E11 sharded world partitioning (tick latency + phase breakdown +
+#       cross-shard records + allocs_per_tick vs shard count; columnar
+#       migration / bulk-spawn throughput)
 #
 # Usage: bench/run_benchmarks.sh [build_dir] [tag]
 #   build_dir  cmake build directory holding the bench_* binaries (default:
 #              build)
-#   tag        suffix for the output file (default: pr3)
+#   tag        suffix for the output file (default: pr4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-TAG="${2:-pr3}"
+TAG="${2:-pr4}"
 OUT="BENCH_${TAG}.json"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 for exp in e1_set_at_a_time e3_transactions e6_parallel e7_index_memory \
-           e8_traffic; do
+           e8_traffic e11_sharded; do
   bin="$BUILD_DIR/bench_${exp}"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -45,7 +48,8 @@ keep = ("name", "real_time", "cpu_time", "time_unit", "iterations",
         "allocs_per_tick", "allocs_per_build", "units", "threads",
         "query_ms", "merge_ms", "update_ms", "hw_cores", "bytes",
         "formula_bytes", "issued/tick", "committed/tick", "abort_rate",
-        "consistent", "txns/s", "vehicle_ticks/s", "mean_speed")
+        "consistent", "txns/s", "vehicle_ticks/s", "mean_speed",
+        "shards", "cross_records", "moved_per_batch", "rows_per_batch")
 merged = {}
 for f in sorted(os.listdir(tmp)):
     with open(os.path.join(tmp, f)) as fh:

@@ -1,6 +1,74 @@
 #include "src/debug/checkpoint.h"
 
+#include <algorithm>
+
 namespace sgl {
+
+namespace {
+
+struct Fnv {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  void Mix(const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+  }
+};
+
+void MixRowFields(Fnv* fnv, const EntityTable& table, const ClassDef& def,
+                  RowIdx r) {
+  for (const FieldDef& f : def.state_fields()) {
+    switch (f.type.kind) {
+      case TypeKind::kNumber: {
+        double v = table.Num(f.index)[r];
+        fnv->Mix(&v, sizeof(v));
+        break;
+      }
+      case TypeKind::kBool: {
+        uint8_t v = table.BoolCol(f.index)[r];
+        fnv->Mix(&v, sizeof(v));
+        break;
+      }
+      case TypeKind::kRef: {
+        EntityId v = table.RefCol(f.index)[r];
+        fnv->Mix(&v, sizeof(v));
+        break;
+      }
+      case TypeKind::kSet: {
+        const EntitySet& v = table.SetCol(f.index)[r];
+        for (EntityId e : v) fnv->Mix(&e, sizeof(e));
+        size_t n = v.size();
+        fnv->Mix(&n, sizeof(n));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t CanonicalWorldChecksum(const World& world) {
+  Fnv fnv;
+  const Catalog& catalog = world.catalog();
+  std::vector<std::pair<EntityId, RowIdx>> order;
+  for (ClassId c = 0; c < catalog.num_classes(); ++c) {
+    const EntityTable& table = world.table(c);
+    const ClassDef& def = catalog.Get(c);
+    order.clear();
+    order.reserve(table.size());
+    for (RowIdx r = 0; r < table.size(); ++r) {
+      order.emplace_back(table.id_at(r), r);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [id, r] : order) {
+      fnv.Mix(&id, sizeof(id));
+      MixRowFields(&fnv, table, def, r);
+    }
+  }
+  return fnv.h;
+}
 
 Checkpoint TakeCheckpoint(const World& world, Tick tick) {
   Checkpoint cp;
@@ -14,53 +82,20 @@ Status RestoreCheckpoint(const Checkpoint& cp, World* world) {
 }
 
 uint64_t WorldChecksum(const World& world) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix_bytes = [&h](const void* data, size_t len) {
-    const unsigned char* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < len; ++i) {
-      h ^= p[i];
-      h *= 0x100000001b3ULL;
-    }
-  };
+  // Row-major over dense rows: sensitive to row order by design (two runs
+  // are bit-identical iff they produced the same rows in the same places).
+  Fnv fnv;
   const Catalog& catalog = world.catalog();
   for (ClassId c = 0; c < catalog.num_classes(); ++c) {
     const EntityTable& table = world.table(c);
     const ClassDef& def = catalog.Get(c);
-    for (size_t i = 0; i < table.size(); ++i) {
-      EntityId id = table.id_at(static_cast<RowIdx>(i));
-      mix_bytes(&id, sizeof(id));
-    }
-    for (const FieldDef& f : def.state_fields()) {
-      for (size_t i = 0; i < table.size(); ++i) {
-        RowIdx r = static_cast<RowIdx>(i);
-        switch (f.type.kind) {
-          case TypeKind::kNumber: {
-            double v = table.Num(f.index)[r];
-            mix_bytes(&v, sizeof(v));
-            break;
-          }
-          case TypeKind::kBool: {
-            uint8_t v = table.BoolCol(f.index)[r];
-            mix_bytes(&v, sizeof(v));
-            break;
-          }
-          case TypeKind::kRef: {
-            EntityId v = table.RefCol(f.index)[r];
-            mix_bytes(&v, sizeof(v));
-            break;
-          }
-          case TypeKind::kSet: {
-            const EntitySet& v = table.SetCol(f.index)[r];
-            for (EntityId e : v) mix_bytes(&e, sizeof(e));
-            size_t n = v.size();
-            mix_bytes(&n, sizeof(n));
-            break;
-          }
-        }
-      }
+    for (RowIdx r = 0; r < table.size(); ++r) {
+      EntityId id = table.id_at(r);
+      fnv.Mix(&id, sizeof(id));
+      MixRowFields(&fnv, table, def, r);
     }
   }
-  return h;
+  return fnv.h;
 }
 
 void ReplayLog::Record(const World& world, Tick tick) {

@@ -31,8 +31,15 @@ Checkpoint TakeCheckpoint(const World& world, Tick tick);
 Status RestoreCheckpoint(const Checkpoint& cp, World* world);
 
 /// FNV-1a checksum over all state columns of all classes — cheap enough to
-/// run every tick, strong enough for run-equivalence checks.
+/// run every tick, strong enough for run-equivalence checks. Sensitive to
+/// row order (row-major over dense rows).
 uint64_t WorldChecksum(const World& world);
+
+/// Row-order-independent variant: rows are visited in ascending EntityId
+/// order (row-major), so any permutation of rows — e.g. a shard migration,
+/// which moves state without changing it — leaves the checksum unchanged.
+/// Compares worlds that hold the same entities under different partitions.
+uint64_t CanonicalWorldChecksum(const World& world);
 
 /// Per-tick checksum log with optional periodic full checkpoints.
 class ReplayLog {

@@ -17,36 +17,53 @@ StatusOr<std::unique_ptr<Engine>> Engine::Create(
           engine->world_->SetLayout(c, options.layout, affinity));
     }
   }
-  engine->executor_ = std::make_unique<TickExecutor>(
-      engine->world_.get(), engine->program_.get(), options.exec);
-  SGL_RETURN_IF_ERROR(engine->executor_->Init());
+  if (options.exec.num_shards > 1) {
+    engine->sharded_world_ = std::make_unique<ShardedWorld>(
+        engine->world_.get(), options.exec.num_shards);
+    engine->shard_exec_ = std::make_unique<ShardExecutor>(
+        engine->world_.get(), engine->sharded_world_.get(),
+        engine->program_.get(), options.exec);
+    SGL_RETURN_IF_ERROR(engine->shard_exec_->Init());
+  } else {
+    engine->executor_ = std::make_unique<TickExecutor>(
+        engine->world_.get(), engine->program_.get(), options.exec);
+    SGL_RETURN_IF_ERROR(engine->executor_->Init());
+  }
   return engine;
 }
 
 Status Engine::AddPhysics(const PhysicsConfig& config) {
   SGL_ASSIGN_OR_RETURN(auto comp,
                        PhysicsComponent::Create(catalog(), config));
-  return executor_->RegisterComponent(std::move(comp));
+  return AddComponent(std::move(comp));
 }
 
 Status Engine::AddPathfinder(const PathfinderConfig& config, GridMap map) {
   SGL_ASSIGN_OR_RETURN(
       auto comp, PathfinderComponent::Create(catalog(), config,
                                              std::move(map)));
-  return executor_->RegisterComponent(std::move(comp));
+  return AddComponent(std::move(comp));
 }
 
 Status Engine::AddComponent(std::unique_ptr<UpdateComponent> component) {
+  if (shard_exec_ != nullptr) {
+    return shard_exec_->RegisterComponent(std::move(component));
+  }
   return executor_->RegisterComponent(std::move(component));
 }
 
 StatusOr<EntityId> Engine::Spawn(
     const std::string& cls,
     const std::vector<std::pair<std::string, Value>>& init) {
+  if (sharded_world_ != nullptr) return sharded_world_->Spawn(cls, init);
   return world_->Spawn(cls, init);
 }
 
-Status Engine::Despawn(EntityId id) { return world_->Despawn(id); }
+Status Engine::Despawn(EntityId id) {
+  // The sharded path must not swap-remove: ranges stay contiguous.
+  if (sharded_world_ != nullptr) return sharded_world_->Despawn(id);
+  return world_->Despawn(id);
+}
 
 StatusOr<Value> Engine::Get(EntityId id, const std::string& field) const {
   return world_->Get(id, field);
@@ -56,18 +73,30 @@ Status Engine::Set(EntityId id, const std::string& field, const Value& v) {
   return world_->Set(id, field, v);
 }
 
-Status Engine::Tick() { return executor_->RunTick(); }
+Status Engine::Tick() {
+  if (shard_exec_ != nullptr) return shard_exec_->RunTick();
+  return executor_->RunTick();
+}
 
 Status Engine::RunTicks(int n) {
   for (int i = 0; i < n; ++i) {
-    SGL_RETURN_IF_ERROR(executor_->RunTick());
+    SGL_RETURN_IF_ERROR(Tick());
   }
   return Status::OK();
 }
 
 Status Engine::Restore(const Checkpoint& cp) {
   SGL_RETURN_IF_ERROR(RestoreCheckpoint(cp, world_.get()));
-  executor_->set_tick(cp.tick);
+  if (shard_exec_ != nullptr) {
+    // The checkpoint preserves row order but not the partition history;
+    // re-split into fresh block ranges (see src/shard/README.md). Moves
+    // queued against the pre-restore world must not replay here.
+    sharded_world_->ClearPendingMigrations();
+    sharded_world_->PartitionBlock();
+    shard_exec_->set_tick(cp.tick);
+  } else {
+    executor_->set_tick(cp.tick);
+  }
   return Status::OK();
 }
 

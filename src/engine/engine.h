@@ -26,6 +26,7 @@
 #include "src/debug/tracer.h"
 #include "src/exec/tick_executor.h"
 #include "src/lang/compiler.h"
+#include "src/shard/shard_executor.h"
 #include "src/update/pathfind.h"
 #include "src/update/physics.h"
 
@@ -33,6 +34,10 @@ namespace sgl {
 
 /// Engine construction options.
 struct EngineOptions {
+  /// exec.num_shards > 1 partitions the world into row-range shards with
+  /// cross-shard effect routing and drives the sharded pipeline
+  /// (src/shard/) instead of TickExecutor; the remaining exec fields keep
+  /// their meaning.
   ExecOptions exec;
   /// Storage layout for numeric state columns (§2.1). kAffinity uses the
   /// attribute co-occurrence mined by the compiler.
@@ -48,7 +53,21 @@ class Engine {
   World& world() { return *world_; }
   const Catalog& catalog() const { return *program_->catalog; }
   const CompiledProgram& program() const { return *program_; }
-  TickExecutor& executor() { return *executor_; }
+  /// The single-world executor. Only valid when exec.num_shards <= 1.
+  TickExecutor& executor() {
+    SGL_CHECK(executor_ != nullptr && "engine is sharded; use sharded_*");
+    return *executor_;
+  }
+  /// Sharded mode only (exec.num_shards > 1).
+  bool sharded() const { return shard_exec_ != nullptr; }
+  ShardedWorld& sharded_world() {
+    SGL_CHECK(sharded_world_ != nullptr && "engine is not sharded");
+    return *sharded_world_;
+  }
+  ShardExecutor& shard_executor() {
+    SGL_CHECK(shard_exec_ != nullptr && "engine is not sharded");
+    return *shard_exec_;
+  }
 
   /// Attaches a physics component (§2.2). Call before the first tick.
   Status AddPhysics(const PhysicsConfig& config);
@@ -69,9 +88,14 @@ class Engine {
   /// Runs one tick / n ticks.
   Status Tick();
   Status RunTicks(int n);
-  sgl::Tick tick() const { return executor_->tick(); }
+  sgl::Tick tick() const {
+    return shard_exec_ != nullptr ? shard_exec_->tick() : executor_->tick();
+  }
 
-  const TickStats& last_stats() const { return executor_->last_stats(); }
+  const TickStats& last_stats() const {
+    return shard_exec_ != nullptr ? shard_exec_->last_stats()
+                                  : executor_->last_stats();
+  }
 
   // --- Debugging (§3.3) ---------------------------------------------------
 
@@ -79,10 +103,16 @@ class Engine {
   std::string ExplainPlans() const { return program_->Explain(); }
   Inspector inspector() const { return Inspector(world_.get()); }
   /// Attaches a tracer (null detaches).
-  void SetTracer(EffectTracer* tracer) { executor_->set_trace(tracer); }
+  void SetTracer(EffectTracer* tracer) {
+    if (shard_exec_ != nullptr) {
+      shard_exec_->set_trace(tracer);
+    } else {
+      executor_->set_trace(tracer);
+    }
+  }
   /// Snapshot / resume.
   Checkpoint TakeCheckpoint() const {
-    return sgl::TakeCheckpoint(*world_, executor_->tick());
+    return sgl::TakeCheckpoint(*world_, tick());
   }
   Status Restore(const Checkpoint& cp);
 
@@ -91,7 +121,9 @@ class Engine {
 
   std::unique_ptr<CompiledProgram> program_;
   std::unique_ptr<World> world_;
-  std::unique_ptr<TickExecutor> executor_;
+  std::unique_ptr<TickExecutor> executor_;      ///< exec.num_shards <= 1
+  std::unique_ptr<ShardedWorld> sharded_world_; ///< exec.num_shards > 1
+  std::unique_ptr<ShardExecutor> shard_exec_;
 };
 
 }  // namespace sgl

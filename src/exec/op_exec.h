@@ -88,6 +88,25 @@ void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
                  IndexManager* indexes, Tick tick, SiteCache* cache,
                  PreparedSite* out);
 
+/// Routes effect writes by target row when the world is partitioned into
+/// shards (src/shard/): writes whose target row lies in the emitting
+/// shard's own partition land in its dense local buffer, remote writes are
+/// appended to the (src, dst) mailbox lane and replayed at the tick
+/// barrier. The single-world executor leaves ExecEnv::router null and pays
+/// nothing; the virtual dispatch only sits on the sharded path.
+class EffectRouter {
+ public:
+  virtual ~EffectRouter() = default;
+  virtual void AddNumber(ClassId cls, FieldIdx f, RowIdx row, double v,
+                         uint64_t order_key) = 0;
+  virtual void AddBool(ClassId cls, FieldIdx f, RowIdx row, bool v,
+                       uint64_t order_key) = 0;
+  virtual void AddRef(ClassId cls, FieldIdx f, RowIdx row, EntityId v,
+                      uint64_t order_key) = 0;
+  virtual void AddSetInsert(ClassId cls, FieldIdx f, RowIdx row,
+                            EntityId v) = 0;
+};
+
 /// Everything one worker needs while running ops over a morsel.
 struct ExecEnv {
   World* world = nullptr;
@@ -96,7 +115,10 @@ struct ExecEnv {
   const EntityTable* outer = nullptr;
 
   /// Effect sinks, one per class (worker shard or the world's own buffers).
+  /// Ignored when `router` is set.
   std::vector<EffectBuffer*> effect_sinks;
+  /// Shard-mode effect routing; null on the single-world path.
+  EffectRouter* router = nullptr;
   /// Transaction-intent sink (worker shard's flat intent log).
   TxnIntentLog* txn_sink = nullptr;
   /// Local columns of the running script/handler (full table size; morsels

@@ -8,40 +8,6 @@
 
 namespace sgl {
 
-namespace {
-
-/// Adapts TxnEngine to the update-component interface: it owns every state
-/// field written by atomic blocks plus the status fields (§3.1).
-class TxnComponent : public UpdateComponent {
- public:
-  TxnComponent(TxnEngine* engine, const CompiledProgram* program)
-      : engine_(engine), program_(program) {}
-
-  const std::string& name() const override { return name_; }
-
-  std::vector<std::pair<ClassId, FieldIdx>> OwnedFields() const override {
-    std::vector<std::pair<ClassId, FieldIdx>> out;
-    for (size_t c = 0; c < program_->txn_owned.size(); ++c) {
-      for (FieldIdx f : program_->txn_owned[c]) {
-        out.emplace_back(static_cast<ClassId>(c), f);
-      }
-    }
-    return out;
-  }
-
-  void Update(World* world, Tick tick) override {
-    (void)tick;
-    engine_->ApplyUpdate(world);
-  }
-
- private:
-  std::string name_ = "txn-engine";
-  TxnEngine* engine_;
-  const CompiledProgram* program_;
-};
-
-}  // namespace
-
 TickExecutor::TickExecutor(World* world, const CompiledProgram* program,
                            ExecOptions options)
     : world_(world),
@@ -64,8 +30,8 @@ TickExecutor::~TickExecutor() = default;
 Status TickExecutor::Init() {
   SGL_CHECK(!initialized_);
   Catalog* catalog = program_->catalog.get();
-  SGL_RETURN_IF_ERROR(components_.Register(
-      catalog, std::make_unique<TxnComponent>(&txn_, program_)));
+  SGL_RETURN_IF_ERROR(
+      components_.Register(catalog, MakeTxnComponent(&txn_, program_)));
   SGL_RETURN_IF_ERROR(components_.Register(
       catalog, std::make_unique<ExprUpdater>(program_)));
   initialized_ = true;
@@ -76,20 +42,6 @@ Status TickExecutor::RegisterComponent(
     std::unique_ptr<UpdateComponent> component) {
   SGL_CHECK(initialized_ && "call Init() first");
   return components_.Register(program_->catalog.get(), std::move(component));
-}
-
-void TickExecutor::AllocateLocals(const std::vector<SglType>& types,
-                                  size_t rows, LocalColumns* locals) {
-  locals->EnsureSlots(types.size());
-  for (size_t slot = 0; slot < types.size(); ++slot) {
-    if (types[slot].is_number()) {
-      locals->num[slot].assign(rows, 0.0);
-    } else if (types[slot].is_bool()) {
-      locals->bools[slot].assign(rows, 0);
-    } else {
-      locals->refs[slot].assign(rows, kNullEntity);
-    }
-  }
 }
 
 void TickExecutor::EnsureWorkers(int shards) {
@@ -231,7 +183,7 @@ Status TickExecutor::RunTick() {
     EntityTable& table = world_->table(script.cls);
     if (table.empty()) continue;
     LocalColumns& locals = script_locals_[si];
-    AllocateLocals(script.local_types, table.size(), &locals);
+    AllocateLocalColumns(script.local_types, table.size(), &locals);
 
     // Phase dispatch on the PC column (§3.2).
     auto& selections = script_selections_[si];
@@ -239,10 +191,14 @@ Status TickExecutor::RunTick() {
       selections.resize(static_cast<size_t>(script.num_phases()));
     }
     if (script.num_phases() == 1) {
+      // The whole-extent selection is a pure function of the table size
+      // (iota); rebuild it only when spawns/despawns resized the class.
       auto& all = selections[0];
-      all.resize(table.size());
-      for (size_t i = 0; i < table.size(); ++i) {
-        all[i] = static_cast<RowIdx>(i);
+      if (all.size() != table.size()) {
+        all.resize(table.size());
+        for (size_t i = 0; i < table.size(); ++i) {
+          all[i] = static_cast<RowIdx>(i);
+        }
       }
     } else {
       for (auto& sel : selections) sel.clear();
@@ -268,12 +224,14 @@ Status TickExecutor::RunTick() {
     const CompiledHandler& handler = program_->handlers[hi];
     EntityTable& table = world_->table(handler.cls);
     if (table.empty()) continue;
-    handler_all_.resize(table.size());
-    for (size_t i = 0; i < table.size(); ++i) {
-      handler_all_[i] = static_cast<RowIdx>(i);
+    if (handler_all_.size() != table.size()) {  // iota; see script selections
+      handler_all_.resize(table.size());
+      for (size_t i = 0; i < table.size(); ++i) {
+        handler_all_[i] = static_cast<RowIdx>(i);
+      }
     }
     LocalColumns& locals = handler_locals_[hi];
-    AllocateLocals(handler.local_types, table.size(), &locals);
+    AllocateLocalColumns(handler.local_types, table.size(), &locals);
     handler_selection_.clear();
     if (options_.interpreted) {
       ScalarContext ctx;

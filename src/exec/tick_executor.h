@@ -42,6 +42,11 @@ namespace sgl {
 /// Executor configuration.
 struct ExecOptions {
   int num_threads = 1;
+  /// > 1 partitions the world into that many row-range shards with
+  /// cross-shard effect routing; the engine then drives the sharded
+  /// pipeline (src/shard/shard_executor.h) instead of TickExecutor, reusing
+  /// the remaining fields (threads, morsels, planner, interpreted).
+  int num_shards = 1;
   size_t morsel_size = 2048;
   AdaptiveController::Options planner;
   bool interpreted = false;  ///< object-at-a-time baseline mode
@@ -116,8 +121,6 @@ class TickExecutor {
                LocalColumns* locals);
   void PrepareSites(const std::vector<std::unique_ptr<PlanOp>>& ops,
                     size_t outer_rows);
-  void AllocateLocals(const std::vector<SglType>& types, size_t rows,
-                      LocalColumns* locals);
 
   World* world_;
   const CompiledProgram* program_;

@@ -4,6 +4,20 @@
 
 namespace sgl {
 
+void AllocateLocalColumns(const std::vector<SglType>& types, size_t rows,
+                          LocalColumns* locals) {
+  locals->EnsureSlots(types.size());
+  for (size_t slot = 0; slot < types.size(); ++slot) {
+    if (types[slot].is_number()) {
+      locals->num[slot].assign(rows, 0.0);
+    } else if (types[slot].is_bool()) {
+      locals->bools[slot].assign(rows, 0);
+    } else {
+      locals->refs[slot].assign(rows, kNullEntity);
+    }
+  }
+}
+
 namespace {
 
 // Resolves the (table, row) a side refers to, per output element.

@@ -127,6 +127,12 @@ struct LocalColumns {
   }
 };
 
+/// Zero-fills `locals` for `rows` rows of every slot in `types` (capacity
+/// kept). Shared by the single-world and sharded executors so their local
+/// column semantics cannot drift.
+void AllocateLocalColumns(const std::vector<SglType>& types, size_t rows,
+                          LocalColumns* locals);
+
 /// Tentative state deltas used during transaction admission (§3.1): reads of
 /// overlaid fields see the would-be-committed value instead of the table.
 ///

@@ -1,0 +1,159 @@
+#include "src/shard/entity_migrator.h"
+
+#include "src/common/vec_util.h"
+#include "src/shard/sharded_world.h"
+
+namespace sgl {
+
+void EntityMigrator::RebuildClass(ShardedWorld* sharded, ClassId cls) {
+  World& world = sharded->world();
+  EntityTable& table = world.table(cls);
+  const size_t n = table.size();
+  const int S = sharded->num_shards();
+
+  // Slices: for each destination shard in order, the maximal runs of rows
+  // assigned to it — stable, so within-shard row order (and with it every
+  // order key derived from relative position) survives the move. One pass
+  // collects the runs in row order; a counting sort by shard then lays
+  // them out in (shard, row) order — O(n + S + runs), not O(S * n).
+  runs_.clear();
+  run_shard_.clear();
+  ResizeAmortized(&sizes_, static_cast<size_t>(S));
+  std::fill(sizes_.begin(), sizes_.end(), 0u);
+  run_starts_.assign(static_cast<size_t>(S) + 1, 0u);
+  for (size_t i = 0; i < n;) {
+    const uint8_t s = assign_[i];
+    size_t run = i + 1;
+    while (run < n && assign_[run] == s) ++run;
+    if (s < S) {  // dropped rows (bulk despawn) belong to no slice
+      runs_.push_back(RowSlice{static_cast<RowIdx>(i),
+                               static_cast<uint32_t>(run - i)});
+      run_shard_.push_back(s);
+      ++run_starts_[static_cast<size_t>(s) + 1];
+      sizes_[s] += static_cast<uint32_t>(run - i);
+    }
+    i = run;
+  }
+  for (size_t s = 0; s < static_cast<size_t>(S); ++s) {
+    run_starts_[s + 1] += run_starts_[s];
+  }
+  ResizeAmortized(&slices_, runs_.size());
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    slices_[run_starts_[run_shard_[r]]++] = runs_[r];
+  }
+  table.RebuildBySlices(slices_.data(), slices_.size(), &table_scratch_);
+  sharded->SetPartitionSizes(cls, sizes_.data());
+  world.ReindexClass(cls);
+}
+
+Status EntityMigrator::Migrate(ShardedWorld* sharded, const ShardMove* moves,
+                               size_t n) {
+  sharded->EnsurePartition();
+  World& world = sharded->world();
+  const int S = sharded->num_shards();
+  const int num_classes = world.catalog().num_classes();
+
+  // Validate the whole batch before moving anything.
+  for (size_t i = 0; i < n; ++i) {
+    if (world.Find(moves[i].id) == nullptr) {
+      return Status::NotFound("cannot migrate: entity does not exist");
+    }
+    if (moves[i].dst_shard < 0 || moves[i].dst_shard >= S) {
+      return Status::InvalidArgument("destination shard out of range");
+    }
+  }
+
+  ResizeAmortized(&class_touched_, static_cast<size_t>(num_classes));
+  std::fill(class_touched_.begin(), class_touched_.end(), 0u);
+  for (size_t i = 0; i < n; ++i) {
+    const World::Locator* loc = world.Find(moves[i].id);
+    if (sharded->ShardOfRow(loc->cls, loc->row) != moves[i].dst_shard) {
+      class_touched_[static_cast<size_t>(loc->cls)] = 1;
+    }
+  }
+
+  for (ClassId c = 0; c < num_classes; ++c) {
+    if (!class_touched_[static_cast<size_t>(c)]) continue;
+    const size_t rows = world.table(c).size();
+    ResizeAmortized(&assign_, rows);
+    const auto& part_shard_of = sharded->parts_[static_cast<size_t>(c)]
+                                    .shard_of;
+    std::copy(part_shard_of.begin(), part_shard_of.end(), assign_.begin());
+    for (size_t i = 0; i < n; ++i) {
+      const World::Locator* loc = world.Find(moves[i].id);
+      if (loc->cls == c) {
+        assign_[loc->row] = static_cast<uint8_t>(moves[i].dst_shard);
+      }
+    }
+    RebuildClass(sharded, c);
+  }
+  return Status::OK();
+}
+
+Status EntityMigrator::SpawnBatch(ShardedWorld* sharded, ClassId cls,
+                                  size_t n, int shard,
+                                  std::vector<EntityId>* out_ids) {
+  sharded->EnsurePartition();
+  World& world = sharded->world();
+  const int S = sharded->num_shards();
+  if (shard < 0 || shard >= S) {
+    return Status::InvalidArgument("destination shard out of range");
+  }
+  spawn_ids_.clear();
+  world.SpawnBatch(cls, n, &spawn_ids_);
+  auto& part = sharded->parts_[static_cast<size_t>(cls)];
+  if (shard == S - 1) {
+    // Appended rows already sit at the end of the last shard's range.
+    part.shard_of.insert(part.shard_of.end(), n,
+                         static_cast<uint8_t>(shard));
+    part.base[static_cast<size_t>(S)] += static_cast<RowIdx>(n);
+  } else {
+    const size_t rows = world.table(cls).size();
+    ResizeAmortized(&assign_, rows);
+    std::copy(part.shard_of.begin(), part.shard_of.end(), assign_.begin());
+    std::fill(assign_.begin() + static_cast<ptrdiff_t>(rows - n),
+              assign_.end(), static_cast<uint8_t>(shard));
+    RebuildClass(sharded, cls);
+  }
+  if (out_ids != nullptr) {
+    out_ids->insert(out_ids->end(), spawn_ids_.begin(), spawn_ids_.end());
+  }
+  return Status::OK();
+}
+
+Status EntityMigrator::DespawnBatch(ShardedWorld* sharded,
+                                    const EntityId* ids, size_t n) {
+  sharded->EnsurePartition();
+  World& world = sharded->world();
+  const int num_classes = world.catalog().num_classes();
+  for (size_t i = 0; i < n; ++i) {
+    if (world.Find(ids[i]) == nullptr) {
+      return Status::NotFound("cannot despawn: entity does not exist");
+    }
+  }
+  ResizeAmortized(&class_touched_, static_cast<size_t>(num_classes));
+  std::fill(class_touched_.begin(), class_touched_.end(), 0u);
+  for (size_t i = 0; i < n; ++i) {
+    class_touched_[static_cast<size_t>(world.Find(ids[i])->cls)] = 1;
+  }
+  constexpr uint8_t kDropped = 0xff;
+  for (ClassId c = 0; c < num_classes; ++c) {
+    if (!class_touched_[static_cast<size_t>(c)]) continue;
+    const size_t rows = world.table(c).size();
+    ResizeAmortized(&assign_, rows);
+    const auto& part_shard_of = sharded->parts_[static_cast<size_t>(c)]
+                                    .shard_of;
+    std::copy(part_shard_of.begin(), part_shard_of.end(), assign_.begin());
+    for (size_t i = 0; i < n; ++i) {
+      const World::Locator* loc = world.Find(ids[i]);
+      if (loc != nullptr && loc->cls == c) {
+        assign_[loc->row] = kDropped;  // in no shard's slices: row dropped
+        world.DirectoryErase(ids[i]);
+      }
+    }
+    RebuildClass(sharded, c);
+  }
+  return Status::OK();
+}
+
+}  // namespace sgl

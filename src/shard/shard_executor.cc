@@ -1,0 +1,352 @@
+#include "src/shard/shard_executor.h"
+
+#include <algorithm>
+
+#include "src/common/alloc_hook.h"
+#include "src/common/stopwatch.h"
+#include "src/update/expr_updater.h"
+
+namespace sgl {
+
+ShardExecutor::ShardExecutor(World* world, ShardedWorld* sharded,
+                             const CompiledProgram* program,
+                             ExecOptions options)
+    : world_(world),
+      sharded_(sharded),
+      program_(program),
+      options_(options),
+      controller_(options.planner, program->num_sites),
+      txn_(program) {
+  SGL_CHECK(options_.num_shards == sharded_->num_shards());
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  site_cache_.resize(static_cast<size_t>(program_->num_sites));
+  prepared_.resize(static_cast<size_t>(program_->num_sites));
+  script_locals_.resize(program_->scripts.size());
+  handler_locals_.resize(program_->handlers.size());
+}
+
+ShardExecutor::~ShardExecutor() = default;
+
+Status ShardExecutor::Init() {
+  SGL_CHECK(!initialized_);
+  Catalog* catalog = program_->catalog.get();
+  SGL_RETURN_IF_ERROR(
+      components_.Register(catalog, MakeTxnComponent(&txn_, program_)));
+  SGL_RETURN_IF_ERROR(components_.Register(
+      catalog, std::make_unique<ExprUpdater>(program_)));
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status ShardExecutor::RegisterComponent(
+    std::unique_ptr<UpdateComponent> component) {
+  SGL_CHECK(initialized_ && "call Init() first");
+  return components_.Register(program_->catalog.get(), std::move(component));
+}
+
+void ShardExecutor::EnsureShards() {
+  const int S = options_.num_shards;
+  if (shards_.size() == static_cast<size_t>(S)) return;
+  shards_.clear();
+  for (int s = 0; s < S; ++s) {
+    auto ws = std::make_unique<WorldShard>();
+    ws->id = s;
+    ws->router = std::make_unique<ShardRouter>(sharded_, s);
+    ws->env.world = world_;
+    ws->env.router = ws->router.get();
+    ws->env.scratch = &ws->scratch;
+    ws->script_selections.resize(program_->scripts.size());
+    ws->handler_rows.resize(program_->handlers.size());
+    ws->handler_selections.resize(program_->handlers.size());
+    shards_.push_back(std::move(ws));
+  }
+}
+
+void ShardExecutor::ComputeSelections(WorldShard& ws) {
+  // Scripts: the shard's slice of every class extent, dispatched on the PC
+  // column for multi-phase scripts (§3.2).
+  for (size_t si = 0; si < program_->scripts.size(); ++si) {
+    const CompiledScript& script = program_->scripts[si];
+    const EntityTable& table = world_->table(script.cls);
+    auto& selections = ws.script_selections[si];
+    if (selections.size() != static_cast<size_t>(script.num_phases())) {
+      selections.resize(static_cast<size_t>(script.num_phases()));
+    }
+    const RowIdx begin = sharded_->shard_begin(script.cls, ws.id);
+    const RowIdx end = sharded_->shard_end(script.cls, ws.id);
+    if (script.num_phases() == 1) {
+      // Range iota: a pure function of [begin, end) — rebuilt only when
+      // the partition moved (the same hoist TickExecutor applies).
+      auto& all = selections[0];
+      if (all.size() != static_cast<size_t>(end - begin) ||
+          (!all.empty() && all[0] != begin)) {
+        all.resize(end - begin);
+        for (RowIdx r = begin; r < end; ++r) {
+          all[static_cast<size_t>(r - begin)] = r;
+        }
+      }
+    } else {
+      for (auto& sel : selections) sel.clear();
+      ConstNumberColumn pc = table.Num(script.pc_state);
+      for (RowIdx r = begin; r < end; ++r) {
+        int phase = static_cast<int>(pc[r]);
+        if (phase < 0 || phase >= script.num_phases()) phase = 0;
+        selections[static_cast<size_t>(phase)].push_back(r);
+      }
+    }
+  }
+
+  // Handlers: evaluate the condition over the shard's range. Conditions
+  // only read prior state and zeroed locals, both unchanged throughout the
+  // query phase, so evaluating them before the scripts run is equivalent
+  // to TickExecutor's scripts-then-handlers order.
+  for (size_t hi = 0; hi < program_->handlers.size(); ++hi) {
+    const CompiledHandler& handler = program_->handlers[hi];
+    const EntityTable& table = world_->table(handler.cls);
+    const RowIdx begin = sharded_->shard_begin(handler.cls, ws.id);
+    const RowIdx end = sharded_->shard_end(handler.cls, ws.id);
+    auto& rows = ws.handler_rows[hi];
+    if (rows.size() != static_cast<size_t>(end - begin) ||
+        (!rows.empty() && rows[0] != begin)) {
+      rows.resize(end - begin);
+      for (RowIdx r = begin; r < end; ++r) {
+        rows[static_cast<size_t>(r - begin)] = r;
+      }
+    }
+    auto& selection = ws.handler_selections[hi];
+    selection.clear();
+    if (rows.empty()) continue;
+    if (options_.interpreted) {
+      ScalarContext ctx;
+      ctx.world = world_;
+      ctx.outer_cls = handler.cls;
+      ctx.locals = &handler_locals_[hi];
+      for (RowIdx row : rows) {
+        ctx.outer_row = row;
+        if (EvalScalarBool(*handler.cond, ctx)) selection.push_back(row);
+      }
+    } else {
+      VecContext ctx;
+      ctx.world = world_;
+      ctx.outer = &table;
+      ctx.outer_rows = &rows;
+      ctx.locals = &handler_locals_[hi];
+      ctx.scratch = &ws.scratch;
+      EvalBool(*handler.cond, ctx, &ws.handler_keep);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (ws.handler_keep[i]) selection.push_back(rows[i]);
+      }
+    }
+  }
+}
+
+void ShardExecutor::PrepareUnitSites(
+    const std::vector<std::unique_ptr<PlanOp>>& ops, size_t outer_rows) {
+  for (const auto& op : ops) {
+    if (op->kind != PlanOp::Kind::kAccum) continue;
+    const auto* accum = static_cast<const AccumOp*>(op.get());
+    JoinStrategy strategy;
+    if (options_.interpreted) {
+      strategy = JoinStrategy::kNestedLoop;
+    } else {
+      const TableStats* inner_stats =
+          stats_mgr_.has_stats() ? &stats_mgr_.Get(accum->inner_cls) : nullptr;
+      strategy = controller_.Choose(*accum, tick_, inner_stats, outer_rows);
+    }
+    PrepareSite(*accum, strategy, *world_, &indexes_, tick_,
+                &site_cache_[static_cast<size_t>(accum->site_id)],
+                &prepared_[static_cast<size_t>(accum->site_id)]);
+  }
+}
+
+void ShardExecutor::PrepareAllSites() {
+  // Site ids are program-unique, so one pass over every unit prepares each
+  // site exactly once; the controller sees the same global outer-row count
+  // the single-shard executor feeds it.
+  for (size_t si = 0; si < program_->scripts.size(); ++si) {
+    const CompiledScript& script = program_->scripts[si];
+    for (int k = 0; k < script.num_phases(); ++k) {
+      size_t total = 0;
+      for (const auto& ws : shards_) {
+        total += ws->script_selections[si][static_cast<size_t>(k)].size();
+      }
+      if (total == 0) continue;
+      PrepareUnitSites(script.phases[static_cast<size_t>(k)], total);
+    }
+  }
+  for (size_t hi = 0; hi < program_->handlers.size(); ++hi) {
+    size_t total = 0;
+    for (const auto& ws : shards_) {
+      total += ws->handler_selections[hi].size();
+    }
+    if (total == 0) continue;
+    PrepareUnitSites(program_->handlers[hi].ops, total);
+  }
+}
+
+void ShardExecutor::RunUnitShard(
+    WorldShard& ws, const std::vector<std::unique_ptr<PlanOp>>& ops,
+    ClassId cls, const std::vector<RowIdx>& selection,
+    LocalColumns* locals) {
+  ExecEnv& env = ws.env;
+  env.tick = tick_;
+  env.outer_cls = cls;
+  env.outer = &world_->table(cls);
+  env.txn_sink = txn_.shard(ws.id);
+  env.locals = locals;
+  env.prepared = &prepared_;
+  env.feedback = &ws.feedback;
+  env.trace = trace_;
+  if (options_.interpreted) {
+    RunOpsScalar(ops, selection, env);
+    return;
+  }
+  const size_t morsel = options_.morsel_size;
+  if (selection.size() <= morsel) {
+    RunOpsVectorized(ops, selection, env);
+    return;
+  }
+  // Sequential morsel chunks bound the per-unit pair scratch exactly like
+  // the morsel-parallel executor's per-thread slices.
+  for (size_t b = 0; b < selection.size(); b += morsel) {
+    const size_t e = std::min(selection.size(), b + morsel);
+    ws.slice.assign(selection.begin() + static_cast<ptrdiff_t>(b),
+                    selection.begin() + static_cast<ptrdiff_t>(e));
+    RunOpsVectorized(ops, ws.slice, env);
+  }
+}
+
+void ShardExecutor::RunShard(WorldShard& ws) {
+  for (size_t si = 0; si < program_->scripts.size(); ++si) {
+    const CompiledScript& script = program_->scripts[si];
+    for (int k = 0; k < script.num_phases(); ++k) {
+      const auto& selection =
+          ws.script_selections[si][static_cast<size_t>(k)];
+      if (selection.empty()) continue;
+      RunUnitShard(ws, script.phases[static_cast<size_t>(k)], script.cls,
+                   selection, &script_locals_[si]);
+    }
+  }
+  for (size_t hi = 0; hi < program_->handlers.size(); ++hi) {
+    const CompiledHandler& handler = program_->handlers[hi];
+    const auto& selection = ws.handler_selections[hi];
+    if (selection.empty()) continue;
+    RunUnitShard(ws, handler.ops, handler.cls, selection,
+                 &handler_locals_[hi]);
+  }
+}
+
+Status ShardExecutor::RunTick() {
+  SGL_CHECK(initialized_ && "call Init() first");
+  const AllocCounts alloc_before = AllocCountersNow();
+  Stopwatch total;
+  last_.tick = tick_;
+  last_.query_effect_micros = 0;
+  last_.merge_micros = 0;
+  last_.update_micros = 0;
+  last_.index_build_micros = 0;
+  last_.index_memory_bytes = 0;
+  last_.total_micros = 0;
+  last_.allocs_per_tick = 0;
+  last_.bytes_per_tick = 0;
+  last_.txn = TxnStats();
+  const int num_classes = world_->catalog().num_classes();
+  const int S = options_.num_shards;
+  const int64_t index_micros_before = indexes_.build_micros();
+
+  // --- Setup -----------------------------------------------------------
+  sharded_->EnsurePartition();
+  world_->ResetEffects();
+  if (!options_.interpreted) stats_mgr_.MaybeRefresh(*world_, tick_);
+  txn_.BeginTick(S);
+  EnsureShards();
+  for (auto& ws : shards_) {
+    ws->router->BeginTick();
+    ws->feedback.assign(static_cast<size_t>(program_->num_sites),
+                        SiteFeedback());
+  }
+  for (size_t si = 0; si < program_->scripts.size(); ++si) {
+    AllocateLocalColumns(program_->scripts[si].local_types,
+                         world_->table(program_->scripts[si].cls).size(),
+                         &script_locals_[si]);
+  }
+  for (size_t hi = 0; hi < program_->handlers.size(); ++hi) {
+    AllocateLocalColumns(program_->handlers[hi].local_types,
+                         world_->table(program_->handlers[hi].cls).size(),
+                         &handler_locals_[hi]);
+  }
+
+  // --- A. Selections + P. site preparation -----------------------------
+  Stopwatch query_timer;
+  auto for_each_shard = [&](auto&& fn) {
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(S, [&](int s) { fn(*shards_[static_cast<size_t>(s)]); });
+    } else {
+      for (int s = 0; s < S; ++s) fn(*shards_[static_cast<size_t>(s)]);
+    }
+  };
+  for_each_shard([&](WorldShard& ws) { ComputeSelections(ws); });
+  PrepareAllSites();
+
+  // --- B. Query + effect phase (parallel across shards) -----------------
+  for_each_shard([&](WorldShard& ws) { RunShard(ws); });
+  last_.query_effect_micros = query_timer.ElapsedMicros();
+
+  // --- C. Barrier: route, merge, canonicalize ---------------------------
+  Stopwatch merge_timer;
+  for (auto& ws : shards_) {
+    for (int d = 0; d < S; ++d) ws->router->lane(d).Flip();
+  }
+  cross_records_ = 0;
+  for (auto& ws : shards_) {  // source-major: reproduces serial ⊕ order
+    ws->router->MergeInto(world_);
+    cross_records_ += ws->router->OutboundRecords();
+  }
+  for (ClassId c = 0; c < num_classes; ++c) {
+    world_->effects(c).FinalizeSets();
+  }
+  last_.sites.assign(static_cast<size_t>(program_->num_sites),
+                     SiteFeedback());
+  for (const auto& ws : shards_) {
+    for (size_t i = 0; i < ws->feedback.size(); ++i) {
+      if (ws->feedback[i].site < 0) continue;
+      SiteFeedback& agg = last_.sites[i];
+      agg.site = ws->feedback[i].site;
+      agg.strategy = ws->feedback[i].strategy;
+      agg.outer_rows += ws->feedback[i].outer_rows;
+      agg.candidates += ws->feedback[i].candidates;
+      agg.matches += ws->feedback[i].matches;
+      agg.micros += ws->feedback[i].micros;
+    }
+  }
+  for (const SiteFeedback& fb : last_.sites) {
+    if (fb.site >= 0) controller_.Feedback(fb);
+  }
+  last_.merge_micros = merge_timer.ElapsedMicros();
+
+  // --- D. Update phase --------------------------------------------------
+  Stopwatch update_timer;
+  components_.RunAll(world_, tick_);
+  last_.update_micros = update_timer.ElapsedMicros();
+
+  // --- Barrier tail: migrations + epoch ---------------------------------
+  if (sharded_->has_pending_migrations()) {
+    SGL_RETURN_IF_ERROR(sharded_->ApplyPendingMigrations());
+  }
+  sharded_->BumpEpoch();
+
+  // --- Bookkeeping ------------------------------------------------------
+  last_.txn = txn_.last_tick();
+  last_.index_build_micros = indexes_.build_micros() - index_micros_before;
+  last_.index_memory_bytes = static_cast<int64_t>(indexes_.MemoryBytes());
+  last_.total_micros = total.ElapsedMicros();
+  const AllocCounts alloc_after = AllocCountersNow();
+  last_.allocs_per_tick = alloc_after.count - alloc_before.count;
+  last_.bytes_per_tick = alloc_after.bytes - alloc_before.bytes;
+  ++tick_;
+  return Status::OK();
+}
+
+}  // namespace sgl

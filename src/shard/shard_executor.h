@@ -1,0 +1,134 @@
+// ShardExecutor: the sharded QUERY → MERGE → UPDATE pipeline (src/shard/).
+//
+// The per-tick shape mirrors TickExecutor, with the parallel grain moved
+// from morsels to world shards:
+//
+//   A SELECT      each shard computes its phase/handler selections over its
+//                 own row ranges (reads only prior state — parallel)
+//   P PREPARE     access paths (indexes, hashes, composed filters) are
+//                 prepared once, globally: the read view is shared by
+//                 construction, so per-shard index builds would be
+//                 redundant replicas
+//   B QUERY+EFFECT each shard runs every script phase and handler over its
+//                 selections, single-threadedly, in morsel-sized chunks;
+//                 effects route through its ShardRouter (local dense buffer
+//                 or cross-shard mailbox), intents land in its per-shard
+//                 TxnIntentLog (parallel across shards)
+//   C BARRIER     mailboxes flip; shards merge source-major into the
+//                 world's effect buffers; set logs canonicalize
+//                 (FinalizeSets); queued migrations apply; epoch bumps
+//   D UPDATE      the shared update components run over the whole world:
+//                 transaction admission is global on purpose — intents
+//                 keep a shard-of-owner dimension, and admission is proven
+//                 independent of how intents are partitioned across shards
+//
+// Because each shard's work is self-contained (own router, scratch, intent
+// log, feedback) and the barrier merges in shard order, the result is
+// bit-identical for any thread count and any morsel size at a fixed shard
+// count; see README.md for the cross-shard-count contract.
+
+#ifndef SGL_SHARD_SHARD_EXECUTOR_H_
+#define SGL_SHARD_SHARD_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/exec/tick_executor.h"
+#include "src/shard/shard_router.h"
+#include "src/shard/sharded_world.h"
+
+namespace sgl {
+
+class ShardExecutor {
+ public:
+  /// `world`, `sharded`, and `program` must outlive the executor.
+  /// `options.num_shards` is the shard count; threads/morsels/planner/
+  /// interpreted mean what they mean for TickExecutor.
+  ShardExecutor(World* world, ShardedWorld* sharded,
+                const CompiledProgram* program, ExecOptions options);
+  ~ShardExecutor();
+
+  /// Registers the built-in components (transaction engine + expression
+  /// updater). Must run before the first tick.
+  Status Init();
+
+  /// Registers an engine update component (physics, pathfinding, custom).
+  Status RegisterComponent(std::unique_ptr<UpdateComponent> component);
+
+  /// Executes one sharded tick.
+  Status RunTick();
+
+  Tick tick() const { return tick_; }
+  void set_tick(Tick tick) { tick_ = tick; }
+  const TickStats& last_stats() const { return last_; }
+  const ExecOptions& options() const { return options_; }
+
+  AdaptiveController& controller() { return controller_; }
+  IndexManager& indexes() { return indexes_; }
+  TxnEngine& txn() { return txn_; }
+  StatsManager& table_stats() { return stats_mgr_; }
+  ComponentRegistry& components() { return components_; }
+  ShardedWorld& sharded() { return *sharded_; }
+
+  void set_trace(EffectTraceSink* sink) { trace_ = sink; }
+
+  /// Effect records routed across shards last tick (stats / tests).
+  size_t last_cross_shard_records() const { return cross_records_; }
+
+ private:
+  /// One world shard's pipeline state: its router (local effect buffers +
+  /// mailboxes), eval scratch, selections, and feedback. The shard's
+  /// *tables* are its row ranges of the world's class arenas.
+  struct WorldShard {
+    int id = 0;
+    ExecEnv env;
+    ExecScratch scratch;
+    std::unique_ptr<ShardRouter> router;
+    /// Per script, per phase: selected rows of this shard's ranges.
+    std::vector<std::vector<std::vector<RowIdx>>> script_selections;
+    /// Per handler: cached range iota and this tick's selection.
+    std::vector<std::vector<RowIdx>> handler_rows;
+    std::vector<std::vector<RowIdx>> handler_selections;
+    std::vector<uint8_t> handler_keep;
+    std::vector<SiteFeedback> feedback;
+    std::vector<RowIdx> slice;  ///< morsel chunk buffer
+  };
+
+  void EnsureShards();
+  void ComputeSelections(WorldShard& ws);
+  void PrepareAllSites();
+  void PrepareUnitSites(const std::vector<std::unique_ptr<PlanOp>>& ops,
+                        size_t outer_rows);
+  void RunShard(WorldShard& ws);
+  void RunUnitShard(WorldShard& ws,
+                    const std::vector<std::unique_ptr<PlanOp>>& ops,
+                    ClassId cls, const std::vector<RowIdx>& selection,
+                    LocalColumns* locals);
+
+  World* world_;
+  ShardedWorld* sharded_;
+  const CompiledProgram* program_;
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  IndexManager indexes_;
+  StatsManager stats_mgr_;
+  AdaptiveController controller_;
+  TxnEngine txn_;
+  ComponentRegistry components_;
+  EffectTraceSink* trace_ = nullptr;
+  Tick tick_ = 0;
+  TickStats last_;
+  bool initialized_ = false;
+  size_t cross_records_ = 0;
+
+  std::vector<std::unique_ptr<WorldShard>> shards_;
+  std::vector<SiteCache> site_cache_;   ///< by site id
+  std::vector<PreparedSite> prepared_;  ///< by site id
+  std::vector<LocalColumns> script_locals_;
+  std::vector<LocalColumns> handler_locals_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_SHARD_SHARD_EXECUTOR_H_

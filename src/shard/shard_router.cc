@@ -1,0 +1,67 @@
+#include "src/shard/shard_router.h"
+
+namespace sgl {
+
+ShardRouter::ShardRouter(ShardedWorld* sharded, int self)
+    : sharded_(sharded), self_(self) {
+  const Catalog& catalog = sharded_->world().catalog();
+  for (ClassId c = 0; c < catalog.num_classes(); ++c) {
+    local_.push_back(std::make_unique<EffectBuffer>(&catalog.Get(c)));
+  }
+  base_.resize(static_cast<size_t>(catalog.num_classes()), 0);
+  lanes_.resize(static_cast<size_t>(sharded_->num_shards()));
+}
+
+void ShardRouter::BeginTick() {
+  const int num_classes = sharded_->world().catalog().num_classes();
+  for (ClassId c = 0; c < num_classes; ++c) {
+    const RowIdx begin = sharded_->shard_begin(c, self_);
+    const RowIdx end = sharded_->shard_end(c, self_);
+    base_[static_cast<size_t>(c)] = begin;
+    local_[static_cast<size_t>(c)]->Reset(end - begin);
+  }
+}
+
+void ShardRouter::MergeInto(World* world) {
+  const int num_classes = world->catalog().num_classes();
+  for (ClassId c = 0; c < num_classes; ++c) {
+    world->effects(c).MergeFromOffset(*local_[static_cast<size_t>(c)],
+                                      base_[static_cast<size_t>(c)]);
+  }
+  for (size_t d = 0; d < lanes_.size(); ++d) {
+    if (static_cast<int>(d) == self_) continue;
+    for (const EffectRecord& rec : lanes_[d].in()) {
+      EffectBuffer& sink = world->effects(rec.cls);
+      switch (rec.kind) {
+        case EffectRecord::kNum: {
+          double v;
+          std::memcpy(&v, &rec.payload, sizeof(v));
+          sink.AddNumber(rec.field, rec.row, v, rec.order_key);
+          break;
+        }
+        case EffectRecord::kBool:
+          sink.AddBool(rec.field, rec.row, rec.payload != 0, rec.order_key);
+          break;
+        case EffectRecord::kRef:
+          sink.AddRef(rec.field, rec.row,
+                      static_cast<EntityId>(rec.payload), rec.order_key);
+          break;
+        case EffectRecord::kSetInsert:
+          sink.AddSetInsert(rec.field, rec.row,
+                            static_cast<EntityId>(rec.payload));
+          break;
+      }
+    }
+  }
+}
+
+size_t ShardRouter::OutboundRecords() const {
+  size_t total = 0;
+  for (size_t d = 0; d < lanes_.size(); ++d) {
+    if (static_cast<int>(d) == self_) continue;
+    total += lanes_[d].in().size();
+  }
+  return total;
+}
+
+}  // namespace sgl

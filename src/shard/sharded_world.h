@@ -1,0 +1,142 @@
+// ShardedWorld: a World partitioned into N row-range shards.
+//
+// Shard s of class c owns the contiguous row range
+// [shard_begin(c, s), shard_end(c, s)) of the class's column arena — the
+// shard's "table" is a row slice, not a separate object, so the QUERY
+// phase's cross-shard *reads* (accum joins over the full class extent,
+// TargetKind::kRef dereferences) cost nothing: they are ordinary column
+// reads of the replicated-by-construction read view, exactly what a
+// distributed deployment gets from full-interest replication. Cross-shard
+// *writes* are where the partition bites: effects targeting rows outside
+// the emitting shard's ranges are routed through ShardRouter mailboxes and
+// merged at the tick barrier (shard_router.h), and transaction intents
+// carry their shard-of-owner in the per-shard TxnIntentLog dimension.
+//
+// The block partition keeps each shard's rows contiguous *and* in global
+// spawn order, which is what makes the sharded tick bit-comparable to the
+// single-shard one (see src/shard/README.md). Entities move between shards
+// only through EntityMigrator, which rewrites the class arenas as column
+// memcpy slices and refreshes the directory in one pass — the same
+// machinery backs bulk spawn/despawn.
+
+#ifndef SGL_SHARD_SHARDED_WORLD_H_
+#define SGL_SHARD_SHARDED_WORLD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/shard/entity_migrator.h"
+#include "src/storage/world.h"
+
+namespace sgl {
+
+/// One queued shard move, applied at the next tick barrier.
+struct ShardMove {
+  EntityId id = kNullEntity;
+  int dst_shard = 0;
+};
+
+class ShardedWorld {
+ public:
+  /// Partitions `world` (not owned, must outlive this) into `num_shards`
+  /// block ranges. May be built before entities exist: the partition is
+  /// (re)computed lazily on first use, so workload builders can spawn
+  /// through the plain Engine API first.
+  ShardedWorld(World* world, int num_shards);
+
+  World& world() { return *world_; }
+  const World& world() const { return *world_; }
+  int num_shards() const { return num_shards_; }
+
+  /// Tick barriers completed (mailbox double-buffer parity, tests).
+  uint64_t epoch() const { return epoch_; }
+  void BumpEpoch() { ++epoch_; }
+
+  /// Block-partitions every class's current rows evenly, without moving
+  /// any row. Also the recovery path after a checkpoint restore.
+  void PartitionBlock();
+
+  /// Recomputes the partition if it has never been built or table sizes
+  /// drifted behind its back (pre-partition spawns). Idempotent.
+  void EnsurePartition();
+
+  // --- Partition queries (valid after EnsurePartition) -----------------
+
+  RowIdx shard_begin(ClassId cls, int s) const {
+    return parts_[static_cast<size_t>(cls)].base[static_cast<size_t>(s)];
+  }
+  RowIdx shard_end(ClassId cls, int s) const {
+    return parts_[static_cast<size_t>(cls)].base[static_cast<size_t>(s) + 1];
+  }
+  int ShardOfRow(ClassId cls, RowIdx row) const {
+    return parts_[static_cast<size_t>(cls)].shard_of[row];
+  }
+  /// Shard owning `id`, or -1 if the entity does not exist.
+  int ShardOfEntity(EntityId id) const;
+
+  // --- Entity management (tick-boundary only) --------------------------
+  // All paths keep ranges contiguous; World::Despawn's swap-remove must
+  // not be used on a partitioned world.
+
+  /// Spawns into `shard` (-1 = the last shard: a pure column append, no
+  /// row moves).
+  StatusOr<EntityId> Spawn(
+      const std::string& cls_name,
+      const std::vector<std::pair<std::string, Value>>& init,
+      int shard = -1);
+
+  /// Columnar bulk spawn of `n` default-initialized entities into `shard`
+  /// (the streaming ingest path: one arena rebuild instead of n boxed
+  /// spawns). Appends new ids to `out_ids` if non-null.
+  Status SpawnBatch(ClassId cls, size_t n, int shard,
+                    std::vector<EntityId>* out_ids);
+
+  Status Despawn(EntityId id);
+  /// Columnar bulk despawn: one arena rebuild per affected class.
+  Status DespawnBatch(const std::vector<EntityId>& ids);
+
+  // --- Migration -------------------------------------------------------
+
+  /// Queues a move; the executor applies all queued moves at the next tick
+  /// barrier (ApplyPendingMigrations).
+  Status QueueMigration(EntityId id, int dst_shard);
+  bool has_pending_migrations() const { return !pending_.empty(); }
+  /// Drops queued moves without applying them (checkpoint restore: moves
+  /// queued against the pre-restore world must not replay on the restored
+  /// one).
+  void ClearPendingMigrations() { pending_.clear(); }
+  /// Applies queued moves (tick barrier / tests). Clears the queue.
+  Status ApplyPendingMigrations();
+  /// Immediate batch migration (tick-boundary).
+  Status MigrateNow(const std::vector<ShardMove>& moves);
+
+  /// Validates ranges, shard_of, and directory coherence (tests).
+  bool PartitionConsistent() const;
+
+ private:
+  friend class EntityMigrator;
+
+  /// Row partition of one class: shard s owns [base[s], base[s+1]).
+  struct ClassPartition {
+    std::vector<RowIdx> base;       ///< size num_shards + 1 (prefix sums)
+    std::vector<uint8_t> shard_of;  ///< per row; O(1) effect routing
+  };
+
+  /// Rebuilds base/shard_of of `cls` from per-shard row counts (rows are
+  /// already grouped by shard in range order).
+  void SetPartitionSizes(ClassId cls, const uint32_t* sizes);
+
+  World* world_;
+  int num_shards_;
+  bool partitioned_ = false;
+  std::vector<ClassPartition> parts_;  ///< by class
+  EntityMigrator migrator_;
+  std::vector<ShardMove> pending_;
+  std::vector<ShardMove> single_move_;  ///< reused 1-element buffer
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_SHARD_SHARDED_WORLD_H_

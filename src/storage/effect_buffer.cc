@@ -111,63 +111,68 @@ void EffectBuffer::AddSetUnion(FieldIdx f, RowIdx row, const EntitySet& v) {
   ++a.cnt[row];
 }
 
-void EffectBuffer::MergeFrom(const EffectBuffer& shard) {
-  SGL_CHECK(shard.rows_ == rows_ && shard.cls_ == cls_);
+void EffectBuffer::MergeFromOffset(const EffectBuffer& shard, RowIdx base) {
+  SGL_CHECK(base + shard.rows_ <= rows_ && shard.cls_ == cls_);
   for (size_t fi = 0; fi < accums_.size(); ++fi) {
     Accum& a = accums_[fi];
     const Accum& s = shard.accums_[fi];
     if (a.kind == TypeKind::kSet) {
       // Log concatenation: FinalizeSets' sort canonicalizes the union, so
       // the result is independent of shard order and thread count.
-      a.set_log.insert(a.set_log.end(), s.set_log.begin(), s.set_log.end());
-      for (size_t row = 0; row < rows_; ++row) a.cnt[row] += s.cnt[row];
+      for (const SetEntry& e : s.set_log) {
+        a.set_log.push_back(SetEntry{e.row + base, e.elem});
+      }
+      for (size_t row = 0; row < shard.rows_; ++row) {
+        a.cnt[base + row] += s.cnt[row];
+      }
       continue;
     }
-    for (size_t row = 0; row < rows_; ++row) {
-      if (s.cnt[row] == 0) continue;
+    for (size_t srow = 0; srow < shard.rows_; ++srow) {
+      if (s.cnt[srow] == 0) continue;
+      const size_t row = base + srow;
       if (a.cnt[row] == 0) {
         // Copy shard's accumulator wholesale.
         switch (a.kind) {
-          case TypeKind::kNumber: a.num[row] = s.num[row]; break;
-          case TypeKind::kBool: a.bools[row] = s.bools[row]; break;
-          case TypeKind::kRef: a.refs[row] = s.refs[row]; break;
+          case TypeKind::kNumber: a.num[row] = s.num[srow]; break;
+          case TypeKind::kBool: a.bools[row] = s.bools[srow]; break;
+          case TypeKind::kRef: a.refs[row] = s.refs[srow]; break;
           case TypeKind::kSet: break;  // handled above
         }
-        if (a.keyed) a.key[row] = s.key[row];
-        a.cnt[row] = s.cnt[row];
+        if (a.keyed) a.key[row] = s.key[srow];
+        a.cnt[row] = s.cnt[srow];
         continue;
       }
       // Both sides assigned: combine.
       if (a.keyed) {
-        bool take = a.comb == Combinator::kFirst ? s.key[row] < a.key[row]
-                                                 : s.key[row] > a.key[row];
+        bool take = a.comb == Combinator::kFirst ? s.key[srow] < a.key[row]
+                                                 : s.key[srow] > a.key[row];
         if (take) {
           switch (a.kind) {
-            case TypeKind::kNumber: a.num[row] = s.num[row]; break;
-            case TypeKind::kBool: a.bools[row] = s.bools[row]; break;
-            case TypeKind::kRef: a.refs[row] = s.refs[row]; break;
+            case TypeKind::kNumber: a.num[row] = s.num[srow]; break;
+            case TypeKind::kBool: a.bools[row] = s.bools[srow]; break;
+            case TypeKind::kRef: a.refs[row] = s.refs[srow]; break;
             case TypeKind::kSet: break;
           }
-          a.key[row] = s.key[row];
+          a.key[row] = s.key[srow];
         }
       } else {
         switch (a.comb) {
           case Combinator::kSum:
           case Combinator::kAvg:
           case Combinator::kCount:
-            a.num[row] += s.num[row];
+            a.num[row] += s.num[srow];
             break;
           case Combinator::kMin:
-            a.num[row] = std::min(a.num[row], s.num[row]);
+            a.num[row] = std::min(a.num[row], s.num[srow]);
             break;
           case Combinator::kMax:
-            a.num[row] = std::max(a.num[row], s.num[row]);
+            a.num[row] = std::max(a.num[row], s.num[srow]);
             break;
           case Combinator::kOr:
-            a.bools[row] |= s.bools[row];
+            a.bools[row] |= s.bools[srow];
             break;
           case Combinator::kAnd:
-            a.bools[row] &= s.bools[row];
+            a.bools[row] &= s.bools[srow];
             break;
           case Combinator::kUnion:
           case Combinator::kFirst:
@@ -175,7 +180,7 @@ void EffectBuffer::MergeFrom(const EffectBuffer& shard) {
             break;  // handled above
         }
       }
-      a.cnt[row] += s.cnt[row];
+      a.cnt[row] += s.cnt[srow];
     }
   }
 }

@@ -50,7 +50,16 @@ class EffectBuffer {
   /// content because every combinator is commutative/associative (or
   /// order-keyed); set logs concatenate and are canonicalized by
   /// FinalizeSets().
-  void MergeFrom(const EffectBuffer& shard);
+  void MergeFrom(const EffectBuffer& shard) {
+    SGL_CHECK(shard.rows_ == rows_);  // same-extent merge, not a prefix
+    MergeFromOffset(shard, 0);
+  }
+
+  /// MergeFrom for a *range-sized* shard buffer: shard row r lands on this
+  /// buffer's row `base + r`. This is how a world shard's dense local
+  /// accumulators (sized to its row partition, see src/shard/) fold into
+  /// the world's full-size buffers at the tick barrier.
+  void MergeFromOffset(const EffectBuffer& shard, RowIdx base);
 
   /// Canonicalizes the set logs (sort + per-row dedup + pooled
   /// materialization). Must run after the last Add*/MergeFrom of the tick

@@ -1,0 +1,69 @@
+#include "src/storage/entity_directory.h"
+
+namespace sgl {
+
+void EntityDirectory::Reserve(size_t n) {
+  size_t cap = slots_.size();
+  while (n * 4 > cap * 3) cap *= 2;
+  if (cap != slots_.size()) Rehash(cap);
+}
+
+void EntityDirectory::Insert(EntityId id, ClassId cls, RowIdx row) {
+  SGL_DCHECK(id != kNullEntity);
+  if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = Home(id);; i = (i + 1) & mask) {
+    Slot& s = slots_[i];
+    if (!Live(s)) {
+      s.id = id;
+      s.gen = gen_;
+      s.loc.cls = cls;
+      s.loc.row = row;
+      ++size_;
+      return;
+    }
+    SGL_DCHECK(s.id != id && "duplicate EntityId insert");
+  }
+}
+
+bool EntityDirectory::Erase(EntityId id) {
+  Slot* hole = const_cast<Slot*>(FindSlot(id));
+  if (hole == nullptr) return false;
+  --size_;
+  // Backward-shift deletion (Knuth 6.4R): pull later entries of the probe
+  // chain into the hole so lookups never need tombstones.
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hole - slots_.data());
+  size_t j = i;
+  for (;;) {
+    slots_[i].gen = gen_ - 1;  // mark empty
+    for (;;) {
+      j = (j + 1) & mask;
+      Slot& cand = slots_[j];
+      if (!Live(cand)) return true;
+      // cand may stay iff its home position lies cyclically in (i, j].
+      const size_t k = Home(cand.id);
+      const bool stays = i <= j ? (i < k && k <= j) : (i < k || k <= j);
+      if (!stays) {
+        slots_[i] = cand;
+        i = j;
+        break;
+      }
+    }
+  }
+}
+
+void EntityDirectory::Rehash(size_t new_capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_capacity, Slot());
+  const uint32_t old_gen = gen_;
+  gen_ = 1;
+  size_ = 0;
+  for (const Slot& s : old) {
+    if (s.gen == old_gen && s.id != kNullEntity) {
+      Insert(s.id, s.loc.cls, s.loc.row);
+    }
+  }
+}
+
+}  // namespace sgl

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/vec_util.h"
+
 namespace sgl {
 
 namespace {
@@ -130,6 +132,136 @@ RowIdx EntityTable::AddRow(EntityId id) {
     SGL_CHECK(st.ok());
   }
   return row;
+}
+
+void EntityTable::AddRowsDefault(const EntityId* ids, size_t n) {
+  if (n == 0) return;
+  const size_t old_rows = ids_.size();
+  const size_t new_rows = old_rows + n;
+  ids_.insert(ids_.end(), ids, ids + n);
+  for (NumGroup& g : num_groups_) g.data.resize(new_rows * g.stride);
+  for (auto& b : bools_) b.resize(new_rows);
+  for (auto& r : refs_) r.resize(new_rows);
+  for (auto& s : sets_) s.resize(new_rows);
+  // Broadcast each field's declared default down its column.
+  for (const FieldDef& f : cls_->state_fields()) {
+    const FieldSlot& slot = slots_[static_cast<size_t>(f.index)];
+    switch (f.type.kind) {
+      case TypeKind::kNumber: {
+        NumberColumn col = Num(f.index);
+        const double v = f.default_value.AsNumber();
+        for (size_t i = old_rows; i < new_rows; ++i) col.at(i) = v;
+        break;
+      }
+      case TypeKind::kBool: {
+        const uint8_t v = f.default_value.AsBool() ? 1 : 0;
+        std::fill(bools_[slot.offset].begin() + old_rows,
+                  bools_[slot.offset].end(), v);
+        break;
+      }
+      case TypeKind::kRef: {
+        const EntityId v = f.default_value.AsRef();
+        std::fill(refs_[slot.offset].begin() + old_rows,
+                  refs_[slot.offset].end(), v);
+        break;
+      }
+      case TypeKind::kSet: {
+        const EntitySet& v = f.default_value.AsSet();
+        if (!v.empty()) {
+          for (size_t i = old_rows; i < new_rows; ++i) {
+            sets_[slot.offset][i] = v;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+void EntityTable::RebuildBySlices(const RowSlice* slices, size_t n_slices,
+                                  TableRebuildScratch* scratch) {
+  size_t new_rows = 0;
+  for (size_t i = 0; i < n_slices; ++i) new_rows += slices[i].len;
+
+  // ids
+  ResizeAmortized(&scratch->ids, new_rows);
+  {
+    size_t at = 0;
+    for (size_t i = 0; i < n_slices; ++i) {
+      if (slices[i].len == 0) continue;
+      std::memcpy(scratch->ids.data() + at, ids_.data() + slices[i].begin,
+                  slices[i].len * sizeof(EntityId));
+      at += slices[i].len;
+    }
+  }
+  ids_.swap(scratch->ids);
+
+  // numeric groups: one memcpy of len * stride doubles per slice
+  if (scratch->groups.size() < num_groups_.size()) {
+    scratch->groups.resize(num_groups_.size());
+  }
+  for (size_t gi = 0; gi < num_groups_.size(); ++gi) {
+    NumGroup& g = num_groups_[gi];
+    std::vector<double>& out = scratch->groups[gi];
+    ResizeAmortized(&out, new_rows * g.stride);
+    size_t at = 0;
+    for (size_t i = 0; i < n_slices; ++i) {
+      if (slices[i].len == 0) continue;
+      const size_t elems = static_cast<size_t>(slices[i].len) * g.stride;
+      std::memcpy(out.data() + at,
+                  g.data.data() + static_cast<size_t>(slices[i].begin) *
+                                      g.stride,
+                  elems * sizeof(double));
+      at += elems;
+    }
+    g.data.swap(out);
+  }
+
+  if (scratch->bools.size() < bools_.size()) {
+    scratch->bools.resize(bools_.size());
+  }
+  for (size_t bi = 0; bi < bools_.size(); ++bi) {
+    std::vector<uint8_t>& out = scratch->bools[bi];
+    ResizeAmortized(&out, new_rows);
+    size_t at = 0;
+    for (size_t i = 0; i < n_slices; ++i) {
+      if (slices[i].len == 0) continue;
+      std::memcpy(out.data() + at, bools_[bi].data() + slices[i].begin,
+                  slices[i].len);
+      at += slices[i].len;
+    }
+    bools_[bi].swap(out);
+  }
+
+  if (scratch->refs.size() < refs_.size()) {
+    scratch->refs.resize(refs_.size());
+  }
+  for (size_t ri = 0; ri < refs_.size(); ++ri) {
+    std::vector<EntityId>& out = scratch->refs[ri];
+    ResizeAmortized(&out, new_rows);
+    size_t at = 0;
+    for (size_t i = 0; i < n_slices; ++i) {
+      if (slices[i].len == 0) continue;
+      std::memcpy(out.data() + at, refs_[ri].data() + slices[i].begin,
+                  slices[i].len * sizeof(EntityId));
+      at += slices[i].len;
+    }
+    refs_[ri].swap(out);
+  }
+
+  // Sets move element-wise: the EntitySet objects steal their heap buffers
+  // (no element copies). After the swap the scratch holds the previous
+  // generation's moved-from sets, whose storage the next rebuild reuses.
+  for (auto& col : sets_) {
+    ResizeAmortized(&scratch->sets, new_rows);
+    size_t at = 0;
+    for (size_t i = 0; i < n_slices; ++i) {
+      for (uint32_t k = 0; k < slices[i].len; ++k) {
+        scratch->sets[at++] = std::move(col[slices[i].begin + k]);
+      }
+    }
+    col.swap(scratch->sets);
+  }
 }
 
 EntityId EntityTable::SwapRemoveRow(RowIdx row) {

@@ -42,6 +42,28 @@ struct ConstNumberColumn {
   double operator[](size_t row) const { return base[row * stride]; }
 };
 
+/// A contiguous run of `len` current rows starting at `begin`. Bulk row
+/// operations (shard migration, bulk despawn) are expressed as slice lists:
+/// the rebuilt table is the concatenation of the slices, each moved with
+/// one column memcpy per column group — no per-row Value round-trips.
+struct RowSlice {
+  RowIdx begin = 0;
+  uint32_t len = 0;
+};
+
+/// Ping-pong buffers for RebuildBySlices. The rebuild gathers into the
+/// scratch columns and swaps them with the live ones, so the scratch keeps
+/// the previous generation's buffers (capacity intact) for the next
+/// rebuild: steady-state migrations allocate nothing once both sides reach
+/// their high-water sizes. One scratch may be shared across tables.
+struct TableRebuildScratch {
+  std::vector<EntityId> ids;
+  std::vector<std::vector<double>> groups;
+  std::vector<std::vector<uint8_t>> bools;
+  std::vector<std::vector<EntityId>> refs;
+  std::vector<EntitySet> sets;  ///< reused per set column in turn
+};
+
 /// Columnar storage for all live entities of one class.
 class EntityTable {
  public:
@@ -75,6 +97,19 @@ class EntityTable {
   /// Swap-removes `row`. Returns the EntityId that moved into `row`
   /// (kNullEntity if `row` was the last row). Caller updates its map.
   EntityId SwapRemoveRow(RowIdx row);
+
+  /// Appends `n` default-initialized rows for `ids[0..n)` in one columnar
+  /// pass (the bulk spawn path: per-column default fills instead of n
+  /// boxed SetValue round-trips). Caller maintains the id -> row map.
+  void AddRowsDefault(const EntityId* ids, size_t n);
+
+  /// Rebuilds the table as the concatenation of `slices` (each a run of
+  /// current rows; a row may appear in at most one slice — rows in no
+  /// slice are dropped). Numeric groups, bool and ref columns move with
+  /// one memcpy per slice; sets move element-wise (pointer steals). The
+  /// caller updates its id -> row map afterwards (World::ReindexClass).
+  void RebuildBySlices(const RowSlice* slices, size_t n_slices,
+                       TableRebuildScratch* scratch);
 
   /// Boxed read of any state field.
   Value GetValue(RowIdx row, FieldIdx state_field) const;

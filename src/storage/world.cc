@@ -30,8 +30,28 @@ Status World::SetLayout(ClassId cls, LayoutStrategy strategy,
 EntityId World::Spawn(ClassId cls) {
   EntityId id = next_id_++;
   RowIdx row = table(cls).AddRow(id);
-  directory_[id] = Locator{cls, row};
+  directory_.Insert(id, cls, row);
   return id;
+}
+
+void World::SpawnBatch(ClassId cls, size_t n,
+                       std::vector<EntityId>* out_ids) {
+  if (n == 0) return;
+  EntityTable& t = table(cls);
+  const RowIdx first = static_cast<RowIdx>(t.size());
+  spawn_ids_.clear();
+  spawn_ids_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    spawn_ids_.push_back(next_id_++);
+  }
+  t.AddRowsDefault(spawn_ids_.data(), n);
+  directory_.Reserve(directory_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    directory_.Insert(spawn_ids_[i], cls, first + static_cast<RowIdx>(i));
+  }
+  if (out_ids != nullptr) {
+    out_ids->insert(out_ids->end(), spawn_ids_.begin(), spawn_ids_.end());
+  }
 }
 
 StatusOr<EntityId> World::Spawn(
@@ -43,7 +63,7 @@ StatusOr<EntityId> World::Spawn(
   }
   EntityId id = Spawn(cls);
   const ClassDef& def = catalog_->Get(cls);
-  const Locator& loc = directory_[id];
+  const Locator loc = *directory_.Find(id);
   for (const auto& [field, value] : init) {
     FieldIdx f = def.FindState(field);
     if (f == kInvalidField) {
@@ -56,20 +76,22 @@ StatusOr<EntityId> World::Spawn(
 }
 
 Status World::Despawn(EntityId id) {
-  auto it = directory_.find(id);
-  if (it == directory_.end()) {
+  const Locator* found = directory_.Find(id);
+  if (found == nullptr) {
     return Status::NotFound("entity does not exist");
   }
-  Locator loc = it->second;
-  directory_.erase(it);
+  Locator loc = *found;
+  directory_.Erase(id);
   EntityId moved = table(loc.cls).SwapRemoveRow(loc.row);
-  if (moved != kNullEntity) directory_[moved].row = loc.row;
+  if (moved != kNullEntity) directory_.Update(moved, loc.cls, loc.row);
   return Status::OK();
 }
 
-const World::Locator* World::Find(EntityId id) const {
-  auto it = directory_.find(id);
-  return it == directory_.end() ? nullptr : &it->second;
+void World::ReindexClass(ClassId cls) {
+  const EntityTable& t = table(cls);
+  for (RowIdx r = 0; r < t.size(); ++r) {
+    directory_.Update(t.id_at(r), cls, r);
+  }
 }
 
 void World::ResetEffects() {
@@ -137,11 +159,14 @@ Status World::Deserialize(const std::string& data) {
     SGL_RETURN_IF_ERROR(t->Deserialize(&cursor, end));
   }
   // Rebuild the directory from table contents.
-  directory_.clear();
+  directory_.Clear();
+  size_t total = 0;
+  for (ClassId c = 0; c < catalog_->num_classes(); ++c) total += table(c).size();
+  directory_.Reserve(total);
   for (ClassId c = 0; c < catalog_->num_classes(); ++c) {
     const EntityTable& t = table(c);
     for (RowIdx r = 0; r < t.size(); ++r) {
-      directory_[t.id_at(r)] = Locator{c, r};
+      directory_.Insert(t.id_at(r), c, r);
     }
   }
   ResetEffects();

@@ -1,22 +1,25 @@
 // World: the complete main-memory game state.
 //
 // Owns one EntityTable + EffectBuffer per class, the EntityId allocator, and
-// the id -> (class, row) directory. Spawn/despawn are tick-boundary
+// the id -> (class, row) directory (a flat open-addressing EntityDirectory —
+// Find is a probe, not a node walk). Spawn/despawn are tick-boundary
 // operations; within a tick rows are stable, which is what allows compiled
-// plans to work on dense RowIdx vectors.
+// plans to work on dense RowIdx vectors. The bulk row operations
+// (SpawnBatch, ReindexClass) exist for the shard migrator, which moves rows
+// columnar-wholesale and then refreshes locators in one pass.
 
 #ifndef SGL_STORAGE_WORLD_H_
 #define SGL_STORAGE_WORLD_H_
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/schema/catalog.h"
 #include "src/storage/effect_buffer.h"
+#include "src/storage/entity_directory.h"
 #include "src/storage/entity_table.h"
 
 namespace sgl {
@@ -38,13 +41,15 @@ class World {
                    const AffinityMatrix* affinity = nullptr);
 
   /// Where an entity lives.
-  struct Locator {
-    ClassId cls = kInvalidClass;
-    RowIdx row = kInvalidRow;
-  };
+  using Locator = EntityLocator;
 
   /// Creates an entity of `cls` with default field values.
   EntityId Spawn(ClassId cls);
+
+  /// Creates `n` entities of `cls` with default field values in one
+  /// columnar append (no per-row boxed writes). Appends the new ids to
+  /// `out_ids` if non-null. Tick-boundary only.
+  void SpawnBatch(ClassId cls, size_t n, std::vector<EntityId>* out_ids);
 
   /// Creates an entity by class name with named initial state values.
   StatusOr<EntityId> Spawn(
@@ -56,7 +61,16 @@ class World {
   Status Despawn(EntityId id);
 
   /// Locator for an entity, or nullptr if it does not exist.
-  const Locator* Find(EntityId id) const;
+  const Locator* Find(EntityId id) const { return directory_.Find(id); }
+
+  /// Re-stamps the directory locator of every row of `cls` from the table's
+  /// current id order. Called after bulk row moves (migration, bulk
+  /// despawn) that reposition many rows at once; allocation-free.
+  void ReindexClass(ClassId cls);
+
+  /// Removes `id` from the directory without touching its table row. The
+  /// caller owns the row's removal (bulk despawn path).
+  bool DirectoryErase(EntityId id) { return directory_.Erase(id); }
 
   EntityTable& table(ClassId cls) {
     return *tables_[static_cast<size_t>(cls)];
@@ -95,8 +109,9 @@ class World {
   const Catalog* catalog_;
   std::vector<std::unique_ptr<EntityTable>> tables_;
   std::vector<std::unique_ptr<EffectBuffer>> effects_;
-  std::unordered_map<EntityId, Locator> directory_;
+  EntityDirectory directory_;
   EntityId next_id_ = 1;
+  std::vector<EntityId> spawn_ids_;  ///< reused SpawnBatch id buffer
 };
 
 }  // namespace sgl

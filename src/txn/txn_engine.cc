@@ -228,4 +228,41 @@ void TxnEngine::ApplyUpdate(World* world) {
   total_.aborted += last_tick_.aborted;
 }
 
+namespace {
+
+class TxnComponent : public UpdateComponent {
+ public:
+  TxnComponent(TxnEngine* engine, const CompiledProgram* program)
+      : engine_(engine), program_(program) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::pair<ClassId, FieldIdx>> OwnedFields() const override {
+    std::vector<std::pair<ClassId, FieldIdx>> out;
+    for (size_t c = 0; c < program_->txn_owned.size(); ++c) {
+      for (FieldIdx f : program_->txn_owned[c]) {
+        out.emplace_back(static_cast<ClassId>(c), f);
+      }
+    }
+    return out;
+  }
+
+  void Update(World* world, Tick tick) override {
+    (void)tick;
+    engine_->ApplyUpdate(world);
+  }
+
+ private:
+  std::string name_ = "txn-engine";
+  TxnEngine* engine_;
+  const CompiledProgram* program_;
+};
+
+}  // namespace
+
+std::unique_ptr<UpdateComponent> MakeTxnComponent(
+    TxnEngine* engine, const CompiledProgram* program) {
+  return std::make_unique<TxnComponent>(engine, program);
+}
+
 }  // namespace sgl

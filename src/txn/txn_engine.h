@@ -25,11 +25,13 @@
 #ifndef SGL_TXN_TXN_ENGINE_H_
 #define SGL_TXN_TXN_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/lang/compiler.h"
 #include "src/ra/eval.h"
 #include "src/storage/world.h"
+#include "src/update/update_component.h"
 
 namespace sgl {
 
@@ -163,6 +165,14 @@ class TxnEngine {
   TxnStats total_;
   TxnStats last_tick_;
 };
+
+/// Adapts `engine` to the update-component interface: the component owns
+/// every state field written by atomic blocks plus the status fields
+/// (§3.1). Shared by the single-world TickExecutor and the sharded
+/// pipeline (src/shard/), whose per-shard intent logs both feed the same
+/// partition-independent admission.
+std::unique_ptr<UpdateComponent> MakeTxnComponent(
+    TxnEngine* engine, const CompiledProgram* program);
 
 }  // namespace sgl
 

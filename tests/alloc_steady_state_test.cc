@@ -157,10 +157,11 @@ constexpr int kMarketWarmupTicks = 40;
 // Runs the market with per-tick want reassignment; asserts every measured
 // tick is allocation-free and returns the final world checksum.
 uint64_t RunMarketSteadyState(int threads, bool interpreted,
-                              bool check_allocs) {
+                              bool check_allocs, int shards = 1) {
   MarketConfig config = MarketCfg();
   EngineOptions options = MarketOpts(threads);
   options.exec.interpreted = interpreted;
+  options.exec.num_shards = shards;
   auto engine = MarketWorkload::Build(config, options);
   EXPECT_TRUE(engine.ok()) << engine.status();
   Rng rng(1234);
@@ -237,6 +238,73 @@ TEST(AllocSteadyState, Parallel4ThreadTrafficIsAllocationFree) {
 
 TEST(AllocSteadyState, TrafficStateIsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(RunTrafficSteadyState(1, false), RunTrafficSteadyState(4, false));
+}
+
+// --- Sharded pipeline (src/shard/) ---------------------------------------
+// Once the mailbox lanes, range-sized local effect buffers, and migration
+// scratch reach their high-water capacity, a sharded tick must be exactly
+// as allocation-free as the single-world one — in serial shard order and
+// with shards fanned out across threads.
+
+EngineOptions ShardedOpts(PlanMode mode, int shards, int threads) {
+  EngineOptions options = Opts(mode, threads);
+  options.exec.num_shards = shards;
+  return options;
+}
+
+// Mailbox capacity tracks the *cross-shard* pair count, which in the stock
+// battle keeps shifting for hundreds of ticks as clusters merge and die
+// off (every capacity plateau would need its own warmup). Zeroing attack
+// freezes the engagement geometry — every matching pair still emits its
+// (cross-shard) damage write each tick, so the router runs under full
+// sustained load, but the load is stationary and the lanes reach their
+// high-water mark immediately.
+std::unique_ptr<Engine> BuildStationaryShardedRts(
+    int units, const EngineOptions& options) {
+  RtsConfig config;
+  config.num_units = units;
+  config.clustered = true;
+  config.cluster_radius = 10;  // dense: everyone engaged from tick 0
+  auto engine = RtsWorkload::Build(config, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  for (EntityId id = 1; id <= units; ++id) {
+    EXPECT_TRUE((*engine)->Set(id, "attack", Value::Number(0)).ok());
+  }
+  return std::move(engine).value();
+}
+
+TEST(AllocSteadyState, Sharded4SerialRtsIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  auto engine = BuildStationaryShardedRts(
+      800, ShardedOpts(PlanMode::kStaticGrid, /*shards=*/4, /*threads=*/1));
+  EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
+  EXPECT_GT(engine->shard_executor().last_cross_shard_records(), 0u);
+}
+
+TEST(AllocSteadyState, Sharded4Parallel4RtsIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  auto engine = BuildStationaryShardedRts(
+      800, ShardedOpts(PlanMode::kStaticGrid, /*shards=*/4, /*threads=*/4));
+  EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
+  EXPECT_GT(engine->shard_executor().last_cross_shard_records(), 0u);
+}
+
+TEST(AllocSteadyState, Sharded4MarketTransactionsAreAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  RunMarketSteadyState(/*threads=*/1, /*interpreted=*/false,
+                       /*check_allocs=*/true, /*shards=*/4);
+}
+
+TEST(AllocSteadyState, Sharded4Parallel4MarketTransactionsAreAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  RunMarketSteadyState(/*threads=*/4, /*interpreted=*/false,
+                       /*check_allocs=*/true, /*shards=*/4);
+}
+
+// Sharded steady state must also be the *same* steady state.
+TEST(AllocSteadyState, ShardedMarketMatchesSingleWorldChecksum) {
+  EXPECT_EQ(RunMarketSteadyState(4, false, false, /*shards=*/4),
+            RunMarketSteadyState(1, false, false));
 }
 
 // The counters themselves must move when the program allocates — otherwise
