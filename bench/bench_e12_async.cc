@@ -1,0 +1,148 @@
+// E12 — asynchronous out-of-band pathfinding (src/async/): tick latency
+// with sync vs async A* on the large-map armies workload, repathing under
+// goal churn.
+//
+// Series: ms/tick for N soldiers marching across a walled grid while their
+// orders rotate every kChurnPeriod ticks.
+//
+//   * sync      — the blocking PathfinderComponent: every unique
+//                 (start, goal) pair is searched inside the update phase,
+//                 every tick (its memo is per-tick).
+//   * async/W   — AsyncPathfindComponent over a JobService with W workers:
+//                 searches run off the tick across `latency_ticks`
+//                 boundaries, results install deterministically, and the
+//                 cross-tick request cache means a pair is searched once
+//                 per churn, not once per tick. W = 0 is the inline
+//                 reference mode (same install schedule, search cost paid
+//                 at the barrier) — the async-vs-sync win that remains at
+//                 W = 0 is the cache; the rest is the workers.
+//
+// Counters: phase breakdown, allocs/tick, jobs submitted/installed/in
+// flight, barrier wait. The determinism side (bit-identical state across
+// worker counts) is pinned by tests/async_test.cc, not measured here.
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/sim/armies.h"
+
+namespace {
+
+constexpr int kChurnPeriod = 16;
+
+sgl::ArmiesConfig E12Config(int units, bool async) {
+  sgl::ArmiesConfig config;
+  config.num_units = units;
+  config.map_w = 128;
+  config.map_h = 128;
+  config.num_armies = 32;
+  config.num_rally = 12;
+  config.wall_density = 0.08;
+  config.async_pathfind = async;
+  config.async.latency_ticks = 2;
+  config.async.result_ttl_ticks = 24;
+  config.async.crowd_penalty = 0.25;  // jobs read the position snapshot
+  config.async.cache_reserve = 1u << 15;
+  return config;
+}
+
+void RunTicks(sgl::Engine* engine, const sgl::ArmiesConfig& config,
+              benchmark::State& state) {
+  int64_t query_us = 0, update_us = 0, allocs = 0;
+  int64_t submitted = 0, installed = 0, in_flight = 0, wait_us = 0;
+  int64_t ticks = 0, round = 1;
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    const sgl::TickStats& stats = engine->last_stats();
+    query_us += stats.query_effect_micros;
+    update_us += stats.update_micros;
+    allocs += stats.allocs_per_tick;
+    submitted += stats.jobs_submitted;
+    installed += stats.jobs_installed;
+    in_flight += stats.jobs_in_flight;
+    wait_us += stats.job_wait_micros;
+    if (++ticks % kChurnPeriod == 0) {
+      sgl::ArmiesWorkload::Retarget(engine, config,
+                                    static_cast<int>(round++));
+    }
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["units"] = config.num_units;
+  state.counters["query_ms"] = static_cast<double>(query_us) / n / 1000.0;
+  state.counters["update_ms"] = static_cast<double>(update_us) / n / 1000.0;
+  state.counters["allocs_per_tick"] = static_cast<double>(allocs) / n;
+  state.counters["jobs_submitted"] = static_cast<double>(submitted) / n;
+  state.counters["jobs_installed"] = static_cast<double>(installed) / n;
+  state.counters["jobs_in_flight"] = static_cast<double>(in_flight) / n;
+  state.counters["job_wait_ms"] = static_cast<double>(wait_us) / n / 1000.0;
+  state.counters["hw_cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
+// The blocking baseline. Short warmup on purpose: its per-tick cost is the
+// searches themselves, which do not pool away (the memo is per-tick), and
+// at 16k units a single steady-state tick costs what the async path pays
+// per churn across all workers.
+void BM_E12_SyncTick(benchmark::State& state) {
+  const int units = static_cast<int>(state.range(0));
+  const sgl::ArmiesConfig config = E12Config(units, /*async=*/false);
+  auto engine = sgl::ArmiesWorkload::Build(
+      config, sgl_bench::Options(sgl::PlanMode::kCostBased));
+  if (!engine.ok()) std::abort();
+  sgl_bench::WarmupSteadyState(engine->get(), 4);
+  RunTicks(engine->get(), config, state);
+}
+
+BENCHMARK(BM_E12_SyncTick)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+void BM_E12_AsyncTick(benchmark::State& state) {
+  const int units = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  const sgl::ArmiesConfig config = E12Config(units, /*async=*/true);
+  sgl::EngineOptions options = sgl_bench::Options(sgl::PlanMode::kCostBased);
+  options.exec.jobs.num_workers = workers;
+  auto engine = sgl::ArmiesWorkload::Build(config, options);
+  if (!engine.ok()) std::abort();
+  sgl_bench::WarmupSteadyState(engine->get());
+  RunTicks(engine->get(), config, state);
+  state.counters["workers"] = workers;
+}
+
+BENCHMARK(BM_E12_AsyncTick)
+    ->Args({4096, 0})
+    ->Args({4096, 4})
+    ->Args({16384, 0})
+    ->Args({16384, 1})
+    ->Args({16384, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+// The full stack: async pathfinding over a 4-shard world ticking with 4
+// threads — completions ride the shard barrier.
+void BM_E12_AsyncShardedTick(benchmark::State& state) {
+  const int units = static_cast<int>(state.range(0));
+  const sgl::ArmiesConfig config = E12Config(units, /*async=*/true);
+  sgl::EngineOptions options =
+      sgl_bench::Options(sgl::PlanMode::kCostBased, false, /*threads=*/4);
+  options.exec.num_shards = 4;
+  options.exec.jobs.num_workers = 4;
+  auto engine = sgl::ArmiesWorkload::Build(config, options);
+  if (!engine.ok()) std::abort();
+  sgl_bench::WarmupSteadyState(engine->get());
+  RunTicks(engine->get(), config, state);
+  state.counters["workers"] = 4;
+  state.counters["shards"] = 4;
+}
+
+BENCHMARK(BM_E12_AsyncShardedTick)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

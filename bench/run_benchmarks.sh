@@ -14,22 +14,25 @@
 #   E11 sharded world partitioning (tick latency + phase breakdown +
 #       cross-shard records + allocs_per_tick vs shard count; columnar
 #       migration / bulk-spawn throughput)
+#   E12 asynchronous out-of-band pathfinding (sync vs async tick latency
+#       on the large-map armies workload, jobs in flight, barrier wait,
+#       allocs_per_tick vs job-worker count)
 #
 # Usage: bench/run_benchmarks.sh [build_dir] [tag]
 #   build_dir  cmake build directory holding the bench_* binaries (default:
 #              build)
-#   tag        suffix for the output file (default: pr4)
+#   tag        suffix for the output file (default: pr5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-TAG="${2:-pr4}"
+TAG="${2:-pr5}"
 OUT="BENCH_${TAG}.json"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 for exp in e1_set_at_a_time e3_transactions e6_parallel e7_index_memory \
-           e8_traffic e11_sharded; do
+           e8_traffic e11_sharded e12_async; do
   bin="$BUILD_DIR/bench_${exp}"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -49,7 +52,9 @@ keep = ("name", "real_time", "cpu_time", "time_unit", "iterations",
         "query_ms", "merge_ms", "update_ms", "hw_cores", "bytes",
         "formula_bytes", "issued/tick", "committed/tick", "abort_rate",
         "consistent", "txns/s", "vehicle_ticks/s", "mean_speed",
-        "shards", "cross_records", "moved_per_batch", "rows_per_batch")
+        "shards", "cross_records", "moved_per_batch", "rows_per_batch",
+        "workers", "jobs_submitted", "jobs_installed", "jobs_in_flight",
+        "job_wait_ms")
 merged = {}
 for f in sorted(os.listdir(tmp)):
     with open(os.path.join(tmp, f)) as fh:

@@ -1,0 +1,488 @@
+#include "src/async/async_pathfind.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "src/common/rng.h"
+
+namespace sgl {
+
+namespace {
+
+// Fixed-point step cost: admissible manhattan heuristic scales by the base
+// step, crowd occupancy only ever adds on top.
+constexpr int32_t kStepCost = 16;
+
+inline uint64_t PackKey(int sx, int sy, int gx, int gy) {
+  return (static_cast<uint64_t>(sx + 1) << 48) |
+         (static_cast<uint64_t>(sy + 1) << 32) |
+         (static_cast<uint64_t>(gx + 1) << 16) |
+         static_cast<uint64_t>(gy + 1);
+}
+
+inline void UnpackKey(uint64_t key, int* sx, int* sy, int* gx, int* gy) {
+  *sx = static_cast<int>((key >> 48) & 0xffff) - 1;
+  *sy = static_cast<int>((key >> 32) & 0xffff) - 1;
+  *gx = static_cast<int>((key >> 16) & 0xffff) - 1;
+  *gy = static_cast<int>(key & 0xffff) - 1;
+}
+
+inline uint32_t PackCell(int x, int y) {
+  return (static_cast<uint32_t>(y) << 16) | static_cast<uint32_t>(x);
+}
+
+/// Per-worker A* state: epoch-stamped g/parent arrays (no per-search
+/// memset) and a manual binary heap over pooled storage. Everything keeps
+/// its high-water capacity, so steady-state searches allocate nothing.
+struct PathfindScratch : JobScratch {
+  std::vector<int32_t> g;
+  std::vector<int32_t> parent;
+  std::vector<uint32_t> stamp;
+  std::vector<uint64_t> heap;  ///< (f << 32) | cell, min-heap
+  uint32_t epoch = 0;
+};
+
+/// 4-connected A* with an optional per-cell additive occupancy cost.
+/// Deterministic: the heap orders by the full (f, cell) word and stale
+/// entries are skipped, so expansion order is a pure function of the
+/// inputs. Appends the packed cells of the path (start through goal,
+/// inclusive) to `path`; returns false (path untouched) if unreachable.
+bool CrowdAStar(const GridMap& map, const uint8_t* occ, int penalty_units,
+                int sx, int sy, int gx, int gy, PathfindScratch* s,
+                std::vector<uint64_t>* path) {
+  if (map.Blocked(sx, sy) || map.Blocked(gx, gy)) return false;
+  const int w = map.width();
+  const int h = map.height();
+  const size_t n = static_cast<size_t>(w) * static_cast<size_t>(h);
+  if (s->g.size() < n) {
+    s->g.resize(n);
+    s->parent.resize(n);
+    s->stamp.assign(n, 0);
+    s->epoch = 0;
+    // Pre-size the open list so per-search frontiers never ratchet its
+    // capacity (a cell re-enters at most once per improving neighbor).
+    s->heap.reserve(std::min<size_t>(4 * n, size_t{1} << 16));
+  }
+  ++s->epoch;
+  if (s->epoch == 0) {  // stamp wrap: one full clear per 2^32 searches
+    std::fill(s->stamp.begin(), s->stamp.end(), 0);
+    s->epoch = 1;
+  }
+  const uint32_t ep = s->epoch;
+  auto idx = [w](int x, int y) { return y * w + x; };
+  auto heuristic = [&](int x, int y) {
+    return kStepCost * (std::abs(x - gx) + std::abs(y - gy));
+  };
+  s->heap.clear();
+  const int start = idx(sx, sy);
+  s->g[static_cast<size_t>(start)] = 0;
+  s->parent[static_cast<size_t>(start)] = -1;
+  s->stamp[static_cast<size_t>(start)] = ep;
+  s->heap.push_back((static_cast<uint64_t>(heuristic(sx, sy)) << 32) |
+                    static_cast<uint32_t>(start));
+  const int dx[4] = {1, -1, 0, 0};
+  const int dy[4] = {0, 0, 1, -1};
+  while (!s->heap.empty()) {
+    std::pop_heap(s->heap.begin(), s->heap.end(), std::greater<>());
+    const uint64_t top = s->heap.back();
+    s->heap.pop_back();
+    const int cell = static_cast<int>(top & 0xffffffffu);
+    const int32_t f = static_cast<int32_t>(top >> 32);
+    const int cx = cell % w;
+    const int cy = cell / w;
+    const int32_t gc = s->g[static_cast<size_t>(cell)];
+    if (f > gc + heuristic(cx, cy)) continue;  // stale entry
+    if (cx == gx && cy == gy) {
+      const size_t first = path->size();
+      for (int step = cell; step != -1;
+           step = s->parent[static_cast<size_t>(step)]) {
+        path->push_back(PackCell(step % w, step / w));
+      }
+      std::reverse(path->begin() + static_cast<ptrdiff_t>(first),
+                   path->end());
+      return true;
+    }
+    for (int k = 0; k < 4; ++k) {
+      const int nx = cx + dx[k];
+      const int ny = cy + dy[k];
+      if (map.Blocked(nx, ny)) continue;
+      const int ncell = idx(nx, ny);
+      int32_t step_cost = kStepCost;
+      if (occ != nullptr) {
+        step_cost += penalty_units * occ[static_cast<size_t>(ncell)];
+      }
+      const int32_t ng = gc + step_cost;
+      const size_t nc = static_cast<size_t>(ncell);
+      if (s->stamp[nc] != ep || ng < s->g[nc]) {
+        s->stamp[nc] = ep;
+        s->g[nc] = ng;
+        s->parent[nc] = cell;
+        s->heap.push_back(
+            (static_cast<uint64_t>(ng + heuristic(nx, ny)) << 32) |
+            static_cast<uint32_t>(ncell));
+        std::push_heap(s->heap.begin(), s->heap.end(), std::greater<>());
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<AsyncPathfindComponent>>
+AsyncPathfindComponent::Create(const Catalog& catalog,
+                               const AsyncPathfinderConfig& config,
+                               GridMap map, JobService* service,
+                               const ShardedWorld* sharded) {
+  SGL_CHECK(service != nullptr);
+  if (map.width() >= 0xfffe || map.height() >= 0xfffe) {
+    return Status::InvalidArgument(
+        "async_pathfind: grid maps are limited to 65533 cells per axis "
+        "(request keys pack cells into 16 bits)");
+  }
+  auto comp =
+      std::unique_ptr<AsyncPathfindComponent>(new AsyncPathfindComponent());
+  comp->config_ = config;
+  comp->map_ = std::move(map);
+  comp->service_ = service;
+  comp->sharded_ = sharded;
+  // Any positive penalty must survive fixed-point quantization, or
+  // sub-1/16 values would silently disable the crowd-aware path.
+  comp->penalty_units_ =
+      config.crowd_penalty > 0
+          ? std::max(1, static_cast<int>(
+                            std::lround(config.crowd_penalty * kStepCost)))
+          : 0;
+  comp->blob_quantum_ = std::min<size_t>(
+      static_cast<size_t>(comp->map_.width()) *
+              static_cast<size_t>(comp->map_.height()) +
+          1,
+      4096);
+  comp->cls_ = catalog.Find(config.cls);
+  if (comp->cls_ == kInvalidClass) {
+    return Status::NotFound("async_pathfind: class '" + config.cls +
+                            "' not found");
+  }
+  const ClassDef& def = catalog.Get(comp->cls_);
+  auto state_num = [&](const std::string& field, FieldIdx* out) -> Status {
+    *out = def.FindState(field);
+    if (*out == kInvalidField || !def.state_field(*out).type.is_number()) {
+      return Status::NotFound("async_pathfind: numeric state field '" +
+                              config.cls + "." + field + "' not found");
+    }
+    return Status::OK();
+  };
+  auto effect_num = [&](const std::string& field, FieldIdx* out) -> Status {
+    *out = def.FindEffect(field);
+    if (*out == kInvalidField || !def.effect_field(*out).type.is_number()) {
+      return Status::NotFound("async_pathfind: numeric effect field '" +
+                              config.cls + "." + field + "' not found");
+    }
+    return Status::OK();
+  };
+  SGL_RETURN_IF_ERROR(state_num(config.x, &comp->x_));
+  SGL_RETURN_IF_ERROR(state_num(config.y, &comp->y_));
+  SGL_RETURN_IF_ERROR(effect_num(config.goal_x, &comp->goal_x_));
+  SGL_RETURN_IF_ERROR(effect_num(config.goal_y, &comp->goal_y_));
+  SGL_RETURN_IF_ERROR(state_num(config.waypoint_x, &comp->wx_));
+  SGL_RETURN_IF_ERROR(state_num(config.waypoint_y, &comp->wy_));
+
+  size_t cap = 16;
+  while (cap < config.cache_reserve) cap <<= 1;
+  comp->cache_.assign(cap, Entry());
+  comp->alt_cache_.assign(cap, Entry());
+  comp->client_id_ = service->RegisterClient(comp.get());
+  return comp;
+}
+
+std::vector<std::pair<ClassId, FieldIdx>>
+AsyncPathfindComponent::OwnedFields() const {
+  return {{cls_, wx_}, {cls_, wy_}};
+}
+
+AsyncPathfindComponent::Entry* AsyncPathfindComponent::Find(uint64_t key) {
+  const size_t mask = cache_.size() - 1;
+  size_t i = static_cast<size_t>(Mix64(key)) & mask;
+  while (cache_[i].key != 0) {
+    if (cache_[i].key == key) return &cache_[i];
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void AsyncPathfindComponent::InsertRehash(std::vector<Entry>* table,
+                                          const Entry& e) const {
+  const size_t mask = table->size() - 1;
+  size_t i = static_cast<size_t>(Mix64(e.key)) & mask;
+  while ((*table)[i].key != 0) i = (i + 1) & mask;
+  (*table)[i] = e;
+}
+
+void AsyncPathfindComponent::Grow() {
+  const size_t cap = cache_.size() * 2;
+  alt_cache_.assign(cap, Entry());
+  for (const Entry& e : cache_) {
+    if (e.key != 0) InsertRehash(&alt_cache_, e);
+  }
+  cache_.swap(alt_cache_);
+  alt_cache_.assign(cap, Entry());
+}
+
+AsyncPathfindComponent::Entry* AsyncPathfindComponent::FindOrInsert(
+    uint64_t key, bool* inserted) {
+  if ((cache_size_ + 1) * 4 > cache_.size() * 3) Grow();
+  const size_t mask = cache_.size() - 1;
+  size_t i = static_cast<size_t>(Mix64(key)) & mask;
+  while (cache_[i].key != 0) {
+    if (cache_[i].key == key) {
+      *inserted = false;
+      return &cache_[i];
+    }
+    i = (i + 1) & mask;
+  }
+  cache_[i] = Entry();
+  cache_[i].key = key;
+  ++cache_size_;
+  *inserted = true;
+  return &cache_[i];
+}
+
+void AsyncPathfindComponent::MaybeSweep(Tick tick) {
+  if (config_.result_ttl_ticks <= 0) return;
+  const Tick period = std::max(1, config_.result_ttl_ticks / 2);
+  if (tick - last_sweep_ < period) return;
+  last_sweep_ = tick;
+  // Ping-pong rebuild: in-flight keys must survive (their job will try to
+  // install), ready keys survive while recently used.
+  for (Entry& e : alt_cache_) e = Entry();
+  size_t kept = 0;
+  for (const Entry& e : cache_) {
+    if (e.key == 0) continue;
+    if ((e.flags & kInFlight) != 0 ||
+        tick - e.last_used <= config_.result_ttl_ticks) {
+      InsertRehash(&alt_cache_, e);
+      ++kept;
+    } else {
+      ++total_.evicted;
+    }
+  }
+  cache_.swap(alt_cache_);
+  cache_size_ = kept;
+}
+
+void AsyncPathfindComponent::SubmitSearch(World* world, uint64_t key,
+                                          Tick tick, int shard,
+                                          SnapshotView** snap) {
+  if (penalty_units_ > 0 && *snap == nullptr) {
+    // One capture shared by every job submitted this tick.
+    *snap = service_->AcquireSnapshot();
+    const FieldIdx fields[2] = {x_, y_};
+    (*snap)->Capture(*world, cls_, fields, 2,
+                     static_cast<uint64_t>(tick));
+  }
+  const uint64_t args[4] = {key, 0, 0, 0};
+  service_->Submit(client_id_, key, args, *snap, config_.latency_ticks,
+                   tick, shard);
+  ++total_.submitted;
+}
+
+void AsyncPathfindComponent::Update(World* world, Tick tick) {
+  EntityTable& table = world->table(cls_);
+  const EffectBuffer& effects = world->effects(cls_);
+  const size_t n = table.size();
+  if (n == 0) {
+    MaybeSweep(tick);
+    return;
+  }
+  ConstNumberColumn x = table.Num(x_);
+  ConstNumberColumn y = table.Num(y_);
+  NumberColumn wx = table.Num(wx_);
+  NumberColumn wy = table.Num(wy_);
+  const int w = map_.width();
+  const int h = map_.height();
+  SnapshotView* snap = nullptr;
+
+  for (size_t i = 0; i < n; ++i) {
+    const RowIdx r = static_cast<RowIdx>(i);
+    if (!effects.Assigned(goal_x_, r) || !effects.Assigned(goal_y_, r)) {
+      continue;  // no intent: waypoint untouched
+    }
+    const double gx_pos = effects.FinalNumber(goal_x_, r);
+    const double gy_pos = effects.FinalNumber(goal_y_, r);
+    const int sx = map_.CellX(x[i]);
+    const int sy = map_.CellY(y[i]);
+    const int gx = map_.CellX(gx_pos);
+    const int gy = map_.CellY(gy_pos);
+    if (sx < 0 || sy < 0 || sx >= w || sy >= h || gx < 0 || gy < 0 ||
+        gx >= w || gy >= h) {
+      // Off-map request: hold position (the sync component's Blocked()
+      // lookup treats out-of-range as unreachable too).
+      ++total_.unreachable;
+      wx.at(i) = x[i];
+      wy.at(i) = y[i];
+      continue;
+    }
+    if (sx == gx && sy == gy) {
+      // Final cell: head to the exact goal position, no search needed.
+      wx.at(i) = gx_pos;
+      wy.at(i) = gy_pos;
+      continue;
+    }
+    const int shard =
+        sharded_ != nullptr ? sharded_->ShardOfRow(cls_, r) : 0;
+    const uint64_t key = PackKey(sx, sy, gx, gy);
+    bool inserted = false;
+    Entry* e = FindOrInsert(key, &inserted);
+    e->last_used = tick;
+    if (inserted) {
+      e->flags = kInFlight;
+      SubmitSearch(world, key, tick, shard, &snap);
+      ++total_.stalls;
+      wx.at(i) = x[i];  // hold position while the search is out
+      wy.at(i) = y[i];
+      continue;
+    }
+    if ((e->flags & kReady) == 0) {
+      ++total_.stalls;
+      wx.at(i) = x[i];
+      wy.at(i) = y[i];
+      continue;
+    }
+    const int nx = static_cast<int>(e->next_cell & 0xffff);
+    const int ny = static_cast<int>(e->next_cell >> 16);
+    if (config_.refresh_after_ticks > 0 && (e->flags & kInFlight) == 0 &&
+        tick - e->installed >= config_.refresh_after_ticks) {
+      // Background revalidation: keep following the old answer, but get a
+      // fresh search (new crowd snapshot) in flight.
+      e->flags |= kInFlight;
+      SubmitSearch(world, key, tick, shard, &snap);
+      ++total_.refreshes;
+    }
+    if (nx == sx && ny == sy) {
+      // Installed as unreachable (or degenerate): hold position. A later
+      // refresh may find a path if the map opened up.
+      ++total_.cache_hits;
+      wx.at(i) = x[i];
+      wy.at(i) = y[i];
+      continue;
+    }
+    if (map_.Blocked(nx, ny)) {
+      // Stale result: the map changed under the cached answer. Drop it
+      // and re-search; the requester holds position meanwhile.
+      ++total_.dropped_stale;
+      if ((e->flags & kInFlight) == 0) {
+        SubmitSearch(world, key, tick, shard, &snap);
+      }
+      e->flags = kInFlight;
+      ++total_.stalls;
+      wx.at(i) = x[i];
+      wy.at(i) = y[i];
+      continue;
+    }
+    ++total_.cache_hits;
+    if (nx == gx && ny == gy) {
+      wx.at(i) = gx_pos;  // final step: exact goal position
+      wy.at(i) = gy_pos;
+    } else {
+      wx.at(i) = map_.CenterX(nx);
+      wy.at(i) = map_.CenterY(ny);
+    }
+  }
+  service_->ReleaseUnused(snap);
+  MaybeSweep(tick);
+}
+
+void AsyncPathfindComponent::Run(const SnapshotView* snap, JobSlot* job,
+                                 JobScratch* scratch) {
+  auto* s = static_cast<PathfindScratch*>(scratch);
+  int sx, sy, gx, gy;
+  UnpackKey(job->args[0], &sx, &sy, &gx, &gy);
+  const uint8_t* occ = nullptr;
+  if (snap != nullptr && penalty_units_ > 0) {
+    const int w = map_.width();
+    const int h = map_.height();
+    // Built once per snapshot by whichever worker gets here first; a pure
+    // function of the captured columns, so the content is deterministic.
+    const std::vector<uint8_t>& grid =
+        const_cast<SnapshotView*>(snap)->Derived(
+            [&](std::vector<uint8_t>* out) {
+              out->assign(static_cast<size_t>(w) * static_cast<size_t>(h),
+                          0);
+              const std::vector<double>& xs = snap->num(0);
+              const std::vector<double>& ys = snap->num(1);
+              for (size_t i = 0; i < snap->rows(); ++i) {
+                const int cx = map_.CellX(xs[i]);
+                const int cy = map_.CellY(ys[i]);
+                if (cx < 0 || cy < 0 || cx >= w || cy >= h) continue;
+                uint8_t& cell =
+                    (*out)[static_cast<size_t>(cy) * w + cx];
+                if (cell != 0xff) ++cell;
+              }
+            });
+    occ = grid.data();
+  }
+  job->blob.clear();
+  if (job->blob.capacity() < blob_quantum_) job->blob.reserve(blob_quantum_);
+  const bool reached =
+      CrowdAStar(map_, occ, penalty_units_, sx, sy, gx, gy, s, &job->blob);
+  job->result[0] = job->blob.size() >= 2 ? static_cast<uint64_t>(job->blob[1])
+                                         : PackCell(sx, sy);
+  job->result[1] = reached ? 1 : 0;
+  job->result[2] = job->blob.empty()
+                       ? 0
+                       : static_cast<uint64_t>(job->blob.size() - 1);
+}
+
+std::unique_ptr<JobScratch> AsyncPathfindComponent::MakeScratch() {
+  return std::make_unique<PathfindScratch>();
+}
+
+void AsyncPathfindComponent::Install(const JobSlot& job) {
+  ++total_.installed;
+  total_.path_cells += static_cast<int64_t>(job.result[2]);
+  if (job.result[1] == 0 || job.blob.size() < 2) {
+    // Unreachable (or degenerate): record "hold position" for the
+    // requested key so its entities stop stalling.
+    ++total_.unreachable;
+    Entry* e = Find(job.user_key);
+    if (e == nullptr) return;  // cache cleared since submission (restore)
+    e->next_cell = static_cast<uint32_t>(job.result[0]);
+    e->flags = kReady;
+    e->installed = job.install_tick;
+    return;
+  }
+  // Seed the cache along the whole computed route: every cell on the path
+  // maps to its successor (toward the same goal), so entities marching the
+  // route find a ready answer at every subsequent step instead of
+  // re-requesting after each move — one search serves the march. A
+  // pending in-flight bit on a seeded key survives (its own job still
+  // installs later, overwriting with an equivalent, fresher answer).
+  int sx, sy, gx, gy;
+  UnpackKey(job.user_key, &sx, &sy, &gx, &gy);
+  for (size_t i = 0; i + 1 < job.blob.size(); ++i) {
+    const uint32_t cell = static_cast<uint32_t>(job.blob[i]);
+    const int cx = static_cast<int>(cell & 0xffff);
+    const int cy = static_cast<int>(cell >> 16);
+    bool inserted = false;
+    Entry* e = FindOrInsert(PackKey(cx, cy, gx, gy), &inserted);
+    if (inserted) e->last_used = job.install_tick;
+    e->next_cell = static_cast<uint32_t>(job.blob[i + 1]);
+    e->flags = (e->flags & kInFlight) | kReady;
+    e->installed = job.install_tick;
+    total_.seeded += inserted ? 1 : 0;
+  }
+  // The submitted key itself: clear its in-flight bit (this was its job).
+  Entry* e = Find(job.user_key);
+  if (e != nullptr) e->flags = kReady;
+}
+
+void AsyncPathfindComponent::OnRestore() {
+  for (Entry& e : cache_) e = Entry();
+  cache_size_ = 0;
+  // Re-phase the TTL sweep as a fresh component would run it, so an
+  // in-place restore evicts on the same ticks as a fresh-engine restore.
+  last_sweep_ = 0;
+}
+
+}  // namespace sgl

@@ -1,0 +1,271 @@
+#include "src/async/job_service.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+
+namespace sgl {
+
+JobService::JobService(const JobServiceOptions& options) : options_(options) {
+  SGL_CHECK(options_.num_workers >= 0);
+  SGL_CHECK(options_.max_latency >= 2);
+  due_.resize(static_cast<size_t>(options_.max_latency));
+  scratch_.resize(static_cast<size_t>(options_.num_workers) + 1);
+  worker_completions_.assign(static_cast<size_t>(options_.num_workers), 0);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    lanes_.push_back(std::make_unique<CompletionLane>());
+  }
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+JobService::~JobService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int JobService::RegisterClient(JobClient* client) {
+  SGL_CHECK(in_flight_ == 0 && "register clients before submitting");
+  clients_.push_back(client);
+  for (auto& per_slot : scratch_) per_slot.push_back(nullptr);
+  return static_cast<int>(clients_.size()) - 1;
+}
+
+SnapshotView* JobService::AcquireSnapshot() {
+  SnapshotView* snap;
+  if (!free_snaps_.empty()) {
+    snap = free_snaps_.back();
+    free_snaps_.pop_back();
+  } else {
+    snapshots_.push_back(std::make_unique<SnapshotView>());
+    snap = snapshots_.back().get();
+  }
+  SGL_CHECK(snap->refs_ == 0);
+  return snap;
+}
+
+void JobService::ReleaseUnused(SnapshotView* snap) {
+  if (snap == nullptr || snap->refs_ != 0) return;
+  free_snaps_.push_back(snap);
+}
+
+JobSlot* JobService::AcquireJobSlot() {
+  if (!free_jobs_.empty()) {
+    JobSlot* slot = free_jobs_.back();
+    free_jobs_.pop_back();
+    return slot;
+  }
+  jobs_.push_back(std::make_unique<JobSlot>());
+  return jobs_.back().get();
+}
+
+void JobService::RecycleJob(JobSlot* slot) {
+  if (slot->snap != nullptr) {
+    if (--slot->snap->refs_ == 0) free_snaps_.push_back(slot->snap);
+    slot->snap = nullptr;
+  }
+  slot->done.store(0, std::memory_order_relaxed);
+  free_jobs_.push_back(slot);
+}
+
+void JobService::Submit(int client, uint64_t user_key, const uint64_t args[4],
+                        SnapshotView* snap, int latency, Tick now,
+                        int shard) {
+  SGL_CHECK(client >= 0 && client < static_cast<int>(clients_.size()));
+  latency = std::max(1, std::min(latency, options_.max_latency - 1));
+  if (now != seq_tick_) {
+    seq_tick_ = now;
+    seq_in_tick_ = 0;
+  }
+  JobSlot* slot = AcquireJobSlot();
+  slot->user_key = user_key;
+  for (int i = 0; i < 4; ++i) slot->args[i] = args[i];
+  slot->submit_tick = now;
+  slot->install_tick = now + latency;
+  slot->seq = seq_in_tick_++;
+  slot->client = client;
+  slot->shard = shard;
+  slot->order_key = Mix64(options_.seed ^
+                          (static_cast<uint64_t>(now) << 20) ^ slot->seq);
+  slot->snap = snap;
+  if (snap != nullptr) ++snap->refs_;
+  due_[static_cast<size_t>(latency)].items.push_back(slot);
+  ++in_flight_;
+  ++total_submitted_;
+  ++submitted_window_;
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(slot);
+    }
+    work_cv_.notify_one();
+  }
+}
+
+JobScratch* JobService::ScratchFor(int scratch_index, int client) {
+  std::unique_ptr<JobScratch>& slot =
+      scratch_[static_cast<size_t>(scratch_index)]
+              [static_cast<size_t>(client)];
+  if (slot == nullptr) {
+    slot = clients_[static_cast<size_t>(client)]->MakeScratch();
+  }
+  return slot.get();
+}
+
+void JobService::RunJob(JobSlot* slot, int scratch_index) {
+  JobClient* client = clients_[static_cast<size_t>(slot->client)];
+  client->Run(slot->snap, slot, ScratchFor(scratch_index, slot->client));
+}
+
+void JobService::WorkerLoop(int worker_index) {
+  CompletionLane& lane = *lanes_[static_cast<size_t>(worker_index)];
+  for (;;) {
+    JobSlot* slot;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || pending_head_ < pending_.size();
+      });
+      if (stop_) return;
+      slot = pending_[pending_head_++];
+      if (pending_head_ == pending_.size()) {
+        pending_.clear();
+        pending_head_ = 0;
+      }
+      ++running_;
+    }
+    if (options_.test_delay_micros > 0) {
+      // Forced-slow-job stress: simulate searches far slower than a tick.
+      Stopwatch delay;
+      while (delay.ElapsedMicros() < options_.test_delay_micros) {
+        std::this_thread::yield();
+      }
+    }
+    RunJob(slot, worker_index);
+    {
+      std::lock_guard<std::mutex> lane_lock(lane.mu);
+      lane.bufs[lane.cur].push_back(slot);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot->done.store(1, std::memory_order_release);
+      --running_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void JobService::DrainLanes() {
+  // Mailbox-shaped harvest (stats only; `done` flags carry correctness):
+  // flip each lane and count the side the worker finished writing.
+  for (size_t w = 0; w < lanes_.size(); ++w) {
+    CompletionLane& lane = *lanes_[w];
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.cur ^= 1;
+    lane.bufs[lane.cur].clear();
+    worker_completions_[w] +=
+        static_cast<int64_t>(lane.bufs[lane.cur ^ 1].size());
+  }
+}
+
+void JobService::InstallDue(Tick tick) {
+  DrainLanes();
+  last_installed_ = 0;
+  last_wait_micros_ = 0;
+  due_sorted_.clear();
+  for (DueQueue& queue : due_) {
+    while (queue.head < queue.items.size()) {
+      JobSlot* slot = queue.items[queue.head];
+      SGL_CHECK(slot->install_tick >= tick &&
+                "missed barrier — InstallDue must run every tick");
+      if (slot->install_tick != tick) break;
+      due_sorted_.push_back(slot);
+      ++queue.head;
+    }
+    if (queue.head == queue.items.size()) {
+      queue.items.clear();
+      queue.head = 0;
+    } else if (queue.head > 0 && queue.head * 2 >= queue.items.size()) {
+      // Compact the drained prefix in place (no allocation) so a queue
+      // under continuous traffic stays bounded by its in-flight window.
+      queue.items.erase(queue.items.begin(),
+                        queue.items.begin() +
+                            static_cast<ptrdiff_t>(queue.head));
+      queue.head = 0;
+    }
+  }
+  if (due_sorted_.empty()) return;
+  std::sort(due_sorted_.begin(), due_sorted_.end(),
+            [](const JobSlot* a, const JobSlot* b) {
+              if (a->order_key != b->order_key) {
+                return a->order_key < b->order_key;
+              }
+              if (a->submit_tick != b->submit_tick) {
+                return a->submit_tick < b->submit_tick;
+              }
+              return a->seq < b->seq;
+            });
+  for (JobSlot* slot : due_sorted_) {
+    if (workers_.empty()) {
+      // Inline reference mode: the job runs now, on the barrier thread.
+      RunJob(slot, static_cast<int>(scratch_.size()) - 1);
+    } else if (slot->done.load(std::memory_order_acquire) == 0) {
+      // The declared latency has elapsed but the worker is still running:
+      // the barrier waits. This is the only place async execution can
+      // stall a tick, and only by as much as the job actually overran.
+      Stopwatch wait;
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [slot] {
+        return slot->done.load(std::memory_order_acquire) != 0;
+      });
+      last_wait_micros_ += wait.ElapsedMicros();
+    }
+    clients_[static_cast<size_t>(slot->client)]->Install(*slot);
+    RecycleJob(slot);
+    --in_flight_;
+    ++total_installed_;
+    ++last_installed_;
+  }
+  due_sorted_.clear();
+}
+
+void JobService::CancelAll() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    pending_.clear();
+    pending_head_ = 0;
+    done_cv_.wait(lock, [this] { return running_ == 0; });
+  }
+  DrainLanes();
+  DrainLanes();  // both sides (a flip only exposes one)
+  for (DueQueue& queue : due_) {
+    for (size_t i = queue.head; i < queue.items.size(); ++i) {
+      RecycleJob(queue.items[i]);
+      --in_flight_;
+    }
+    queue.items.clear();
+    queue.head = 0;
+  }
+  SGL_CHECK(in_flight_ == 0);
+  // A restore may replay the submit tick: sequence numbers (and with them
+  // the seeded order keys) must restart exactly as a fresh run would
+  // assign them.
+  seq_tick_ = -1;
+  seq_in_tick_ = 0;
+}
+
+void JobService::SampleTick(JobTickStats* out) {
+  out->submitted = submitted_window_;
+  out->installed = last_installed_;
+  out->in_flight = static_cast<int64_t>(in_flight_);
+  out->wait_micros = last_wait_micros_;
+  submitted_window_ = 0;
+}
+
+}  // namespace sgl

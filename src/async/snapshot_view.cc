@@ -1,0 +1,38 @@
+#include "src/async/snapshot_view.h"
+
+#include <cstring>
+
+namespace sgl {
+
+void SnapshotView::Capture(const World& world, ClassId cls,
+                           const FieldIdx* fields, int num_fields,
+                           uint64_t epoch, bool capture_ids) {
+  epoch_ = epoch;
+  cls_ = cls;
+  derived_.clear();
+  derived_ready_.store(false, std::memory_order_relaxed);
+
+  const EntityTable& table = world.table(cls);
+  const size_t n = table.size();
+  rows_ = n;
+  if (capture_ids) {
+    ids_.assign(table.ids().begin(), table.ids().end());
+  } else {
+    ids_.clear();
+  }
+  if (nums_.size() < static_cast<size_t>(num_fields)) {
+    nums_.resize(static_cast<size_t>(num_fields));
+  }
+  for (int i = 0; i < num_fields; ++i) {
+    std::vector<double>& dst = nums_[static_cast<size_t>(i)];
+    dst.resize(n);
+    ConstNumberColumn col = table.Num(fields[i]);
+    if (col.stride == 1) {
+      if (n > 0) std::memcpy(dst.data(), col.base, n * sizeof(double));
+    } else {
+      for (size_t r = 0; r < n; ++r) dst[r] = col[r];
+    }
+  }
+}
+
+}  // namespace sgl

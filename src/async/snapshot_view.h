@@ -1,0 +1,88 @@
+// SnapshotView: an epoch-stamped, copy-on-submit read view for
+// out-of-band jobs (src/async/).
+//
+// A job that runs across tick boundaries cannot read live columns: the
+// update phase rewrites them every tick while the worker is still
+// searching. Instead, the submitting component *declares* the columns its
+// jobs read and captures them into a SnapshotView at submit time — one
+// contiguous copy per declared numeric column plus the id column, stamped
+// with the tick epoch it was taken at. Workers then read a frozen,
+// consistent image no matter how many ticks the job spans.
+//
+// Views are pooled by the JobService (acquire/release with refcounts — all
+// jobs submitted on one tick share one capture) and every buffer keeps its
+// high-water capacity, so steady-state capture performs zero heap
+// allocations.
+
+#ifndef SGL_ASYNC_SNAPSHOT_VIEW_H_
+#define SGL_ASYNC_SNAPSHOT_VIEW_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "src/storage/world.h"
+
+namespace sgl {
+
+class SnapshotView {
+ public:
+  SnapshotView() = default;
+  SnapshotView(const SnapshotView&) = delete;
+  SnapshotView& operator=(const SnapshotView&) = delete;
+
+  /// Copies `num_fields` numeric state columns of `cls` out of `world` —
+  /// plus the id column iff `capture_ids` (skip it when jobs only read
+  /// values; it is a full-column memcpy per capture). `epoch` identifies
+  /// the tick the snapshot belongs to. Reuses all internal buffers
+  /// (capacity kept across captures).
+  void Capture(const World& world, ClassId cls, const FieldIdx* fields,
+               int num_fields, uint64_t epoch, bool capture_ids = false);
+
+  uint64_t epoch() const { return epoch_; }
+  ClassId cls() const { return cls_; }
+  size_t rows() const { return rows_; }
+  /// Empty unless captured with `capture_ids`.
+  const std::vector<EntityId>& ids() const { return ids_; }
+  /// Captured column by *capture position* (the order fields were declared
+  /// in Capture), not by FieldIdx.
+  const std::vector<double>& num(int i) const {
+    return nums_[static_cast<size_t>(i)];
+  }
+
+  /// A client-derived buffer (e.g. a rasterized occupancy grid) built
+  /// lazily by whichever worker touches it first. `fn(&buf)` must be a
+  /// pure function of this snapshot's captured columns, so the content is
+  /// deterministic regardless of which thread builds it. Thread-safe;
+  /// later callers block until the first build finishes. The buffer keeps
+  /// its capacity across snapshot reuses.
+  template <typename BuildFn>
+  const std::vector<uint8_t>& Derived(BuildFn&& fn) const {
+    if (derived_ready_.load(std::memory_order_acquire)) return derived_;
+    std::lock_guard<std::mutex> lock(derived_mu_);
+    if (!derived_ready_.load(std::memory_order_relaxed)) {
+      fn(&derived_);
+      derived_ready_.store(true, std::memory_order_release);
+    }
+    return derived_;
+  }
+
+ private:
+  friend class JobService;  // pool bookkeeping
+
+  uint64_t epoch_ = 0;
+  ClassId cls_ = kInvalidClass;
+  size_t rows_ = 0;
+  std::vector<EntityId> ids_;
+  std::vector<std::vector<double>> nums_;
+
+  mutable std::vector<uint8_t> derived_;
+  mutable std::atomic<bool> derived_ready_{false};
+  mutable std::mutex derived_mu_;
+
+  int refs_ = 0;  ///< JobService-managed (mutated only at the barrier)
+};
+
+}  // namespace sgl
+
+#endif  // SGL_ASYNC_SNAPSHOT_VIEW_H_

@@ -13,6 +13,16 @@
 
 namespace sgl {
 
+/// One splitmix64 finalization step as a stateless 64-bit avalanche hash:
+/// deterministic, seedable by xor-ing into the argument. Used for job
+/// ordering keys (src/async/) and flat open-addressing probes.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Fast, seedable, deterministic PRNG (xoshiro256** seeded via splitmix64).
 /// Not cryptographic. Copyable: copies continue the same stream independently.
 class Rng {

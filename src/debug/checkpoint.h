@@ -22,6 +22,11 @@ namespace sgl {
 struct Checkpoint {
   Tick tick = 0;
   std::string state;  ///< serialized World
+  /// Sharded engines only: the serialized shard partition (per-class shard
+  /// boundaries, see ShardedWorld::SerializePartition), so restore resumes
+  /// the exact partition — including migration history — instead of
+  /// re-blocking. Empty for single-world checkpoints.
+  std::string shard_partition;
 };
 
 /// Captures `world` at `tick`.

@@ -19,7 +19,18 @@ std::string DescribeTickStats(const TickStats& stats) {
                 static_cast<long long>(stats.index_memory_bytes),
                 static_cast<long long>(stats.allocs_per_tick),
                 static_cast<long long>(stats.bytes_per_tick));
-  return std::string(buf);
+  std::string out(buf);
+  if (stats.jobs_submitted != 0 || stats.jobs_installed != 0 ||
+      stats.jobs_in_flight != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " jobs +%lld/-%lld (%lld in flight, wait %lldus)",
+                  static_cast<long long>(stats.jobs_submitted),
+                  static_cast<long long>(stats.jobs_installed),
+                  static_cast<long long>(stats.jobs_in_flight),
+                  static_cast<long long>(stats.job_wait_micros));
+    out += buf;
+  }
+  return out;
 }
 
 std::string Inspector::DescribeEntity(EntityId id) const {

@@ -45,6 +45,17 @@ Status Engine::AddPathfinder(const PathfinderConfig& config, GridMap map) {
   return AddComponent(std::move(comp));
 }
 
+Status Engine::AddAsyncPathfinder(const AsyncPathfinderConfig& config,
+                                  GridMap map) {
+  JobService& jobs =
+      shard_exec_ != nullptr ? shard_exec_->jobs() : executor_->jobs();
+  SGL_ASSIGN_OR_RETURN(
+      auto comp,
+      AsyncPathfindComponent::Create(catalog(), config, std::move(map),
+                                     &jobs, sharded_world_.get()));
+  return AddComponent(std::move(comp));
+}
+
 Status Engine::AddComponent(std::unique_ptr<UpdateComponent> component) {
   if (shard_exec_ != nullptr) {
     return shard_exec_->RegisterComponent(std::move(component));
@@ -86,16 +97,34 @@ Status Engine::RunTicks(int n) {
 }
 
 Status Engine::Restore(const Checkpoint& cp) {
+  // In-flight jobs belong to the pre-restore trajectory: cancel them
+  // before the world changes underneath their submissions, then let the
+  // components drop their request caches.
+  JobService* jobs = shard_exec_ != nullptr ? shard_exec_->jobs_or_null()
+                                            : executor_->jobs_or_null();
+  if (jobs != nullptr) jobs->CancelAll();
   SGL_RETURN_IF_ERROR(RestoreCheckpoint(cp, world_.get()));
   if (shard_exec_ != nullptr) {
-    // The checkpoint preserves row order but not the partition history;
-    // re-split into fresh block ranges (see src/shard/README.md). Moves
-    // queued against the pre-restore world must not replay here.
+    // Moves queued against the pre-restore world must not replay here.
     sharded_world_->ClearPendingMigrations();
-    sharded_world_->PartitionBlock();
+    if (!cp.shard_partition.empty()) {
+      // Resume the exact partition the checkpoint was taken under
+      // (including migration history). Only a shard-count mismatch
+      // (InvalidArgument) legitimately falls back to fresh block ranges;
+      // a corrupt blob must surface, not silently re-block.
+      Status st = sharded_world_->RestorePartition(cp.shard_partition);
+      if (!st.ok()) {
+        if (st.code() != StatusCode::kInvalidArgument) return st;
+        sharded_world_->PartitionBlock();
+      }
+    } else {
+      sharded_world_->PartitionBlock();
+    }
     shard_exec_->set_tick(cp.tick);
+    shard_exec_->components().NotifyRestore();
   } else {
     executor_->set_tick(cp.tick);
+    executor_->components().NotifyRestore();
   }
   return Status::OK();
 }

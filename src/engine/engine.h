@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/async/async_pathfind.h"
 #include "src/debug/checkpoint.h"
 #include "src/debug/inspector.h"
 #include "src/debug/tracer.h"
@@ -73,8 +74,32 @@ class Engine {
   Status AddPhysics(const PhysicsConfig& config);
   /// Attaches an A* pathfinding component (§2.2).
   Status AddPathfinder(const PathfinderConfig& config, GridMap map);
+  /// Attaches the asynchronous (tick-spanning) pathfinder: searches run on
+  /// the executor's JobService workers (options.exec.jobs) and results
+  /// install deterministically at submit + latency ticks (src/async/).
+  Status AddAsyncPathfinder(const AsyncPathfinderConfig& config, GridMap map);
   /// Attaches any custom update component.
   Status AddComponent(std::unique_ptr<UpdateComponent> component);
+
+  // --- Update-component ordering vs async completions ---------------------
+  //
+  // Update components run in registration order (transaction engine, then
+  // the expression updater, then everything added through the Add*
+  // methods). Field ownership is disjoint, but components *read* each
+  // other's freshly-written state within the same update phase — e.g. the
+  // canonical `x = waypoint_x` update rule runs before a pathfinder
+  // updates the waypoint, so movement follows the waypoint computed the
+  // previous tick. Register order is therefore part of a program's
+  // semantics and must be kept stable across runs being compared.
+  //
+  // Asynchronous results do NOT change this picture: JobService
+  // completions install at the tick barrier *before any* component runs
+  // (TickExecutor / ShardExecutor call InstallDue first), in an order
+  // fixed at submission time. A component observes a job's result at
+  // exactly tick `submit + latency`, regardless of worker count, shard
+  // count, thread count, or registration order — async completion is a
+  // scheduled event in the deterministic tick timeline, not a racy
+  // callback.
 
   /// Entity management (tick-boundary operations).
   StatusOr<EntityId> Spawn(
@@ -110,9 +135,18 @@ class Engine {
       executor_->set_trace(tracer);
     }
   }
-  /// Snapshot / resume.
+  /// Snapshot / resume. Sharded engines also capture the shard partition,
+  /// so Restore resumes the exact post-migration ranges. Checkpoints are
+  /// tick-boundary snapshots: async jobs still in flight are *not*
+  /// captured — Restore cancels them and components re-request, so a
+  /// restored run is deterministic going forward but may briefly re-stall
+  /// on results the original run already had.
   Checkpoint TakeCheckpoint() const {
-    return sgl::TakeCheckpoint(*world_, tick());
+    Checkpoint cp = sgl::TakeCheckpoint(*world_, tick());
+    if (sharded_world_ != nullptr) {
+      sharded_world_->SerializePartition(&cp.shard_partition);
+    }
+    return cp;
   }
   Status Restore(const Checkpoint& cp);
 

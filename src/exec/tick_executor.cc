@@ -152,6 +152,10 @@ Status TickExecutor::RunTick() {
   last_.total_micros = 0;
   last_.allocs_per_tick = 0;
   last_.bytes_per_tick = 0;
+  last_.jobs_submitted = 0;
+  last_.jobs_installed = 0;
+  last_.jobs_in_flight = 0;
+  last_.job_wait_micros = 0;
   last_.txn = TxnStats();
   const int num_classes = world_->catalog().num_classes();
   const int shards = options_.num_threads > 1 ? options_.num_threads : 1;
@@ -299,10 +303,22 @@ Status TickExecutor::RunTick() {
 
   // --- 3. Update phase ----------------------------------------------------
   Stopwatch update_timer;
+  // Out-of-band completions ride the barrier: results whose declared
+  // latency elapses this tick install now, in deterministic order, so the
+  // components below read them no matter which tick a worker finished on.
+  if (jobs_ != nullptr) jobs_->InstallDue(tick_);
   components_.RunAll(world_, tick_);
   last_.update_micros = update_timer.ElapsedMicros();
 
   // --- 4. Bookkeeping ----------------------------------------------------
+  if (jobs_ != nullptr) {
+    JobTickStats js;
+    jobs_->SampleTick(&js);
+    last_.jobs_submitted = js.submitted;
+    last_.jobs_installed = js.installed;
+    last_.jobs_in_flight = js.in_flight;
+    last_.job_wait_micros = js.wait_micros;
+  }
   last_.txn = txn_.last_tick();
   last_.index_build_micros = indexes_.build_micros() - index_micros_before;
   last_.index_memory_bytes = static_cast<int64_t>(indexes_.MemoryBytes());

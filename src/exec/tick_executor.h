@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/async/job_service.h"
 #include "src/common/thread_pool.h"
 #include "src/exec/op_exec.h"
 #include "src/update/update_component.h"
@@ -50,6 +51,10 @@ struct ExecOptions {
   size_t morsel_size = 2048;
   AdaptiveController::Options planner;
   bool interpreted = false;  ///< object-at-a-time baseline mode
+  /// Out-of-band job execution (src/async/): worker count, ordering-key
+  /// seed. The JobService is created lazily, when a component first asks
+  /// for it (Engine::AddAsyncPathfinder / executor jobs()).
+  JobServiceOptions jobs;
 };
 
 /// Timings and counters for the last tick.
@@ -68,6 +73,13 @@ struct TickStats {
   /// hook is compiled out). Steady-state ticks should report ~0.
   int64_t allocs_per_tick = 0;
   int64_t bytes_per_tick = 0;
+  /// Out-of-band job activity (src/async/; all 0 with no JobService).
+  int64_t jobs_submitted = 0;
+  int64_t jobs_installed = 0;
+  int64_t jobs_in_flight = 0;
+  /// Barrier time spent blocked on jobs whose declared latency elapsed
+  /// before their worker finished (the async pipeline's only stall).
+  int64_t job_wait_micros = 0;
   std::vector<SiteFeedback> sites;  ///< per accum site, aggregated
   TxnStats txn;
 };
@@ -102,6 +114,16 @@ class TickExecutor {
   StatsManager& table_stats() { return stats_mgr_; }
   ComponentRegistry& components() { return components_; }
 
+  /// The out-of-band JobService (created on first use from
+  /// options().jobs). Completions install at the tick barrier, before the
+  /// update components run.
+  JobService& jobs() {
+    if (jobs_ == nullptr) jobs_ = std::make_unique<JobService>(options_.jobs);
+    return *jobs_;
+  }
+  /// Null if no component ever asked for the service.
+  JobService* jobs_or_null() { return jobs_.get(); }
+
   /// Attaches / detaches the effect tracer (§3.3). Null = off.
   void set_trace(EffectTraceSink* sink) { trace_ = sink; }
 
@@ -131,6 +153,7 @@ class TickExecutor {
   AdaptiveController controller_;
   TxnEngine txn_;
   ComponentRegistry components_;
+  std::unique_ptr<JobService> jobs_;  ///< lazily created, see jobs()
   EffectTraceSink* trace_ = nullptr;
   Tick tick_ = 0;
   TickStats last_;

@@ -251,6 +251,10 @@ Status ShardExecutor::RunTick() {
   last_.total_micros = 0;
   last_.allocs_per_tick = 0;
   last_.bytes_per_tick = 0;
+  last_.jobs_submitted = 0;
+  last_.jobs_installed = 0;
+  last_.jobs_in_flight = 0;
+  last_.job_wait_micros = 0;
   last_.txn = TxnStats();
   const int num_classes = world_->catalog().num_classes();
   const int S = options_.num_shards;
@@ -328,6 +332,9 @@ Status ShardExecutor::RunTick() {
 
   // --- D. Update phase --------------------------------------------------
   Stopwatch update_timer;
+  // Out-of-band completions ride the barrier (after the mailbox merge,
+  // before the update components read them); see src/async/job_service.h.
+  if (jobs_ != nullptr) jobs_->InstallDue(tick_);
   components_.RunAll(world_, tick_);
   last_.update_micros = update_timer.ElapsedMicros();
 
@@ -338,6 +345,14 @@ Status ShardExecutor::RunTick() {
   sharded_->BumpEpoch();
 
   // --- Bookkeeping ------------------------------------------------------
+  if (jobs_ != nullptr) {
+    JobTickStats js;
+    jobs_->SampleTick(&js);
+    last_.jobs_submitted = js.submitted;
+    last_.jobs_installed = js.installed;
+    last_.jobs_in_flight = js.in_flight;
+    last_.job_wait_micros = js.wait_micros;
+  }
   last_.txn = txn_.last_tick();
   last_.index_build_micros = indexes_.build_micros() - index_micros_before;
   last_.index_memory_bytes = static_cast<int64_t>(indexes_.MemoryBytes());

@@ -71,6 +71,17 @@ class ShardExecutor {
   ComponentRegistry& components() { return components_; }
   ShardedWorld& sharded() { return *sharded_; }
 
+  /// The out-of-band JobService (created on first use from
+  /// options().jobs). Jobs are submitted shard-tagged by the components;
+  /// completions ride the barrier: InstallDue runs after the mailbox merge,
+  /// before the update components (src/async/job_service.h).
+  JobService& jobs() {
+    if (jobs_ == nullptr) jobs_ = std::make_unique<JobService>(options_.jobs);
+    return *jobs_;
+  }
+  /// Null if no component ever asked for the service.
+  JobService* jobs_or_null() { return jobs_.get(); }
+
   void set_trace(EffectTraceSink* sink) { trace_ = sink; }
 
   /// Effect records routed across shards last tick (stats / tests).
@@ -116,6 +127,7 @@ class ShardExecutor {
   AdaptiveController controller_;
   TxnEngine txn_;
   ComponentRegistry components_;
+  std::unique_ptr<JobService> jobs_;  ///< lazily created, see jobs()
   EffectTraceSink* trace_ = nullptr;
   Tick tick_ = 0;
   TickStats last_;

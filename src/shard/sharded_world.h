@@ -54,8 +54,19 @@ class ShardedWorld {
   void BumpEpoch() { ++epoch_; }
 
   /// Block-partitions every class's current rows evenly, without moving
-  /// any row. Also the recovery path after a checkpoint restore.
+  /// any row. Also the fallback recovery path after a checkpoint restore
+  /// whose partition cannot be resumed (different shard count).
   void PartitionBlock();
+
+  /// Serializes the current partition (per-class shard boundaries) for a
+  /// sharded checkpoint. Builds the partition first if it never was.
+  void SerializePartition(std::string* out);
+  /// Restores a partition serialized by SerializePartition over the
+  /// already-restored world: validates shard/class counts and that the
+  /// boundaries cover each class's current row count exactly, then
+  /// rebuilds the per-row shard map. On error the existing partition
+  /// state is left untouched — callers fall back to PartitionBlock().
+  Status RestorePartition(const std::string& data);
 
   /// Recomputes the partition if it has never been built or table sizes
   /// drifted behind its back (pre-partition spawns). Idempotent.

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/types.h"
 
 namespace sgl {
@@ -84,11 +85,7 @@ class EntityDirectory {
   static uint64_t Mix(EntityId id) {
     // splitmix64 finalizer: ids are sequential, so the low bits need mixing
     // before they index a power-of-two table.
-    uint64_t x = static_cast<uint64_t>(id);
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
+    return Mix64(static_cast<uint64_t>(id));
   }
 
   size_t Home(EntityId id) const { return Mix(id) & (slots_.size() - 1); }

@@ -10,6 +10,7 @@
 #ifndef SGL_UPDATE_PATHFIND_H_
 #define SGL_UPDATE_PATHFIND_H_
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,8 +38,15 @@ class GridMap {
     return blocked_[Index(cx, cy)] != 0;
   }
 
-  int CellX(double x) const { return static_cast<int>(x / cell_); }
-  int CellY(double y) const { return static_cast<int>(y / cell_); }
+  /// Flooring, not truncation: a coordinate just left of / below the map
+  /// must land in cell -1 (out of bounds, Blocked), not be folded into
+  /// cell 0.
+  int CellX(double x) const {
+    return static_cast<int>(std::floor(x / cell_));
+  }
+  int CellY(double y) const {
+    return static_cast<int>(std::floor(y / cell_));
+  }
   double CenterX(int cx) const { return (cx + 0.5) * cell_; }
   double CenterY(int cy) const { return (cy + 0.5) * cell_; }
 

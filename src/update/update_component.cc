@@ -26,6 +26,10 @@ void ComponentRegistry::RunAll(World* world, Tick tick) {
   for (auto& comp : components_) comp->Update(world, tick);
 }
 
+void ComponentRegistry::NotifyRestore() {
+  for (auto& comp : components_) comp->OnRestore();
+}
+
 std::string ComponentRegistry::OwnerOf(ClassId cls, FieldIdx field) const {
   auto it = ownership_.find({cls, field});
   return it == ownership_.end() ? "" : it->second;

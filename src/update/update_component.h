@@ -33,6 +33,13 @@ class UpdateComponent {
   /// Runs the component's update for `tick`. May read any state and any
   /// merged effect, but may write only its owned fields.
   virtual void Update(World* world, Tick tick) = 0;
+
+  /// Called after a checkpoint restore replaced the world behind the
+  /// component's back. Components holding cross-tick caches keyed on the
+  /// pre-restore run (async job results, request dedup tables) must drop
+  /// them here; in-flight JobService work is cancelled by the engine
+  /// before this hook runs.
+  virtual void OnRestore() {}
 };
 
 /// Owns the components and enforces disjoint field ownership.
@@ -46,6 +53,9 @@ class ComponentRegistry {
   /// Runs every component in registration order. Disjoint ownership makes
   /// the order immaterial for state results.
   void RunAll(World* world, Tick tick);
+
+  /// Fans OnRestore() out to every component (checkpoint restore).
+  void NotifyRestore();
 
   /// Component owning (cls, field), or empty string.
   std::string OwnerOf(ClassId cls, FieldIdx field) const;

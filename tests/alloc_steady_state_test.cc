@@ -15,6 +15,7 @@
 #include "src/common/alloc_hook.h"
 #include "src/debug/checkpoint.h"
 #include "src/debug/inspector.h"
+#include "src/sim/armies.h"
 #include "src/sim/market.h"
 #include "src/sim/rts.h"
 #include "src/sim/traffic.h"
@@ -305,6 +306,80 @@ TEST(AllocSteadyState, Sharded4Parallel4MarketTransactionsAreAllocationFree) {
 TEST(AllocSteadyState, ShardedMarketMatchesSingleWorldChecksum) {
   EXPECT_EQ(RunMarketSteadyState(4, false, false, /*shards=*/4),
             RunMarketSteadyState(1, false, false));
+}
+
+// --- Async out-of-band jobs (src/async/) ---------------------------------
+// With background A* workers continuously fed (short refresh interval =>
+// every cached route re-searches every few ticks), steady-state ticks must
+// stay allocation-free *across all threads*: job slots, snapshots, blobs,
+// completion lanes, and per-worker search scratch all sit at their
+// high-water marks while jobs are genuinely in flight.
+
+uint64_t RunAsyncArmiesSteadyState(int workers, int shards, int tick_threads,
+                                   bool check_allocs) {
+  ArmiesConfig config;
+  config.num_units = 384;
+  config.map_w = 40;
+  config.map_h = 40;
+  config.num_armies = 6;
+  config.num_rally = 4;
+  config.async_pathfind = true;
+  config.async.latency_ticks = 2;
+  config.async.result_ttl_ticks = 12;
+  config.async.refresh_after_ticks = 4;  // sustained job traffic
+  config.async.crowd_penalty = 0.5;      // snapshot capture every wave
+  config.async.cache_reserve = 1u << 13;
+  EngineOptions options;
+  options.exec.jobs.num_workers = workers;
+  options.exec.num_shards = shards;
+  options.exec.num_threads = tick_threads;
+  auto engine = ArmiesWorkload::Build(config, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  // Warmup covers two full goal-churn waves, so the measured third wave
+  // reuses pooled slots/blobs/keys shaped like the ones before it.
+  int round = 0;
+  for (int t = 0; t < 110; ++t) {
+    if (t > 0 && t % 36 == 0) {
+      ArmiesWorkload::Retarget(engine->get(), config, ++round);
+    }
+    EXPECT_TRUE((*engine)->Tick().ok());
+  }
+  int64_t in_flight_ticks = 0;
+  for (int t = 0; t < kMeasuredTicks; ++t) {
+    EXPECT_TRUE((*engine)->Tick().ok());
+    const TickStats& stats = (*engine)->last_stats();
+    if (check_allocs) {
+      EXPECT_EQ(stats.allocs_per_tick, 0) << DescribeTickStats(stats);
+    }
+    if (stats.jobs_in_flight > 0) ++in_flight_ticks;
+  }
+  EXPECT_GT(in_flight_ticks, 0)
+      << "measured window must have jobs in flight";
+  return WorldChecksum((*engine)->world());
+}
+
+TEST(AllocSteadyState, AsyncPathfind4WorkersIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  RunAsyncArmiesSteadyState(/*workers=*/4, /*shards=*/1, /*tick_threads=*/1,
+                            /*check_allocs=*/true);
+}
+
+TEST(AllocSteadyState, AsyncPathfindInlineIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  RunAsyncArmiesSteadyState(/*workers=*/0, /*shards=*/1, /*tick_threads=*/1,
+                            /*check_allocs=*/true);
+}
+
+TEST(AllocSteadyState, AsyncPathfindSharded4Parallel4IsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  RunAsyncArmiesSteadyState(/*workers=*/4, /*shards=*/4, /*tick_threads=*/4,
+                            /*check_allocs=*/true);
+}
+
+TEST(AllocSteadyState, AsyncPathfindStateMatchesAcrossWorkerCounts) {
+  const uint64_t inline_sum = RunAsyncArmiesSteadyState(0, 1, 1, false);
+  EXPECT_EQ(RunAsyncArmiesSteadyState(4, 1, 1, false), inline_sum);
+  EXPECT_EQ(RunAsyncArmiesSteadyState(4, 4, 4, false), inline_sum);
 }
 
 // The counters themselves must move when the program allocates — otherwise

@@ -177,6 +177,28 @@ TEST(AStar, FindsShortestPathAroundWall) {
   EXPECT_EQ(24u, path.size());
 }
 
+// Regression: CellX/CellY used to truncate toward zero, folding
+// coordinates just left of / below the map into cell 0 (inside the map)
+// instead of cell -1 (out of bounds).
+TEST(GridMapTest, NegativeCoordinatesFloorOutOfBounds) {
+  GridMap map(10, 10, 1.0);
+  EXPECT_EQ(-1, map.CellX(-0.25));
+  EXPECT_EQ(-1, map.CellY(-0.25));
+  EXPECT_EQ(-1, map.CellX(-1.0 + 1e-9));  // still inside cell -1
+  EXPECT_EQ(-2, map.CellX(-1.5));
+  EXPECT_EQ(0, map.CellX(0.0));
+  EXPECT_EQ(0, map.CellX(0.75));
+  EXPECT_EQ(9, map.CellX(9.75));
+  EXPECT_TRUE(map.Blocked(map.CellX(-0.25), map.CellY(5.0)));
+  EXPECT_TRUE(map.Blocked(map.CellX(5.0), map.CellY(-0.25)));
+  EXPECT_FALSE(map.Blocked(map.CellX(0.25), map.CellY(0.25)));
+
+  GridMap coarse(10, 10, 2.5);  // non-unit cells floor the scaled value
+  EXPECT_EQ(-1, coarse.CellX(-0.1));
+  EXPECT_EQ(0, coarse.CellX(2.4));
+  EXPECT_EQ(1, coarse.CellX(2.5));
+}
+
 TEST(AStar, UnreachableReturnsEmpty) {
   GridMap map(10, 10, 1.0);
   for (int y = 0; y < 10; ++y) map.SetBlocked(5, y, true);  // full wall
@@ -230,6 +252,29 @@ TEST(Pathfinder, WalkerReachesGoalThroughMaze) {
   ASSERT_TRUE((*engine)->RunTicks(60).ok());
   EXPECT_NEAR(17.5, (*engine)->Get(*id, "x")->AsNumber(), 1.0);
   EXPECT_NEAR(2.5, (*engine)->Get(*id, "y")->AsNumber(), 1.0);
+}
+
+// An entity nudged just off the map's left/bottom edge must pathfind as
+// "off-map start" (stay put), not alias into column 0 and march across
+// the map from there (the pre-floor-fix behavior).
+TEST(Pathfinder, EntityJustOffMapEdgeStaysPut) {
+  auto engine = Engine::Create(PathSource());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  GridMap map(20, 20, 1.0);
+  PathfinderConfig config;
+  config.cls = "Walker";
+  ASSERT_TRUE((*engine)->AddPathfinder(config, std::move(map)).ok());
+  auto id = (*engine)->Spawn("Walker", {{"x", Value::Number(-0.4)},
+                                        {"y", Value::Number(2.5)},
+                                        {"waypoint_x", Value::Number(-0.4)},
+                                        {"waypoint_y", Value::Number(2.5)},
+                                        {"tx", Value::Number(10.5)},
+                                        {"ty", Value::Number(2.5)}});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*engine)->RunTicks(3).ok());
+  // Start cell (-1, 2) is out of bounds => unreachable => the walker holds
+  // at its start cell instead of crossing toward the goal.
+  EXPECT_NEAR(-0.4, (*engine)->Get(*id, "x")->AsNumber(), 1.0);
 }
 
 TEST(Pathfinder, SharedGoalsHitMemo) {

@@ -316,5 +316,89 @@ TEST(ShardParity, CheckpointRestoreResumesShardedRun) {
   EXPECT_EQ(WorldChecksum(resumed->world()), final_sum);
 }
 
+// Sharded checkpoints persist the partition: a run that migrated entities
+// resumes with the exact post-migration ranges (not a fresh re-blocking),
+// so restored runs are bit-identical to the uninterrupted one — including
+// the cross-shard traffic pattern.
+TEST(ShardParity, CheckpointRestoresMigratedPartitionExactly) {
+  const int units = 150;
+  auto engine = BuildRts(units, ShardOpts(PlanMode::kStaticGrid, 4));
+  ASSERT_TRUE(engine->RunTicks(5).ok());
+
+  // Shuffle a third of the units across shards, then run a few more ticks
+  // so the migrated partition is the live one.
+  Rng rng(23);
+  std::vector<ShardMove> moves;
+  for (EntityId id = 1; id <= units; id += 3) {
+    moves.push_back(ShardMove{id, static_cast<int>(rng.Next() % 4)});
+  }
+  ASSERT_TRUE(engine->sharded_world().MigrateNow(moves).ok());
+  ASSERT_TRUE(engine->RunTicks(3).ok());
+
+  Checkpoint cp = engine->TakeCheckpoint();
+  EXPECT_FALSE(cp.shard_partition.empty());
+
+  // Record the live partition, then continue the original run.
+  std::vector<int> shard_of;
+  for (EntityId id = 1; id <= units; ++id) {
+    shard_of.push_back(engine->sharded_world().ShardOfEntity(id));
+  }
+  ASSERT_TRUE(engine->RunTicks(10).ok());
+  const uint64_t final_sum = WorldChecksum(engine->world());
+  const size_t final_cross = engine->shard_executor().last_cross_shard_records();
+
+  auto resumed = BuildRts(units, ShardOpts(PlanMode::kStaticGrid, 4));
+  ASSERT_TRUE(resumed->Restore(cp).ok());
+  EXPECT_TRUE(resumed->sharded_world().PartitionConsistent());
+  for (EntityId id = 1; id <= units; ++id) {
+    EXPECT_EQ(resumed->sharded_world().ShardOfEntity(id),
+              shard_of[static_cast<size_t>(id - 1)])
+        << "entity " << id << " restored into a different shard";
+  }
+  ASSERT_TRUE(resumed->RunTicks(10).ok());
+  EXPECT_EQ(WorldChecksum(resumed->world()), final_sum);
+  // Same partition => same cross-shard routing, tick for tick.
+  EXPECT_EQ(resumed->shard_executor().last_cross_shard_records(),
+            final_cross);
+}
+
+// A checkpoint taken under one shard count restored under another cannot
+// reuse the partition blob; restore falls back to fresh block ranges and
+// still resumes with correct state.
+TEST(ShardParity, CheckpointShardCountMismatchFallsBackToBlock) {
+  auto engine = BuildRts(90, ShardOpts(PlanMode::kStaticGrid, 4));
+  ASSERT_TRUE(engine->RunTicks(5).ok());
+  Checkpoint cp = engine->TakeCheckpoint();
+  ASSERT_TRUE(engine->RunTicks(8).ok());
+  const uint64_t final_sum = WorldChecksum(engine->world());
+
+  auto resumed = BuildRts(90, ShardOpts(PlanMode::kStaticGrid, 2));
+  ASSERT_TRUE(resumed->Restore(cp).ok());
+  EXPECT_TRUE(resumed->sharded_world().PartitionConsistent());
+  ASSERT_TRUE(resumed->RunTicks(8).ok());
+  EXPECT_EQ(WorldChecksum(resumed->world()), final_sum);
+}
+
+// Direct round-trip of the partition blob, including the reject paths.
+TEST(ShardedWorldTest, PartitionSerializeRestoreRoundTrip) {
+  auto engine = BuildRts(64, ShardOpts(PlanMode::kStaticGrid, 4));
+  ASSERT_TRUE(engine->Tick().ok());
+  ShardedWorld& sharded = engine->sharded_world();
+
+  std::string blob;
+  sharded.SerializePartition(&blob);
+  EXPECT_TRUE(sharded.RestorePartition(blob).ok());
+  EXPECT_TRUE(sharded.PartitionConsistent());
+
+  std::string truncated = blob.substr(0, blob.size() - 3);
+  EXPECT_FALSE(sharded.RestorePartition(truncated).ok());
+  std::string garbage = blob;
+  garbage[0] ^= 0x5a;  // magic
+  EXPECT_FALSE(sharded.RestorePartition(garbage).ok());
+  // Rejects must leave the good partition usable.
+  EXPECT_TRUE(sharded.RestorePartition(blob).ok());
+  EXPECT_TRUE(sharded.PartitionConsistent());
+}
+
 }  // namespace
 }  // namespace sgl
