@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "src/common/bin_io.h"
 #include "src/common/rng.h"
 
 namespace sgl {
@@ -483,6 +484,71 @@ void AsyncPathfindComponent::OnRestore() {
   // Re-phase the TTL sweep as a fresh component would run it, so an
   // in-place restore evicts on the same ticks as a fresh-engine restore.
   last_sweep_ = 0;
+}
+
+namespace {
+constexpr uint32_t kPathCacheMagic = 0x50464348u;  // "HCFP"
+constexpr uint32_t kPathCacheVersion = 1;
+}  // namespace
+
+void AsyncPathfindComponent::SaveState(std::string* out) const {
+  // Always emits at least the header: an empty cache is real state too
+  // (restoring it must not fall back to the OnRestore cache drop).
+  binio::Append<uint32_t>(out, kPathCacheMagic);
+  binio::Append<uint32_t>(out, kPathCacheVersion);
+  binio::Append<int64_t>(out, static_cast<int64_t>(last_sweep_));
+  // Capacity is saved so post-restore Grow() triggers on the same tick as
+  // the uninterrupted run's.
+  binio::Append<uint64_t>(out, static_cast<uint64_t>(cache_.size()));
+  binio::Append<uint64_t>(out, static_cast<uint64_t>(cache_size_));
+  for (const Entry& e : cache_) {
+    if (e.key == 0) continue;
+    binio::Append<uint64_t>(out, e.key);
+    binio::Append<uint32_t>(out, e.next_cell);
+    binio::Append<uint32_t>(out, e.flags);
+    binio::Append<int64_t>(out, static_cast<int64_t>(e.last_used));
+    binio::Append<int64_t>(out, static_cast<int64_t>(e.installed));
+  }
+}
+
+Status AsyncPathfindComponent::LoadState(const char* data, size_t size) {
+  const char* cur = data;
+  const char* end = data + size;
+  uint32_t magic = 0, version = 0;
+  int64_t sweep = 0;
+  uint64_t cap = 0, count = 0;
+  if (!binio::Read(&cur, end, &magic) || magic != kPathCacheMagic ||
+      !binio::Read(&cur, end, &version) || version != kPathCacheVersion ||
+      !binio::Read(&cur, end, &sweep) || !binio::Read(&cur, end, &cap) ||
+      !binio::Read(&cur, end, &count)) {
+    return Status::InvalidArgument("pathfind cache: bad header");
+  }
+  constexpr size_t kEntryBytes = 8 + 4 + 4 + 8 + 8;
+  if (cap < 16 || (cap & (cap - 1)) != 0 || count * 4 > cap * 3 ||
+      count * kEntryBytes != static_cast<uint64_t>(end - cur)) {
+    return Status::InvalidArgument("pathfind cache: bad shape");
+  }
+  alt_cache_.assign(static_cast<size_t>(cap), Entry());
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    int64_t last_used = 0, installed = 0;
+    binio::Read(&cur, end, &e.key);
+    binio::Read(&cur, end, &e.next_cell);
+    binio::Read(&cur, end, &e.flags);
+    binio::Read(&cur, end, &last_used);
+    binio::Read(&cur, end, &installed);
+    e.last_used = static_cast<Tick>(last_used);
+    e.installed = static_cast<Tick>(installed);
+    if (e.key == 0) {
+      return Status::InvalidArgument("pathfind cache: empty key");
+    }
+    InsertRehash(&alt_cache_, e);
+  }
+  cache_.swap(alt_cache_);
+  alt_cache_.assign(static_cast<size_t>(cap), Entry());
+  cache_size_ = static_cast<size_t>(count);
+  last_sweep_ = static_cast<Tick>(sweep);
+  return Status::OK();
 }
 
 }  // namespace sgl

@@ -97,6 +97,13 @@ class AsyncPathfindComponent : public UpdateComponent, public JobClient {
   /// Drops the request cache: in-flight keys refer to jobs the engine just
   /// cancelled, and ready results belong to the pre-restore trajectory.
   void OnRestore() override;
+  /// Full request-cache image (keys, ready next-cells, in-flight bits,
+  /// sweep phase). With the in-flight job section of the same checkpoint
+  /// restored alongside it, every kInFlight key's job is re-created too —
+  /// post-restore ticks replay bit-identically to the uninterrupted run
+  /// instead of re-searching from a cold cache.
+  void SaveState(std::string* out) const override;
+  Status LoadState(const char* data, size_t size) override;
 
   // --- JobClient --------------------------------------------------------
   const char* client_name() const override { return "async_pathfind"; }

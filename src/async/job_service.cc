@@ -2,10 +2,26 @@
 
 #include <algorithm>
 
+#include "src/common/bin_io.h"
 #include "src/common/rng.h"
 #include "src/common/stopwatch.h"
+#include "src/fault/fault_injector.h"
 
 namespace sgl {
+
+namespace {
+
+constexpr uint32_t kJobsBlobMagic = 0x534a4f42u;  // "BOJS"
+constexpr uint32_t kJobsBlobVersion = 1;
+
+void BusyDelayMicros(int64_t micros) {
+  Stopwatch delay;
+  while (delay.ElapsedMicros() < micros) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
 
 JobService::JobService(const JobServiceOptions& options) : options_(options) {
   SGL_CHECK(options_.num_workers >= 0);
@@ -70,7 +86,11 @@ void JobService::RecycleJob(JobSlot* slot) {
     if (--slot->snap->refs_ == 0) free_snaps_.push_back(slot->snap);
     slot->snap = nullptr;
   }
-  slot->done.store(0, std::memory_order_relaxed);
+  // `done` and `claim` are NOT reset here: a stale worker may still hold
+  // this slot's pointer (it was stolen from it by the deadline fallback
+  // while it was stalled pre-claim). Submit resets both only after the
+  // slot's next job is fully written, which is what keeps that worker's
+  // late CAS from claiming a half-filled slot.
   free_jobs_.push_back(slot);
 }
 
@@ -95,6 +115,10 @@ void JobService::Submit(int client, uint64_t user_key, const uint64_t args[4],
                           (static_cast<uint64_t>(now) << 20) ^ slot->seq);
   slot->snap = snap;
   if (snap != nullptr) ++snap->refs_;
+  // Field writes above happen-before the claim release: a stale worker
+  // that CASes this recycled slot from here on runs a complete job.
+  slot->done.store(0, std::memory_order_relaxed);
+  slot->claim.store(0, std::memory_order_release);
   due_[static_cast<size_t>(latency)].items.push_back(slot);
   ++in_flight_;
   ++total_submitted_;
@@ -102,7 +126,7 @@ void JobService::Submit(int client, uint64_t user_key, const uint64_t args[4],
   if (!workers_.empty()) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      pending_.push_back(slot);
+      pending_.push_back({slot, now, slot->order_key, 0});
     }
     work_cv_.notify_one();
   }
@@ -126,26 +150,67 @@ void JobService::RunJob(JobSlot* slot, int scratch_index) {
 void JobService::WorkerLoop(int worker_index) {
   CompletionLane& lane = *lanes_[static_cast<size_t>(worker_index)];
   for (;;) {
-    JobSlot* slot;
+    PendingEntry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] {
         return stop_ || pending_head_ < pending_.size();
       });
       if (stop_) return;
-      slot = pending_[pending_head_++];
+      entry = pending_[pending_head_++];
       if (pending_head_ == pending_.size()) {
         pending_.clear();
         pending_head_ = 0;
       }
       ++running_;
     }
+    JobSlot* slot = entry.slot;
+    uint64_t payload = 0;
+    if (SGL_FAULT_POINT(options_.fault, kFaultAsyncWorkerDeath,
+                        entry.submit_tick, entry.order_key ^ entry.attempt,
+                        &payload)) {
+      // Simulated worker death: the job is dropped before execution and
+      // redelivered to the back of the queue (bounded by the retry
+      // policy). Past the budget it stays unclaimed — the barrier's
+      // deadline fallback runs it inline at its contracted install tick,
+      // so the declared schedule holds either way.
+      bool redeliver =
+          entry.attempt + 1 <
+          static_cast<uint32_t>(options_.retry.max_attempts);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (redeliver) {
+          pending_.push_back(
+              {slot, entry.submit_tick, entry.order_key, entry.attempt + 1});
+        }
+        --running_;
+      }
+      if (redeliver) work_cv_.notify_one();
+      done_cv_.notify_all();
+      continue;
+    }
+    if (SGL_FAULT_POINT(options_.fault, kFaultAsyncWorkerStall,
+                        entry.submit_tick, entry.order_key, &payload)) {
+      // Simulated stall, long enough to blow the job's deadline when the
+      // payload says so. Runs before the claim, so a stalled worker can
+      // lose its job to the barrier instead of stalling the tick.
+      BusyDelayMicros(payload != 0 ? static_cast<int64_t>(payload) : 1000);
+    }
     if (options_.test_delay_micros > 0) {
       // Forced-slow-job stress: simulate searches far slower than a tick.
-      Stopwatch delay;
-      while (delay.ElapsedMicros() < options_.test_delay_micros) {
-        std::this_thread::yield();
+      BusyDelayMicros(options_.test_delay_micros);
+    }
+    uint32_t expected = 0;
+    if (!slot->claim.compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel)) {
+      // Lost the claim: the barrier's deadline fallback already ran this
+      // job (or this is a stale pointer to a since-recycled slot).
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --running_;
       }
+      done_cv_.notify_all();
+      continue;
     }
     RunJob(slot, worker_index);
     {
@@ -216,15 +281,28 @@ void JobService::InstallDue(Tick tick) {
       // Inline reference mode: the job runs now, on the barrier thread.
       RunJob(slot, static_cast<int>(scratch_.size()) - 1);
     } else if (slot->done.load(std::memory_order_acquire) == 0) {
-      // The declared latency has elapsed but the worker is still running:
-      // the barrier waits. This is the only place async execution can
-      // stall a tick, and only by as much as the job actually overran.
-      Stopwatch wait;
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [slot] {
-        return slot->done.load(std::memory_order_acquire) != 0;
-      });
-      last_wait_micros_ += wait.ElapsedMicros();
+      uint32_t expected = 0;
+      if (slot->claim.compare_exchange_strong(expected, 1,
+                                              std::memory_order_acq_rel)) {
+        // Deadline miss, deterministic fallback: no worker claimed the
+        // job by its contracted install tick (stalled pre-claim, or
+        // dropped past its redelivery budget), so the barrier runs it
+        // inline right now — the same tick, the same install order, the
+        // same pure function, so state is bit-identical to the no-fault
+        // run. The stalled worker's late CAS loses and drops the slot.
+        RunJob(slot, static_cast<int>(scratch_.size()) - 1);
+        ++total_fallback_;
+      } else {
+        // A worker claimed it and is still running: the barrier waits.
+        // This is the only place async execution can stall a tick, and
+        // only by as much as the job actually overran.
+        Stopwatch wait;
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [slot] {
+          return slot->done.load(std::memory_order_acquire) != 0;
+        });
+        last_wait_micros_ += wait.ElapsedMicros();
+      }
     }
     clients_[static_cast<size_t>(slot->client)]->Install(*slot);
     RecycleJob(slot);
@@ -258,6 +336,195 @@ void JobService::CancelAll() {
   // assign them.
   seq_tick_ = -1;
   seq_in_tick_ = 0;
+}
+
+void JobService::SerializeInFlight(std::string* out) const {
+  out->clear();
+  if (in_flight_ == 0) return;
+  binio::Append<uint32_t>(out, kJobsBlobMagic);
+  binio::Append<uint32_t>(out, kJobsBlobVersion);
+  // Jobs are walked in due-queue order (latency ascending, FIFO within a
+  // queue) so a restore rebuilding the queues in blob order re-creates the
+  // exact monotone-install-tick invariant InstallDue depends on. Snapshots
+  // are emitted in first-reference order; jobs point into that table by
+  // index. Only submit-immutable fields are read here — workers may still
+  // be executing these very jobs.
+  std::vector<const SnapshotView*> snaps;
+  std::string jobs_buf;
+  uint64_t num_jobs = 0;
+  for (const DueQueue& queue : due_) {
+    for (size_t i = queue.head; i < queue.items.size(); ++i) {
+      const JobSlot* slot = queue.items[i];
+      int64_t snap_index = -1;
+      if (slot->snap != nullptr) {
+        for (size_t s = 0; s < snaps.size(); ++s) {
+          if (snaps[s] == slot->snap) {
+            snap_index = static_cast<int64_t>(s);
+            break;
+          }
+        }
+        if (snap_index < 0) {
+          snap_index = static_cast<int64_t>(snaps.size());
+          snaps.push_back(slot->snap);
+        }
+      }
+      binio::Append<int32_t>(&jobs_buf, slot->client);
+      binio::AppendString(
+          &jobs_buf,
+          clients_[static_cast<size_t>(slot->client)]->client_name());
+      binio::Append<uint64_t>(&jobs_buf, slot->user_key);
+      for (int a = 0; a < 4; ++a) {
+        binio::Append<uint64_t>(&jobs_buf, slot->args[a]);
+      }
+      binio::Append<int64_t>(&jobs_buf, slot->submit_tick);
+      binio::Append<int64_t>(&jobs_buf, slot->install_tick);
+      binio::Append<uint32_t>(&jobs_buf, slot->seq);
+      binio::Append<int32_t>(&jobs_buf, slot->shard);
+      binio::Append<uint64_t>(&jobs_buf, slot->order_key);
+      binio::Append<int64_t>(&jobs_buf, snap_index);
+      ++num_jobs;
+    }
+  }
+  binio::Append<uint64_t>(out, static_cast<uint64_t>(snaps.size()));
+  for (const SnapshotView* snap : snaps) snap->Serialize(out);
+  binio::Append<uint64_t>(out, num_jobs);
+  out->append(jobs_buf);
+  // The per-tick sequence counters are deliberately NOT serialized:
+  // checkpoints are taken at a tick boundary, so every in-flight job has
+  // submit_tick < the restored tick counter, and the first post-restore
+  // Submit resets seq_tick_/seq_in_tick_ exactly as the uninterrupted run
+  // would have.
+}
+
+Status JobService::RestoreInFlight(const std::string& data, Tick now) {
+  SGL_CHECK(in_flight_ == 0 && "CancelAll before RestoreInFlight");
+  if (data.empty()) return Status::OK();
+  const char* cur = data.data();
+  const char* end = cur + data.size();
+  uint32_t magic = 0, version = 0;
+  if (!binio::Read(&cur, end, &magic) || magic != kJobsBlobMagic) {
+    return Status::InvalidArgument("job blob: bad magic");
+  }
+  if (!binio::Read(&cur, end, &version) || version != kJobsBlobVersion) {
+    return Status::InvalidArgument("job blob: unsupported version");
+  }
+  // Phase 1: parse and validate everything before mutating any queue, so a
+  // mismatched or corrupt blob leaves the service exactly as empty as it
+  // found it (the caller then falls back to cancel + re-request recovery).
+  uint64_t num_snaps = 0;
+  if (!binio::Read(&cur, end, &num_snaps) ||
+      num_snaps > static_cast<uint64_t>(end - cur)) {
+    return Status::InvalidArgument("job blob: truncated snapshot table");
+  }
+  std::vector<SnapshotView*> snaps;
+  snaps.reserve(static_cast<size_t>(num_snaps));
+  auto release_snaps = [this, &snaps]() {
+    for (SnapshotView* snap : snaps) ReleaseUnused(snap);
+  };
+  for (uint64_t s = 0; s < num_snaps; ++s) {
+    SnapshotView* snap = AcquireSnapshot();
+    snaps.push_back(snap);
+    if (!snap->DeserializeFrom(&cur, end)) {
+      release_snaps();
+      return Status::InvalidArgument("job blob: corrupt snapshot");
+    }
+  }
+  struct ParsedJob {
+    int32_t client;
+    uint64_t user_key;
+    uint64_t args[4];
+    Tick submit_tick;
+    Tick install_tick;
+    uint32_t seq;
+    int32_t shard;
+    uint64_t order_key;
+    int64_t snap_index;
+  };
+  uint64_t num_jobs = 0;
+  if (!binio::Read(&cur, end, &num_jobs) ||
+      num_jobs > static_cast<uint64_t>(end - cur)) {
+    release_snaps();
+    return Status::InvalidArgument("job blob: truncated job table");
+  }
+  std::vector<ParsedJob> parsed;
+  parsed.reserve(static_cast<size_t>(num_jobs));
+  std::string name;
+  for (uint64_t j = 0; j < num_jobs; ++j) {
+    ParsedJob job;
+    int64_t submit = 0, install = 0;
+    bool ok = binio::Read(&cur, end, &job.client) &&
+              binio::ReadString(&cur, end, &name) &&
+              binio::Read(&cur, end, &job.user_key);
+    for (int a = 0; ok && a < 4; ++a) {
+      ok = binio::Read(&cur, end, &job.args[a]);
+    }
+    ok = ok && binio::Read(&cur, end, &submit) &&
+         binio::Read(&cur, end, &install) &&
+         binio::Read(&cur, end, &job.seq) &&
+         binio::Read(&cur, end, &job.shard) &&
+         binio::Read(&cur, end, &job.order_key) &&
+         binio::Read(&cur, end, &job.snap_index);
+    if (!ok) {
+      release_snaps();
+      return Status::InvalidArgument("job blob: truncated job record");
+    }
+    job.submit_tick = static_cast<Tick>(submit);
+    job.install_tick = static_cast<Tick>(install);
+    if (job.client < 0 ||
+        job.client >= static_cast<int32_t>(clients_.size()) ||
+        name != clients_[static_cast<size_t>(job.client)]->client_name()) {
+      release_snaps();
+      return Status::InvalidArgument("job blob: client mismatch: " + name);
+    }
+    const Tick latency = job.install_tick - job.submit_tick;
+    if (latency < 1 || latency >= options_.max_latency ||
+        job.install_tick < now) {
+      release_snaps();
+      return Status::InvalidArgument("job blob: install tick out of range");
+    }
+    if (job.snap_index >= static_cast<int64_t>(snaps.size())) {
+      release_snaps();
+      return Status::InvalidArgument("job blob: bad snapshot index");
+    }
+    parsed.push_back(job);
+  }
+  // Phase 2: commit. Each submission re-enters the service with its
+  // original contracted install tick, seeded order key, and sequence — not
+  // re-derived — so the post-restore install stream is bit-identical to
+  // the uninterrupted run's.
+  for (const ParsedJob& job : parsed) {
+    JobSlot* slot = AcquireJobSlot();
+    slot->user_key = job.user_key;
+    for (int a = 0; a < 4; ++a) slot->args[a] = job.args[a];
+    slot->submit_tick = job.submit_tick;
+    slot->install_tick = job.install_tick;
+    slot->seq = job.seq;
+    slot->client = job.client;
+    slot->shard = job.shard;
+    slot->order_key = job.order_key;
+    slot->snap =
+        job.snap_index < 0 ? nullptr
+                           : snaps[static_cast<size_t>(job.snap_index)];
+    if (slot->snap != nullptr) ++slot->snap->refs_;
+    slot->done.store(0, std::memory_order_relaxed);
+    slot->claim.store(0, std::memory_order_release);
+    due_[static_cast<size_t>(job.install_tick - job.submit_tick)]
+        .items.push_back(slot);
+    ++in_flight_;
+    if (!workers_.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back({slot, slot->submit_tick, slot->order_key, 0});
+    }
+  }
+  if (!workers_.empty()) work_cv_.notify_all();
+  release_snaps();  // no-op for any snapshot a committed job references
+  return Status::OK();
+}
+
+void JobService::ResetStatsWindow() {
+  submitted_window_ = 0;
+  last_installed_ = 0;
+  last_wait_micros_ = 0;
 }
 
 void JobService::SampleTick(JobTickStats* out) {

@@ -56,6 +56,18 @@
 
 namespace sgl {
 
+class FaultInjector;
+
+/// Redelivery policy for jobs whose worker dies before claiming them (the
+/// fault-injected "worker death"). A dropped job re-enters the pending
+/// queue until its attempt budget is spent; after that it simply stays
+/// unclaimed and the barrier's deadline fallback runs it inline at its
+/// contracted install tick — so results never change, only where the work
+/// happened.
+struct JobRetryPolicy {
+  int max_attempts = 3;
+};
+
 struct JobServiceOptions {
   /// Background workers. 0 = inline reference mode: jobs execute on the
   /// barrier thread at their install tick (bit-identical to any worker
@@ -69,6 +81,11 @@ struct JobServiceOptions {
   /// Test hook: busy-delay spun by workers before running each job
   /// (forced-slow-job stress — results spanning many ticks). 0 = off.
   int64_t test_delay_micros = 0;
+  /// Redelivery budget for fault-dropped jobs.
+  JobRetryPolicy retry;
+  /// Armed fault plan (worker stall / worker death sites); null = off.
+  /// Must outlive the service.
+  FaultInjector* fault = nullptr;
 };
 
 /// Client-opaque per-worker scratch (A* arrays, heaps, ...). One instance
@@ -98,6 +115,12 @@ struct JobSlot {
   /// runner, capacity kept across slot reuses.
   std::vector<uint64_t> blob;
   std::atomic<uint32_t> done{0};
+  /// Execution claim: 0 = unclaimed, 1 = claimed. Exactly one executor —
+  /// a worker (after its pre-claim delays) or the barrier's deadline
+  /// fallback — wins the CAS and runs the job; every loser drops it. Reset
+  /// by Submit after the slot's fields are filled, so a stale worker still
+  /// holding a recycled slot's pointer can never claim a half-written job.
+  std::atomic<uint32_t> claim{0};
 };
 
 /// The component side of a job. Run() executes on a background worker (or
@@ -163,12 +186,35 @@ class JobService {
   /// restore). Blocks until running workers finish their current job.
   void CancelAll();
 
+  /// Serializes every in-flight submission — args, contracted install
+  /// tick, seeded order key, and the distinct SnapshotViews they read —
+  /// into a checkpoint section (barrier thread; workers may still be
+  /// executing, only submit-immutable fields are read). Empty output when
+  /// nothing is in flight.
+  void SerializeInFlight(std::string* out) const;
+
+  /// Re-creates serialized submissions so each installs at its original
+  /// contracted tick, in its original seeded order, with its original
+  /// snapshot — checkpoint restore without cancel + re-request. Requires
+  /// an empty service (CancelAll first); `now` is the restored tick
+  /// counter. InvalidArgument (service left empty) when the blob does not
+  /// match this service's configuration or clients.
+  Status RestoreInFlight(const std::string& data, Tick now);
+
+  /// Zeroes the per-tick stats windows (submitted / installed / wait) so
+  /// the first SampleTick after a checkpoint restore reports a clean
+  /// slate instead of the pre-restore tick's counters.
+  void ResetStatsWindow();
+
   /// Copies the per-tick counters and resets the `submitted` window.
   void SampleTick(JobTickStats* out);
 
   size_t in_flight() const { return in_flight_; }
   int64_t total_submitted() const { return total_submitted_; }
   int64_t total_installed() const { return total_installed_; }
+  /// Jobs the barrier ran inline because no worker had claimed them by
+  /// their contracted install tick (deadline-miss fallback).
+  int64_t total_fallback_runs() const { return total_fallback_; }
   /// Jobs harvested from worker `w`'s completion lane so far.
   int64_t worker_completions(int w) const {
     return worker_completions_[static_cast<size_t>(w)];
@@ -226,7 +272,18 @@ class JobService {
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< wakes workers (pending / stop)
   std::condition_variable done_cv_;  ///< wakes the barrier (job finished)
-  std::vector<JobSlot*> pending_;    ///< FIFO of submitted slots
+  /// One queued delivery. Carries its own copies of the submit-time fields
+  /// the worker needs *before* claiming the slot (fault rolls): a stolen
+  /// slot may be recycled and refilled while its stale delivery is still
+  /// queued, so pre-claim reads must never touch the slot itself — only
+  /// the claim CAS decides whether the pointed-to job is still this one.
+  struct PendingEntry {
+    JobSlot* slot;
+    Tick submit_tick;
+    uint64_t order_key;
+    uint32_t attempt;  ///< deliveries already consumed by injected deaths
+  };
+  std::vector<PendingEntry> pending_;  ///< FIFO of deliveries
   size_t pending_head_ = 0;
   int running_ = 0;                  ///< jobs currently executing
   bool stop_ = false;
@@ -237,6 +294,7 @@ class JobService {
   size_t in_flight_ = 0;
   int64_t total_submitted_ = 0;
   int64_t total_installed_ = 0;
+  int64_t total_fallback_ = 0;
   int64_t submitted_window_ = 0;
   int64_t last_installed_ = 0;
   int64_t last_wait_micros_ = 0;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/common/bin_io.h"
+
 namespace sgl {
 
 void SnapshotView::Capture(const World& world, ClassId cls,
@@ -33,6 +35,60 @@ void SnapshotView::Capture(const World& world, ClassId cls,
       for (size_t r = 0; r < n; ++r) dst[r] = col[r];
     }
   }
+}
+
+void SnapshotView::Serialize(std::string* out) const {
+  binio::Append<uint64_t>(out, epoch_);
+  binio::Append<int32_t>(out, static_cast<int32_t>(cls_));
+  binio::Append<uint64_t>(out, static_cast<uint64_t>(rows_));
+  binio::Append<uint64_t>(out, static_cast<uint64_t>(ids_.size()));
+  if (!ids_.empty()) {
+    binio::AppendBytes(out, ids_.data(), ids_.size() * sizeof(EntityId));
+  }
+  binio::Append<uint32_t>(out, static_cast<uint32_t>(nums_.size()));
+  for (const std::vector<double>& col : nums_) {
+    binio::Append<uint64_t>(out, static_cast<uint64_t>(col.size()));
+    if (!col.empty()) {
+      binio::AppendBytes(out, col.data(), col.size() * sizeof(double));
+    }
+  }
+}
+
+bool SnapshotView::DeserializeFrom(const char** cur, const char* end) {
+  uint64_t rows = 0, nids = 0;
+  int32_t cls = 0;
+  uint32_t ncols = 0;
+  if (!binio::Read(cur, end, &epoch_)) return false;
+  if (!binio::Read(cur, end, &cls)) return false;
+  if (!binio::Read(cur, end, &rows)) return false;
+  if (!binio::Read(cur, end, &nids)) return false;
+  cls_ = static_cast<ClassId>(cls);
+  rows_ = static_cast<size_t>(rows);
+  // Guard before resizing: a corrupt length must fail, not try to allocate.
+  if (nids * sizeof(EntityId) > static_cast<uint64_t>(end - *cur)) {
+    return false;
+  }
+  ids_.resize(static_cast<size_t>(nids));
+  if (nids != 0 && !binio::ReadBytes(cur, end, ids_.data(),
+                                     ids_.size() * sizeof(EntityId))) {
+    return false;
+  }
+  if (!binio::Read(cur, end, &ncols)) return false;
+  if (nums_.size() < ncols) nums_.resize(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    uint64_t n = 0;
+    if (!binio::Read(cur, end, &n)) return false;
+    if (n * sizeof(double) > static_cast<uint64_t>(end - *cur)) return false;
+    std::vector<double>& col = nums_[i];
+    col.resize(static_cast<size_t>(n));
+    if (n != 0 && !binio::ReadBytes(cur, end, col.data(),
+                                    col.size() * sizeof(double))) {
+      return false;
+    }
+  }
+  derived_.clear();
+  derived_ready_.store(false, std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace sgl

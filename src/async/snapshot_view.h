@@ -50,6 +50,18 @@ class SnapshotView {
     return nums_[static_cast<size_t>(i)];
   }
 
+  /// Appends this snapshot's captured image (epoch, class, ids, columns)
+  /// to `out` — the checkpoint path for in-flight job submissions
+  /// (src/debug/). The lazily-built Derived buffer is deliberately not
+  /// serialized: it is a pure function of the captured columns and is
+  /// rebuilt on first use after restore.
+  void Serialize(std::string* out) const;
+
+  /// Restores a serialized image from a bounds-checked cursor. Returns
+  /// false (snapshot contents unspecified) on truncation. Buffers keep
+  /// their high-water capacity, like Capture.
+  bool DeserializeFrom(const char** cur, const char* end);
+
   /// A client-derived buffer (e.g. a rasterized occupancy grid) built
   /// lazily by whichever worker touches it first. `fn(&buf)` must be a
   /// pure function of this snapshot's captured columns, so the content is

@@ -9,6 +9,8 @@ namespace {
 
 std::atomic<int64_t> g_alloc_count{0};
 std::atomic<int64_t> g_alloc_bytes{0};
+/// < 0: disarmed. Reaching exactly 0 on the decrement fails that call.
+std::atomic<int64_t> g_alloc_fail_countdown{-1};
 
 #ifdef SGL_COUNT_ALLOCS
 inline void Note(std::size_t size) {
@@ -17,7 +19,17 @@ inline void Note(std::size_t size) {
                           std::memory_order_relaxed);
 }
 
+/// Injected-failure check for the throwing operator-new paths. The armed
+/// case is rare (fault tests only); the disarmed cost is one relaxed load.
+inline void MaybeFail() {
+  if (g_alloc_fail_countdown.load(std::memory_order_relaxed) < 0) return;
+  if (g_alloc_fail_countdown.fetch_sub(1, std::memory_order_relaxed) == 0) {
+    throw std::bad_alloc();
+  }
+}
+
 void* CountedAlloc(std::size_t size) {
+  MaybeFail();
   void* p = std::malloc(size != 0 ? size : 1);
   if (p == nullptr) throw std::bad_alloc();
   Note(size);
@@ -25,6 +37,7 @@ void* CountedAlloc(std::size_t size) {
 }
 
 void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  MaybeFail();
 #if defined(_WIN32)
   void* p = _aligned_malloc(size != 0 ? size : align, align);
 #else
@@ -64,6 +77,17 @@ bool AllocCountingEnabled() {
   return false;
 #endif
 }
+
+void ArmAllocFailure(int64_t after) {
+  g_alloc_fail_countdown.store(after >= 0 ? after : 0,
+                               std::memory_order_relaxed);
+}
+
+void DisarmAllocFailure() {
+  g_alloc_fail_countdown.store(-1, std::memory_order_relaxed);
+}
+
+bool AllocFailureSupported() { return AllocCountingEnabled(); }
 
 }  // namespace sgl
 

@@ -29,6 +29,21 @@ AllocCounts AllocCountersNow();
 /// True when the counting hook is linked in (SGL_COUNT_ALLOCS builds).
 bool AllocCountingEnabled();
 
+/// Arms a one-shot allocation failure (fault injection, src/fault/): the
+/// (after + 1)-th subsequent throwing operator-new call raises
+/// std::bad_alloc, exactly as a real exhausted heap would. Arm around a
+/// single-threaded region — the countdown is process-global, so a
+/// concurrent allocator on another thread could absorb the failure.
+/// No-op when the hook is compiled out (see AllocFailureSupported).
+void ArmAllocFailure(int64_t after);
+
+/// Disarms a pending ArmAllocFailure (idempotent).
+void DisarmAllocFailure();
+
+/// True when ArmAllocFailure can actually fail an allocation
+/// (SGL_COUNT_ALLOCS builds; sanitizer builds compile the hook out).
+bool AllocFailureSupported();
+
 }  // namespace sgl
 
 #endif  // SGL_COMMON_ALLOC_HOOK_H_

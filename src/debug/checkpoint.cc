@@ -49,6 +49,13 @@ void MixRowFields(Fnv* fnv, const EntityTable& table, const ClassDef& def,
 
 }  // namespace
 
+uint64_t Fnv1a(const void* data, size_t len, uint64_t h) {
+  Fnv fnv;
+  fnv.h = h;
+  fnv.Mix(data, len);
+  return fnv.h;
+}
+
 uint64_t CanonicalWorldChecksum(const World& world) {
   Fnv fnv;
   const Catalog& catalog = world.catalog();

@@ -27,6 +27,15 @@ struct Checkpoint {
   /// the exact partition — including migration history — instead of
   /// re-blocking. Empty for single-world checkpoints.
   std::string shard_partition;
+  /// In-flight JobService submissions (JobService::SerializeInFlight): a
+  /// restore re-creates each job so it installs at its originally
+  /// contracted tick, instead of cancelling and re-requesting. Empty when
+  /// no jobs were in flight (or on legacy checkpoints).
+  std::string jobs;
+  /// Private update-component state (ComponentRegistry::SerializeState):
+  /// cross-tick caches that are not derivable from world columns. Empty on
+  /// legacy checkpoints — restore then falls back to NotifyRestore().
+  std::string components;
 };
 
 /// Captures `world` at `tick`.
@@ -34,6 +43,12 @@ Checkpoint TakeCheckpoint(const World& world, Tick tick);
 
 /// Restores a snapshot into a world built over the same catalog/layout.
 Status RestoreCheckpoint(const Checkpoint& cp, World* world);
+
+/// Incremental FNV-1a over raw bytes (chainable: pass the previous return
+/// as `h`). The checksum primitive shared by the world checksums below and
+/// the checkpoint file format (checkpoint_file.h).
+uint64_t Fnv1a(const void* data, size_t len,
+               uint64_t h = 0xcbf29ce484222325ULL);
 
 /// FNV-1a checksum over all state columns of all classes — cheap enough to
 /// run every tick, strong enough for run-equivalence checks. Sensitive to

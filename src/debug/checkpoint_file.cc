@@ -1,0 +1,258 @@
+#include "src/debug/checkpoint_file.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <new>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "src/common/alloc_hook.h"
+#include "src/common/bin_io.h"
+#include "src/fault/fault_injector.h"
+
+namespace sgl {
+
+namespace {
+
+// "SGLCKPT1" little-endian.
+constexpr uint64_t kCkptMagic = 0x3154504b434c4753ULL;
+constexpr uint32_t kCkptVersion = 1;
+// magic + version + reserved + tick + 4 section sizes + payload fnv.
+constexpr size_t kHeaderChecksummedBytes = 8 + 4 + 4 + 8 + 4 * 8 + 8;
+constexpr size_t kHeaderBytes = kHeaderChecksummedBytes + 8;
+
+const char kFilePrefix[] = "ckpt_";
+const char kFileSuffix[] = ".sgl";
+
+/// Builds the complete on-disk image (header + payload). May throw
+/// bad_alloc — deliberately, that is the ckpt.serialize.allocfail surface.
+void BuildFileImage(const Checkpoint& cp, std::string* out) {
+  out->clear();
+  out->reserve(kHeaderBytes + cp.state.size() + cp.shard_partition.size() +
+               cp.jobs.size() + cp.components.size());
+  uint64_t payload_fnv = Fnv1a(cp.state.data(), cp.state.size());
+  payload_fnv = Fnv1a(cp.shard_partition.data(), cp.shard_partition.size(),
+                      payload_fnv);
+  payload_fnv = Fnv1a(cp.jobs.data(), cp.jobs.size(), payload_fnv);
+  payload_fnv =
+      Fnv1a(cp.components.data(), cp.components.size(), payload_fnv);
+  binio::Append<uint64_t>(out, kCkptMagic);
+  binio::Append<uint32_t>(out, kCkptVersion);
+  binio::Append<uint32_t>(out, 0u);
+  binio::Append<int64_t>(out, static_cast<int64_t>(cp.tick));
+  binio::Append<uint64_t>(out, static_cast<uint64_t>(cp.state.size()));
+  binio::Append<uint64_t>(out,
+                          static_cast<uint64_t>(cp.shard_partition.size()));
+  binio::Append<uint64_t>(out, static_cast<uint64_t>(cp.jobs.size()));
+  binio::Append<uint64_t>(out, static_cast<uint64_t>(cp.components.size()));
+  binio::Append<uint64_t>(out, payload_fnv);
+  binio::Append<uint64_t>(out, Fnv1a(out->data(), out->size()));
+  out->append(cp.state);
+  out->append(cp.shard_partition);
+  out->append(cp.jobs);
+  out->append(cp.components);
+}
+
+}  // namespace
+
+Status SaveCheckpointFile(const Checkpoint& cp, const std::string& path,
+                          FaultInjector* fault) {
+  std::string image;
+  uint64_t payload = 0;
+  const bool arm_alloc_fail =
+      SGL_FAULT_POINT(fault, kFaultCkptSerializeAllocFail, cp.tick, 0,
+                      &payload) &&
+      AllocFailureSupported();
+  if (arm_alloc_fail) ArmAllocFailure(static_cast<int64_t>(payload));
+  try {
+    BuildFileImage(cp, &image);
+  } catch (const std::bad_alloc&) {
+    DisarmAllocFailure();
+    return Status::Internal(
+        "checkpoint: allocation failure during serialization");
+  }
+  if (arm_alloc_fail) DisarmAllocFailure();
+
+  // Corruption faults apply after the checksums are computed, so the bad
+  // bytes reach the disk exactly as silent media corruption would.
+  if (SGL_FAULT_POINT(fault, kFaultCkptWriteBitflip, cp.tick, 0, &payload)) {
+    image[static_cast<size_t>(payload % image.size())] ^=
+        static_cast<char>(0x40);
+  }
+  size_t write_len = image.size();
+  if (SGL_FAULT_POINT(fault, kFaultCkptWriteShort, cp.tick, 0, &payload)) {
+    write_len = static_cast<size_t>(payload % image.size());
+  }
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("checkpoint: cannot open " + tmp);
+  }
+  if (write_len > 0 &&
+      std::fwrite(image.data(), 1, write_len, f) != write_len) {
+    std::fclose(f);
+    return Status::Internal("checkpoint: write failed: " + tmp);
+  }
+  std::fflush(f);
+#if !defined(_WIN32)
+  fsync(fileno(f));
+#endif
+  std::fclose(f);
+
+  if (SGL_FAULT_POINT(fault, kFaultCkptWriteTorn, cp.tick, 0, &payload)) {
+    // Crash between the tmp write and the rename: the target keeps its old
+    // contents (or stays absent) and an orphan .tmp is left behind —
+    // exactly what the atomic protocol promises to survive.
+    return Status::Internal(std::string(kFaultCrashPrefix) +
+                            " at ckpt.write.torn tick " +
+                            std::to_string(cp.tick));
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("checkpoint: rename failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpointFile(const std::string& path, Checkpoint* out,
+                          FaultInjector* fault) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("checkpoint: no file at " + path);
+  }
+  std::string data;
+  {
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+      std::fclose(f);
+      return Status::Internal("checkpoint: cannot size " + path);
+    }
+    data.resize(static_cast<size_t>(size));
+    if (!data.empty() &&
+        std::fread(&data[0], 1, data.size(), f) != data.size()) {
+      std::fclose(f);
+      return Status::Internal("checkpoint: read failed: " + path);
+    }
+    std::fclose(f);
+  }
+  uint64_t payload = 0;
+  if (!data.empty() &&
+      SGL_FAULT_POINT(fault, kFaultCkptReadBitflip, 0, data.size(),
+                      &payload)) {
+    data[static_cast<size_t>(payload % data.size())] ^=
+        static_cast<char>(0x40);
+  }
+  if (data.size() < kHeaderBytes) {
+    return Status::InvalidArgument("checkpoint: truncated header: " + path);
+  }
+  const char* cur = data.data();
+  const char* end = cur + data.size();
+  uint64_t magic = 0, payload_fnv = 0, header_fnv = 0;
+  uint32_t version = 0, reserved = 0;
+  int64_t tick = 0;
+  uint64_t sizes[4] = {0, 0, 0, 0};
+  binio::Read(&cur, end, &magic);
+  binio::Read(&cur, end, &version);
+  binio::Read(&cur, end, &reserved);
+  binio::Read(&cur, end, &tick);
+  for (uint64_t& s : sizes) binio::Read(&cur, end, &s);
+  binio::Read(&cur, end, &payload_fnv);
+  binio::Read(&cur, end, &header_fnv);
+  if (header_fnv != Fnv1a(data.data(), kHeaderChecksummedBytes)) {
+    return Status::InvalidArgument("checkpoint: header checksum mismatch: " +
+                                   path);
+  }
+  if (magic != kCkptMagic) {
+    return Status::InvalidArgument("checkpoint: bad magic: " + path);
+  }
+  if (version != kCkptVersion) {
+    return Status::InvalidArgument("checkpoint: unsupported version " +
+                                   std::to_string(version) + ": " + path);
+  }
+  const uint64_t remaining = static_cast<uint64_t>(end - cur);
+  uint64_t total = 0;
+  for (uint64_t s : sizes) {
+    if (s > remaining) {
+      return Status::InvalidArgument("checkpoint: truncated payload: " +
+                                     path);
+    }
+    total += s;
+  }
+  if (total != remaining) {
+    return Status::InvalidArgument("checkpoint: payload size mismatch: " +
+                                   path);
+  }
+  if (payload_fnv != Fnv1a(cur, static_cast<size_t>(remaining))) {
+    return Status::InvalidArgument(
+        "checkpoint: payload checksum mismatch: " + path);
+  }
+  out->tick = static_cast<Tick>(tick);
+  out->state.assign(cur, static_cast<size_t>(sizes[0]));
+  cur += sizes[0];
+  out->shard_partition.assign(cur, static_cast<size_t>(sizes[1]));
+  cur += sizes[1];
+  out->jobs.assign(cur, static_cast<size_t>(sizes[2]));
+  cur += sizes[2];
+  out->components.assign(cur, static_cast<size_t>(sizes[3]));
+  return Status::OK();
+}
+
+CheckpointStore::CheckpointStore(std::string dir, int keep,
+                                 FaultInjector* fault)
+    : dir_(std::move(dir)), keep_(std::max(keep, 2)), fault_(fault) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::vector<std::string> CheckpointStore::ListFiles() const {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > sizeof(kFilePrefix) - 1 + sizeof(kFileSuffix) - 1 &&
+        name.compare(0, sizeof(kFilePrefix) - 1, kFilePrefix) == 0 &&
+        name.compare(name.size() - (sizeof(kFileSuffix) - 1),
+                     sizeof(kFileSuffix) - 1, kFileSuffix) == 0) {
+      files.push_back(name);
+    }
+  }
+  // Zero-padded tick in the name makes lexicographic order tick order.
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Status CheckpointStore::Save(const Checkpoint& cp) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%012lld%s", kFilePrefix,
+                static_cast<long long>(cp.tick), kFileSuffix);
+  SGL_RETURN_IF_ERROR(
+      SaveCheckpointFile(cp, dir_ + "/" + name, fault_));
+  std::vector<std::string> files = ListFiles();
+  std::error_code ec;
+  for (size_t i = 0;
+       i + static_cast<size_t>(keep_) < files.size(); ++i) {
+    std::filesystem::remove(dir_ + "/" + files[i], ec);
+  }
+  return Status::OK();
+}
+
+StatusOr<Checkpoint> CheckpointStore::LoadLatestGood() const {
+  std::vector<std::string> files = ListFiles();
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    Checkpoint cp;
+    Status status = LoadCheckpointFile(dir_ + "/" + *it, &cp, fault_);
+    if (status.ok()) return cp;
+  }
+  return Status::NotFound("checkpoint store: no valid checkpoint in " +
+                          dir_);
+}
+
+}  // namespace sgl

@@ -1,0 +1,92 @@
+// Durable checkpoint files: versioned, checksummed, atomically replaced.
+//
+// The in-memory Checkpoint (checkpoint.h) becomes durable through a single
+// flat file:
+//
+//   header (72 bytes):
+//     u64 magic "SGLCKPT1"    u32 version    u32 reserved(0)
+//     i64 tick
+//     u64 state_size  u64 shard_partition_size  u64 jobs_size
+//     u64 components_size
+//     u64 payload_fnv         (FNV-1a over the concatenated sections)
+//     u64 header_fnv          (FNV-1a over the 64 header bytes above)
+//   payload:
+//     state || shard_partition || jobs || components
+//
+// Write protocol (SaveCheckpointFile): build the full image in memory,
+// write it to `<path>.tmp`, fflush + fsync, then rename onto `path`. A
+// crash at any instant leaves either the complete previous file or the
+// complete new one — never a half-written target. Restore-side corruption
+// (truncation, bit flips, a stray rename of a short write) is caught by
+// the two checksums and the size arithmetic and reported as a clean
+// Status, never a crash.
+//
+// CheckpointStore rotates a directory of such files
+// (`ckpt_<zero-padded-tick>.sgl`) and, on load, walks newest → oldest
+// until a file validates — the fallback-to-last-good policy the
+// crash-recovery harness (tests/fault_test.cc) exercises under injected
+// torn writes and flipped bits. All checkpoint fault sites (ckpt.write.*,
+// ckpt.read.bitflip, ckpt.serialize.allocfail) are implemented here.
+
+#ifndef SGL_DEBUG_CHECKPOINT_FILE_H_
+#define SGL_DEBUG_CHECKPOINT_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/debug/checkpoint.h"
+
+namespace sgl {
+
+class FaultInjector;
+
+/// Atomically writes `cp` to `path` (via `<path>.tmp` + fsync + rename).
+/// With an armed `fault`, the ckpt.write.* / ckpt.serialize.allocfail sites
+/// evaluate at `cp.tick`: a short write or bit flip corrupts the image
+/// (renamed anyway — the corruption-detection tests), a torn write stops
+/// before the rename and returns an injected-crash Status (the atomicity
+/// tests), an alloc failure aborts serialization with a clean Internal.
+Status SaveCheckpointFile(const Checkpoint& cp, const std::string& path,
+                          FaultInjector* fault = nullptr);
+
+/// Reads and validates `path` into `out`. NotFound when the file does not
+/// exist; InvalidArgument (with `out` untouched semantics not guaranteed)
+/// on any corruption — bad magic, version, checksum, or size arithmetic.
+/// The ckpt.read.bitflip site evaluates at tick 0 with the file size as
+/// key.
+Status LoadCheckpointFile(const std::string& path, Checkpoint* out,
+                          FaultInjector* fault = nullptr);
+
+/// A rotating directory of checkpoint files, newest-wins with fallback.
+class CheckpointStore {
+ public:
+  /// Creates `dir` if needed. Keeps the newest `keep` files (clamped to
+  /// >= 2: fallback-to-previous-good requires a previous good). `fault`
+  /// (may be null) is threaded into every file save/load.
+  explicit CheckpointStore(std::string dir, int keep = 3,
+                           FaultInjector* fault = nullptr);
+
+  /// Saves `cp` as `ckpt_<zero-padded-tick>.sgl`, then prunes the oldest
+  /// files beyond the keep budget. Pruning only runs after a fully
+  /// successful save, so a failed save never costs an older good file.
+  Status Save(const Checkpoint& cp);
+
+  /// Newest checkpoint that validates, walking backwards over anything
+  /// corrupt or torn. NotFound when no file in the directory validates.
+  StatusOr<Checkpoint> LoadLatestGood() const;
+
+  /// Checkpoint file names in the store, ascending by tick.
+  std::vector<std::string> ListFiles() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  int keep_;
+  FaultInjector* fault_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_DEBUG_CHECKPOINT_FILE_H_

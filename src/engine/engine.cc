@@ -96,10 +96,26 @@ Status Engine::RunTicks(int n) {
   return Status::OK();
 }
 
+Checkpoint Engine::TakeCheckpoint() const {
+  Checkpoint cp = sgl::TakeCheckpoint(*world_, tick());
+  if (sharded_world_ != nullptr) {
+    sharded_world_->SerializePartition(&cp.shard_partition);
+  }
+  JobService* jobs = shard_exec_ != nullptr ? shard_exec_->jobs_or_null()
+                                            : executor_->jobs_or_null();
+  if (jobs != nullptr) jobs->SerializeInFlight(&cp.jobs);
+  if (shard_exec_ != nullptr) {
+    shard_exec_->components().SerializeState(&cp.components);
+  } else {
+    executor_->components().SerializeState(&cp.components);
+  }
+  return cp;
+}
+
 Status Engine::Restore(const Checkpoint& cp) {
   // In-flight jobs belong to the pre-restore trajectory: cancel them
-  // before the world changes underneath their submissions, then let the
-  // components drop their request caches.
+  // before the world changes underneath their submissions. Whether they
+  // come back depends on the checkpoint's fidelity sections below.
   JobService* jobs = shard_exec_ != nullptr ? shard_exec_->jobs_or_null()
                                             : executor_->jobs_or_null();
   if (jobs != nullptr) jobs->CancelAll();
@@ -121,10 +137,44 @@ Status Engine::Restore(const Checkpoint& cp) {
       sharded_world_->PartitionBlock();
     }
     shard_exec_->set_tick(cp.tick);
-    shard_exec_->components().NotifyRestore();
   } else {
     executor_->set_tick(cp.tick);
-    executor_->components().NotifyRestore();
+  }
+  ComponentRegistry& components = shard_exec_ != nullptr
+                                      ? shard_exec_->components()
+                                      : executor_->components();
+  // Fidelity path: re-create in-flight jobs at their contracted install
+  // ticks and reload the components' cross-tick caches — the restored run
+  // then replays bit-identically to one that never stopped. Any section
+  // that is absent or does not match this engine degrades to the legacy
+  // path: cancelled jobs, dropped caches, components re-request.
+  bool fidelity = true;
+  if (!cp.jobs.empty()) {
+    if (jobs == nullptr) {
+      fidelity = false;
+    } else {
+      Status st = jobs->RestoreInFlight(cp.jobs, cp.tick);
+      if (!st.ok()) fidelity = false;
+    }
+  }
+  if (fidelity && !cp.components.empty()) {
+    Status st = components.RestoreState(cp.components);
+    if (!st.ok()) fidelity = false;
+  }
+  if (!fidelity) {
+    // The jobs may have been restored before the component section was
+    // rejected; the two travel together or not at all.
+    if (jobs != nullptr) jobs->CancelAll();
+    components.NotifyRestore();
+  } else if (cp.components.empty()) {
+    // Legacy checkpoint with no component section: caches still refer to
+    // the pre-restore trajectory and must drop.
+    components.NotifyRestore();
+  }
+  if (shard_exec_ != nullptr) {
+    shard_exec_->ResetStatsAfterRestore();
+  } else {
+    executor_->ResetStatsAfterRestore();
   }
   return Status::OK();
 }

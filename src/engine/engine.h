@@ -137,17 +137,16 @@ class Engine {
   }
   /// Snapshot / resume. Sharded engines also capture the shard partition,
   /// so Restore resumes the exact post-migration ranges. Checkpoints are
-  /// tick-boundary snapshots: async jobs still in flight are *not*
-  /// captured — Restore cancels them and components re-request, so a
-  /// restored run is deterministic going forward but may briefly re-stall
-  /// on results the original run already had.
-  Checkpoint TakeCheckpoint() const {
-    Checkpoint cp = sgl::TakeCheckpoint(*world_, tick());
-    if (sharded_world_ != nullptr) {
-      sharded_world_->SerializePartition(&cp.shard_partition);
-    }
-    return cp;
-  }
+  /// tick-boundary snapshots that also capture async jobs still in flight
+  /// (with their snapshots and contracted install ticks) and every
+  /// component's private cross-tick state: Restore re-creates the jobs so
+  /// each installs at its original tick and reloads the component caches,
+  /// making the restored run bit-identical to one that never stopped. A
+  /// checkpoint missing those sections (or failing to match this engine's
+  /// configuration) falls back to the legacy recovery — cancel in-flight
+  /// work, drop caches, re-request — which is deterministic going forward
+  /// but may briefly re-stall on results the original run already had.
+  Checkpoint TakeCheckpoint() const;
   Status Restore(const Checkpoint& cp);
 
  private:

@@ -4,6 +4,7 @@
 
 #include "src/common/alloc_hook.h"
 #include "src/common/stopwatch.h"
+#include "src/fault/fault_injector.h"
 #include "src/update/expr_updater.h"
 
 namespace sgl {
@@ -15,6 +16,7 @@ TickExecutor::TickExecutor(World* world, const CompiledProgram* program,
       options_(options),
       controller_(options.planner, program->num_sites),
       txn_(program) {
+  txn_.set_fault(options_.fault);
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -164,6 +166,7 @@ Status TickExecutor::RunTick() {
   // --- Setup -----------------------------------------------------------
   world_->ResetEffects();
   if (!options_.interpreted) stats_mgr_.MaybeRefresh(*world_, tick_);
+  txn_.set_fault_tick(tick_);
   txn_.BeginTick(shards);
   EnsureWorkers(shards);
   if (shards > 1) {
@@ -265,6 +268,13 @@ Status TickExecutor::RunTick() {
     RunUnit(handler.ops, handler.cls, handler_selection_, &locals);
   }
   last_.query_effect_micros = query_timer.ElapsedMicros();
+  if (options_.fault != nullptr) {
+    // Crash between query and merge: issued effects/intents die with the
+    // process, state columns are still pre-tick. Recovery restores the
+    // last checkpoint and replays.
+    SGL_RETURN_IF_ERROR(
+        options_.fault->MaybeCrash(kFaultExecCrashPostQuery, tick_));
+  }
 
   // --- 2. Merge ---------------------------------------------------------
   Stopwatch merge_timer;
@@ -309,6 +319,20 @@ Status TickExecutor::RunTick() {
   if (jobs_ != nullptr) jobs_->InstallDue(tick_);
   components_.RunAll(world_, tick_);
   last_.update_micros = update_timer.ElapsedMicros();
+  if (txn_.ConsumeInjectedCrash()) {
+    // Mid-admission crash left a torn update phase (partial commits
+    // written back, later issuers unprocessed). Surface it as the crash
+    // it models — the tick counter does NOT advance past a torn tick.
+    return Status::Internal(std::string(kFaultCrashPrefix) +
+                            " at txn.admit.crash tick " +
+                            std::to_string(tick_));
+  }
+  if (options_.fault != nullptr) {
+    // Crash after the update phase but before the tick commits (counter
+    // bump): the classic torn-tick window a checkpoint must mend.
+    SGL_RETURN_IF_ERROR(
+        options_.fault->MaybeCrash(kFaultExecCrashPostUpdate, tick_));
+  }
 
   // --- 4. Bookkeeping ----------------------------------------------------
   if (jobs_ != nullptr) {
@@ -328,6 +352,15 @@ Status TickExecutor::RunTick() {
   last_.bytes_per_tick = alloc_after.bytes - alloc_before.bytes;
   ++tick_;
   return Status::OK();
+}
+
+void TickExecutor::ResetStatsAfterRestore() {
+  last_.jobs_submitted = 0;
+  last_.jobs_installed = 0;
+  last_.job_wait_micros = 0;
+  last_.jobs_in_flight =
+      jobs_ != nullptr ? static_cast<int64_t>(jobs_->in_flight()) : 0;
+  if (jobs_ != nullptr) jobs_->ResetStatsWindow();
 }
 
 }  // namespace sgl

@@ -40,6 +40,8 @@
 
 namespace sgl {
 
+class FaultInjector;
+
 /// Executor configuration.
 struct ExecOptions {
   int num_threads = 1;
@@ -55,6 +57,12 @@ struct ExecOptions {
   /// seed. The JobService is created lazily, when a component first asks
   /// for it (Engine::AddAsyncPathfinder / executor jobs()).
   JobServiceOptions jobs;
+  /// Armed fault plan (src/fault/): threaded into the executor's crash
+  /// sites, the transaction admission path, and the lazily-created
+  /// JobService. Null = all sites disarmed. Must outlive the executor —
+  /// deliberately so, since crash-recovery rebuilds the executor while the
+  /// injector's fire counts carry across (max_fires crash-once semantics).
+  FaultInjector* fault = nullptr;
 };
 
 /// Timings and counters for the last tick.
@@ -105,6 +113,10 @@ class TickExecutor {
   Tick tick() const { return tick_; }
   /// Repositions the tick counter (checkpoint restore, §3.3).
   void set_tick(Tick tick) { tick_ = tick; }
+  /// Zeroes the job counters of last_stats() after a checkpoint restore
+  /// (jobs_in_flight re-reads the service) so the pre-restore tick's
+  /// numbers never leak into the restored timeline.
+  void ResetStatsAfterRestore();
   const TickStats& last_stats() const { return last_; }
   const ExecOptions& options() const { return options_; }
 
@@ -118,7 +130,11 @@ class TickExecutor {
   /// options().jobs). Completions install at the tick barrier, before the
   /// update components run.
   JobService& jobs() {
-    if (jobs_ == nullptr) jobs_ = std::make_unique<JobService>(options_.jobs);
+    if (jobs_ == nullptr) {
+      JobServiceOptions jo = options_.jobs;
+      jo.fault = options_.fault;  // worker stall/death sites share the plan
+      jobs_ = std::make_unique<JobService>(jo);
+    }
     return *jobs_;
   }
   /// Null if no component ever asked for the service.

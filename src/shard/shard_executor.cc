@@ -4,6 +4,7 @@
 
 #include "src/common/alloc_hook.h"
 #include "src/common/stopwatch.h"
+#include "src/fault/fault_injector.h"
 #include "src/update/expr_updater.h"
 
 namespace sgl {
@@ -17,6 +18,7 @@ ShardExecutor::ShardExecutor(World* world, ShardedWorld* sharded,
       options_(options),
       controller_(options.planner, program->num_sites),
       txn_(program) {
+  txn_.set_fault(options_.fault);
   SGL_CHECK(options_.num_shards == sharded_->num_shards());
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
@@ -264,6 +266,7 @@ Status ShardExecutor::RunTick() {
   sharded_->EnsurePartition();
   world_->ResetEffects();
   if (!options_.interpreted) stats_mgr_.MaybeRefresh(*world_, tick_);
+  txn_.set_fault_tick(tick_);
   txn_.BeginTick(S);
   EnsureShards();
   for (auto& ws : shards_) {
@@ -300,8 +303,20 @@ Status ShardExecutor::RunTick() {
 
   // --- C. Barrier: route, merge, canonicalize ---------------------------
   Stopwatch merge_timer;
+  if (options_.fault != nullptr) {
+    // Latency fault at the barrier entrance: every shard's query work is
+    // done, nothing has merged. Must be state-neutral — the stall-parity
+    // test holds the checksum to the no-fault run's.
+    options_.fault->MaybeStall(kFaultShardBarrierStall, tick_);
+  }
   for (auto& ws : shards_) {
     for (int d = 0; d < S; ++d) ws->router->lane(d).Flip();
+  }
+  if (options_.fault != nullptr) {
+    // Crash after the mailbox flip but before any shard merges: routed
+    // records are stranded in flipped lanes and die with the process.
+    SGL_RETURN_IF_ERROR(
+        options_.fault->MaybeCrash(kFaultShardCrashPremerge, tick_));
   }
   cross_records_ = 0;
   for (auto& ws : shards_) {  // source-major: reproduces serial ⊕ order
@@ -337,6 +352,17 @@ Status ShardExecutor::RunTick() {
   if (jobs_ != nullptr) jobs_->InstallDue(tick_);
   components_.RunAll(world_, tick_);
   last_.update_micros = update_timer.ElapsedMicros();
+  if (txn_.ConsumeInjectedCrash()) {
+    // Torn update phase (see TickExecutor::RunTick): recovery only.
+    return Status::Internal(std::string(kFaultCrashPrefix) +
+                            " at txn.admit.crash tick " +
+                            std::to_string(tick_));
+  }
+  if (options_.fault != nullptr) {
+    // Crash after updates but before migrations/epoch/tick commit.
+    SGL_RETURN_IF_ERROR(
+        options_.fault->MaybeCrash(kFaultShardCrashPostUpdate, tick_));
+  }
 
   // --- Barrier tail: migrations + epoch ---------------------------------
   if (sharded_->has_pending_migrations()) {
@@ -362,6 +388,15 @@ Status ShardExecutor::RunTick() {
   last_.bytes_per_tick = alloc_after.bytes - alloc_before.bytes;
   ++tick_;
   return Status::OK();
+}
+
+void ShardExecutor::ResetStatsAfterRestore() {
+  last_.jobs_submitted = 0;
+  last_.jobs_installed = 0;
+  last_.job_wait_micros = 0;
+  last_.jobs_in_flight =
+      jobs_ != nullptr ? static_cast<int64_t>(jobs_->in_flight()) : 0;
+  if (jobs_ != nullptr) jobs_->ResetStatsWindow();
 }
 
 }  // namespace sgl

@@ -61,6 +61,9 @@ class ShardExecutor {
 
   Tick tick() const { return tick_; }
   void set_tick(Tick tick) { tick_ = tick; }
+  /// Zeroes the job counters of last_stats() after a checkpoint restore
+  /// (jobs_in_flight re-reads the service); see TickExecutor.
+  void ResetStatsAfterRestore();
   const TickStats& last_stats() const { return last_; }
   const ExecOptions& options() const { return options_; }
 
@@ -76,7 +79,11 @@ class ShardExecutor {
   /// completions ride the barrier: InstallDue runs after the mailbox merge,
   /// before the update components (src/async/job_service.h).
   JobService& jobs() {
-    if (jobs_ == nullptr) jobs_ = std::make_unique<JobService>(options_.jobs);
+    if (jobs_ == nullptr) {
+      JobServiceOptions jo = options_.jobs;
+      jo.fault = options_.fault;  // worker stall/death sites share the plan
+      jobs_ = std::make_unique<JobService>(jo);
+    }
     return *jobs_;
   }
   /// Null if no component ever asked for the service.

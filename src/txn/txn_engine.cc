@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/fault/fault_injector.h"
+
 namespace sgl {
 
 void TxnEngine::BeginTick(int num_shards) {
@@ -59,7 +61,19 @@ void TxnEngine::ApplyUpdate(World* world) {
   overlay_.BeginTick(*world, program_->txn_owned);
   overlay_.Clear();
 
+  uint64_t fault_payload = 0;
+  uint64_t admit_index = 0;
   for (const IntentRef& ref : order_) {
+    // Injected mid-admission crash: stop processing intents here. The
+    // partial overlay still writes back below and later issuers keep
+    // status -1 — a deliberately torn update phase that only checkpoint
+    // recovery (not forward execution) is allowed to repair.
+    if (SGL_FAULT_POINT(fault_, kFaultTxnAdmitCrash, fault_tick_,
+                        admit_index, &fault_payload)) {
+      injected_crash_ = true;
+      break;
+    }
+    ++admit_index;
     const TxnIntentLog& log = shards_[ref.shard];
     const TxnIntent& intent = log.intent(ref.index);
     const TxnResolvedWrite* writes = log.writes(intent);

@@ -35,6 +35,8 @@
 
 namespace sgl {
 
+class FaultInjector;
+
 /// A fully resolved single write of an intent.
 struct TxnResolvedWrite {
   EntityId target = kNullEntity;
@@ -131,6 +133,21 @@ class TxnEngine {
   const TxnStats& total() const { return total_; }
   const TxnStats& last_tick() const { return last_tick_; }
 
+  /// Arms the txn.admit.crash site (null = off). Set by the executor.
+  void set_fault(FaultInjector* fault) { fault_ = fault; }
+  /// The tick admission rolls against (set by the executor each tick).
+  void set_fault_tick(Tick tick) { fault_tick_ = tick; }
+  /// True exactly once after an injected mid-admission crash: admission
+  /// stopped partway, committed overlay values were still written back
+  /// (a deliberately torn update), and unprocessed issuers kept status -1.
+  /// The executor turns this into an injected-crash Status so recovery —
+  /// not forward execution — cleans the tear up.
+  bool ConsumeInjectedCrash() {
+    const bool fired = injected_crash_;
+    injected_crash_ = false;
+    return fired;
+  }
+
  private:
   /// Sorted admission handle into the shard logs.
   struct IntentRef {
@@ -158,6 +175,9 @@ class TxnEngine {
   };
 
   const CompiledProgram* program_;
+  FaultInjector* fault_ = nullptr;
+  Tick fault_tick_ = 0;
+  bool injected_crash_ = false;
   std::vector<TxnIntentLog> shards_;
   std::vector<IntentRef> order_;  ///< reused admission-order buffer
   std::vector<Undo> undo_;        ///< reused per-intent rollback log

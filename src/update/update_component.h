@@ -39,7 +39,28 @@ class UpdateComponent {
   /// pre-restore run (async job results, request dedup tables) must drop
   /// them here; in-flight JobService work is cancelled by the engine
   /// before this hook runs.
+  ///
+  /// Components that instead implement SaveState/LoadState get their caches
+  /// restored from the checkpoint and are NOT sent OnRestore for that
+  /// restore — only components whose serialized state is absent from (or
+  /// rejected by) the checkpoint fall back to this cache-drop path.
   virtual void OnRestore() {}
+
+  /// Appends this component's cross-tick private state (caches, dedup
+  /// tables — anything not derivable from world columns) to `out` for a
+  /// checkpoint. Default: append nothing, meaning "no state worth saving";
+  /// such components get OnRestore() at restore time instead.
+  virtual void SaveState(std::string* out) const { (void)out; }
+
+  /// Restores state produced by SaveState. Must fully replace any current
+  /// cross-tick state (it is the restore-time counterpart of OnRestore).
+  /// Returning non-OK rejects the blob; the registry then falls back to
+  /// OnRestore() for this component.
+  virtual Status LoadState(const char* data, size_t size) {
+    (void)data;
+    (void)size;
+    return Status::OK();
+  }
 };
 
 /// Owns the components and enforces disjoint field ownership.
@@ -56,6 +77,18 @@ class ComponentRegistry {
 
   /// Fans OnRestore() out to every component (checkpoint restore).
   void NotifyRestore();
+
+  /// Serializes every component's private cross-tick state (name-tagged
+  /// SaveState blobs; components that save nothing are skipped). Empty
+  /// output when no component has state — the legacy checkpoint shape.
+  void SerializeState(std::string* out) const;
+
+  /// Restores state captured by SerializeState: components with a matching
+  /// blob get LoadState, every other component gets OnRestore() (its caches
+  /// are from the wrong timeline). InvalidArgument on an unknown component
+  /// name or a truncated blob — callers treat that as "checkpoint does not
+  /// match this engine" and fall back to NotifyRestore() recovery.
+  Status RestoreState(const std::string& data);
 
   /// Component owning (cls, field), or empty string.
   std::string OwnerOf(ClassId cls, FieldIdx field) const;
