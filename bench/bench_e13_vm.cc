@@ -1,0 +1,106 @@
+// E13 — "compile the tick" (src/vm/): the register bytecode VM with fused
+// filter→project→effect pipelines vs the tree-walking expression
+// interpreter, on the *same* compiled set-at-a-time plans.
+//
+// Series: ms/tick for identical workloads under eval_mode = interpret vs
+// bytecode —
+//   dense      nested-loop join plans (E1 RTS battle, E8 traffic): every
+//              pair runs the composed filter, so expression evaluation
+//              dominates the tick and the fused compare-and-compact
+//              conjuncts shine (the tree walker evaluates every conjunct
+//              over the full span and materializes boolean columns; the
+//              VM compacts survivors after each one). Target: >= 2x.
+//   indexed    the production access paths (grid / cost-based): the index
+//              prunes most pairs, so the tick is probe- and fold-bound and
+//              Amdahl caps the VM's win — recorded to show the backend
+//              never regresses the indexed paths.
+//
+// Both series report allocs_per_tick (the bytecode steady state must stay
+// allocation-free, register files live in per-worker scratch) and
+// vm_programs (0 in interpret mode).
+
+#include <algorithm>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+std::unique_ptr<sgl::Engine> BuildWorkload(bool traffic, int n,
+                                           sgl::PlanMode mode,
+                                           sgl::EvalMode eval) {
+  sgl::EngineOptions options;
+  options.exec.planner.mode = mode;
+  options.exec.eval_mode = eval;
+  if (traffic) {
+    sgl::TrafficConfig config;
+    config.num_vehicles = n;
+    auto engine = sgl::TrafficWorkload::Build(config, options);
+    if (!engine.ok()) std::abort();
+    return std::move(engine).value();
+  }
+  sgl::RtsConfig config;
+  config.num_units = n;
+  config.clustered = true;  // battle mode: dense join fan-out from tick 0
+  auto engine = sgl::RtsWorkload::Build(config, options);
+  if (!engine.ok()) std::abort();
+  return std::move(engine).value();
+}
+
+void RunTicks(benchmark::State& state, sgl::Engine* engine) {
+  sgl_bench::WarmupSteadyState(engine);
+  int64_t allocs = 0;
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    allocs += engine->last_stats().allocs_per_tick;
+  }
+  state.counters["n"] = static_cast<double>(state.range(2));
+  state.counters["allocs_per_tick"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  state.counters["vm_programs"] =
+      static_cast<double>(engine->last_stats().vm_programs);
+}
+
+// Dense ticks: forced nested-loop plans, expression-evaluation bound.
+void BM_BytecodeVsInterpret(benchmark::State& state) {
+  const sgl::EvalMode eval = state.range(0) != 0 ? sgl::EvalMode::kBytecode
+                                                 : sgl::EvalMode::kInterpret;
+  auto engine = BuildWorkload(state.range(1) != 0,
+                              static_cast<int>(state.range(2)),
+                              sgl::PlanMode::kStaticNL, eval);
+  RunTicks(state, engine.get());
+}
+
+// Indexed steady state: the production plans (grid RTS, cost-based
+// traffic). The VM's share of the tick is smaller here; the series pins
+// "no regression + still allocation-free".
+void BM_BytecodeVsInterpretIndexed(benchmark::State& state) {
+  const sgl::EvalMode eval = state.range(0) != 0 ? sgl::EvalMode::kBytecode
+                                                 : sgl::EvalMode::kInterpret;
+  const bool traffic = state.range(1) != 0;
+  auto engine = BuildWorkload(
+      traffic, static_cast<int>(state.range(2)),
+      traffic ? sgl::PlanMode::kCostBased : sgl::PlanMode::kStaticGrid, eval);
+  RunTicks(state, engine.get());
+}
+
+}  // namespace
+
+BENCHMARK(BM_BytecodeVsInterpret)
+    ->ArgNames({"bytecode", "traffic", "n"})
+    ->Args({0, 0, 600})
+    ->Args({1, 0, 600})
+    ->Args({0, 1, 2000})
+    ->Args({1, 1, 2000})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_BytecodeVsInterpretIndexed)
+    ->ArgNames({"bytecode", "traffic", "n"})
+    ->Args({0, 0, 1000})
+    ->Args({1, 0, 1000})
+    ->Args({0, 1, 4000})
+    ->Args({1, 1, 4000})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -17,6 +17,9 @@
 #   E12 asynchronous out-of-band pathfinding (sync vs async tick latency
 #       on the large-map armies workload, jobs in flight, barrier wait,
 #       allocs_per_tick vs job-worker count)
+#   E13 register bytecode VM vs tree-walking expression interpreter
+#       (dense nested-loop ticks where fused filter pipelines dominate,
+#       plus the indexed steady state; allocs_per_tick + vm_programs)
 #
 # Usage: bench/run_benchmarks.sh [build_dir] [tag]
 #   build_dir  cmake build directory holding the bench_* binaries (default:
@@ -32,7 +35,7 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 for exp in e1_set_at_a_time e3_transactions e6_parallel e7_index_memory \
-           e8_traffic e11_sharded e12_async; do
+           e8_traffic e11_sharded e12_async e13_vm; do
   bin="$BUILD_DIR/bench_${exp}"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -54,7 +57,7 @@ keep = ("name", "real_time", "cpu_time", "time_unit", "iterations",
         "consistent", "txns/s", "vehicle_ticks/s", "mean_speed",
         "shards", "cross_records", "moved_per_batch", "rows_per_batch",
         "workers", "jobs_submitted", "jobs_installed", "jobs_in_flight",
-        "job_wait_ms")
+        "job_wait_ms", "n", "vm_programs")
 merged = {}
 for f in sorted(os.listdir(tmp)):
     with open(os.path.join(tmp, f)) as fh:

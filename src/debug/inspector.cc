@@ -30,6 +30,14 @@ std::string DescribeTickStats(const TickStats& stats) {
                   static_cast<long long>(stats.job_wait_micros));
     out += buf;
   }
+  if (stats.vm_programs != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " vm %lld programs (%lld fallbacks, compiled in %lldus)",
+                  static_cast<long long>(stats.vm_programs),
+                  static_cast<long long>(stats.vm_fallbacks),
+                  static_cast<long long>(stats.vm_compile_micros));
+    out += buf;
+  }
   return out;
 }
 

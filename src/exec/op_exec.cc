@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/stopwatch.h"
+#include "src/vm/compile.h"
 
 namespace sgl {
 
@@ -86,6 +87,62 @@ VecContext MakeCtx(const ExecEnv& env, const EntityTable* inner_table,
   return ctx;
 }
 
+// --- Bytecode dispatch --------------------------------------------------
+// Runs the compiled twin of an expression when the env carries a program
+// cache and the expression lowered (EvalMode::kBytecode); the tree-walking
+// interpreter otherwise. Both produce bit-identical columns, so call sites
+// stay oblivious to the mode.
+
+void EvalNumAuto(const Expr& e, const VecContext& ctx, const ExecEnv& env,
+                 std::vector<double>* out) {
+  const VmProgram* p = env.vm != nullptr ? env.vm->Value(&e) : nullptr;
+  if (p != nullptr) {
+    VmEvalNum(*p, ctx, &env.scratch->vm, nullptr, 0, out);
+  } else {
+    EvalNum(e, ctx, out);
+  }
+}
+
+void EvalBoolAuto(const Expr& e, const VecContext& ctx, const ExecEnv& env,
+                  std::vector<uint8_t>* out) {
+  const VmProgram* p = env.vm != nullptr ? env.vm->Value(&e) : nullptr;
+  if (p != nullptr) {
+    VmEvalBool(*p, ctx, &env.scratch->vm, nullptr, 0, out);
+  } else {
+    EvalBool(e, ctx, out);
+  }
+}
+
+void EvalRefAuto(const Expr& e, const VecContext& ctx, const ExecEnv& env,
+                 std::vector<EntityId>* out) {
+  const VmProgram* p = env.vm != nullptr ? env.vm->Value(&e) : nullptr;
+  if (p != nullptr) {
+    VmEvalRef(*p, ctx, &env.scratch->vm, nullptr, 0, out);
+  } else {
+    EvalRef(e, ctx, out);
+  }
+}
+
+// Guard filter over a row span: fills `pos` with the surviving span
+// positions (ascending) and returns the count. Fused compare-compact
+// bytecode when the guard lowered; EvalBool + compact otherwise.
+size_t RunGuardFilter(const Expr& guard, const VecContext& ctx,
+                      const ExecEnv& env, std::vector<uint8_t>* keep,
+                      std::vector<RowIdx>* pos) {
+  const VmProgram* p = env.vm != nullptr ? env.vm->Filter(&guard) : nullptr;
+  if (p != nullptr) {
+    return VmRunFilter(*p, ctx, &env.scratch->vm, false, pos);
+  }
+  EvalBool(guard, ctx, keep);
+  const size_t n = ctx.count();
+  ResizeAmortized(pos, n);
+  size_t out_n = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if ((*keep)[i]) (*pos)[out_n++] = static_cast<RowIdx>(i);
+  }
+  return out_n;
+}
+
 // Applies one batch of effect writes over a (possibly pair) row vector.
 void ApplyWrites(const std::vector<EffectWrite>& writes,
                  const EntityTable* inner_table, const PairRows& rows,
@@ -93,7 +150,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
   const size_t n = rows.outer->size();
   if (n == 0) return;
   EvalScratch* sc = env.scratch;
-  ScopedVec<RowIdx> sub_outer(sc), sub_inner(sc);
+  ScopedVec<RowIdx> sub_outer(sc), sub_inner(sc), pos(sc);
   ScopedVec<uint8_t> keep(sc);
   ScopedVec<double> nums(sc);
   ScopedVec<uint8_t> bools(sc);
@@ -105,13 +162,17 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
     const std::vector<RowIdx>* inner_rows = rows.inner;
     if (w.guard != nullptr) {
       VecContext ctx = MakeCtx(env, inner_table, rows);
-      EvalBool(*w.guard, ctx, keep.get());
+      const size_t m = RunGuardFilter(*w.guard, ctx, env, keep.get(),
+                                      pos.get());
       sub_outer->clear();
       sub_inner->clear();
+      // Reserve the full span, not the survivor count: the span is a
+      // stable per-role high-water mark, a slowly-rising survivor count
+      // would re-reserve (exactly) every tick it grows.
       sub_outer->reserve(n);
       if (rows.inner != nullptr) sub_inner->reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        if (!(*keep)[i]) continue;
+      for (size_t k = 0; k < m; ++k) {
+        const size_t i = (*pos)[k];
         sub_outer->push_back((*rows.outer)[i]);
         if (rows.inner != nullptr) sub_inner->push_back((*rows.inner)[i]);
       }
@@ -141,7 +202,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
       return kInvalidRow;
     };
     if (w.target_kind == TargetKind::kRef) {
-      EvalRef(*w.target_ref, ctx, target_ids.get());
+      EvalRefAuto(*w.target_ref, ctx, env, target_ids.get());
     }
 
     // 3. Evaluate values and scatter-accumulate.
@@ -159,7 +220,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
       }
     };
     if (w.set_insert) {
-      EvalRef(*w.value, ctx, refs.get());
+      EvalRefAuto(*w.value, ctx, env, refs.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
@@ -167,7 +228,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
         trace(i, row, Value::Ref((*refs)[i]));
       }
     } else if (field.type.is_number()) {
-      EvalNum(*w.value, ctx, nums.get());
+      EvalNumAuto(*w.value, ctx, env, nums.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
@@ -175,7 +236,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
         trace(i, row, Value::Number((*nums)[i]));
       }
     } else if (field.type.is_bool()) {
-      EvalBool(*w.value, ctx, bools.get());
+      EvalBoolAuto(*w.value, ctx, env, bools.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
@@ -183,7 +244,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
         trace(i, row, Value::Bool((*bools)[i] != 0));
       }
     } else if (field.type.is_ref()) {
-      EvalRef(*w.value, ctx, refs.get());
+      EvalRefAuto(*w.value, ctx, env, refs.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
@@ -414,10 +475,12 @@ void RunAccumVectorized(const AccumOp& op,
     PairRows rows{&selection, nullptr};
     VecContext ctx = MakeCtx(env, nullptr, rows);
     ScopedVec<uint8_t> keep(sc);
-    EvalBool(*op.outer_guard, ctx, keep.get());
-    s_holder->reserve(selection.size());
-    for (size_t i = 0; i < selection.size(); ++i) {
-      if ((*keep)[i]) s_holder->push_back(selection[i]);
+    ScopedVec<RowIdx> pos(sc);
+    const size_t m =
+        RunGuardFilter(*op.outer_guard, ctx, env, keep.get(), pos.get());
+    s_holder->reserve(selection.size());  // stable high-water; see ApplyWrites
+    for (size_t k = 0; k < m; ++k) {
+      s_holder->push_back(selection[(*pos)[k]]);
     }
     S = s_holder.get();
   }
@@ -436,10 +499,10 @@ void RunAccumVectorized(const AccumOp& op,
   if (range_indexed) {
     for (size_t k = 0; k < op.range_dims.size(); ++k) {
       if (op.range_dims[k].lo != nullptr) {
-        EvalNum(*op.range_dims[k].lo, s_ctx, lo_cols[k]);
+        EvalNumAuto(*op.range_dims[k].lo, s_ctx, env, lo_cols[k]);
       }
       if (op.range_dims[k].hi != nullptr) {
-        EvalNum(*op.range_dims[k].hi, s_ctx, hi_cols[k]);
+        EvalNumAuto(*op.range_dims[k].hi, s_ctx, env, hi_cols[k]);
       }
     }
   }
@@ -447,21 +510,24 @@ void RunAccumVectorized(const AccumOp& op,
   ScopedVec<EntityId> id_keys(sc);
   if (site.strategy == JoinStrategy::kHash) {
     if (site.hash_field == kInvalidField) {
-      EvalRef(*op.hash_dims[0].key, s_ctx, id_keys.get());
+      EvalRefAuto(*op.hash_dims[0].key, s_ctx, env, id_keys.get());
     } else {
-      EvalNum(*op.hash_dims[0].key, s_ctx, hash_keys.get());
+      EvalNumAuto(*op.hash_dims[0].key, s_ctx, env, hash_keys.get());
     }
   }
 
   const Expr* filter = site.strategy == JoinStrategy::kNestedLoop
                            ? site.nl_filter
                            : site.post_index_filter;
+  const VmProgram* filter_vm = site.strategy == JoinStrategy::kNestedLoop
+                                   ? site.nl_filter_vm
+                                   : site.post_filter_vm;
   const bool same_table = op.inner_cls == env.outer_cls &&
                           op.inner_set_field == kInvalidField;
 
   // Build the (outer, inner) pair list, outer-major, inner ascending.
   ScopedVec<RowIdx> pair_outer(sc), pair_inner(sc);
-  ScopedVec<RowIdx> cand(sc), chunk_outer(sc), chunk_inner(sc);
+  ScopedVec<RowIdx> cand(sc), chunk_outer(sc), chunk_inner(sc), fsel(sc);
   ScopedVec<uint8_t> keep(sc);
   pair_outer->reserve(S->size());
   pair_inner->reserve(S->size());
@@ -473,6 +539,21 @@ void RunAccumVectorized(const AccumOp& op,
     // appends survivors to the pair list.
     if (chunk_inner->empty()) return;
     ResizeAmortized(chunk_outer.get(), chunk_inner->size());
+    if (filter_vm != nullptr) {
+      // Fused compare-compact bytecode. Every lane shares outer row o, so
+      // only lane 0 of the outer-row vector need be real (uniform_outer)
+      // and the O(chunk) outer-row fill is skipped entirely.
+      (*chunk_outer)[0] = o;
+      PairRows rows{chunk_outer.get(), chunk_inner.get()};
+      VecContext ctx = MakeCtx(env, &inner, rows);
+      const size_t m = VmRunFilter(*filter_vm, ctx, &sc->vm,
+                                   /*uniform_outer=*/true, fsel.get());
+      for (size_t k = 0; k < m; ++k) {
+        pair_outer->push_back(o);
+        pair_inner->push_back((*chunk_inner)[(*fsel)[k]]);
+      }
+      return;
+    }
     std::fill(chunk_outer->begin(), chunk_outer->end(), o);
     if (filter != nullptr) {
       PairRows rows{chunk_outer.get(), chunk_inner.get()};
@@ -537,18 +618,20 @@ void RunAccumVectorized(const AccumOp& op,
       const AccumAssign& assign = op.accum_assigns[a];
       evaled[a] = ExecScratch::AssignBufs();
       if (assign.guard != nullptr) {
+        // Value-mode (not fused-filter) bytecode: the fold consumes guards
+        // as columns indexed by pair position, so no compaction here.
         evaled[a].guard = bool_lease.Acquire();
-        EvalBool(*assign.guard, pctx, evaled[a].guard);
+        EvalBoolAuto(*assign.guard, pctx, env, evaled[a].guard);
       }
       if (op.accum_type.is_number()) {
         evaled[a].nums = num_lease.Acquire();
-        EvalNum(*assign.value, pctx, evaled[a].nums);
+        EvalNumAuto(*assign.value, pctx, env, evaled[a].nums);
       } else if (op.accum_type.is_bool()) {
         evaled[a].bools = bool_lease.Acquire();
-        EvalBool(*assign.value, pctx, evaled[a].bools);
+        EvalBoolAuto(*assign.value, pctx, env, evaled[a].bools);
       } else {
         evaled[a].refs = ref_lease.Acquire();
-        EvalRef(*assign.value, pctx, evaled[a].refs);
+        EvalRefAuto(*assign.value, pctx, env, evaled[a].refs);
       }
     }
     Fold fold;
@@ -598,10 +681,12 @@ void RunTxnEmitVectorized(const TxnEmitOp& op,
     PairRows rows{&selection, nullptr};
     VecContext ctx = MakeCtx(env, nullptr, rows);
     ScopedVec<uint8_t> keep(sc);
-    EvalBool(*op.guard, ctx, keep.get());
-    r_holder->reserve(selection.size());
-    for (size_t i = 0; i < selection.size(); ++i) {
-      if ((*keep)[i]) r_holder->push_back(selection[i]);
+    ScopedVec<RowIdx> pos(sc);
+    const size_t m =
+        RunGuardFilter(*op.guard, ctx, env, keep.get(), pos.get());
+    r_holder->reserve(selection.size());  // stable high-water; see ApplyWrites
+    for (size_t k = 0; k < m; ++k) {
+      r_holder->push_back(selection[(*pos)[k]]);
     }
     R = r_holder.get();
   }
@@ -618,14 +703,14 @@ void RunTxnEmitVectorized(const TxnEmitOp& op,
     evaled[wi] = ExecScratch::AssignBufs();
     if (w.target_kind == TargetKind::kRef) {
       evaled[wi].targets = ref_lease.Acquire();
-      EvalRef(*w.target_ref, ctx, evaled[wi].targets);
+      EvalRefAuto(*w.target_ref, ctx, env, evaled[wi].targets);
     }
     if (w.op == TxnWriteOp::kAddDelta) {
       evaled[wi].nums = num_lease.Acquire();
-      EvalNum(*w.value, ctx, evaled[wi].nums);
+      EvalNumAuto(*w.value, ctx, env, evaled[wi].nums);
     } else {
       evaled[wi].refs = ref_lease.Acquire();
-      EvalRef(*w.value, ctx, evaled[wi].refs);
+      EvalRefAuto(*w.value, ctx, env, evaled[wi].refs);
     }
   }
   for (size_t i = 0; i < R->size(); ++i) {
@@ -700,12 +785,14 @@ void FlatNumHash::Lookup(double key, std::vector<RowIdx>* out) const {
 // --- Site preparation ---------------------------------------------------
 
 void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
-                 IndexManager* indexes, Tick tick, SiteCache* cache,
-                 PreparedSite* out) {
+                 IndexManager* indexes, Tick tick, bool compile_vm,
+                 SiteCache* cache, PreparedSite* out) {
   out->strategy = strategy;
   out->index = nullptr;
   out->hash = nullptr;
   out->hash_field = kInvalidField;
+  out->nl_filter_vm = nullptr;
+  out->post_filter_vm = nullptr;
 
   // Compose the pair filters from the op's predicate decomposition. The
   // compositions are pure functions of (op, strategy); they are cloned into
@@ -778,6 +865,14 @@ void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
     cache->nl_built = true;
   }
   out->nl_filter = cache->nl_filter.get();
+  if (compile_vm && !cache->nl_vm_built) {
+    cache->nl_vm_ok = cache->nl_filter != nullptr &&
+                      CompileFilter(*cache->nl_filter, &cache->nl_filter_vm);
+    cache->nl_vm_built = true;
+  }
+  if (compile_vm && cache->nl_vm_ok) {
+    out->nl_filter_vm = &cache->nl_filter_vm;
+  }
 
   if (!cache->post_built || cache->post_strategy != strategy) {
     switch (strategy) {
@@ -796,8 +891,18 @@ void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
     }
     cache->post_strategy = strategy;
     cache->post_built = true;
+    cache->post_vm_built = false;  // Expr recomposed; bytecode is stale.
   }
   out->post_index_filter = cache->post_index_filter.get();
+  if (compile_vm && !cache->post_vm_built) {
+    cache->post_vm_ok =
+        cache->post_index_filter != nullptr &&
+        CompileFilter(*cache->post_index_filter, &cache->post_filter_vm);
+    cache->post_vm_built = true;
+  }
+  if (compile_vm && cache->post_vm_ok) {
+    out->post_filter_vm = &cache->post_filter_vm;
+  }
 
   switch (strategy) {
     case JoinStrategy::kNestedLoop:
@@ -845,19 +950,19 @@ void RunOpsVectorized(const std::vector<std::unique_ptr<PlanOp>>& ops,
           const size_t slot = static_cast<size_t>(def.slot);
           if (def.type.is_number()) {
             ScopedVec<double> vals(env.scratch);
-            EvalNum(*def.value, ctx, vals.get());
+            EvalNumAuto(*def.value, ctx, env, vals.get());
             for (size_t i = 0; i < selection.size(); ++i) {
               env.locals->num[slot][selection[i]] = (*vals)[i];
             }
           } else if (def.type.is_bool()) {
             ScopedVec<uint8_t> vals(env.scratch);
-            EvalBool(*def.value, ctx, vals.get());
+            EvalBoolAuto(*def.value, ctx, env, vals.get());
             for (size_t i = 0; i < selection.size(); ++i) {
               env.locals->bools[slot][selection[i]] = (*vals)[i];
             }
           } else {
             ScopedVec<EntityId> vals(env.scratch);
-            EvalRef(*def.value, ctx, vals.get());
+            EvalRefAuto(*def.value, ctx, env, vals.get());
             for (size_t i = 0; i < selection.size(); ++i) {
               env.locals->refs[slot][selection[i]] = (*vals)[i];
             }

@@ -18,8 +18,11 @@
 #include "src/ra/eval.h"
 #include "src/ra/plan.h"
 #include "src/txn/txn_engine.h"
+#include "src/vm/vm.h"
 
 namespace sgl {
+
+class VmProgramCache;
 
 /// Flat multimap from a numeric inner field to its rows: a sorted
 /// (key, row) array rebuilt per tick into the same buffer (no node
@@ -49,6 +52,10 @@ struct PreparedSite {
   /// `post_index_filter` omits what the access path already guarantees.
   const Expr* nl_filter = nullptr;
   const Expr* post_index_filter = nullptr;
+  /// Bytecode twins of the pair filters (EvalMode::kBytecode only); null
+  /// means interpret — either bytecode is off or the filter didn't lower.
+  const VmProgram* nl_filter_vm = nullptr;
+  const VmProgram* post_filter_vm = nullptr;
 };
 
 /// Executor-owned per-site cache backing PreparedSite across ticks: the
@@ -63,6 +70,12 @@ struct SiteCache {
   IndexSpec spec;  ///< tree/grid strategies; fields filled once
   bool spec_built = false;
   FlatNumHash hash;  ///< kHash strategy; rebuilt per tick in place
+  /// Compiled twins of the composed filters (bytecode mode). Built when
+  /// the corresponding Expr is composed; `*_vm_ok` false = fallback.
+  VmProgram nl_filter_vm;
+  bool nl_vm_built = false, nl_vm_ok = false;
+  VmProgram post_filter_vm;
+  bool post_vm_built = false, post_vm_ok = false;
 };
 
 /// Per-worker execution scratch: the eval pools plus operator-level reusable
@@ -79,14 +92,19 @@ struct ExecScratch : EvalScratch {
     std::vector<EntityId>* targets = nullptr;
   };
   std::vector<AssignBufs> assign_bufs;
+  /// Bytecode register files (EvalMode::kBytecode); high-water like the
+  /// pools, so steady-state VM execution allocates nothing.
+  VmRegisters vm;
 };
 
 /// Refreshes the prepared access path for `op` under `strategy`: builds or
 /// fetches the index / hash table and composes the residual filters (cached
-/// in `cache`; recomposed only on a strategy switch).
+/// in `cache`; recomposed only on a strategy switch). With `compile_vm`
+/// set, the composed filters are additionally lowered to bytecode (also
+/// cached; recompiled only when the Expr itself is recomposed).
 void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
-                 IndexManager* indexes, Tick tick, SiteCache* cache,
-                 PreparedSite* out);
+                 IndexManager* indexes, Tick tick, bool compile_vm,
+                 SiteCache* cache, PreparedSite* out);
 
 /// Routes effect writes by target row when the world is partitioned into
 /// shards (src/shard/): writes whose target row lies in the emitting
@@ -128,6 +146,9 @@ struct ExecEnv {
   const std::vector<PreparedSite>* prepared = nullptr;
   /// This worker's scratch pools. Required on the vectorized path.
   ExecScratch* scratch = nullptr;
+  /// Compiled bytecode programs (EvalMode::kBytecode); null = interpret.
+  /// Expressions the cache could not lower fall back per expression.
+  const VmProgramCache* vm = nullptr;
   /// Per-site runtime feedback accumulator (size = program's num_sites).
   std::vector<SiteFeedback>* feedback = nullptr;
   /// Optional tracing sink (§3.3). Null = off.

@@ -6,6 +6,7 @@
 #include "src/common/stopwatch.h"
 #include "src/fault/fault_injector.h"
 #include "src/update/expr_updater.h"
+#include "src/vm/compile.h"
 
 namespace sgl {
 
@@ -17,6 +18,10 @@ TickExecutor::TickExecutor(World* world, const CompiledProgram* program,
       controller_(options.planner, program->num_sites),
       txn_(program) {
   txn_.set_fault(options_.fault);
+  if (options_.eval_mode == EvalMode::kBytecode && !options_.interpreted) {
+    vm_cache_ = std::make_unique<VmProgramCache>();
+    vm_cache_->CompileProgram(*program_);
+  }
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -73,6 +78,7 @@ void TickExecutor::EnsureWorkers(int shards) {
                                       [static_cast<size_t>(c)].get();
     }
     env.scratch = &w->scratch;
+    env.vm = vm_cache_.get();
     workers_.push_back(std::move(w));
   }
 }
@@ -91,6 +97,7 @@ void TickExecutor::PrepareSites(
       strategy = controller_.Choose(*accum, tick_, inner_stats, outer_rows);
     }
     PrepareSite(*accum, strategy, *world_, &indexes_, tick_,
+                /*compile_vm=*/vm_cache_ != nullptr,
                 &site_cache_[static_cast<size_t>(accum->site_id)],
                 &prepared_[static_cast<size_t>(accum->site_id)]);
   }
@@ -154,6 +161,9 @@ Status TickExecutor::RunTick() {
   last_.total_micros = 0;
   last_.allocs_per_tick = 0;
   last_.bytes_per_tick = 0;
+  last_.vm_programs = 0;
+  last_.vm_fallbacks = 0;
+  last_.vm_compile_micros = 0;
   last_.jobs_submitted = 0;
   last_.jobs_installed = 0;
   last_.jobs_in_flight = 0;
@@ -258,7 +268,15 @@ Status TickExecutor::RunTick() {
       ctx.outer_rows = &handler_all_;
       ctx.locals = &locals;
       ctx.scratch = &workers_[0]->scratch;
-      EvalBool(*handler.cond, ctx, &handler_keep_);
+      const VmProgram* cond_vm =
+          vm_cache_ != nullptr ? vm_cache_->Value(handler.cond.get())
+                               : nullptr;
+      if (cond_vm != nullptr) {
+        VmEvalBool(*cond_vm, ctx, &workers_[0]->scratch.vm, nullptr, 0,
+                   &handler_keep_);
+      } else {
+        EvalBool(*handler.cond, ctx, &handler_keep_);
+      }
       for (size_t i = 0; i < handler_all_.size(); ++i) {
         if (handler_keep_[i]) handler_selection_.push_back(handler_all_[i]);
       }
@@ -344,6 +362,11 @@ Status TickExecutor::RunTick() {
     last_.job_wait_micros = js.wait_micros;
   }
   last_.txn = txn_.last_tick();
+  if (vm_cache_ != nullptr) {
+    last_.vm_programs = vm_cache_->programs_compiled();
+    last_.vm_fallbacks = vm_cache_->fallbacks();
+    last_.vm_compile_micros = vm_cache_->compile_micros();
+  }
   last_.index_build_micros = indexes_.build_micros() - index_micros_before;
   last_.index_memory_bytes = static_cast<int64_t>(indexes_.MemoryBytes());
   last_.total_micros = total.ElapsedMicros();

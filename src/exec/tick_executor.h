@@ -53,6 +53,12 @@ struct ExecOptions {
   size_t morsel_size = 2048;
   AdaptiveController::Options planner;
   bool interpreted = false;  ///< object-at-a-time baseline mode
+  /// Expression backend of the vectorized path: tree-walking interpreter
+  /// or register bytecode with fused filter pipelines (src/vm/). Programs
+  /// are compiled once at executor construction and per prepared site;
+  /// both modes produce bit-identical world state. Ignored when
+  /// `interpreted` is set (the scalar baseline has no vectorized spans).
+  EvalMode eval_mode = EvalMode::kInterpret;
   /// Out-of-band job execution (src/async/): worker count, ordering-key
   /// seed. The JobService is created lazily, when a component first asks
   /// for it (Engine::AddAsyncPathfinder / executor jobs()).
@@ -81,6 +87,13 @@ struct TickStats {
   /// hook is compiled out). Steady-state ticks should report ~0.
   int64_t allocs_per_tick = 0;
   int64_t bytes_per_tick = 0;
+  /// Bytecode backend (0 when eval_mode == kInterpret): programs resident
+  /// in the executor's cache, expressions that fell back to the tree
+  /// walker, and one-time lowering cost (paid at construction, not per
+  /// tick).
+  int64_t vm_programs = 0;
+  int64_t vm_fallbacks = 0;
+  int64_t vm_compile_micros = 0;
   /// Out-of-band job activity (src/async/; all 0 with no JobService).
   int64_t jobs_submitted = 0;
   int64_t jobs_installed = 0;
@@ -169,6 +182,10 @@ class TickExecutor {
   AdaptiveController controller_;
   TxnEngine txn_;
   ComponentRegistry components_;
+  /// Compiled bytecode programs (eval_mode == kBytecode); null otherwise.
+  /// Built once in the constructor; prepared-site filters compile into
+  /// SiteCache separately (they are composed, not program-owned, Exprs).
+  std::unique_ptr<VmProgramCache> vm_cache_;
   std::unique_ptr<JobService> jobs_;  ///< lazily created, see jobs()
   EffectTraceSink* trace_ = nullptr;
   Tick tick_ = 0;

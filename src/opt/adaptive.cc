@@ -14,6 +14,14 @@ const char* PlanModeName(PlanMode mode) {
   return "?";
 }
 
+const char* EvalModeName(EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kInterpret: return "interpret";
+    case EvalMode::kBytecode: return "bytecode";
+  }
+  return "?";
+}
+
 AdaptiveController::AdaptiveController(const Options& options, int num_sites)
     : options_(options), sites_(static_cast<size_t>(num_sites)) {}
 

@@ -39,6 +39,17 @@ enum class PlanMode : uint8_t {
 
 const char* PlanModeName(PlanMode mode);
 
+/// How plan expressions are evaluated — the second optimizer axis,
+/// orthogonal to PlanMode ("compile the tick", ROADMAP): tree-walking
+/// interpretation, or register bytecode with fused filter pipelines
+/// (src/vm/). Both produce bit-identical world state.
+enum class EvalMode : uint8_t {
+  kInterpret,
+  kBytecode,
+};
+
+const char* EvalModeName(EvalMode mode);
+
 /// What the executor reports after running one AccumOp.
 struct SiteFeedback {
   int site = -1;

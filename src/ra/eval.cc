@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/ra/numeric.h"
+
 namespace sgl {
 
 void AllocateLocalColumns(const std::vector<SglType>& types, size_t rows,
@@ -93,41 +95,10 @@ const EntitySet* ResolveSetScalar(const Expr& e, const ScalarContext& ctx) {
   return &kEmpty;
 }
 
-inline double ApplyArith(ArithOp op, double a, double b) {
-  switch (op) {
-    case ArithOp::kAdd: return a + b;
-    case ArithOp::kSub: return a - b;
-    case ArithOp::kMul: return a * b;
-    case ArithOp::kDiv: return a / b;
-    case ArithOp::kMod: return std::fmod(a, b);
-    case ArithOp::kMin: return a < b ? a : b;
-    case ArithOp::kMax: return a > b ? a : b;
-    case ArithOp::kPow: return std::pow(a, b);
-  }
-  return 0;
-}
-
-inline double ApplyCall1(Call1Op op, double a) {
-  switch (op) {
-    case Call1Op::kAbs: return std::fabs(a);
-    case Call1Op::kSqrt: return std::sqrt(a);
-    case Call1Op::kFloor: return std::floor(a);
-    case Call1Op::kCeil: return std::ceil(a);
-  }
-  return 0;
-}
-
-inline bool ApplyCmp(CmpOp op, double a, double b) {
-  switch (op) {
-    case CmpOp::kLt: return a < b;
-    case CmpOp::kLe: return a <= b;
-    case CmpOp::kGt: return a > b;
-    case CmpOp::kGe: return a >= b;
-    case CmpOp::kEq: return a == b;
-    case CmpOp::kNe: return a != b;
-  }
-  return false;
-}
+// ApplyArith / ApplyCall1 / ApplyCmp / ApplyClamp live in src/ra/numeric.h —
+// the guarded semantics (div/mod by zero -> 0, sqrt of negatives -> 0,
+// clamp's pinned lo-then-hi order) are shared with the bytecode VM so the
+// three backends cannot drift.
 
 }  // namespace
 
@@ -217,7 +188,7 @@ void EvalNum(const Expr& expr, const VecContext& ctx,
       EvalNum(*expr.kids[1], ctx, lo.get());
       EvalNum(*expr.kids[2], ctx, hi.get());
       for (size_t i = 0; i < n; ++i) {
-        (*out)[i] = std::min(std::max((*out)[i], (*lo)[i]), (*hi)[i]);
+        (*out)[i] = ApplyClamp((*out)[i], (*lo)[i], (*hi)[i]);
       }
       return;
     }
@@ -482,7 +453,7 @@ double EvalScalarNum(const Expr& expr, const ScalarContext& ctx) {
       double v = EvalScalarNum(*expr.kids[0], ctx);
       double lo = EvalScalarNum(*expr.kids[1], ctx);
       double hi = EvalScalarNum(*expr.kids[2], ctx);
-      return std::min(std::max(v, lo), hi);
+      return ApplyClamp(v, lo, hi);
     }
     case ExprKind::kSetSize:
       return static_cast<double>(ResolveSetScalar(*expr.kids[0], ctx)->size());

@@ -6,6 +6,7 @@
 #include "src/common/stopwatch.h"
 #include "src/fault/fault_injector.h"
 #include "src/update/expr_updater.h"
+#include "src/vm/compile.h"
 
 namespace sgl {
 
@@ -19,6 +20,10 @@ ShardExecutor::ShardExecutor(World* world, ShardedWorld* sharded,
       controller_(options.planner, program->num_sites),
       txn_(program) {
   txn_.set_fault(options_.fault);
+  if (options_.eval_mode == EvalMode::kBytecode && !options_.interpreted) {
+    vm_cache_ = std::make_unique<VmProgramCache>();
+    vm_cache_->CompileProgram(*program_);
+  }
   SGL_CHECK(options_.num_shards == sharded_->num_shards());
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
@@ -59,6 +64,7 @@ void ShardExecutor::EnsureShards() {
     ws->env.world = world_;
     ws->env.router = ws->router.get();
     ws->env.scratch = &ws->scratch;
+    ws->env.vm = vm_cache_.get();
     ws->script_selections.resize(program_->scripts.size());
     ws->handler_rows.resize(program_->handlers.size());
     ws->handler_selections.resize(program_->handlers.size());
@@ -136,7 +142,15 @@ void ShardExecutor::ComputeSelections(WorldShard& ws) {
       ctx.outer_rows = &rows;
       ctx.locals = &handler_locals_[hi];
       ctx.scratch = &ws.scratch;
-      EvalBool(*handler.cond, ctx, &ws.handler_keep);
+      const VmProgram* cond_vm =
+          vm_cache_ != nullptr ? vm_cache_->Value(handler.cond.get())
+                               : nullptr;
+      if (cond_vm != nullptr) {
+        VmEvalBool(*cond_vm, ctx, &ws.scratch.vm, nullptr, 0,
+                   &ws.handler_keep);
+      } else {
+        EvalBool(*handler.cond, ctx, &ws.handler_keep);
+      }
       for (size_t i = 0; i < rows.size(); ++i) {
         if (ws.handler_keep[i]) selection.push_back(rows[i]);
       }
@@ -158,6 +172,7 @@ void ShardExecutor::PrepareUnitSites(
       strategy = controller_.Choose(*accum, tick_, inner_stats, outer_rows);
     }
     PrepareSite(*accum, strategy, *world_, &indexes_, tick_,
+                /*compile_vm=*/vm_cache_ != nullptr,
                 &site_cache_[static_cast<size_t>(accum->site_id)],
                 &prepared_[static_cast<size_t>(accum->site_id)]);
   }
@@ -253,6 +268,9 @@ Status ShardExecutor::RunTick() {
   last_.total_micros = 0;
   last_.allocs_per_tick = 0;
   last_.bytes_per_tick = 0;
+  last_.vm_programs = 0;
+  last_.vm_fallbacks = 0;
+  last_.vm_compile_micros = 0;
   last_.jobs_submitted = 0;
   last_.jobs_installed = 0;
   last_.jobs_in_flight = 0;
@@ -380,6 +398,11 @@ Status ShardExecutor::RunTick() {
     last_.job_wait_micros = js.wait_micros;
   }
   last_.txn = txn_.last_tick();
+  if (vm_cache_ != nullptr) {
+    last_.vm_programs = vm_cache_->programs_compiled();
+    last_.vm_fallbacks = vm_cache_->fallbacks();
+    last_.vm_compile_micros = vm_cache_->compile_micros();
+  }
   last_.index_build_micros = indexes_.build_micros() - index_micros_before;
   last_.index_memory_bytes = static_cast<int64_t>(indexes_.MemoryBytes());
   last_.total_micros = total.ElapsedMicros();

@@ -134,6 +134,8 @@ class ShardExecutor {
   AdaptiveController controller_;
   TxnEngine txn_;
   ComponentRegistry components_;
+  /// Compiled bytecode programs (eval_mode == kBytecode); null otherwise.
+  std::unique_ptr<VmProgramCache> vm_cache_;
   std::unique_ptr<JobService> jobs_;  ///< lazily created, see jobs()
   EffectTraceSink* trace_ = nullptr;
   Tick tick_ = 0;

@@ -1,0 +1,556 @@
+#include "src/vm/compile.h"
+
+#include <cmath>
+
+#include "src/common/stopwatch.h"
+
+namespace sgl {
+namespace {
+
+// Well above any real expression; a tree deep enough to hit this is a
+// compiler bug, and failing (-> tree-walker fallback) beats overflowing
+// the uint16 operand fields.
+constexpr uint16_t kMaxRegs = 4096;
+
+/// Single-expression lowering with free-list register allocation. Operand
+/// registers are freed before the destination is allocated, so elementwise
+/// ops run in place and a left-associated chain uses O(1) registers.
+class ExprCompiler {
+ public:
+  explicit ExprCompiler(VmProgram* out) : p_(out) {}
+
+  bool ok() const { return ok_; }
+
+  uint16_t EmitNum(const Expr& e);
+  uint16_t EmitBool(const Expr& e);
+  uint16_t EmitRef(const Expr& e);
+  void EmitFilterChain(const Expr& e);
+
+  void Finish(TypeKind kind, uint16_t result, bool filter_mode) {
+    p_->num_regs = next_num_;
+    p_->bool_regs = next_bool_;
+    p_->ref_regs = next_ref_;
+    p_->result = result;
+    p_->result_kind = kind;
+    p_->filter_mode = filter_mode;
+  }
+
+ private:
+  uint16_t Alloc(std::vector<uint16_t>* free_list, uint16_t* next) {
+    if (!free_list->empty()) {
+      uint16_t r = free_list->back();
+      free_list->pop_back();
+      return r;
+    }
+    if (*next >= kMaxRegs) {
+      Fail();
+      return 0;
+    }
+    return (*next)++;
+  }
+  uint16_t AllocNum() { return Alloc(&free_num_, &next_num_); }
+  uint16_t AllocBool() { return Alloc(&free_bool_, &next_bool_); }
+  uint16_t AllocRef() { return Alloc(&free_ref_, &next_ref_); }
+  void FreeNum(uint16_t r) { free_num_.push_back(r); }
+  void FreeBool(uint16_t r) { free_bool_.push_back(r); }
+  void FreeRef(uint16_t r) { free_ref_.push_back(r); }
+
+  uint32_t ConstIdx(double v) {
+    for (size_t i = 0; i < p_->const_pool.size(); ++i) {
+      if (p_->const_pool[i] == v && std::signbit(p_->const_pool[i]) ==
+                                        std::signbit(v)) {
+        return static_cast<uint32_t>(i);
+      }
+    }
+    p_->const_pool.push_back(v);
+    return static_cast<uint32_t>(p_->const_pool.size() - 1);
+  }
+
+  void Push(VmOp op, uint16_t dst, uint16_t a = 0, uint16_t b = 0,
+            uint16_t c = 0, uint8_t side = 0, uint32_t field = 0) {
+    VmInstr in;
+    in.op = op;
+    in.side = side;
+    in.dst = dst;
+    in.a = a;
+    in.b = b;
+    in.c = c;
+    in.field = field;
+    p_->code.push_back(in);
+  }
+
+  void Fail() { ok_ = false; }
+
+  VmProgram* p_;
+  bool ok_ = true;
+  uint16_t next_num_ = 0, next_bool_ = 0, next_ref_ = 0;
+  std::vector<uint16_t> free_num_, free_bool_, free_ref_;
+};
+
+VmOp ArithOpc(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return VmOp::kAdd;
+    case ArithOp::kSub: return VmOp::kSub;
+    case ArithOp::kMul: return VmOp::kMul;
+    case ArithOp::kDiv: return VmOp::kDiv;
+    case ArithOp::kMod: return VmOp::kMod;
+    case ArithOp::kMin: return VmOp::kMin;
+    case ArithOp::kMax: return VmOp::kMax;
+    case ArithOp::kPow: return VmOp::kPow;
+  }
+  return VmOp::kAdd;
+}
+
+VmOp Call1Opc(Call1Op op) {
+  switch (op) {
+    case Call1Op::kAbs: return VmOp::kAbs;
+    case Call1Op::kSqrt: return VmOp::kSqrt;
+    case Call1Op::kFloor: return VmOp::kFloor;
+    case Call1Op::kCeil: return VmOp::kCeil;
+  }
+  return VmOp::kAbs;
+}
+
+VmOp CmpOpc(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return VmOp::kCmpLt;
+    case CmpOp::kLe: return VmOp::kCmpLe;
+    case CmpOp::kGt: return VmOp::kCmpGt;
+    case CmpOp::kGe: return VmOp::kCmpGe;
+    case CmpOp::kEq: return VmOp::kCmpEq;
+    case CmpOp::kNe: return VmOp::kCmpNe;
+  }
+  return VmOp::kCmpLt;
+}
+
+VmOp FilterOpc(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return VmOp::kFilterLt;
+    case CmpOp::kLe: return VmOp::kFilterLe;
+    case CmpOp::kGt: return VmOp::kFilterGt;
+    case CmpOp::kGe: return VmOp::kFilterGe;
+    case CmpOp::kEq: return VmOp::kFilterEq;
+    case CmpOp::kNe: return VmOp::kFilterNe;
+  }
+  return VmOp::kFilterLt;
+}
+
+uint16_t ExprCompiler::EmitNum(const Expr& e) {
+  if (!ok_) return 0;
+  switch (e.kind) {
+    case ExprKind::kNumLit: {
+      uint16_t r = AllocNum();
+      Push(VmOp::kConstNum, r, 0, 0, 0, 0, ConstIdx(e.num));
+      return r;
+    }
+    case ExprKind::kStateRead: {
+      uint16_t r = AllocNum();
+      Push(VmOp::kLoadStateNum, r, 0, 0, 0, e.side,
+           static_cast<uint32_t>(e.field));
+      return r;
+    }
+    case ExprKind::kLocal: {
+      uint16_t r = AllocNum();
+      Push(VmOp::kLoadLocalNum, r, 0, 0, 0, 0,
+           static_cast<uint32_t>(e.slot));
+      return r;
+    }
+    case ExprKind::kRefState: {
+      uint16_t a = EmitRef(*e.kids[0]);
+      FreeRef(a);
+      uint16_t r = AllocNum();
+      Push(VmOp::kGatherNum, r, a, 0, 0, 0, static_cast<uint32_t>(e.field));
+      return r;
+    }
+    case ExprKind::kUnaryMinus: {
+      uint16_t a = EmitNum(*e.kids[0]);
+      FreeNum(a);
+      uint16_t r = AllocNum();
+      Push(VmOp::kNeg, r, a);
+      return r;
+    }
+    case ExprKind::kArith: {
+      uint16_t a = EmitNum(*e.kids[0]);
+      uint16_t b = EmitNum(*e.kids[1]);
+      FreeNum(a);
+      FreeNum(b);
+      uint16_t r = AllocNum();
+      Push(ArithOpc(e.arith), r, a, b);
+      return r;
+    }
+    case ExprKind::kCall1: {
+      uint16_t a = EmitNum(*e.kids[0]);
+      FreeNum(a);
+      uint16_t r = AllocNum();
+      Push(Call1Opc(e.call1), r, a);
+      return r;
+    }
+    case ExprKind::kIf: {
+      uint16_t c = EmitBool(*e.kids[0]);
+      uint16_t t = EmitNum(*e.kids[1]);
+      uint16_t f = EmitNum(*e.kids[2]);
+      FreeBool(c);
+      FreeNum(t);
+      FreeNum(f);
+      uint16_t r = AllocNum();
+      Push(VmOp::kSelectNum, r, c, t, f);
+      return r;
+    }
+    case ExprKind::kClamp: {
+      uint16_t v = EmitNum(*e.kids[0]);
+      uint16_t lo = EmitNum(*e.kids[1]);
+      uint16_t hi = EmitNum(*e.kids[2]);
+      FreeNum(v);
+      FreeNum(lo);
+      FreeNum(hi);
+      uint16_t r = AllocNum();
+      Push(VmOp::kClampOp, r, v, lo, hi);
+      return r;
+    }
+    case ExprKind::kSetSize: {
+      const Expr& set = *e.kids[0];
+      if (set.kind == ExprKind::kStateRead) {
+        uint16_t r = AllocNum();
+        Push(VmOp::kSetSizeState, r, 0, 0, 0, set.side,
+             static_cast<uint32_t>(set.field));
+        return r;
+      }
+      if (set.kind == ExprKind::kRefState) {
+        uint16_t a = EmitRef(*set.kids[0]);
+        FreeRef(a);
+        uint16_t r = AllocNum();
+        Push(VmOp::kSetSizeRef, r, a, 0, 0, 0,
+             static_cast<uint32_t>(set.field));
+        return r;
+      }
+      Fail();
+      return 0;
+    }
+    default:
+      // kEffectRead and anything else: tree-walker territory.
+      Fail();
+      return 0;
+  }
+}
+
+uint16_t ExprCompiler::EmitBool(const Expr& e) {
+  if (!ok_) return 0;
+  switch (e.kind) {
+    case ExprKind::kBoolLit: {
+      uint16_t r = AllocBool();
+      Push(VmOp::kConstBool, r, 0, 0, 0, 0, e.b ? 1u : 0u);
+      return r;
+    }
+    case ExprKind::kStateRead: {
+      uint16_t r = AllocBool();
+      Push(VmOp::kLoadStateBool, r, 0, 0, 0, e.side,
+           static_cast<uint32_t>(e.field));
+      return r;
+    }
+    case ExprKind::kLocal: {
+      uint16_t r = AllocBool();
+      Push(VmOp::kLoadLocalBool, r, 0, 0, 0, 0,
+           static_cast<uint32_t>(e.slot));
+      return r;
+    }
+    case ExprKind::kRefState: {
+      uint16_t a = EmitRef(*e.kids[0]);
+      FreeRef(a);
+      uint16_t r = AllocBool();
+      Push(VmOp::kGatherBool, r, a, 0, 0, 0,
+           static_cast<uint32_t>(e.field));
+      return r;
+    }
+    case ExprKind::kNot: {
+      uint16_t a = EmitBool(*e.kids[0]);
+      FreeBool(a);
+      uint16_t r = AllocBool();
+      Push(VmOp::kNot, r, a);
+      return r;
+    }
+    case ExprKind::kCmpNum: {
+      uint16_t a = EmitNum(*e.kids[0]);
+      uint16_t b = EmitNum(*e.kids[1]);
+      FreeNum(a);
+      FreeNum(b);
+      uint16_t r = AllocBool();
+      Push(CmpOpc(e.cmp), r, a, b);
+      return r;
+    }
+    case ExprKind::kCmpRef: {
+      uint16_t a = EmitRef(*e.kids[0]);
+      uint16_t b = EmitRef(*e.kids[1]);
+      FreeRef(a);
+      FreeRef(b);
+      uint16_t r = AllocBool();
+      Push(e.cmp == CmpOp::kEq ? VmOp::kCmpRefEq : VmOp::kCmpRefNe, r, a, b);
+      return r;
+    }
+    case ExprKind::kCmpBool: {
+      uint16_t a = EmitBool(*e.kids[0]);
+      uint16_t b = EmitBool(*e.kids[1]);
+      FreeBool(a);
+      FreeBool(b);
+      uint16_t r = AllocBool();
+      Push(e.cmp == CmpOp::kEq ? VmOp::kCmpBoolEq : VmOp::kCmpBoolNe, r, a,
+           b);
+      return r;
+    }
+    case ExprKind::kAndB:
+    case ExprKind::kOrB: {
+      uint16_t a = EmitBool(*e.kids[0]);
+      uint16_t b = EmitBool(*e.kids[1]);
+      FreeBool(a);
+      FreeBool(b);
+      uint16_t r = AllocBool();
+      Push(e.kind == ExprKind::kAndB ? VmOp::kAnd : VmOp::kOr, r, a, b);
+      return r;
+    }
+    case ExprKind::kIf: {
+      uint16_t c = EmitBool(*e.kids[0]);
+      uint16_t t = EmitBool(*e.kids[1]);
+      uint16_t f = EmitBool(*e.kids[2]);
+      FreeBool(c);
+      FreeBool(t);
+      FreeBool(f);
+      uint16_t r = AllocBool();
+      Push(VmOp::kSelectBool, r, c, t, f);
+      return r;
+    }
+    case ExprKind::kSetContains: {
+      const Expr& set = *e.kids[0];
+      if (set.kind == ExprKind::kStateRead) {
+        uint16_t probe = EmitRef(*e.kids[1]);
+        FreeRef(probe);
+        uint16_t r = AllocBool();
+        Push(VmOp::kSetContainsState, r, probe, 0, 0, set.side,
+             static_cast<uint32_t>(set.field));
+        return r;
+      }
+      if (set.kind == ExprKind::kRefState) {
+        uint16_t owner = EmitRef(*set.kids[0]);
+        uint16_t probe = EmitRef(*e.kids[1]);
+        FreeRef(owner);
+        FreeRef(probe);
+        uint16_t r = AllocBool();
+        Push(VmOp::kSetContainsRef, r, probe, owner, 0, 0,
+             static_cast<uint32_t>(set.field));
+        return r;
+      }
+      Fail();  // set-valued kIf operand: scalar fallback
+      return 0;
+    }
+    default:
+      // kEffectRead / kAssigned are update-phase constructs.
+      Fail();
+      return 0;
+  }
+}
+
+uint16_t ExprCompiler::EmitRef(const Expr& e) {
+  if (!ok_) return 0;
+  switch (e.kind) {
+    case ExprKind::kNullRef: {
+      uint16_t r = AllocRef();
+      Push(VmOp::kConstRef, r);
+      return r;
+    }
+    case ExprKind::kStateRead: {
+      uint16_t r = AllocRef();
+      Push(VmOp::kLoadStateRef, r, 0, 0, 0, e.side,
+           static_cast<uint32_t>(e.field));
+      return r;
+    }
+    case ExprKind::kLocal: {
+      uint16_t r = AllocRef();
+      Push(VmOp::kLoadLocalRef, r, 0, 0, 0, 0,
+           static_cast<uint32_t>(e.slot));
+      return r;
+    }
+    case ExprKind::kRowId: {
+      uint16_t r = AllocRef();
+      Push(VmOp::kLoadRowId, r, 0, 0, 0, e.side);
+      return r;
+    }
+    case ExprKind::kRefState: {
+      uint16_t a = EmitRef(*e.kids[0]);
+      FreeRef(a);
+      uint16_t r = AllocRef();
+      Push(VmOp::kGatherRef, r, a, 0, 0, 0, static_cast<uint32_t>(e.field));
+      return r;
+    }
+    case ExprKind::kIf: {
+      uint16_t c = EmitBool(*e.kids[0]);
+      uint16_t t = EmitRef(*e.kids[1]);
+      uint16_t f = EmitRef(*e.kids[2]);
+      FreeBool(c);
+      FreeRef(t);
+      FreeRef(f);
+      uint16_t r = AllocRef();
+      Push(VmOp::kSelectRef, r, c, t, f);
+      return r;
+    }
+    default:
+      Fail();
+      return 0;
+  }
+}
+
+void ExprCompiler::EmitFilterChain(const Expr& e) {
+  if (!ok_) return;
+  if (e.kind == ExprKind::kAndB) {
+    // Left-to-right, matching the tree walker's conjunct order; each
+    // conjunct's operands evaluate over the survivors of the previous one.
+    EmitFilterChain(*e.kids[0]);
+    EmitFilterChain(*e.kids[1]);
+    return;
+  }
+  if (e.kind == ExprKind::kCmpNum) {
+    // Fused compare-and-compact.
+    uint16_t a = EmitNum(*e.kids[0]);
+    uint16_t b = EmitNum(*e.kids[1]);
+    FreeNum(a);
+    FreeNum(b);
+    Push(FilterOpc(e.cmp), 0, a, b);
+    return;
+  }
+  // Any other conjunct (ref equality, boolean field, OR, ...): evaluate to
+  // a bool column and compact on it.
+  uint16_t c = EmitBool(e);
+  FreeBool(c);
+  Push(VmOp::kFilterBool, 0, c);
+}
+
+}  // namespace
+
+bool CompileValue(const Expr& e, TypeKind kind, VmProgram* out) {
+  *out = VmProgram();
+  ExprCompiler c(out);
+  uint16_t result = 0;
+  switch (kind) {
+    case TypeKind::kNumber: result = c.EmitNum(e); break;
+    case TypeKind::kBool: result = c.EmitBool(e); break;
+    case TypeKind::kRef: result = c.EmitRef(e); break;
+    case TypeKind::kSet: return false;  // sets never materialize as columns
+  }
+  if (!c.ok()) return false;
+  c.Finish(kind, result, /*filter_mode=*/false);
+  return true;
+}
+
+bool CompileFilter(const Expr& e, VmProgram* out) {
+  *out = VmProgram();
+  ExprCompiler c(out);
+  c.EmitFilterChain(e);
+  if (!c.ok()) return false;
+  c.Finish(TypeKind::kBool, 0, /*filter_mode=*/true);
+  return true;
+}
+
+void VmProgramCache::AddValue(const Expr* e, TypeKind kind) {
+  if (e == nullptr || values_.count(e) != 0) return;
+  VmProgram p;
+  if (CompileValue(*e, kind, &p)) {
+    values_.emplace(e, std::move(p));
+    ++programs_compiled_;
+  } else {
+    ++fallbacks_;
+  }
+}
+
+void VmProgramCache::AddFilter(const Expr* e) {
+  if (e == nullptr || filters_.count(e) != 0) return;
+  VmProgram p;
+  if (CompileFilter(*e, &p)) {
+    filters_.emplace(e, std::move(p));
+    ++programs_compiled_;
+  } else {
+    ++fallbacks_;
+  }
+}
+
+void VmProgramCache::AddWrites(const std::vector<EffectWrite>& writes,
+                               const Catalog& cat) {
+  for (const EffectWrite& w : writes) {
+    AddFilter(w.guard.get());
+    if (w.target_kind == TargetKind::kRef) {
+      AddValue(w.target_ref.get(), TypeKind::kRef);
+    }
+    if (w.set_insert) {
+      AddValue(w.value.get(), TypeKind::kRef);
+    } else {
+      AddValue(w.value.get(),
+               cat.Get(w.target_cls).effect_field(w.field).type.kind);
+    }
+  }
+}
+
+void VmProgramCache::AddOps(const std::vector<std::unique_ptr<PlanOp>>& ops,
+                            const Catalog& cat) {
+  for (const auto& op : ops) {
+    switch (op->kind) {
+      case PlanOp::Kind::kComputeLocals: {
+        auto* o = static_cast<const ComputeLocalsOp*>(op.get());
+        for (const LocalDef& def : o->defs) {
+          AddValue(def.value.get(), def.type.kind);
+        }
+        break;
+      }
+      case PlanOp::Kind::kEffects:
+        AddWrites(static_cast<const EffectsOp*>(op.get())->writes, cat);
+        break;
+      case PlanOp::Kind::kAccum: {
+        auto* o = static_cast<const AccumOp*>(op.get());
+        AddFilter(o->outer_guard.get());
+        for (const RangeDim& d : o->range_dims) {
+          AddValue(d.lo.get(), TypeKind::kNumber);
+          AddValue(d.hi.get(), TypeKind::kNumber);
+        }
+        for (const HashDim& d : o->hash_dims) {
+          AddValue(d.key.get(), d.inner_field == kInvalidField
+                                    ? TypeKind::kRef
+                                    : TypeKind::kNumber);
+        }
+        for (const AccumAssign& a : o->accum_assigns) {
+          // Assign guards are consumed as columns by the fold loop, not as
+          // selection compaction — value mode.
+          AddValue(a.guard.get(), TypeKind::kBool);
+          AddValue(a.value.get(), o->accum_type.kind);
+        }
+        AddWrites(o->pair_writes, cat);
+        break;
+      }
+      case PlanOp::Kind::kTxnEmit: {
+        auto* o = static_cast<const TxnEmitOp*>(op.get());
+        AddFilter(o->guard.get());
+        // Intent targets/values are evaluated per emitted row; compile them
+        // as value programs too.
+        for (const TxnWrite& w : o->writes) {
+          if (w.target_kind == TargetKind::kRef) {
+            AddValue(w.target_ref.get(), TypeKind::kRef);
+          }
+          AddValue(w.value.get(), w.op == TxnWriteOp::kAddDelta
+                                      ? TypeKind::kNumber
+                                      : TypeKind::kRef);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void VmProgramCache::CompileProgram(const CompiledProgram& prog) {
+  Stopwatch timer;
+  const Catalog& cat = *prog.catalog;
+  for (const CompiledScript& script : prog.scripts) {
+    for (const auto& phase : script.phases) AddOps(phase, cat);
+  }
+  for (const CompiledHandler& h : prog.handlers) {
+    AddValue(h.cond.get(), TypeKind::kBool);
+    AddOps(h.ops, cat);
+  }
+  // Update rules read merged effects (kEffectRead) — tree-walker only.
+  compile_micros_ += timer.ElapsedMicros();
+}
+
+}  // namespace sgl

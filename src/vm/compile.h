@@ -1,0 +1,83 @@
+// Lowering from the Expr IR to register bytecode (bytecode.h), plus the
+// executor-facing program cache.
+//
+// Lowering is partial by design: expressions the VM does not execute
+// (effect reads / kAssigned, which exist only in the update phase, and
+// set-valued conditionals) simply fail to compile, the cache returns
+// nullptr, and call sites fall back to the tree walker. The fallback is
+// per-expression, so one uncompilable guard never forces a whole site back
+// to interpretation.
+//
+// All compilation happens single-threaded — once in the executor
+// constructor (every plan expression reachable from the CompiledProgram)
+// and in PrepareSite for the composed per-site pair filters (which only
+// recompose on a strategy switch). Workers share the resulting read-only
+// programs; per-run state lives entirely in their VmRegisters.
+
+#ifndef SGL_VM_COMPILE_H_
+#define SGL_VM_COMPILE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/compiler.h"
+#include "src/ra/plan.h"
+#include "src/vm/bytecode.h"
+
+namespace sgl {
+
+/// Lowers `e` (whose result kind is `kind`) into a value-mode program.
+/// Returns false when the tree contains a construct the VM does not
+/// execute; `*out` is unspecified then.
+bool CompileValue(const Expr& e, TypeKind kind, VmProgram* out);
+
+/// Lowers a boolean predicate into a filter-mode program: the top-level
+/// AND-chain becomes fused compare-compact conjuncts, left to right (the
+/// tree walker's evaluation order, so survivor sets are identical).
+bool CompileFilter(const Expr& e, VmProgram* out);
+
+/// Executor-owned cache of compiled programs, keyed by Expr node address
+/// (plan expressions are owned by the CompiledProgram and never move).
+/// unordered_map's reference stability keeps the VmProgram addresses valid
+/// for the lifetime of the cache.
+class VmProgramCache {
+ public:
+  /// Lowers every compilable plan expression reachable from `prog`:
+  /// handler conditions, local defs, effect-write guards/targets/values,
+  /// accum guards/bounds/keys/assignments, and txn-emit guards. Update
+  /// rules are skipped — they read merged effects, which the VM leaves to
+  /// the tree walker.
+  void CompileProgram(const CompiledProgram& prog);
+
+  /// Value-mode program for `e`, or nullptr (tree-walker fallback).
+  const VmProgram* Value(const Expr* e) const {
+    auto it = values_.find(e);
+    return it == values_.end() ? nullptr : &it->second;
+  }
+  /// Filter-mode program for `e`, or nullptr.
+  const VmProgram* Filter(const Expr* e) const {
+    auto it = filters_.find(e);
+    return it == filters_.end() ? nullptr : &it->second;
+  }
+
+  int programs_compiled() const { return programs_compiled_; }
+  int fallbacks() const { return fallbacks_; }
+  int64_t compile_micros() const { return compile_micros_; }
+
+ private:
+  void AddValue(const Expr* e, TypeKind kind);
+  void AddFilter(const Expr* e);
+  void AddWrites(const std::vector<EffectWrite>& writes, const Catalog& cat);
+  void AddOps(const std::vector<std::unique_ptr<PlanOp>>& ops,
+              const Catalog& cat);
+
+  std::unordered_map<const Expr*, VmProgram> values_;
+  std::unordered_map<const Expr*, VmProgram> filters_;
+  int programs_compiled_ = 0;
+  int fallbacks_ = 0;
+  int64_t compile_micros_ = 0;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_VM_COMPILE_H_

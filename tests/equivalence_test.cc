@@ -176,6 +176,62 @@ TEST(Equivalence, MarketConsistentUnderThreads) {
   }
 }
 
+// --- Null refs gather the empty set ----------------------------------------
+
+// A null ref in the middle of a span must gather the *empty set* — size()
+// reads 0, contains() reads false — identically in the scalar interpreter
+// and the vectorized engine (both expression backends). This pins the
+// regression where the set-gather kernel read through a stale row for null
+// lanes instead of substituting the empty set.
+TEST(Equivalence, NullRefSetGatherIsEmptySet) {
+  const char* src = R"sgl(
+class G {
+  state:
+    number pal_friends = 99;
+    number pal_knows_me = 99;
+    ref<G> pal = null;
+    set<G> friends;
+  effects:
+    number en : last;
+    number ec : last;
+    set<G> ef : union;
+  update:
+    pal_friends = en;
+    pal_knows_me = ec;
+    friends = ef;
+}
+script S for G {
+  ef <- self;
+  en <- size(pal.friends);
+  ec <- if(contains(pal.friends, self), 1, 0);
+}
+)sgl";
+  auto run = [&](bool interpreted, EvalMode eval) {
+    EngineOptions options;
+    options.exec.interpreted = interpreted;
+    options.exec.eval_mode = eval;
+    auto engine = Engine::Create(src, options);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    // Row 1 of three keeps pal = null, mid-span.
+    auto g0 = (*engine)->Spawn("G", {});
+    auto g1 = (*engine)->Spawn("G", {});
+    auto g2 = (*engine)->Spawn("G", {});
+    EXPECT_TRUE(g0.ok() && g1.ok() && g2.ok());
+    EXPECT_TRUE((*engine)->Set(*g0, "pal", Value::Ref(*g1)).ok());
+    EXPECT_TRUE((*engine)->Set(*g2, "pal", Value::Ref(*g1)).ok());
+    // Tick 1 populates friends = {self}; tick 2 gathers through pal.
+    EXPECT_TRUE((*engine)->RunTicks(2).ok());
+    EXPECT_EQ(0.0, (*engine)->Get(*g1, "pal_friends")->AsNumber())
+        << "null pal must gather an empty set";
+    EXPECT_EQ(0.0, (*engine)->Get(*g1, "pal_knows_me")->AsNumber());
+    EXPECT_EQ(1.0, (*engine)->Get(*g0, "pal_friends")->AsNumber());
+    return WorldChecksum((*engine)->world());
+  };
+  const uint64_t interpreted = run(true, EvalMode::kInterpret);
+  EXPECT_EQ(interpreted, run(false, EvalMode::kInterpret));
+  EXPECT_EQ(interpreted, run(false, EvalMode::kBytecode));
+}
+
 TEST(Equivalence, MarketCompiledMatchesInterpreted) {
   MarketConfig config;
   config.num_traders = 30;

@@ -30,7 +30,7 @@ std::string RandomNumExpr(Rng* rng, const std::vector<std::string>& fields,
     }
     return fields[rng->NextBelow(fields.size())];
   }
-  switch (rng->NextBelow(6)) {
+  switch (rng->NextBelow(8)) {
     case 0:
       return "(" + RandomNumExpr(rng, fields, depth - 1) + " + " +
              RandomNumExpr(rng, fields, depth - 1) + ")";
@@ -41,9 +41,17 @@ std::string RandomNumExpr(Rng* rng, const std::vector<std::string>& fields,
       return "(" + RandomNumExpr(rng, fields, depth - 1) + " * " +
              RandomNumExpr(rng, fields, depth - 1) + ")";
     case 3:
-      return "min(" + RandomNumExpr(rng, fields, depth - 1) + ", " +
+      // Divisors hit zero often (integer-valued state, literal 0.0 below):
+      // the guarded div-by-zero = 0 semantics must hold in every backend.
+      return "(" + RandomNumExpr(rng, fields, depth - 1) + " / " +
              RandomNumExpr(rng, fields, depth - 1) + ")";
     case 4:
+      // Negative arguments are routine; sqrt of a negative is pinned to 0.
+      return "sqrt(" + RandomNumExpr(rng, fields, depth - 1) + ")";
+    case 5:
+      return "min(" + RandomNumExpr(rng, fields, depth - 1) + ", " +
+             RandomNumExpr(rng, fields, depth - 1) + ")";
+    case 6:
       return "abs(" + RandomNumExpr(rng, fields, depth - 1) + ")";
     default:
       return "clamp(" + RandomNumExpr(rng, fields, depth - 1) + ", -9, 9)";
@@ -165,10 +173,12 @@ std::string RandomProgram(Rng* rng) {
 }
 
 uint64_t RunProgram(const std::string& src, uint64_t spawn_seed,
-                    bool interpreted, PlanMode mode, int ticks) {
+                    bool interpreted, PlanMode mode, int ticks,
+                    EvalMode eval = EvalMode::kInterpret) {
   EngineOptions options;
   options.exec.interpreted = interpreted;
   options.exec.planner.mode = mode;
+  options.exec.eval_mode = eval;
   auto engine = Engine::Create(src, options);
   EXPECT_TRUE(engine.ok()) << engine.status() << "\nprogram:\n" << src;
   if (!engine.ok()) return 0;
@@ -202,6 +212,9 @@ constexpr PlanMode kSweptModes[] = {PlanMode::kStaticNL,
                                     PlanMode::kStaticGrid,
                                     PlanMode::kCostBased};
 
+/// Both expression backends of the vectorized engine (src/vm/).
+constexpr EvalMode kSweptEvals[] = {EvalMode::kInterpret, EvalMode::kBytecode};
+
 class FuzzEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzEquivalence, CompiledMatchesInterpretedOnRandomProgram) {
@@ -211,8 +224,12 @@ TEST_P(FuzzEquivalence, CompiledMatchesInterpretedOnRandomProgram) {
   uint64_t interpreted =
       RunProgram(program, GetParam(), true, PlanMode::kStaticNL, 6);
   for (PlanMode mode : kSweptModes) {
-    EXPECT_EQ(interpreted, RunProgram(program, GetParam(), false, mode, 6))
-        << "strategy " << PlanModeName(mode);
+    for (EvalMode eval : kSweptEvals) {
+      EXPECT_EQ(interpreted,
+                RunProgram(program, GetParam(), false, mode, 6, eval))
+          << "strategy " << PlanModeName(mode) << ", eval "
+          << EvalModeName(eval);
+    }
   }
 }
 
@@ -223,9 +240,14 @@ TEST_P(FuzzEquivalence, StrategiesAgreeOnRandomProgram) {
   uint64_t nl =
       RunProgram(program, GetParam(), false, PlanMode::kStaticNL, 6);
   for (PlanMode mode : kSweptModes) {
-    if (mode == PlanMode::kStaticNL) continue;
-    EXPECT_EQ(nl, RunProgram(program, GetParam(), false, mode, 6))
-        << "strategy " << PlanModeName(mode);
+    for (EvalMode eval : kSweptEvals) {
+      if (mode == PlanMode::kStaticNL && eval == EvalMode::kInterpret) {
+        continue;
+      }
+      EXPECT_EQ(nl, RunProgram(program, GetParam(), false, mode, 6, eval))
+          << "strategy " << PlanModeName(mode) << ", eval "
+          << EvalModeName(eval);
+    }
   }
 }
 

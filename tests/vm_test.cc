@@ -1,0 +1,557 @@
+// The bytecode backend (src/vm/): lowering round-trips bit-for-bit against
+// the tree-walking evaluator, register allocation reuses registers on
+// left-leaning chains, the compile cache makes steady-state ticks
+// allocation-free, and the guarded numeric semantics (div-by-zero, sqrt of
+// negatives, degenerate clamp bounds) are pinned identically across the
+// scalar interpreter, the vectorized tree walker, and the bytecode VM.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/alloc_hook.h"
+#include "src/common/rng.h"
+#include "src/debug/checkpoint.h"
+#include "src/engine/engine.h"
+#include "src/ra/eval.h"
+#include "src/sim/market.h"
+#include "src/sim/rts.h"
+#include "src/sim/traffic.h"
+#include "src/vm/compile.h"
+#include "src/vm/vm.h"
+
+namespace sgl {
+namespace {
+
+// --- Lowering round-trip ----------------------------------------------------
+//
+// Build Expr trees directly, compile them, and run both evaluators over the
+// same world span. Equality is on the *bits* of every lane: the VM claims
+// lane-identical kernels, not merely close results.
+
+void ExpectBitEqualNum(const std::vector<double>& want,
+                       const std::vector<double>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    uint64_t w = 0, g = 0;
+    std::memcpy(&w, &want[i], sizeof(w));
+    std::memcpy(&g, &got[i], sizeof(g));
+    EXPECT_EQ(w, g) << "lane " << i << ": " << want[i] << " vs " << got[i];
+  }
+}
+
+// Nodes without construction helpers in expr.h.
+ExprPtr Gather(ExprPtr ref, ClassId cls, FieldIdx field, SglType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kRefState;
+  e->type = std::move(type);
+  e->cls = cls;
+  e->field = field;
+  e->kids.push_back(std::move(ref));
+  return e;
+}
+
+ExprPtr Clamp(ExprPtr v, ExprPtr lo, ExprPtr hi) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kClamp;
+  e->type = SglType::Number();
+  e->kids.push_back(std::move(v));
+  e->kids.push_back(std::move(lo));
+  e->kids.push_back(std::move(hi));
+  return e;
+}
+
+ExprPtr Neg(ExprPtr a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnaryMinus;
+  e->type = SglType::Number();
+  e->kids.push_back(std::move(a));
+  return e;
+}
+
+class VmLowering : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* src = R"sgl(
+class Thing {
+  state:
+    number a = 0;
+    number b = 0;
+    ref<Thing> pal = null;
+  effects:
+    number e : last;
+  update:
+    a = a + 0 * e;
+}
+script Noop for Thing { e <- a; }
+)sgl";
+    auto engine = Engine::Create(src);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::move(*engine);
+    std::vector<EntityId> ids;
+    for (int i = 0; i < 41; ++i) {
+      // a covers negatives (sqrt guard), b covers zero lanes (div guard).
+      auto id = engine_->Spawn(
+          "Thing", {{"a", Value::Number(0.5 * i - 10.0)},
+                    {"b", Value::Number(static_cast<double>(i % 5) - 2.0)}});
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    for (size_t i = 3; i < ids.size(); i += 3) {
+      ASSERT_TRUE(engine_->Set(ids[i], "pal", Value::Ref(ids[i - 1])).ok());
+    }
+    cls_ = engine_->catalog().Find("Thing");
+    ASSERT_NE(cls_, kInvalidClass);
+    const ClassDef& def = engine_->catalog().Get(cls_);
+    fa_ = def.FindState("a");
+    fb_ = def.FindState("b");
+    fpal_ = def.FindState("pal");
+    const EntityTable& table = engine_->world().table(cls_);
+    for (size_t i = 0; i < table.size(); ++i) {
+      rows_.push_back(static_cast<RowIdx>(i));
+    }
+    ctx_.world = &engine_->world();
+    ctx_.outer = &table;
+    ctx_.outer_rows = &rows_;
+  }
+
+  ExprPtr A() { return StateRead(0, cls_, fa_, SglType::Number()); }
+  ExprPtr B() { return StateRead(0, cls_, fb_, SglType::Number()); }
+  ExprPtr Pal() { return StateRead(0, cls_, fpal_, SglType::Ref("Thing")); }
+
+  // Compiles `e` as a value program and checks every lane against EvalNum.
+  std::vector<double> RoundTripNum(const Expr& e) {
+    std::vector<double> want, got;
+    EvalNum(e, ctx_, &want);
+    VmProgram p;
+    EXPECT_TRUE(CompileValue(e, TypeKind::kNumber, &p)) << e.ToString();
+    VmEvalNum(p, ctx_, &regs_, nullptr, 0, &got);
+    ExpectBitEqualNum(want, got);
+    return got;
+  }
+
+  std::unique_ptr<Engine> engine_;
+  ClassId cls_ = kInvalidClass;
+  FieldIdx fa_ = kInvalidField, fb_ = kInvalidField, fpal_ = kInvalidField;
+  std::vector<RowIdx> rows_;
+  VecContext ctx_;
+  VmRegisters regs_;
+};
+
+TEST_F(VmLowering, ArithKernelsRoundTrip) {
+  RoundTripNum(*Arith(ArithOp::kSub,
+                      Arith(ArithOp::kMul, Arith(ArithOp::kAdd, A(), B()),
+                            NumLit(2.0)),
+                      Arith(ArithOp::kMin, A(), B())));
+  RoundTripNum(*Arith(ArithOp::kMax, Neg(A()), B()));
+  RoundTripNum(*Arith(ArithOp::kPow, Arith(ArithOp::kMod, A(), B()),
+                      NumLit(2.0)));
+}
+
+TEST_F(VmLowering, Call1KernelsRoundTrip) {
+  RoundTripNum(*Call1(Call1Op::kAbs, A()));
+  RoundTripNum(*Call1(Call1Op::kFloor, Arith(ArithOp::kDiv, A(), NumLit(3))));
+  RoundTripNum(*Call1(Call1Op::kCeil, B()));
+}
+
+// Div-by-zero lanes produce exactly 0 — and the same 0 the tree walker
+// produces — not inf/NaN.
+TEST_F(VmLowering, DivByZeroLanesAreZeroInBothBackends) {
+  std::vector<double> got = RoundTripNum(*Arith(ArithOp::kDiv, A(), B()));
+  ConstNumberColumn b = ctx_.outer->Num(fb_);
+  bool saw_zero_divisor = false;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (b[rows_[i]] == 0.0) {
+      saw_zero_divisor = true;
+      EXPECT_EQ(0.0, got[i]) << "lane " << i;
+    }
+  }
+  EXPECT_TRUE(saw_zero_divisor) << "fixture must cover zero divisors";
+}
+
+// sqrt of a negative is pinned to 0 (not NaN) in both backends.
+TEST_F(VmLowering, SqrtOfNegativeLanesAreZeroInBothBackends) {
+  std::vector<double> got = RoundTripNum(*Call1(Call1Op::kSqrt, A()));
+  ConstNumberColumn a = ctx_.outer->Num(fa_);
+  bool saw_negative = false;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (a[rows_[i]] < 0.0) {
+      saw_negative = true;
+      EXPECT_EQ(0.0, got[i]) << "lane " << i;
+    }
+  }
+  EXPECT_TRUE(saw_negative) << "fixture must cover negative lanes";
+}
+
+// clamp with lo > hi is pinned as min(max(v, lo), hi) — which collapses to
+// hi — identically in both backends.
+TEST_F(VmLowering, DegenerateClampBoundsRoundTrip) {
+  std::vector<double> got =
+      RoundTripNum(*Clamp(A(), NumLit(3.0), NumLit(-3.0)));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(-3.0, got[i]) << "lane " << i;
+  }
+  RoundTripNum(*Clamp(B(), A(), Neg(A())));
+}
+
+TEST_F(VmLowering, SelectAndGatherRoundTrip) {
+  RoundTripNum(*IfExpr(CmpNum(CmpOp::kLt, A(), B()), A(),
+                       Arith(ArithOp::kMul, B(), NumLit(-1.0))));
+  // Gather through pal: null lanes read as 0 in both backends.
+  RoundTripNum(*Gather(Pal(), cls_, fa_, SglType::Number()));
+}
+
+TEST_F(VmLowering, BoolProgramRoundTrip) {
+  ExprPtr e = AndB(CmpNum(CmpOp::kLt, A(), B()),
+                   NotB(CmpNum(CmpOp::kEq, B(), NumLit(0.0))));
+  std::vector<uint8_t> want, got;
+  EvalBool(*e, ctx_, &want);
+  VmProgram p;
+  ASSERT_TRUE(CompileValue(*e, TypeKind::kBool, &p));
+  VmEvalBool(p, ctx_, &regs_, nullptr, 0, &got);
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i] != 0, got[i] != 0) << "lane " << i;
+  }
+}
+
+TEST_F(VmLowering, RefProgramRoundTrip) {
+  ExprPtr e = IfExpr(CmpNum(CmpOp::kLt, A(), NumLit(0.0)), Pal(), NullRef());
+  e->type = SglType::Ref("Thing");
+  std::vector<EntityId> want, got;
+  EvalRef(*e, ctx_, &want);
+  VmProgram p;
+  ASSERT_TRUE(CompileValue(*e, TypeKind::kRef, &p));
+  VmEvalRef(p, ctx_, &regs_, nullptr, 0, &got);
+  EXPECT_EQ(want, got);
+}
+
+// A filter program compacts the same survivor set, in the same (ascending)
+// order, as evaluating the predicate and compacting by hand.
+TEST_F(VmLowering, FilterProgramMatchesTreeWalker) {
+  ExprPtr e = AndB(CmpNum(CmpOp::kGe, A(), NumLit(-5.0)),
+                   CmpNum(CmpOp::kNe, B(), NumLit(0.0)));
+  std::vector<uint8_t> keep;
+  EvalBool(*e, ctx_, &keep);
+  std::vector<RowIdx> want;
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) want.push_back(static_cast<RowIdx>(i));
+  }
+  VmProgram p;
+  ASSERT_TRUE(CompileFilter(*e, &p));
+  EXPECT_TRUE(p.filter_mode);
+  std::vector<RowIdx> got;
+  const size_t n = VmRunFilter(p, ctx_, &regs_, /*uniform_outer=*/false, &got);
+  got.resize(n);
+  EXPECT_EQ(want, got);
+}
+
+// Left-leaning chains re-use a bounded register set: the lowering frees a
+// subexpression's register as soon as it is consumed, so program depth does
+// not inflate the register files (and with them the per-worker scratch).
+TEST_F(VmLowering, RegisterAllocationStaysBoundedOnChains) {
+  ExprPtr e = A();
+  for (int i = 0; i < 300; ++i) {
+    e = Arith(ArithOp::kAdd, std::move(e), NumLit(1.0));
+  }
+  VmProgram p;
+  ASSERT_TRUE(CompileValue(*e, TypeKind::kNumber, &p));
+  EXPECT_LE(p.num_regs, 4) << "chain depth leaked into the register file";
+  EXPECT_GE(p.code.size(), 301u);
+  RoundTripNum(*e);
+}
+
+TEST_F(VmLowering, DisassembleListsKernels) {
+  VmProgram p;
+  ASSERT_TRUE(CompileValue(*Arith(ArithOp::kAdd, A(), B()),
+                           TypeKind::kNumber, &p));
+  std::string listing = p.Disassemble();
+  EXPECT_NE(listing.find("add"), std::string::npos) << listing;
+}
+
+// Update-phase constructs (merged-effect reads) are not VM-executable; the
+// compiler must refuse them so call sites fall back to the tree walker.
+TEST_F(VmLowering, EffectReadsFallBackToTreeWalker) {
+  ExprPtr e = Arith(ArithOp::kAdd, A(),
+                    EffectRead(cls_, 0, SglType::Number()));
+  VmProgram p;
+  EXPECT_FALSE(CompileValue(*e, TypeKind::kNumber, &p));
+  ExprPtr f = AndB(CmpNum(CmpOp::kGt, A(), NumLit(0.0)),
+                   AssignedRead(cls_, 0));
+  EXPECT_FALSE(CompileFilter(*f, &p));
+}
+
+// --- Guarded numeric semantics, all three execution paths -------------------
+//
+// The same source program must produce the same pinned result under the
+// scalar object-at-a-time interpreter, the vectorized tree walker, and the
+// bytecode VM. Each of these is a regression test for a semantics bug the
+// differential oracle caught: the three paths used to disagree on the
+// guarded cases below.
+
+double RunScalarProgram(const std::string& src, double a, double b,
+                        bool interpreted, EvalMode eval) {
+  EngineOptions options;
+  options.exec.interpreted = interpreted;
+  options.exec.eval_mode = eval;
+  auto engine = Engine::Create(src, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  auto id = (*engine)->Spawn(
+      "T", {{"a", Value::Number(a)}, {"b", Value::Number(b)}});
+  EXPECT_TRUE(id.ok());
+  EXPECT_TRUE((*engine)->Tick().ok());
+  return (*engine)->Get(*id, "r")->AsNumber();
+}
+
+void ExpectAllPathsAgree(const std::string& src, double a, double b,
+                         double want) {
+  EXPECT_EQ(want, RunScalarProgram(src, a, b, /*interpreted=*/true,
+                                   EvalMode::kInterpret))
+      << "scalar interpreter";
+  EXPECT_EQ(want, RunScalarProgram(src, a, b, false, EvalMode::kInterpret))
+      << "vectorized tree walker";
+  EXPECT_EQ(want, RunScalarProgram(src, a, b, false, EvalMode::kBytecode))
+      << "bytecode VM";
+}
+
+constexpr char kScalarClass[] = R"sgl(
+class T {
+  state:
+    number a = 0;
+    number b = 0;
+    number r = 99;
+  effects:
+    number e : last;
+  update:
+    r = e;
+}
+)sgl";
+
+TEST(VmSemantics, DivisionByZeroIsZeroEverywhere) {
+  const std::string src = std::string(kScalarClass) +
+                          "script S for T { e <- a / b; }\n";
+  ExpectAllPathsAgree(src, 7.0, 0.0, 0.0);
+  ExpectAllPathsAgree(src, -3.0, 0.0, 0.0);
+  ExpectAllPathsAgree(src, 7.0, 2.0, 3.5);  // non-degenerate sanity
+}
+
+TEST(VmSemantics, SqrtOfNegativeIsZeroEverywhere) {
+  const std::string src = std::string(kScalarClass) +
+                          "script S for T { e <- sqrt(b); }\n";
+  ExpectAllPathsAgree(src, 0.0, -4.0, 0.0);
+  ExpectAllPathsAgree(src, 0.0, 9.0, 3.0);
+}
+
+TEST(VmSemantics, DegenerateClampIsMinMaxEverywhere) {
+  // clamp(v, lo, hi) with lo > hi is pinned as min(max(v, lo), hi) = hi.
+  const std::string src = std::string(kScalarClass) +
+                          "script S for T { e <- clamp(a, 5, -5); }\n";
+  ExpectAllPathsAgree(src, 7.0, 0.0, -5.0);
+  ExpectAllPathsAgree(src, -9.0, 0.0, -5.0);
+  ExpectAllPathsAgree(src, 0.0, 0.0, -5.0);
+  const std::string sane = std::string(kScalarClass) +
+                           "script S for T { e <- clamp(a, -5, 5); }\n";
+  ExpectAllPathsAgree(sane, 7.0, 0.0, 5.0);
+}
+
+// A null ref mid-span gathers the *empty set*: size() is 0 and contains()
+// is false, in every execution path.
+TEST(VmSemantics, NullRefSetGatherIsEmptySetEverywhere) {
+  const char* src = R"sgl(
+class G {
+  state:
+    number n = 99;
+    number c = 99;
+    ref<G> pal = null;
+    set<G> friends;
+  effects:
+    number en : last;
+    number ec : last;
+    set<G> ef : union;
+  update:
+    n = en;
+    c = ec;
+    friends = ef;
+}
+script S for G {
+  ef <- self;
+  en <- size(pal.friends);
+  ec <- if(contains(pal.friends, self), 1, 0);
+}
+)sgl";
+  for (int path = 0; path < 3; ++path) {
+    EngineOptions options;
+    options.exec.interpreted = path == 0;
+    options.exec.eval_mode =
+        path == 2 ? EvalMode::kBytecode : EvalMode::kInterpret;
+    auto engine = Engine::Create(src, options);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    // Mid-span null: row 1 of three has no pal.
+    auto g0 = (*engine)->Spawn("G", {});
+    auto g1 = (*engine)->Spawn("G", {});
+    auto g2 = (*engine)->Spawn("G", {});
+    ASSERT_TRUE(g0.ok() && g1.ok() && g2.ok());
+    ASSERT_TRUE((*engine)->Set(*g0, "pal", Value::Ref(*g1)).ok());
+    ASSERT_TRUE((*engine)->Set(*g2, "pal", Value::Ref(*g1)).ok());
+    // Tick 1 populates friends = {self}; tick 2 gathers through pal.
+    ASSERT_TRUE((*engine)->RunTicks(2).ok());
+    EXPECT_EQ(1.0, (*engine)->Get(*g0, "n")->AsNumber()) << "path " << path;
+    EXPECT_EQ(0.0, (*engine)->Get(*g0, "c")->AsNumber()) << "path " << path;
+    EXPECT_EQ(0.0, (*engine)->Get(*g1, "n")->AsNumber()) << "path " << path;
+    EXPECT_EQ(0.0, (*engine)->Get(*g1, "c")->AsNumber()) << "path " << path;
+    EXPECT_EQ(1.0, (*engine)->Get(*g2, "n")->AsNumber()) << "path " << path;
+  }
+}
+
+// --- Checksum parity on the benchmark workloads -----------------------------
+//
+// The bytecode VM is a pure backend swap: E1 (RTS), E3 (market), and E8
+// (traffic) must reach bit-identical world checksums under kInterpret and
+// kBytecode, serially, with 4 worker threads, and with 4 world shards.
+
+uint64_t RunRts(const EngineOptions& options, int ticks, int units,
+                bool clustered) {
+  RtsConfig config;
+  config.num_units = units;
+  config.clustered = clustered;
+  auto engine = RtsWorkload::Build(config, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  EXPECT_TRUE((*engine)->RunTicks(ticks).ok());
+  return WorldChecksum((*engine)->world());
+}
+
+uint64_t RunTraffic(const EngineOptions& options, int ticks, int vehicles) {
+  TrafficConfig config;
+  config.num_vehicles = vehicles;
+  auto engine = TrafficWorkload::Build(config, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  EXPECT_TRUE((*engine)->RunTicks(ticks).ok());
+  return WorldChecksum((*engine)->world());
+}
+
+EngineOptions Exec(EvalMode eval, PlanMode mode = PlanMode::kCostBased,
+                   int threads = 1, int shards = 1) {
+  EngineOptions options;
+  options.exec.eval_mode = eval;
+  options.exec.planner.mode = mode;
+  options.exec.num_threads = threads;
+  options.exec.num_shards = shards;
+  return options;
+}
+
+TEST(VmParity, RtsChecksumMatchesInterpreterSerial) {
+  for (bool clustered : {true, false}) {
+    EXPECT_EQ(RunRts(Exec(EvalMode::kInterpret), 12, 300, clustered),
+              RunRts(Exec(EvalMode::kBytecode), 12, 300, clustered))
+        << "clustered=" << clustered;
+  }
+}
+
+TEST(VmParity, RtsChecksumIndependentOfStrategyUnderBytecode) {
+  const uint64_t baseline =
+      RunRts(Exec(EvalMode::kInterpret, PlanMode::kStaticNL), 10, 256, true);
+  for (PlanMode mode :
+       {PlanMode::kStaticNL, PlanMode::kStaticRangeTree, PlanMode::kStaticGrid,
+        PlanMode::kCostBased, PlanMode::kAdaptive}) {
+    EXPECT_EQ(baseline, RunRts(Exec(EvalMode::kBytecode, mode), 10, 256, true))
+        << "strategy " << PlanModeName(mode);
+  }
+}
+
+TEST(VmParity, RtsChecksumMatchesAcrossThreadsAndShards) {
+  const uint64_t baseline = RunRts(Exec(EvalMode::kInterpret), 10, 300, true);
+  EXPECT_EQ(baseline,
+            RunRts(Exec(EvalMode::kBytecode, PlanMode::kCostBased,
+                        /*threads=*/4),
+                   10, 300, true))
+      << "4 threads";
+  EXPECT_EQ(baseline,
+            RunRts(Exec(EvalMode::kBytecode, PlanMode::kCostBased,
+                        /*threads=*/1, /*shards=*/4),
+                   10, 300, true))
+      << "4 shards";
+}
+
+TEST(VmParity, TrafficChecksumMatchesInterpreter) {
+  const uint64_t baseline = RunTraffic(Exec(EvalMode::kInterpret), 15, 400);
+  EXPECT_EQ(baseline, RunTraffic(Exec(EvalMode::kBytecode), 15, 400));
+  EXPECT_EQ(baseline, RunTraffic(Exec(EvalMode::kBytecode,
+                                      PlanMode::kCostBased, /*threads=*/4),
+                                 15, 400))
+      << "4 threads";
+  EXPECT_EQ(baseline, RunTraffic(Exec(EvalMode::kBytecode,
+                                      PlanMode::kCostBased, /*threads=*/1,
+                                      /*shards=*/4),
+                                 15, 400))
+      << "4 shards";
+}
+
+TEST(VmParity, MarketChecksumMatchesInterpreter) {
+  MarketConfig config;
+  config.num_traders = 30;
+  config.num_items = 60;
+  auto run = [&](EvalMode eval, int threads) {
+    EngineOptions options = Exec(eval, PlanMode::kCostBased, threads);
+    auto engine = MarketWorkload::Build(config, options);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    Rng rng(5);
+    for (int t = 0; t < 15; ++t) {
+      MarketWorkload::AssignWants(engine->get(), config, &rng);
+      EXPECT_TRUE((*engine)->Tick().ok());
+      EXPECT_TRUE(MarketWorkload::OwnershipConsistent(engine->get()));
+      EXPECT_TRUE(MarketWorkload::NoNegativeGold(engine->get()));
+    }
+    return WorldChecksum((*engine)->world());
+  };
+  const uint64_t baseline = run(EvalMode::kInterpret, 1);
+  EXPECT_EQ(baseline, run(EvalMode::kBytecode, 1));
+  EXPECT_EQ(baseline, run(EvalMode::kBytecode, 4)) << "4 threads";
+}
+
+// --- Compile cache + steady-state allocation --------------------------------
+
+// Programs compile once (constructor + first PrepareSite); after warmup a
+// bytecode tick allocates nothing — the register files live in per-worker
+// scratch with high-water reuse.
+TEST(VmAlloc, BytecodeSteadyStateIsAllocFree) {
+  if (!AllocCountingEnabled()) {
+    GTEST_SKIP() << "allocation counting disabled in this build";
+  }
+  RtsConfig config;
+  // Battle mode from tick 0 at the alloc-regression scale: every buffer's
+  // high-water mark (selections, register files, survivor compactions)
+  // peaks during warmup instead of creeping up tick over tick.
+  config.num_units = 800;
+  config.clustered = true;
+  EngineOptions options = Exec(EvalMode::kBytecode, PlanMode::kStaticGrid);
+  auto engine = RtsWorkload::Build(config, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_TRUE((*engine)->RunTicks(24).ok());  // warmup: compile + high water
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE((*engine)->Tick().ok());
+    const TickStats& stats = (*engine)->last_stats();
+    EXPECT_EQ(0, stats.allocs_per_tick)
+        << "tick " << stats.tick << ": " << stats.bytes_per_tick << " bytes";
+    EXPECT_GT(stats.vm_programs, 0) << "bytecode mode must report programs";
+  }
+}
+
+TEST(VmAlloc, StatsReportCompiledPrograms) {
+  RtsConfig config;
+  config.num_units = 64;
+  auto engine = RtsWorkload::Build(config, Exec(EvalMode::kBytecode));
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_TRUE((*engine)->Tick().ok());
+  const TickStats& with_vm = (*engine)->last_stats();
+  EXPECT_GT(with_vm.vm_programs, 0);
+
+  auto interp = RtsWorkload::Build(config, Exec(EvalMode::kInterpret));
+  ASSERT_TRUE(interp.ok());
+  ASSERT_TRUE((*interp)->Tick().ok());
+  EXPECT_EQ(0, (*interp)->last_stats().vm_programs);
+}
+
+}  // namespace
+}  // namespace sgl
