@@ -10,28 +10,33 @@
 //              conjuncts shine (the tree walker evaluates every conjunct
 //              over the full span and materializes boolean columns; the
 //              VM compacts survivors after each one). Target: >= 2x.
-//   indexed    the production access paths (grid / cost-based): the index
-//              prunes most pairs, so the tick is probe- and fold-bound and
-//              Amdahl caps the VM's win — recorded to show the backend
-//              never regresses the indexed paths.
+//   indexed    the production access paths (grid / cost-based), swept over
+//              probe_mode single vs batched: the index prunes most pairs,
+//              so the tick is probe- and fold-bound — exactly where PR 8's
+//              QueryBatch (one call per morsel, SIMD range filter, pooled
+//              CSR output) and the kernel layer buy their speedup.
 //
-// Both series report allocs_per_tick (the bytecode steady state must stay
-// allocation-free, register files live in per-worker scratch) and
-// vm_programs (0 in interpret mode).
+// Every series reports allocs_per_tick (steady state must stay
+// allocation-free), vm_programs, simd_lanes (per tick, 0 under forced
+// scalar), probe_us, and the CPU/dispatch context (cpu_avx2, kernel_avx2)
+// so recorded numbers are interpretable across machines.
 
 #include <algorithm>
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/common/cpu_features.h"
 
 namespace {
 
 std::unique_ptr<sgl::Engine> BuildWorkload(bool traffic, int n,
                                            sgl::PlanMode mode,
-                                           sgl::EvalMode eval) {
+                                           sgl::EvalMode eval,
+                                           sgl::ProbeMode probe) {
   sgl::EngineOptions options;
   options.exec.planner.mode = mode;
   options.exec.eval_mode = eval;
+  options.exec.probe_mode = probe;
   if (traffic) {
     sgl::TrafficConfig config;
     config.num_vehicles = n;
@@ -49,17 +54,24 @@ std::unique_ptr<sgl::Engine> BuildWorkload(bool traffic, int n,
 
 void RunTicks(benchmark::State& state, sgl::Engine* engine) {
   sgl_bench::WarmupSteadyState(engine);
-  int64_t allocs = 0;
+  int64_t allocs = 0, simd_lanes = 0, probe_us = 0;
   for (auto _ : state) {
     if (!engine->Tick().ok()) state.SkipWithError("tick failed");
     allocs += engine->last_stats().allocs_per_tick;
+    simd_lanes += engine->last_stats().simd_lanes_used;
+    probe_us += engine->last_stats().probe_micros;
   }
-  state.counters["n"] = static_cast<double>(state.range(2));
-  state.counters["allocs_per_tick"] =
-      static_cast<double>(allocs) /
+  const double iters =
       static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  state.counters["n"] = static_cast<double>(state.range(2));
+  state.counters["allocs_per_tick"] = static_cast<double>(allocs) / iters;
   state.counters["vm_programs"] =
       static_cast<double>(engine->last_stats().vm_programs);
+  state.counters["simd_lanes"] = static_cast<double>(simd_lanes) / iters;
+  state.counters["probe_us"] = static_cast<double>(probe_us) / iters;
+  state.counters["cpu_avx2"] = sgl::CpuHasAvx2() ? 1 : 0;
+  state.counters["kernel_avx2"] =
+      sgl::ActiveKernelDispatch() == sgl::KernelDispatch::kAvx2 ? 1 : 0;
 }
 
 // Dense ticks: forced nested-loop plans, expression-evaluation bound.
@@ -68,20 +80,24 @@ void BM_BytecodeVsInterpret(benchmark::State& state) {
                                                  : sgl::EvalMode::kInterpret;
   auto engine = BuildWorkload(state.range(1) != 0,
                               static_cast<int>(state.range(2)),
-                              sgl::PlanMode::kStaticNL, eval);
+                              sgl::PlanMode::kStaticNL, eval,
+                              sgl::ProbeMode::kBatched);
   RunTicks(state, engine.get());
 }
 
-// Indexed steady state: the production plans (grid RTS, cost-based
-// traffic). The VM's share of the tick is smaller here; the series pins
-// "no regression + still allocation-free".
+// Indexed steady state under both probe paths: the production plans (grid
+// RTS, cost-based traffic), probe_mode = single (one virtual Query per
+// outer row, PR 7 behavior) vs batched (one QueryBatch per morsel).
 void BM_BytecodeVsInterpretIndexed(benchmark::State& state) {
   const sgl::EvalMode eval = state.range(0) != 0 ? sgl::EvalMode::kBytecode
                                                  : sgl::EvalMode::kInterpret;
   const bool traffic = state.range(1) != 0;
+  const sgl::ProbeMode probe = state.range(3) != 0 ? sgl::ProbeMode::kBatched
+                                                   : sgl::ProbeMode::kSingle;
   auto engine = BuildWorkload(
       traffic, static_cast<int>(state.range(2)),
-      traffic ? sgl::PlanMode::kCostBased : sgl::PlanMode::kStaticGrid, eval);
+      traffic ? sgl::PlanMode::kCostBased : sgl::PlanMode::kStaticGrid, eval,
+      probe);
   RunTicks(state, engine.get());
 }
 
@@ -96,11 +112,15 @@ BENCHMARK(BM_BytecodeVsInterpret)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_BytecodeVsInterpretIndexed)
-    ->ArgNames({"bytecode", "traffic", "n"})
-    ->Args({0, 0, 1000})
-    ->Args({1, 0, 1000})
-    ->Args({0, 1, 4000})
-    ->Args({1, 1, 4000})
+    ->ArgNames({"bytecode", "traffic", "n", "batched"})
+    ->Args({0, 0, 1000, 0})
+    ->Args({0, 0, 1000, 1})
+    ->Args({1, 0, 1000, 0})
+    ->Args({1, 0, 1000, 1})
+    ->Args({0, 1, 4000, 0})
+    ->Args({0, 1, 4000, 1})
+    ->Args({1, 1, 4000, 0})
+    ->Args({1, 1, 4000, 1})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

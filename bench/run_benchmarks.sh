@@ -19,7 +19,9 @@
 #       allocs_per_tick vs job-worker count)
 #   E13 register bytecode VM vs tree-walking expression interpreter
 #       (dense nested-loop ticks where fused filter pipelines dominate,
-#       plus the indexed steady state; allocs_per_tick + vm_programs)
+#       plus the indexed steady state under single vs batched probes;
+#       allocs_per_tick + vm_programs + simd_lanes + probe_us + the
+#       CPU/dispatch context the numbers were recorded under)
 #
 # Usage: bench/run_benchmarks.sh [build_dir] [tag]
 #   build_dir  cmake build directory holding the bench_* binaries (default:
@@ -57,7 +59,8 @@ keep = ("name", "real_time", "cpu_time", "time_unit", "iterations",
         "consistent", "txns/s", "vehicle_ticks/s", "mean_speed",
         "shards", "cross_records", "moved_per_batch", "rows_per_batch",
         "workers", "jobs_submitted", "jobs_installed", "jobs_in_flight",
-        "job_wait_ms", "n", "vm_programs")
+        "job_wait_ms", "n", "vm_programs", "simd_lanes", "probe_us",
+        "cpu_avx2", "kernel_avx2")
 merged = {}
 for f in sorted(os.listdir(tmp)):
     with open(os.path.join(tmp, f)) as fh:

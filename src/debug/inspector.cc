@@ -38,6 +38,26 @@ std::string DescribeTickStats(const TickStats& stats) {
                   static_cast<long long>(stats.vm_compile_micros));
     out += buf;
   }
+  if (stats.sites_bytecode != 0 || stats.sites_interpreted != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " backends %lld vm / %lld interp, probes %lld batched / "
+                  "%lld single",
+                  static_cast<long long>(stats.sites_bytecode),
+                  static_cast<long long>(stats.sites_interpreted),
+                  static_cast<long long>(stats.sites_probe_batched),
+                  static_cast<long long>(stats.sites_probe_single));
+    out += buf;
+  }
+  if (stats.probe_micros != 0) {
+    std::snprintf(buf, sizeof(buf), " probe %lldus",
+                  static_cast<long long>(stats.probe_micros));
+    out += buf;
+  }
+  if (stats.simd_lanes_used != 0) {
+    std::snprintf(buf, sizeof(buf), " simd %lld lanes",
+                  static_cast<long long>(stats.simd_lanes_used));
+    out += buf;
+  }
   return out;
 }
 

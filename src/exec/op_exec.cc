@@ -88,14 +88,15 @@ VecContext MakeCtx(const ExecEnv& env, const EntityTable* inner_table,
 }
 
 // --- Bytecode dispatch --------------------------------------------------
-// Runs the compiled twin of an expression when the env carries a program
-// cache and the expression lowered (EvalMode::kBytecode); the tree-walking
-// interpreter otherwise. Both produce bit-identical columns, so call sites
-// stay oblivious to the mode.
+// Runs the compiled twin of an expression when `vm` carries a program cache
+// and the expression lowered; the tree-walking interpreter otherwise. `vm`
+// is passed explicitly (not read off env) so accum sites under
+// EvalMode::kAuto can flip the backend per site per tick by passing null.
+// Both produce bit-identical columns, so call sites stay oblivious.
 
 void EvalNumAuto(const Expr& e, const VecContext& ctx, const ExecEnv& env,
-                 std::vector<double>* out) {
-  const VmProgram* p = env.vm != nullptr ? env.vm->Value(&e) : nullptr;
+                 const VmProgramCache* vm, std::vector<double>* out) {
+  const VmProgram* p = vm != nullptr ? vm->Value(&e) : nullptr;
   if (p != nullptr) {
     VmEvalNum(*p, ctx, &env.scratch->vm, nullptr, 0, out);
   } else {
@@ -104,8 +105,8 @@ void EvalNumAuto(const Expr& e, const VecContext& ctx, const ExecEnv& env,
 }
 
 void EvalBoolAuto(const Expr& e, const VecContext& ctx, const ExecEnv& env,
-                  std::vector<uint8_t>* out) {
-  const VmProgram* p = env.vm != nullptr ? env.vm->Value(&e) : nullptr;
+                  const VmProgramCache* vm, std::vector<uint8_t>* out) {
+  const VmProgram* p = vm != nullptr ? vm->Value(&e) : nullptr;
   if (p != nullptr) {
     VmEvalBool(*p, ctx, &env.scratch->vm, nullptr, 0, out);
   } else {
@@ -114,8 +115,8 @@ void EvalBoolAuto(const Expr& e, const VecContext& ctx, const ExecEnv& env,
 }
 
 void EvalRefAuto(const Expr& e, const VecContext& ctx, const ExecEnv& env,
-                 std::vector<EntityId>* out) {
-  const VmProgram* p = env.vm != nullptr ? env.vm->Value(&e) : nullptr;
+                 const VmProgramCache* vm, std::vector<EntityId>* out) {
+  const VmProgram* p = vm != nullptr ? vm->Value(&e) : nullptr;
   if (p != nullptr) {
     VmEvalRef(*p, ctx, &env.scratch->vm, nullptr, 0, out);
   } else {
@@ -127,9 +128,9 @@ void EvalRefAuto(const Expr& e, const VecContext& ctx, const ExecEnv& env,
 // positions (ascending) and returns the count. Fused compare-compact
 // bytecode when the guard lowered; EvalBool + compact otherwise.
 size_t RunGuardFilter(const Expr& guard, const VecContext& ctx,
-                      const ExecEnv& env, std::vector<uint8_t>* keep,
-                      std::vector<RowIdx>* pos) {
-  const VmProgram* p = env.vm != nullptr ? env.vm->Filter(&guard) : nullptr;
+                      const ExecEnv& env, const VmProgramCache* vm,
+                      std::vector<uint8_t>* keep, std::vector<RowIdx>* pos) {
+  const VmProgram* p = vm != nullptr ? vm->Filter(&guard) : nullptr;
   if (p != nullptr) {
     return VmRunFilter(*p, ctx, &env.scratch->vm, false, pos);
   }
@@ -146,7 +147,7 @@ size_t RunGuardFilter(const Expr& guard, const VecContext& ctx,
 // Applies one batch of effect writes over a (possibly pair) row vector.
 void ApplyWrites(const std::vector<EffectWrite>& writes,
                  const EntityTable* inner_table, const PairRows& rows,
-                 ExecEnv& env) {
+                 ExecEnv& env, const VmProgramCache* vm) {
   const size_t n = rows.outer->size();
   if (n == 0) return;
   EvalScratch* sc = env.scratch;
@@ -162,7 +163,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
     const std::vector<RowIdx>* inner_rows = rows.inner;
     if (w.guard != nullptr) {
       VecContext ctx = MakeCtx(env, inner_table, rows);
-      const size_t m = RunGuardFilter(*w.guard, ctx, env, keep.get(),
+      const size_t m = RunGuardFilter(*w.guard, ctx, env, vm, keep.get(),
                                       pos.get());
       sub_outer->clear();
       sub_inner->clear();
@@ -202,7 +203,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
       return kInvalidRow;
     };
     if (w.target_kind == TargetKind::kRef) {
-      EvalRefAuto(*w.target_ref, ctx, env, target_ids.get());
+      EvalRefAuto(*w.target_ref, ctx, env, vm, target_ids.get());
     }
 
     // 3. Evaluate values and scatter-accumulate.
@@ -220,7 +221,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
       }
     };
     if (w.set_insert) {
-      EvalRefAuto(*w.value, ctx, env, refs.get());
+      EvalRefAuto(*w.value, ctx, env, vm, refs.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
@@ -228,7 +229,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
         trace(i, row, Value::Ref((*refs)[i]));
       }
     } else if (field.type.is_number()) {
-      EvalNumAuto(*w.value, ctx, env, nums.get());
+      EvalNumAuto(*w.value, ctx, env, vm, nums.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
@@ -236,7 +237,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
         trace(i, row, Value::Number((*nums)[i]));
       }
     } else if (field.type.is_bool()) {
-      EvalBoolAuto(*w.value, ctx, env, bools.get());
+      EvalBoolAuto(*w.value, ctx, env, vm, bools.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
@@ -244,7 +245,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
         trace(i, row, Value::Bool((*bools)[i] != 0));
       }
     } else if (field.type.is_ref()) {
-      EvalRefAuto(*w.value, ctx, env, refs.get());
+      EvalRefAuto(*w.value, ctx, env, vm, refs.get());
       for (size_t i = 0; i < m; ++i) {
         RowIdx row = target_row(i);
         if (row == kInvalidRow) continue;
@@ -467,6 +468,9 @@ void RunAccumVectorized(const AccumOp& op,
   const PreparedSite& site = (*env.prepared)[static_cast<size_t>(op.site_id)];
   const EntityTable& inner = env.world->table(op.inner_cls);
   ExecScratch* sc = env.scratch;
+  // Per-site backend decision (EvalMode::kAuto): a null cache here routes
+  // every expression of this site through the interpreter.
+  const VmProgramCache* vm = site.use_vm ? env.vm : nullptr;
 
   // Outer guard. Guard-free units run straight off `selection` — no copy.
   ScopedVec<RowIdx> s_holder(sc);
@@ -477,7 +481,7 @@ void RunAccumVectorized(const AccumOp& op,
     ScopedVec<uint8_t> keep(sc);
     ScopedVec<RowIdx> pos(sc);
     const size_t m =
-        RunGuardFilter(*op.outer_guard, ctx, env, keep.get(), pos.get());
+        RunGuardFilter(*op.outer_guard, ctx, env, vm, keep.get(), pos.get());
     s_holder->reserve(selection.size());  // stable high-water; see ApplyWrites
     for (size_t k = 0; k < m; ++k) {
       s_holder->push_back(selection[(*pos)[k]]);
@@ -494,15 +498,30 @@ void RunAccumVectorized(const AccumOp& op,
   VecContext s_ctx = MakeCtx(env, nullptr, s_rows);
   const bool range_indexed = site.strategy == JoinStrategy::kRangeTree ||
                              site.strategy == JoinStrategy::kGrid;
+  // Batched probing answers all of this morsel's boxes with one QueryBatch
+  // call instead of |S| virtual Query calls (contract: probe_batch.h).
+  const bool batched = range_indexed && site.probe_batched &&
+                       site.index != nullptr &&
+                       op.inner_set_field == kInvalidField;
   PooledNumCols lo_cols(sc, range_indexed ? op.range_dims.size() : 0);
   PooledNumCols hi_cols(sc, range_indexed ? op.range_dims.size() : 0);
   if (range_indexed) {
     for (size_t k = 0; k < op.range_dims.size(); ++k) {
       if (op.range_dims[k].lo != nullptr) {
-        EvalNumAuto(*op.range_dims[k].lo, s_ctx, env, lo_cols[k]);
+        EvalNumAuto(*op.range_dims[k].lo, s_ctx, env, vm, lo_cols[k]);
+      } else if (batched) {
+        // QueryBatch takes full bound columns; unconstrained dims become
+        // ±inf columns (same value the per-row path passes as a scalar).
+        ResizeAmortized(lo_cols[k], S->size());
+        std::fill(lo_cols[k]->begin(), lo_cols[k]->end(),
+                  -std::numeric_limits<double>::infinity());
       }
       if (op.range_dims[k].hi != nullptr) {
-        EvalNumAuto(*op.range_dims[k].hi, s_ctx, env, hi_cols[k]);
+        EvalNumAuto(*op.range_dims[k].hi, s_ctx, env, vm, hi_cols[k]);
+      } else if (batched) {
+        ResizeAmortized(hi_cols[k], S->size());
+        std::fill(hi_cols[k]->begin(), hi_cols[k]->end(),
+                  std::numeric_limits<double>::infinity());
       }
     }
   }
@@ -510,10 +529,24 @@ void RunAccumVectorized(const AccumOp& op,
   ScopedVec<EntityId> id_keys(sc);
   if (site.strategy == JoinStrategy::kHash) {
     if (site.hash_field == kInvalidField) {
-      EvalRefAuto(*op.hash_dims[0].key, s_ctx, env, id_keys.get());
+      EvalRefAuto(*op.hash_dims[0].key, s_ctx, env, vm, id_keys.get());
     } else {
-      EvalNumAuto(*op.hash_dims[0].key, s_ctx, env, hash_keys.get());
+      EvalNumAuto(*op.hash_dims[0].key, s_ctx, env, vm, hash_keys.get());
     }
+  }
+
+  // One devirtualized batch probe for the whole morsel.
+  int64_t probe_micros = 0;
+  if (batched) {
+    const double* blo[kMaxIndexDims];
+    const double* bhi[kMaxIndexDims];
+    for (size_t k = 0; k < op.range_dims.size(); ++k) {
+      blo[k] = lo_cols[k]->data();
+      bhi[k] = hi_cols[k]->data();
+    }
+    Stopwatch probe_timer;
+    site.index->QueryBatch(blo, bhi, S->size(), &sc->probe);
+    probe_micros = probe_timer.ElapsedMicros();
   }
 
   const Expr* filter = site.strategy == JoinStrategy::kNestedLoop
@@ -588,6 +621,20 @@ void RunAccumVectorized(const AccumOp& op,
         candidates += static_cast<int64_t>(chunk_inner->size());
         filter_chunk(o);
       }
+    } else if (batched) {
+      // Consume this probe's CSR slice; slices are already ascending, so
+      // pair order matches the per-row Query + sort path bit for bit.
+      const ProbeBatch& pb = sc->probe;
+      chunk_inner->clear();
+      const uint32_t slice_end = pb.offsets[pos + 1];
+      chunk_inner->reserve(slice_end - pb.offsets[pos]);
+      for (uint32_t t = pb.offsets[pos]; t < slice_end; ++t) {
+        const RowIdx j = pb.items[t];
+        if (op.exclude_self && same_table && j == o) continue;
+        chunk_inner->push_back(j);
+      }
+      candidates += static_cast<int64_t>(chunk_inner->size());
+      filter_chunk(o);
     } else {
       Candidates(op, site, env, o, lo_cols, hi_cols, *hash_keys, *id_keys,
                  pos, cand.get());
@@ -621,17 +668,17 @@ void RunAccumVectorized(const AccumOp& op,
         // Value-mode (not fused-filter) bytecode: the fold consumes guards
         // as columns indexed by pair position, so no compaction here.
         evaled[a].guard = bool_lease.Acquire();
-        EvalBoolAuto(*assign.guard, pctx, env, evaled[a].guard);
+        EvalBoolAuto(*assign.guard, pctx, env, vm, evaled[a].guard);
       }
       if (op.accum_type.is_number()) {
         evaled[a].nums = num_lease.Acquire();
-        EvalNumAuto(*assign.value, pctx, env, evaled[a].nums);
+        EvalNumAuto(*assign.value, pctx, env, vm, evaled[a].nums);
       } else if (op.accum_type.is_bool()) {
         evaled[a].bools = bool_lease.Acquire();
-        EvalBoolAuto(*assign.value, pctx, env, evaled[a].bools);
+        EvalBoolAuto(*assign.value, pctx, env, vm, evaled[a].bools);
       } else {
         evaled[a].refs = ref_lease.Acquire();
-        EvalRefAuto(*assign.value, pctx, env, evaled[a].refs);
+        EvalRefAuto(*assign.value, pctx, env, vm, evaled[a].refs);
       }
     }
     Fold fold;
@@ -657,7 +704,7 @@ void RunAccumVectorized(const AccumOp& op,
 
     // Pair-level effect writes. The leases stay live through this call;
     // ApplyWrites' own acquisitions nest above them (LIFO holds).
-    ApplyWrites(op.pair_writes, &inner, pairs, env);
+    ApplyWrites(op.pair_writes, &inner, pairs, env, vm);
   }
 
   if (env.feedback != nullptr) {
@@ -668,6 +715,7 @@ void RunAccumVectorized(const AccumOp& op,
     fb.candidates += candidates;
     fb.matches += static_cast<int64_t>(npairs);
     fb.micros += timer.ElapsedMicros();
+    fb.probe_micros += probe_micros;
   }
 }
 
@@ -683,7 +731,7 @@ void RunTxnEmitVectorized(const TxnEmitOp& op,
     ScopedVec<uint8_t> keep(sc);
     ScopedVec<RowIdx> pos(sc);
     const size_t m =
-        RunGuardFilter(*op.guard, ctx, env, keep.get(), pos.get());
+        RunGuardFilter(*op.guard, ctx, env, env.vm, keep.get(), pos.get());
     r_holder->reserve(selection.size());  // stable high-water; see ApplyWrites
     for (size_t k = 0; k < m; ++k) {
       r_holder->push_back(selection[(*pos)[k]]);
@@ -703,14 +751,14 @@ void RunTxnEmitVectorized(const TxnEmitOp& op,
     evaled[wi] = ExecScratch::AssignBufs();
     if (w.target_kind == TargetKind::kRef) {
       evaled[wi].targets = ref_lease.Acquire();
-      EvalRefAuto(*w.target_ref, ctx, env, evaled[wi].targets);
+      EvalRefAuto(*w.target_ref, ctx, env, env.vm, evaled[wi].targets);
     }
     if (w.op == TxnWriteOp::kAddDelta) {
       evaled[wi].nums = num_lease.Acquire();
-      EvalNumAuto(*w.value, ctx, env, evaled[wi].nums);
+      EvalNumAuto(*w.value, ctx, env, env.vm, evaled[wi].nums);
     } else {
       evaled[wi].refs = ref_lease.Acquire();
-      EvalRefAuto(*w.value, ctx, env, evaled[wi].refs);
+      EvalRefAuto(*w.value, ctx, env, env.vm, evaled[wi].refs);
     }
   }
   for (size_t i = 0; i < R->size(); ++i) {
@@ -786,13 +834,16 @@ void FlatNumHash::Lookup(double key, std::vector<RowIdx>* out) const {
 
 void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
                  IndexManager* indexes, Tick tick, bool compile_vm,
-                 SiteCache* cache, PreparedSite* out) {
+                 bool use_vm, bool probe_batched, SiteCache* cache,
+                 PreparedSite* out) {
   out->strategy = strategy;
   out->index = nullptr;
   out->hash = nullptr;
   out->hash_field = kInvalidField;
   out->nl_filter_vm = nullptr;
   out->post_filter_vm = nullptr;
+  out->use_vm = compile_vm && use_vm;
+  out->probe_batched = probe_batched;
 
   // Compose the pair filters from the op's predicate decomposition. The
   // compositions are pure functions of (op, strategy); they are cloned into
@@ -870,7 +921,7 @@ void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
                       CompileFilter(*cache->nl_filter, &cache->nl_filter_vm);
     cache->nl_vm_built = true;
   }
-  if (compile_vm && cache->nl_vm_ok) {
+  if (out->use_vm && cache->nl_vm_ok) {
     out->nl_filter_vm = &cache->nl_filter_vm;
   }
 
@@ -900,7 +951,7 @@ void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
         CompileFilter(*cache->post_index_filter, &cache->post_filter_vm);
     cache->post_vm_built = true;
   }
-  if (compile_vm && cache->post_vm_ok) {
+  if (out->use_vm && cache->post_vm_ok) {
     out->post_filter_vm = &cache->post_filter_vm;
   }
 
@@ -950,19 +1001,19 @@ void RunOpsVectorized(const std::vector<std::unique_ptr<PlanOp>>& ops,
           const size_t slot = static_cast<size_t>(def.slot);
           if (def.type.is_number()) {
             ScopedVec<double> vals(env.scratch);
-            EvalNumAuto(*def.value, ctx, env, vals.get());
+            EvalNumAuto(*def.value, ctx, env, env.vm, vals.get());
             for (size_t i = 0; i < selection.size(); ++i) {
               env.locals->num[slot][selection[i]] = (*vals)[i];
             }
           } else if (def.type.is_bool()) {
             ScopedVec<uint8_t> vals(env.scratch);
-            EvalBoolAuto(*def.value, ctx, env, vals.get());
+            EvalBoolAuto(*def.value, ctx, env, env.vm, vals.get());
             for (size_t i = 0; i < selection.size(); ++i) {
               env.locals->bools[slot][selection[i]] = (*vals)[i];
             }
           } else {
             ScopedVec<EntityId> vals(env.scratch);
-            EvalRefAuto(*def.value, ctx, env, vals.get());
+            EvalRefAuto(*def.value, ctx, env, env.vm, vals.get());
             for (size_t i = 0; i < selection.size(); ++i) {
               env.locals->refs[slot][selection[i]] = (*vals)[i];
             }
@@ -973,7 +1024,7 @@ void RunOpsVectorized(const std::vector<std::unique_ptr<PlanOp>>& ops,
       case PlanOp::Kind::kEffects: {
         auto* o = static_cast<const EffectsOp*>(op.get());
         PairRows rows{&selection, nullptr};
-        ApplyWrites(o->writes, nullptr, rows, env);
+        ApplyWrites(o->writes, nullptr, rows, env, env.vm);
         break;
       }
       case PlanOp::Kind::kAccum:

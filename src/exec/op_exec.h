@@ -52,10 +52,16 @@ struct PreparedSite {
   /// `post_index_filter` omits what the access path already guarantees.
   const Expr* nl_filter = nullptr;
   const Expr* post_index_filter = nullptr;
-  /// Bytecode twins of the pair filters (EvalMode::kBytecode only); null
-  /// means interpret — either bytecode is off or the filter didn't lower.
+  /// Bytecode twins of the pair filters; null means interpret — bytecode
+  /// is off for this site this tick, or the filter didn't lower.
   const VmProgram* nl_filter_vm = nullptr;
   const VmProgram* post_filter_vm = nullptr;
+  /// Per-site backend decisions for this tick, resolved by the executor
+  /// from EvalMode / ProbeMode (kAuto consults the cost controller):
+  /// run this site's expressions on the bytecode VM, and answer its index
+  /// probes with one QueryBatch per morsel instead of per-row Query calls.
+  bool use_vm = false;
+  bool probe_batched = false;
 };
 
 /// Executor-owned per-site cache backing PreparedSite across ticks: the
@@ -95,16 +101,23 @@ struct ExecScratch : EvalScratch {
   /// Bytecode register files (EvalMode::kBytecode); high-water like the
   /// pools, so steady-state VM execution allocates nothing.
   VmRegisters vm;
+  /// Pooled CSR output of batched index probes (ProbeMode::kBatched);
+  /// every buffer keeps its high-water capacity across ticks.
+  ProbeBatch probe;
 };
 
 /// Refreshes the prepared access path for `op` under `strategy`: builds or
 /// fetches the index / hash table and composes the residual filters (cached
 /// in `cache`; recomposed only on a strategy switch). With `compile_vm`
 /// set, the composed filters are additionally lowered to bytecode (also
-/// cached; recompiled only when the Expr itself is recomposed).
+/// cached; recompiled only when the Expr itself is recomposed) — but the
+/// compiled twins are only *exposed* on the PreparedSite when `use_vm` is
+/// also set, so EvalMode::kAuto can flip a site per tick without paying
+/// recompilation. `probe_batched` is recorded for the accum executor.
 void PrepareSite(const AccumOp& op, JoinStrategy strategy, const World& world,
                  IndexManager* indexes, Tick tick, bool compile_vm,
-                 SiteCache* cache, PreparedSite* out);
+                 bool use_vm, bool probe_batched, SiteCache* cache,
+                 PreparedSite* out);
 
 /// Routes effect writes by target row when the world is partitioned into
 /// shards (src/shard/): writes whose target row lies in the emitting

@@ -7,6 +7,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/update/expr_updater.h"
 #include "src/vm/compile.h"
+#include "src/vm/kernels.h"
 
 namespace sgl {
 
@@ -18,7 +19,7 @@ TickExecutor::TickExecutor(World* world, const CompiledProgram* program,
       controller_(options.planner, program->num_sites),
       txn_(program) {
   txn_.set_fault(options_.fault);
-  if (options_.eval_mode == EvalMode::kBytecode && !options_.interpreted) {
+  if (options_.eval_mode != EvalMode::kInterpret && !options_.interpreted) {
     vm_cache_ = std::make_unique<VmProgramCache>();
     vm_cache_->CompileProgram(*program_);
   }
@@ -96,8 +97,27 @@ void TickExecutor::PrepareSites(
           stats_mgr_.has_stats() ? &stats_mgr_.Get(accum->inner_cls) : nullptr;
       strategy = controller_.Choose(*accum, tick_, inner_stats, outer_rows);
     }
+    // Backend axes (orthogonal to the join strategy): per-site bytecode
+    // and batched-probe decisions, resolved here once per tick so every
+    // worker thread sees the same PreparedSite.
+    bool use_vm = false;
+    bool probe_batched = false;
+    if (!options_.interpreted) {
+      use_vm = options_.eval_mode == EvalMode::kBytecode ||
+               (options_.eval_mode == EvalMode::kAuto &&
+                controller_.ChooseEvalBytecode(accum->site_id, tick_));
+      probe_batched = options_.probe_mode == ProbeMode::kBatched ||
+                      (options_.probe_mode == ProbeMode::kAuto &&
+                       controller_.ChooseProbeBatched(accum->site_id, tick_));
+    }
+    if (use_vm) ++last_.sites_bytecode; else ++last_.sites_interpreted;
+    if (probe_batched) {
+      ++last_.sites_probe_batched;
+    } else {
+      ++last_.sites_probe_single;
+    }
     PrepareSite(*accum, strategy, *world_, &indexes_, tick_,
-                /*compile_vm=*/vm_cache_ != nullptr,
+                /*compile_vm=*/vm_cache_ != nullptr, use_vm, probe_batched,
                 &site_cache_[static_cast<size_t>(accum->site_id)],
                 &prepared_[static_cast<size_t>(accum->site_id)]);
   }
@@ -164,6 +184,12 @@ Status TickExecutor::RunTick() {
   last_.vm_programs = 0;
   last_.vm_fallbacks = 0;
   last_.vm_compile_micros = 0;
+  last_.probe_micros = 0;
+  last_.simd_lanes_used = 0;
+  last_.sites_bytecode = 0;
+  last_.sites_interpreted = 0;
+  last_.sites_probe_batched = 0;
+  last_.sites_probe_single = 0;
   last_.jobs_submitted = 0;
   last_.jobs_installed = 0;
   last_.jobs_in_flight = 0;
@@ -172,6 +198,7 @@ Status TickExecutor::RunTick() {
   const int num_classes = world_->catalog().num_classes();
   const int shards = options_.num_threads > 1 ? options_.num_threads : 1;
   const int64_t index_micros_before = indexes_.build_micros();
+  const int64_t simd_lanes_before = SimdLanesNow();
 
   // --- Setup -----------------------------------------------------------
   world_->ResetEffects();
@@ -322,6 +349,8 @@ Status TickExecutor::RunTick() {
       agg.candidates += shard[i].candidates;
       agg.matches += shard[i].matches;
       agg.micros += shard[i].micros;
+      agg.probe_micros += shard[i].probe_micros;
+      last_.probe_micros += shard[i].probe_micros;
     }
   }
   for (const SiteFeedback& fb : last_.sites) {
@@ -369,6 +398,7 @@ Status TickExecutor::RunTick() {
   }
   last_.index_build_micros = indexes_.build_micros() - index_micros_before;
   last_.index_memory_bytes = static_cast<int64_t>(indexes_.MemoryBytes());
+  last_.simd_lanes_used = SimdLanesNow() - simd_lanes_before;
   last_.total_micros = total.ElapsedMicros();
   const AllocCounts alloc_after = AllocCountersNow();
   last_.allocs_per_tick = alloc_after.count - alloc_before.count;

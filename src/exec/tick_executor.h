@@ -58,7 +58,13 @@ struct ExecOptions {
   /// are compiled once at executor construction and per prepared site;
   /// both modes produce bit-identical world state. Ignored when
   /// `interpreted` is set (the scalar baseline has no vectorized spans).
+  /// kAuto compiles everything up front and asks the cost controller per
+  /// site per tick which backend to run.
   EvalMode eval_mode = EvalMode::kInterpret;
+  /// Index-probe style of range-indexed accum sites: one virtual Query per
+  /// outer row (kSingle), one QueryBatch per morsel (kBatched, default), or
+  /// a per-site measured choice (kAuto). All bit-identical.
+  ProbeMode probe_mode = ProbeMode::kBatched;
   /// Out-of-band job execution (src/async/): worker count, ordering-key
   /// seed. The JobService is created lazily, when a component first asks
   /// for it (Engine::AddAsyncPathfinder / executor jobs()).
@@ -94,6 +100,19 @@ struct TickStats {
   int64_t vm_programs = 0;
   int64_t vm_fallbacks = 0;
   int64_t vm_compile_micros = 0;
+  /// Time inside batched QueryBatch calls, summed over sites and shards
+  /// (0 when no site probed batched this tick).
+  int64_t probe_micros = 0;
+  /// Double lanes processed by AVX2 kernel bodies this tick (0 under
+  /// scalar dispatch — see common/cpu_features.h).
+  int64_t simd_lanes_used = 0;
+  /// Per-tick backend decisions across prepared accum sites: how many ran
+  /// their expressions on the VM vs the tree walker, and how many probed
+  /// their index batched vs per row (kAuto makes these vary tick to tick).
+  int64_t sites_bytecode = 0;
+  int64_t sites_interpreted = 0;
+  int64_t sites_probe_batched = 0;
+  int64_t sites_probe_single = 0;
   /// Out-of-band job activity (src/async/; all 0 with no JobService).
   int64_t jobs_submitted = 0;
   int64_t jobs_installed = 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/vec_util.h"
+#include "src/vm/kernels.h"
+
 namespace sgl {
 
 GridIndex::GridIndex(int dims, double target_per_cell)
@@ -141,6 +144,115 @@ void GridIndex::Query(const double* lo, const double* hi,
       cc[k] = c_lo[k];
     }
     if (k < 0) break;
+  }
+}
+
+void GridIndex::QueryBatch(const double* const* lo, const double* const* hi,
+                           size_t num_probes, ProbeBatch* out) const {
+  GrowWithHeadroom(&out->offsets, num_probes + 1);
+  out->items.clear();
+  out->offsets[0] = 0;
+  if (n_ == 0 || num_probes == 0) {
+    std::fill(out->offsets.begin(), out->offsets.end(), 0u);
+    return;
+  }
+
+  // Visit probes grouped by their box's primary cell so consecutive probes
+  // walk overlapping CSR runs; ties keep probe order (stable by key since
+  // the probe id is the low half). Inverted boxes sort as cell 0 and emit
+  // nothing.
+  GrowWithHeadroom(&out->visit_keys, num_probes);
+  for (size_t p = 0; p < num_probes; ++p) {
+    uint64_t cell = 0;
+    bool empty = false;
+    for (int k = 0; k < dims_; ++k) {
+      if (lo[k][p] > hi[k][p]) {
+        empty = true;
+        break;
+      }
+    }
+    if (!empty) {
+      int64_t cc[kMaxIndexDims];
+      for (int k = 0; k < dims_; ++k) cc[k] = CellCoord(k, lo[k][p]);
+      cell = static_cast<uint64_t>(CellIndex(cc));
+    }
+    out->visit_keys[p] = (cell << 32) | static_cast<uint64_t>(p);
+  }
+  std::sort(out->visit_keys.begin(), out->visit_keys.end());
+
+  const VmKernels& kern = GetVmKernels();
+  const double* cols[kMaxIndexDims];
+  for (int k = 0; k < dims_; ++k) cols[k] = coords_[static_cast<size_t>(k)].data();
+
+  // Emit candidates in visit order into tmp_items; tmp_start[v] marks each
+  // visit's slice so the scatter below can rebuild probe order.
+  GrowWithHeadroom(&out->tmp_start, num_probes + 1);
+  size_t tmp_n = 0;
+  for (size_t v = 0; v < num_probes; ++v) {
+    const size_t p = static_cast<size_t>(out->visit_keys[v] & 0xffffffffu);
+    out->tmp_start[v] = static_cast<uint32_t>(tmp_n);
+    if (v + 1 < num_probes) {
+      // Pull the next probe's primary CSR span toward the cache while this
+      // probe filters its candidates.
+      const size_t nc = static_cast<size_t>(out->visit_keys[v + 1] >> 32);
+      __builtin_prefetch(cell_items_.data() + cell_start_[nc]);
+    }
+    double plo[kMaxIndexDims], phi[kMaxIndexDims];
+    bool empty = false;
+    for (int k = 0; k < dims_; ++k) {
+      plo[k] = lo[k][p];
+      phi[k] = hi[k][p];
+      if (plo[k] > phi[k]) empty = true;
+    }
+    if (empty) continue;
+    int64_t c_lo[kMaxIndexDims], c_hi[kMaxIndexDims];
+    for (int k = 0; k < dims_; ++k) {
+      c_lo[k] = CellCoord(k, plo[k]);
+      c_hi[k] = CellCoord(k, phi[k]);
+    }
+    // Odometer over every dim but the last; the last dim's cell run
+    // [c_lo, c_hi] is one contiguous CSR span.
+    const int last = dims_ - 1;
+    int64_t cc[kMaxIndexDims];
+    std::copy(c_lo, c_lo + dims_, cc);
+    const size_t span_cells = static_cast<size_t>(c_hi[last] - c_lo[last]);
+    for (;;) {
+      cc[last] = c_lo[last];
+      const size_t first_cell = CellIndex(cc);
+      const uint32_t a = cell_start_[first_cell];
+      const uint32_t b = cell_start_[first_cell + span_cells + 1];
+      if (b > a) {
+        const size_t len = b - a;
+        GrowWithHeadroom(&out->tmp_items, tmp_n + len);
+        tmp_n += kern.range_filter(cell_items_.data() + a, len, cols, dims_,
+                                   plo, phi, out->tmp_items.data() + tmp_n);
+      }
+      int k = last - 1;
+      for (; k >= 0; --k) {
+        if (++cc[k] <= c_hi[k]) break;
+        cc[k] = c_lo[k];
+      }
+      if (k < 0) break;
+    }
+  }
+  out->tmp_start[num_probes] = static_cast<uint32_t>(tmp_n);
+
+  // Scatter visit-order slices back into probe-order CSR, sorting each
+  // slice ascending to match the single-probe contract.
+  for (size_t p = 0; p <= num_probes; ++p) out->offsets[p] = 0;
+  for (size_t v = 0; v < num_probes; ++v) {
+    const size_t p = static_cast<size_t>(out->visit_keys[v] & 0xffffffffu);
+    out->offsets[p + 1] = out->tmp_start[v + 1] - out->tmp_start[v];
+  }
+  for (size_t p = 0; p < num_probes; ++p) out->offsets[p + 1] += out->offsets[p];
+  GrowWithHeadroom(&out->items, tmp_n);
+  for (size_t v = 0; v < num_probes; ++v) {
+    const size_t p = static_cast<size_t>(out->visit_keys[v] & 0xffffffffu);
+    const uint32_t a = out->tmp_start[v];
+    const uint32_t b = out->tmp_start[v + 1];
+    RowIdx* dst = out->items.data() + out->offsets[p];
+    std::copy(out->tmp_items.begin() + a, out->tmp_items.begin() + b, dst);
+    std::sort(dst, dst + (b - a));
   }
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/index/probe_batch.h"
 
 namespace sgl {
 
@@ -37,6 +38,18 @@ class GridIndex {
   /// Appends every point in the closed box to `out`.
   void Query(const double* lo, const double* hi,
              std::vector<RowIdx>* out) const;
+
+  /// Batched probe over num_probes boxes given as per-dim columns
+  /// (lo[k][p], hi[k][p]); result contract in probe_batch.h. Semantically
+  /// identical to Query + sort per box, but restructured for the
+  /// probe-bound join loop: probes are visited grouped by their box's
+  /// primary cell (sorted 64-bit cell<<32|probe keys), each box's
+  /// innermost-dim cell run is one contiguous CSR span (CellIndex is
+  /// row-major with the last dim fastest) walked with the SIMD range
+  /// filter, the next probe's span is prefetched, and candidates land in
+  /// pooled CSR output. Zero allocations at buffer high-water.
+  void QueryBatch(const double* const* lo, const double* const* hi,
+                  size_t num_probes, ProbeBatch* out) const;
 
   size_t Count(const double* lo, const double* hi) const;
 

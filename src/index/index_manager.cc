@@ -1,6 +1,9 @@
 #include "src/index/index_manager.h"
 
+#include <algorithm>
+
 #include "src/common/stopwatch.h"
+#include "src/common/vec_util.h"
 
 namespace sgl {
 
@@ -12,9 +15,14 @@ class RangeTreeIndex : public SpatialIndex {
   void Build(std::vector<std::vector<double>>&& coords) {
     tree_.Build(std::move(coords));
   }
+  int dims() const override { return tree_.dims(); }
   void Query(const double* lo, const double* hi,
              std::vector<RowIdx>* out) const override {
     tree_.Query(lo, hi, out);
+  }
+  void QueryBatch(const double* const* lo, const double* const* hi,
+                  size_t num_probes, ProbeBatch* out) const override {
+    tree_.QueryBatch(lo, hi, num_probes, out);
   }
   size_t MemoryBytes() const override { return tree_.MemoryBytes(); }
 
@@ -28,9 +36,14 @@ class GridIndexAdapter : public SpatialIndex {
   void Build(std::vector<std::vector<double>>&& coords) {
     grid_.Build(std::move(coords));
   }
+  int dims() const override { return grid_.dims(); }
   void Query(const double* lo, const double* hi,
              std::vector<RowIdx>* out) const override {
     grid_.Query(lo, hi, out);
+  }
+  void QueryBatch(const double* const* lo, const double* const* hi,
+                  size_t num_probes, ProbeBatch* out) const override {
+    grid_.QueryBatch(lo, hi, num_probes, out);
   }
   size_t MemoryBytes() const override { return grid_.MemoryBytes(); }
 
@@ -52,6 +65,26 @@ void ExtractCoords(const World& world, const IndexSpec& spec,
 }
 
 }  // namespace
+
+void SpatialIndex::QueryBatch(const double* const* lo, const double* const* hi,
+                              size_t num_probes, ProbeBatch* out) const {
+  const int d = dims();
+  SGL_CHECK(d <= kMaxIndexDims);
+  GrowWithHeadroom(&out->offsets, num_probes + 1);
+  out->items.clear();
+  out->offsets[0] = 0;
+  double plo[kMaxIndexDims], phi[kMaxIndexDims];
+  for (size_t p = 0; p < num_probes; ++p) {
+    for (int k = 0; k < d; ++k) {
+      plo[k] = lo[k][p];
+      phi[k] = hi[k][p];
+    }
+    const size_t before = out->items.size();
+    Query(plo, phi, &out->items);
+    std::sort(out->items.begin() + before, out->items.end());
+    out->offsets[p + 1] = static_cast<uint32_t>(out->items.size());
+  }
+}
 
 const char* IndexKindName(IndexKind kind) {
   switch (kind) {

@@ -12,6 +12,7 @@
 
 #include "src/common/types.h"
 #include "src/index/grid_index.h"
+#include "src/index/probe_batch.h"
 #include "src/index/range_tree.h"
 #include "src/storage/world.h"
 
@@ -40,8 +41,17 @@ struct IndexSpec {
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
+  virtual int dims() const = 0;
   virtual void Query(const double* lo, const double* hi,
                      std::vector<RowIdx>* out) const = 0;
+  /// Batched probe: one virtual call answers num_probes boxes given as
+  /// per-dim bound columns (lo[k][p], hi[k][p], k < dims()), emitting
+  /// pooled CSR output whose slices are sorted ascending — bit-identical
+  /// to Query + sort per box (contract: src/index/probe_batch.h). The
+  /// default implementation is exactly that loop; concrete indexes
+  /// override with their native batch walk.
+  virtual void QueryBatch(const double* const* lo, const double* const* hi,
+                          size_t num_probes, ProbeBatch* out) const;
   virtual size_t MemoryBytes() const = 0;
 };
 

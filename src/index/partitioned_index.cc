@@ -81,6 +81,26 @@ void PartitionedIndex::Query(const double* lo, const double* hi,
   if (shards_touched != nullptr) *shards_touched = touched;
 }
 
+void PartitionedIndex::QueryBatch(const double* const* lo,
+                                  const double* const* hi, size_t num_probes,
+                                  ProbeBatch* out) const {
+  SGL_CHECK(dims_ <= kMaxIndexDims);
+  GrowWithHeadroom(&out->offsets, num_probes + 1);
+  out->items.clear();
+  out->offsets[0] = 0;
+  double plo[kMaxIndexDims], phi[kMaxIndexDims];
+  for (size_t p = 0; p < num_probes; ++p) {
+    for (int k = 0; k < dims_; ++k) {
+      plo[k] = lo[k][p];
+      phi[k] = hi[k][p];
+    }
+    const size_t before = out->items.size();
+    Query(plo, phi, &out->items);
+    std::sort(out->items.begin() + before, out->items.end());
+    out->offsets[p + 1] = static_cast<uint32_t>(out->items.size());
+  }
+}
+
 size_t PartitionedIndex::ShardMemoryBytes(int s) const {
   size_t bytes = trees_[static_cast<size_t>(s)]->MemoryBytes();
   bytes += shard_rows_[static_cast<size_t>(s)].capacity() * sizeof(RowIdx);

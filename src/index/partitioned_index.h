@@ -41,6 +41,13 @@ class PartitionedIndex {
   void Query(const double* lo, const double* hi, std::vector<RowIdx>* out,
              int* shards_touched = nullptr) const;
 
+  /// Batched probe over num_probes boxes given as per-dim columns
+  /// (lo[k][p], hi[k][p]); result contract in probe_batch.h. One shard fan
+  /// out per box into pooled CSR output (in a real cluster this is where
+  /// probes would be grouped into one message per shard).
+  void QueryBatch(const double* const* lo, const double* const* hi,
+                  size_t num_probes, ProbeBatch* out) const;
+
   /// Heap bytes of shard `s`: its tree, its row translation, and its
   /// persistent column staging buffers.
   size_t ShardMemoryBytes(int s) const;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/index/probe_batch.h"
 
 namespace sgl {
 
@@ -57,6 +58,15 @@ class RangeTree {
   /// `out`. Result order is deterministic (tree order) but unspecified.
   void Query(const double* lo, const double* hi,
              std::vector<RowIdx>* out) const;
+
+  /// Batched probe over num_probes boxes given as per-dim columns
+  /// (lo[k][p], hi[k][p]); result contract in probe_batch.h. The layered
+  /// traversal cannot be fused across probes the way the grid's CSR walk
+  /// can, so this runs one traversal per box — the win over the executor's
+  /// old loop is the devirtualized probe call, the pooled CSR emission,
+  /// and the slice sort done in place. Requires dims() <= kMaxIndexDims.
+  void QueryBatch(const double* const* lo, const double* const* hi,
+                  size_t num_probes, ProbeBatch* out) const;
 
   /// Number of points in the box. Pure counting traversal — covered
   /// canonical ranges contribute their width without being materialized, so

@@ -41,23 +41,37 @@ const char* PlanModeName(PlanMode mode);
 
 /// How plan expressions are evaluated — the second optimizer axis,
 /// orthogonal to PlanMode ("compile the tick", ROADMAP): tree-walking
-/// interpretation, or register bytecode with fused filter pipelines
-/// (src/vm/). Both produce bit-identical world state.
+/// interpretation, register bytecode with fused filter pipelines
+/// (src/vm/), or a per-site choice between the two priced from measured
+/// micros (kAuto). All produce bit-identical world state.
 enum class EvalMode : uint8_t {
   kInterpret,
   kBytecode,
+  kAuto,
 };
 
 const char* EvalModeName(EvalMode mode);
+
+/// How indexed accum sites probe their index — the third orthogonal axis:
+/// one virtual Query per outer row, one QueryBatch per morsel chunk, or a
+/// per-site measured choice. All produce bit-identical world state.
+enum class ProbeMode : uint8_t {
+  kSingle,
+  kBatched,
+  kAuto,
+};
+
+const char* ProbeModeName(ProbeMode mode);
 
 /// What the executor reports after running one AccumOp.
 struct SiteFeedback {
   int site = -1;
   JoinStrategy strategy = JoinStrategy::kNestedLoop;
   int64_t outer_rows = 0;
-  int64_t candidates = 0;  ///< pairs inspected
-  int64_t matches = 0;     ///< pairs surviving all predicates
+  int64_t candidates = 0;    ///< pairs inspected
+  int64_t matches = 0;       ///< pairs surviving all predicates
   int64_t micros = 0;
+  int64_t probe_micros = 0;  ///< time inside batched QueryBatch calls
 };
 
 /// Picks an AccumOp strategy each tick and learns from feedback.
@@ -81,6 +95,14 @@ class AdaptiveController {
 
   /// Reports measured behaviour of a site's execution.
   void Feedback(const SiteFeedback& fb);
+
+  /// Per-site backend pricing (EvalMode::kAuto): true = run the site's
+  /// expressions on the bytecode VM this tick, false = tree-walk. Learned
+  /// from measured per-outer-row micros under every PlanMode, since the
+  /// backend axis is orthogonal to join-strategy selection.
+  bool ChooseEvalBytecode(int site, Tick tick);
+  /// Per-site probe pricing (ProbeMode::kAuto): true = batched QueryBatch.
+  bool ChooseProbeBatched(int site, Tick tick);
 
   /// Times this controller switched a site's strategy (for E5 reporting).
   int64_t switches() const { return switches_; }
@@ -109,8 +131,31 @@ class AdaptiveController {
   JoinStrategy CostBasedPick(const AccumOp& op, const TableStats* inner_stats,
                              size_t outer_rows) const;
 
+  /// Two-armed per-site bandit over one orthogonal backend axis. The first
+  /// `warmup_left` decisions alternate arms (stride-staggered so the eval
+  /// and probe axes decorrelate and all four combinations run), seeding
+  /// both EWMAs with real measurements and pushing both code paths'
+  /// pooled buffers to their high-water marks during engine warmup; after
+  /// that the cheaper arm wins, with a periodic re-probe of the loser.
+  struct TwoArm {
+    Ewma arm[2] = {Ewma(), Ewma()};  ///< micros/outer for arm 0 / arm 1
+    int8_t last = -1;    ///< arm of the most recent decision
+    int8_t warmup_left = 8;
+    int8_t stride = 1;   ///< warmup alternation stride (decorrelation)
+    Tick last_probe = -1;
+
+    int Choose(Tick tick, int probe_interval);
+    void Observe(double per_outer);
+  };
+  struct BackendState {
+    TwoArm eval;
+    TwoArm probe;
+    BackendState() { probe.stride = 2; }
+  };
+
   Options options_;
   std::vector<SiteState> sites_;
+  std::vector<BackendState> backends_;  ///< parallel to sites_
   int64_t switches_ = 0;
   int64_t drift_resets_ = 0;
 };

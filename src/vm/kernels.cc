@@ -1,0 +1,140 @@
+#include "src/vm/kernels.h"
+
+#include "src/vm/kernels_scalar.h"
+#if SGL_KERNELS_AVX2
+#include "src/vm/kernels_avx2.h"
+#endif
+
+namespace sgl {
+
+namespace vm_internal {
+std::atomic<int64_t> g_simd_lanes{0};
+}  // namespace vm_internal
+
+namespace {
+
+// Fills one table from a kernel namespace. fmod/pow have no vector form, so
+// the AVX2 table reuses the scalar libm loops for those two slots — both
+// tables call the identical function, trivially bit-identical.
+#define SGL_FILL_TABLE(t, NS)                       \
+  do {                                              \
+    (t).fill = NS::Fill;                            \
+    (t).bin[kKerAdd] = NS::Add;                     \
+    (t).bin[kKerSub] = NS::Sub;                     \
+    (t).bin[kKerMul] = NS::Mul;                     \
+    (t).bin[kKerDiv] = NS::Div;                     \
+    (t).bin[kKerMod] = vmks::Mod;                   \
+    (t).bin[kKerMin] = NS::Min;                     \
+    (t).bin[kKerMax] = NS::Max;                     \
+    (t).bin[kKerPow] = vmks::Pow;                   \
+    (t).bin_sel[kKerAdd] = NS::AddSel;              \
+    (t).bin_sel[kKerSub] = NS::SubSel;              \
+    (t).bin_sel[kKerMul] = NS::MulSel;              \
+    (t).bin_sel[kKerDiv] = NS::DivSel;              \
+    (t).bin_sel[kKerMod] = vmks::ModSel;            \
+    (t).bin_sel[kKerMin] = NS::MinSel;              \
+    (t).bin_sel[kKerMax] = NS::MaxSel;              \
+    (t).bin_sel[kKerPow] = vmks::PowSel;            \
+    (t).un[kKerNeg] = NS::Neg;                      \
+    (t).un[kKerAbs] = NS::Abs;                      \
+    (t).un[kKerSqrt] = NS::Sqrt;                    \
+    (t).un[kKerFloor] = NS::Floor;                  \
+    (t).un[kKerCeil] = NS::Ceil;                    \
+    (t).un_sel[kKerNeg] = NS::NegSel;               \
+    (t).un_sel[kKerAbs] = NS::AbsSel;               \
+    (t).un_sel[kKerSqrt] = NS::SqrtSel;             \
+    (t).un_sel[kKerFloor] = NS::FloorSel;           \
+    (t).un_sel[kKerCeil] = NS::CeilSel;             \
+    (t).clamp = NS::Clamp;                          \
+    (t).clamp_sel = NS::ClampSel;                   \
+    (t).cmp[kKerLt] = NS::CmpLt;                    \
+    (t).cmp[kKerLe] = NS::CmpLe;                    \
+    (t).cmp[kKerGt] = NS::CmpGt;                    \
+    (t).cmp[kKerGe] = NS::CmpGe;                    \
+    (t).cmp[kKerEq] = NS::CmpEq;                    \
+    (t).cmp[kKerNe] = NS::CmpNe;                    \
+    (t).cmp_sel[kKerLt] = NS::CmpLtSel;             \
+    (t).cmp_sel[kKerLe] = NS::CmpLeSel;             \
+    (t).cmp_sel[kKerGt] = NS::CmpGtSel;             \
+    (t).cmp_sel[kKerGe] = NS::CmpGeSel;             \
+    (t).cmp_sel[kKerEq] = NS::CmpEqSel;             \
+    (t).cmp_sel[kKerNe] = NS::CmpNeSel;             \
+    (t).f_iota_vv[kKerLt] = NS::FilterLtIotaVV;     \
+    (t).f_iota_vv[kKerLe] = NS::FilterLeIotaVV;     \
+    (t).f_iota_vv[kKerGt] = NS::FilterGtIotaVV;     \
+    (t).f_iota_vv[kKerGe] = NS::FilterGeIotaVV;     \
+    (t).f_iota_vv[kKerEq] = NS::FilterEqIotaVV;     \
+    (t).f_iota_vv[kKerNe] = NS::FilterNeIotaVV;     \
+    (t).f_iota_vs[kKerLt] = NS::FilterLtIotaVS;     \
+    (t).f_iota_vs[kKerLe] = NS::FilterLeIotaVS;     \
+    (t).f_iota_vs[kKerGt] = NS::FilterGtIotaVS;     \
+    (t).f_iota_vs[kKerGe] = NS::FilterGeIotaVS;     \
+    (t).f_iota_vs[kKerEq] = NS::FilterEqIotaVS;     \
+    (t).f_iota_vs[kKerNe] = NS::FilterNeIotaVS;     \
+    (t).f_iota_sv[kKerLt] = NS::FilterLtIotaSV;     \
+    (t).f_iota_sv[kKerLe] = NS::FilterLeIotaSV;     \
+    (t).f_iota_sv[kKerGt] = NS::FilterGtIotaSV;     \
+    (t).f_iota_sv[kKerGe] = NS::FilterGeIotaSV;     \
+    (t).f_iota_sv[kKerEq] = NS::FilterEqIotaSV;     \
+    (t).f_iota_sv[kKerNe] = NS::FilterNeIotaSV;     \
+    (t).f_sel_vv[kKerLt] = NS::FilterLtSelVV;       \
+    (t).f_sel_vv[kKerLe] = NS::FilterLeSelVV;       \
+    (t).f_sel_vv[kKerGt] = NS::FilterGtSelVV;       \
+    (t).f_sel_vv[kKerGe] = NS::FilterGeSelVV;       \
+    (t).f_sel_vv[kKerEq] = NS::FilterEqSelVV;       \
+    (t).f_sel_vv[kKerNe] = NS::FilterNeSelVV;       \
+    (t).f_sel_vs[kKerLt] = NS::FilterLtSelVS;       \
+    (t).f_sel_vs[kKerLe] = NS::FilterLeSelVS;       \
+    (t).f_sel_vs[kKerGt] = NS::FilterGtSelVS;       \
+    (t).f_sel_vs[kKerGe] = NS::FilterGeSelVS;       \
+    (t).f_sel_vs[kKerEq] = NS::FilterEqSelVS;       \
+    (t).f_sel_vs[kKerNe] = NS::FilterNeSelVS;       \
+    (t).f_sel_sv[kKerLt] = NS::FilterLtSelSV;       \
+    (t).f_sel_sv[kKerLe] = NS::FilterLeSelSV;       \
+    (t).f_sel_sv[kKerGt] = NS::FilterGtSelSV;       \
+    (t).f_sel_sv[kKerGe] = NS::FilterGeSelSV;       \
+    (t).f_sel_sv[kKerEq] = NS::FilterEqSelSV;       \
+    (t).f_sel_sv[kKerNe] = NS::FilterNeSelSV;       \
+    (t).range_filter = NS::RangeFilter;             \
+  } while (0)
+
+VmKernels MakeScalarTable() {
+  VmKernels t{};
+  SGL_FILL_TABLE(t, vmks);
+  return t;
+}
+
+#if SGL_KERNELS_AVX2
+VmKernels MakeAvx2Table() {
+  VmKernels t{};
+  SGL_FILL_TABLE(t, vmka);
+  return t;
+}
+#endif
+
+#undef SGL_FILL_TABLE
+
+}  // namespace
+
+const VmKernels& GetScalarKernels() {
+  static const VmKernels t = MakeScalarTable();
+  return t;
+}
+
+#if SGL_KERNELS_AVX2
+const VmKernels& GetAvx2Kernels() {
+  static const VmKernels t = MakeAvx2Table();
+  return t;
+}
+#endif
+
+const VmKernels& GetVmKernels() {
+#if SGL_KERNELS_AVX2
+  // SetKernelDispatch refuses kAvx2 on non-AVX2 CPUs, so reaching the AVX2
+  // table here implies the CPU can run it.
+  if (ActiveKernelDispatch() == KernelDispatch::kAvx2) return GetAvx2Kernels();
+#endif
+  return GetScalarKernels();
+}
+
+}  // namespace sgl

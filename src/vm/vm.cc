@@ -1,7 +1,10 @@
-// Bytecode interpreter: one dispatch per instruction, one kernel loop per
+// Bytecode interpreter: one dispatch per instruction, one kernel call per
 // dispatch. See bytecode.h for the execution model and vm.h for parity
-// invariants. Kernels use plain index loops (pragma-hinted, no intrinsics)
-// so the autovectorizer does the SIMD work; guarded arithmetic comes from
+// invariants. Numeric folds, comparisons, and fused compare-and-compact
+// filters route through the explicit-SIMD kernel table (kernels.h, scalar
+// or AVX2 picked at runtime — bit-identical per lane either way); the
+// remaining loops (ref/bool logic, gathers, set reads) stay plain
+// pragma-hinted index loops. Guarded arithmetic comes from
 // src/ra/numeric.h, shared with the tree walker.
 
 #include "src/vm/vm.h"
@@ -10,6 +13,7 @@
 #include <cmath>
 
 #include "src/ra/numeric.h"
+#include "src/vm/kernels.h"
 
 namespace sgl {
 namespace {
@@ -35,6 +39,7 @@ struct ExecState {
   const VmProgram* p = nullptr;
   const VecContext* ctx = nullptr;
   VmRegisters* r = nullptr;
+  const VmKernels* k = nullptr;  // active kernel table (scalar or AVX2)
   const RowIdx* sel = nullptr;
   size_t cnt = 0;
   size_t n = 0;
@@ -96,8 +101,7 @@ double* MatNum(ExecState& s, uint16_t reg) {
   if (s.r->num_uni[reg]) {
     const double v = s.r->num_val[reg];
     if (s.sel == nullptr) {
-      SGL_VEC_LOOP
-      for (size_t i = 0; i < s.n; ++i) d[i] = v;
+      s.k->fill(d, v, s.n);
     } else {
       for (size_t k = 0; k < s.cnt; ++k) d[s.sel[k]] = v;
     }
@@ -149,39 +153,47 @@ EntityId* MatRef(ExecState& s, uint16_t reg) {
     }                                                   \
   } while (0)
 
-// dst = EXPR(av, bv) over doubles; all-uniform operands stay scalar.
-#define SGL_VM_NUM_BIN(EXPR)                                         \
-  do {                                                               \
-    if (s.r->num_uni[in.a] && s.r->num_uni[in.b]) {                  \
-      const double av = s.r->num_val[in.a];                          \
-      const double bv = s.r->num_val[in.b];                          \
-      SetNumU(s, in.dst, (EXPR));                                    \
-    } else {                                                         \
-      const double* pa = MatNum(s, in.a);                            \
-      const double* pb = MatNum(s, in.b);                            \
-      double* d = s.r->num_ptr[in.dst];                              \
-      s.r->num_uni[in.dst] = 0;                                      \
-      SGL_VM_LANES(const double av = pa[i]; const double bv = pb[i]; \
-                   d[i] = (EXPR));                                   \
-    }                                                                \
+// dst = kernel KID (av, bv) over doubles; all-uniform operands stay scalar
+// via EXPR — the kernel tables implement the identical lane expression.
+#define SGL_VM_NUM_BIN(KID, EXPR)                       \
+  do {                                                  \
+    if (s.r->num_uni[in.a] && s.r->num_uni[in.b]) {     \
+      const double av = s.r->num_val[in.a];             \
+      const double bv = s.r->num_val[in.b];             \
+      SetNumU(s, in.dst, (EXPR));                       \
+    } else {                                            \
+      const double* pa = MatNum(s, in.a);               \
+      const double* pb = MatNum(s, in.b);               \
+      double* d = s.r->num_ptr[in.dst];                 \
+      s.r->num_uni[in.dst] = 0;                         \
+      if (s.sel == nullptr) {                           \
+        s.k->bin[KID](pa, pb, d, s.n);                  \
+      } else {                                          \
+        s.k->bin_sel[KID](pa, pb, d, s.sel, s.cnt);     \
+      }                                                 \
+    }                                                   \
   } while (0)
 
-// dst = EXPR(av) over doubles.
-#define SGL_VM_NUM_UN(EXPR)                                 \
-  do {                                                      \
-    if (s.r->num_uni[in.a]) {                               \
-      const double av = s.r->num_val[in.a];                 \
-      SetNumU(s, in.dst, (EXPR));                           \
-    } else {                                                \
-      const double* pa = s.r->num_ptr[in.a];                \
-      double* d = s.r->num_ptr[in.dst];                     \
-      s.r->num_uni[in.dst] = 0;                             \
-      SGL_VM_LANES(const double av = pa[i]; d[i] = (EXPR)); \
-    }                                                       \
+// dst = kernel KID (av) over doubles.
+#define SGL_VM_NUM_UN(KID, EXPR)               \
+  do {                                         \
+    if (s.r->num_uni[in.a]) {                  \
+      const double av = s.r->num_val[in.a];    \
+      SetNumU(s, in.dst, (EXPR));              \
+    } else {                                   \
+      const double* pa = s.r->num_ptr[in.a];   \
+      double* d = s.r->num_ptr[in.dst];        \
+      s.r->num_uni[in.dst] = 0;                \
+      if (s.sel == nullptr) {                  \
+        s.k->un[KID](pa, d, s.n);              \
+      } else {                                 \
+        s.k->un_sel[KID](pa, d, s.sel, s.cnt); \
+      }                                        \
+    }                                          \
   } while (0)
 
 // bool dst = num a OP num b (plain C++ operator, matching ApplyCmp).
-#define SGL_VM_NUM_CMP(OP)                                          \
+#define SGL_VM_NUM_CMP(KID, OP)                                     \
   do {                                                              \
     if (s.r->num_uni[in.a] && s.r->num_uni[in.b]) {                 \
       SetBoolU(s, in.dst,                                           \
@@ -191,7 +203,11 @@ EntityId* MatRef(ExecState& s, uint16_t reg) {
       const double* pb = MatNum(s, in.b);                           \
       uint8_t* d = s.r->bool_ptr[in.dst];                           \
       s.r->bool_uni[in.dst] = 0;                                    \
-      SGL_VM_LANES(d[i] = (pa[i] OP pb[i]) ? 1 : 0);                \
+      if (s.sel == nullptr) {                                       \
+        s.k->cmp[KID](pa, pb, d, s.n);                              \
+      } else {                                                      \
+        s.k->cmp_sel[KID](pa, pb, d, s.sel, s.cnt);                 \
+      }                                                             \
     }                                                               \
   } while (0)
 
@@ -291,29 +307,48 @@ EntityId* MatRef(ExecState& s, uint16_t reg) {
     s.cnt = out_n;                             \
   } while (0)
 
-// Fused compare-and-compact with scalar-vs-column specializations: when one
-// side is uniform (the common "gathered column against a bound" shape) the
-// loop reads a single array.
-#define SGL_VM_FILTER_CMP(OP)                \
-  do {                                       \
-    const bool ua = s.r->num_uni[in.a] != 0; \
-    const bool ub = s.r->num_uni[in.b] != 0; \
-    const double va = s.r->num_val[in.a];    \
-    const double vb = s.r->num_val[in.b];    \
-    const double* pa = s.r->num_ptr[in.a];   \
-    const double* pb = s.r->num_ptr[in.b];   \
-    if (ua && ub) {                          \
-      if (!(va OP vb)) {                     \
-        s.sel = s.filter_sel->data();        \
-        s.cnt = 0;                           \
-      }                                      \
-    } else if (ua) {                         \
-      SGL_VM_FILTER(va OP pb[i]);            \
-    } else if (ub) {                         \
-      SGL_VM_FILTER(pa[i] OP vb);            \
-    } else {                                 \
-      SGL_VM_FILTER(pa[i] OP pb[i]);         \
-    }                                        \
+// Fused compare-and-compact through the kernel table, with scalar-vs-column
+// specializations: when one side is uniform (the common "gathered column
+// against a bound" shape) the kernel reads a single array. Sel-shaped
+// kernels compact s.sel into filter_sel in place when they alias — the
+// kernels' write cursor never passes their read cursor.
+#define SGL_VM_FILTER_CMP(KID, OP)                              \
+  do {                                                          \
+    const bool ua = s.r->num_uni[in.a] != 0;                    \
+    const bool ub = s.r->num_uni[in.b] != 0;                    \
+    const double va = s.r->num_val[in.a];                       \
+    const double vb = s.r->num_val[in.b];                       \
+    const double* pa = s.r->num_ptr[in.a];                      \
+    const double* pb = s.r->num_ptr[in.b];                      \
+    RowIdx* fs = s.filter_sel->data();                          \
+    if (ua && ub) {                                             \
+      if (!(va OP vb)) {                                        \
+        s.sel = fs;                                             \
+        s.cnt = 0;                                              \
+      }                                                         \
+    } else if (s.sel == nullptr) {                              \
+      size_t m;                                                 \
+      if (ua) {                                                 \
+        m = s.k->f_iota_sv[KID](va, pb, fs, s.n);               \
+      } else if (ub) {                                          \
+        m = s.k->f_iota_vs[KID](pa, vb, fs, s.n);               \
+      } else {                                                  \
+        m = s.k->f_iota_vv[KID](pa, pb, fs, s.n);               \
+      }                                                         \
+      s.sel = fs;                                               \
+      s.cnt = m;                                                \
+    } else {                                                    \
+      size_t m;                                                 \
+      if (ua) {                                                 \
+        m = s.k->f_sel_sv[KID](va, pb, s.sel, s.cnt, fs);       \
+      } else if (ub) {                                          \
+        m = s.k->f_sel_vs[KID](pa, vb, s.sel, s.cnt, fs);       \
+      } else {                                                  \
+        m = s.k->f_sel_vv[KID](pa, pb, s.sel, s.cnt, fs);       \
+      }                                                         \
+      s.sel = fs;                                               \
+      s.cnt = m;                                                \
+    }                                                           \
   } while (0)
 
 void RunProgram(ExecState& s) {
@@ -486,19 +521,19 @@ void RunProgram(ExecState& s) {
       }
 
       // ----- Numeric kernels (semantics: src/ra/numeric.h) -------------
-      case VmOp::kAdd: SGL_VM_NUM_BIN(av + bv); break;
-      case VmOp::kSub: SGL_VM_NUM_BIN(av - bv); break;
-      case VmOp::kMul: SGL_VM_NUM_BIN(av * bv); break;
-      case VmOp::kDiv: SGL_VM_NUM_BIN(GuardedDiv(av, bv)); break;
-      case VmOp::kMod: SGL_VM_NUM_BIN(GuardedMod(av, bv)); break;
-      case VmOp::kMin: SGL_VM_NUM_BIN(av < bv ? av : bv); break;
-      case VmOp::kMax: SGL_VM_NUM_BIN(av > bv ? av : bv); break;
-      case VmOp::kPow: SGL_VM_NUM_BIN(std::pow(av, bv)); break;
-      case VmOp::kNeg: SGL_VM_NUM_UN(-av); break;
-      case VmOp::kAbs: SGL_VM_NUM_UN(std::fabs(av)); break;
-      case VmOp::kSqrt: SGL_VM_NUM_UN(GuardedSqrt(av)); break;
-      case VmOp::kFloor: SGL_VM_NUM_UN(std::floor(av)); break;
-      case VmOp::kCeil: SGL_VM_NUM_UN(std::ceil(av)); break;
+      case VmOp::kAdd: SGL_VM_NUM_BIN(kKerAdd, av + bv); break;
+      case VmOp::kSub: SGL_VM_NUM_BIN(kKerSub, av - bv); break;
+      case VmOp::kMul: SGL_VM_NUM_BIN(kKerMul, av * bv); break;
+      case VmOp::kDiv: SGL_VM_NUM_BIN(kKerDiv, GuardedDiv(av, bv)); break;
+      case VmOp::kMod: SGL_VM_NUM_BIN(kKerMod, GuardedMod(av, bv)); break;
+      case VmOp::kMin: SGL_VM_NUM_BIN(kKerMin, av < bv ? av : bv); break;
+      case VmOp::kMax: SGL_VM_NUM_BIN(kKerMax, av > bv ? av : bv); break;
+      case VmOp::kPow: SGL_VM_NUM_BIN(kKerPow, std::pow(av, bv)); break;
+      case VmOp::kNeg: SGL_VM_NUM_UN(kKerNeg, -av); break;
+      case VmOp::kAbs: SGL_VM_NUM_UN(kKerAbs, std::fabs(av)); break;
+      case VmOp::kSqrt: SGL_VM_NUM_UN(kKerSqrt, GuardedSqrt(av)); break;
+      case VmOp::kFloor: SGL_VM_NUM_UN(kKerFloor, std::floor(av)); break;
+      case VmOp::kCeil: SGL_VM_NUM_UN(kKerCeil, std::ceil(av)); break;
       case VmOp::kClampOp: {
         if (s.r->num_uni[in.a] && s.r->num_uni[in.b] &&
             s.r->num_uni[in.c]) {
@@ -511,18 +546,22 @@ void RunProgram(ExecState& s) {
           const double* ph = MatNum(s, in.c);
           double* d = s.r->num_ptr[in.dst];
           s.r->num_uni[in.dst] = 0;
-          SGL_VM_LANES(d[i] = ApplyClamp(pv[i], pl[i], ph[i]));
+          if (s.sel == nullptr) {
+            s.k->clamp(pv, pl, ph, d, s.n);
+          } else {
+            s.k->clamp_sel(pv, pl, ph, d, s.sel, s.cnt);
+          }
         }
         break;
       }
 
       // ----- Comparisons / logic ---------------------------------------
-      case VmOp::kCmpLt: SGL_VM_NUM_CMP(<); break;
-      case VmOp::kCmpLe: SGL_VM_NUM_CMP(<=); break;
-      case VmOp::kCmpGt: SGL_VM_NUM_CMP(>); break;
-      case VmOp::kCmpGe: SGL_VM_NUM_CMP(>=); break;
-      case VmOp::kCmpEq: SGL_VM_NUM_CMP(==); break;
-      case VmOp::kCmpNe: SGL_VM_NUM_CMP(!=); break;
+      case VmOp::kCmpLt: SGL_VM_NUM_CMP(kKerLt, <); break;
+      case VmOp::kCmpLe: SGL_VM_NUM_CMP(kKerLe, <=); break;
+      case VmOp::kCmpGt: SGL_VM_NUM_CMP(kKerGt, >); break;
+      case VmOp::kCmpGe: SGL_VM_NUM_CMP(kKerGe, >=); break;
+      case VmOp::kCmpEq: SGL_VM_NUM_CMP(kKerEq, ==); break;
+      case VmOp::kCmpNe: SGL_VM_NUM_CMP(kKerNe, !=); break;
       case VmOp::kCmpRefEq: SGL_VM_REF_CMP(==); break;
       case VmOp::kCmpRefNe: SGL_VM_REF_CMP(!=); break;
       case VmOp::kCmpBoolEq: SGL_VM_BOOL_CMP(==); break;
@@ -660,12 +699,12 @@ void RunProgram(ExecState& s) {
         }
         break;
       }
-      case VmOp::kFilterLt: SGL_VM_FILTER_CMP(<); break;
-      case VmOp::kFilterLe: SGL_VM_FILTER_CMP(<=); break;
-      case VmOp::kFilterGt: SGL_VM_FILTER_CMP(>); break;
-      case VmOp::kFilterGe: SGL_VM_FILTER_CMP(>=); break;
-      case VmOp::kFilterEq: SGL_VM_FILTER_CMP(==); break;
-      case VmOp::kFilterNe: SGL_VM_FILTER_CMP(!=); break;
+      case VmOp::kFilterLt: SGL_VM_FILTER_CMP(kKerLt, <); break;
+      case VmOp::kFilterLe: SGL_VM_FILTER_CMP(kKerLe, <=); break;
+      case VmOp::kFilterGt: SGL_VM_FILTER_CMP(kKerGt, >); break;
+      case VmOp::kFilterGe: SGL_VM_FILTER_CMP(kKerGe, >=); break;
+      case VmOp::kFilterEq: SGL_VM_FILTER_CMP(kKerEq, ==); break;
+      case VmOp::kFilterNe: SGL_VM_FILTER_CMP(kKerNe, !=); break;
     }
   }
 }
@@ -684,6 +723,7 @@ void VmEvalNum(const VmProgram& p, const VecContext& ctx, VmRegisters* regs,
   s.p = &p;
   s.ctx = &ctx;
   s.r = regs;
+  s.k = &GetVmKernels();
   s.sel = sel;
   s.cnt = cnt;
   s.n = n;
@@ -703,6 +743,7 @@ void VmEvalBool(const VmProgram& p, const VecContext& ctx, VmRegisters* regs,
   s.p = &p;
   s.ctx = &ctx;
   s.r = regs;
+  s.k = &GetVmKernels();
   s.sel = sel;
   s.cnt = cnt;
   s.n = n;
@@ -722,6 +763,7 @@ void VmEvalRef(const VmProgram& p, const VecContext& ctx, VmRegisters* regs,
   s.p = &p;
   s.ctx = &ctx;
   s.r = regs;
+  s.k = &GetVmKernels();
   s.sel = sel;
   s.cnt = cnt;
   s.n = n;
@@ -741,6 +783,7 @@ size_t VmRunFilter(const VmProgram& p, const VecContext& ctx,
   s.p = &p;
   s.ctx = &ctx;
   s.r = regs;
+  s.k = &GetVmKernels();
   s.n = n;
   s.uniform_outer = uniform_outer;
   s.filter_sel = sel;

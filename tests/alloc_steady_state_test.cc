@@ -105,6 +105,38 @@ TEST(AllocSteadyState, Parallel4ThreadRangeTreeIsAllocationFree) {
   EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
 }
 
+// --- PR 8: SIMD kernels + batched probes + bytecode, still zero-alloc ----
+// The full fast path — bytecode expression backend, AVX2 (or forced
+// scalar) kernels, and QueryBatch probing with its pooled CSR buffers —
+// must hold the same steady-state guarantee in every execution shape.
+
+EngineOptions FastPathOpts(int threads = 1, int shards = 1) {
+  EngineOptions options = Opts(PlanMode::kStaticGrid, threads);
+  options.exec.eval_mode = EvalMode::kBytecode;
+  options.exec.probe_mode = ProbeMode::kBatched;
+  options.exec.num_shards = shards;
+  return options;
+}
+
+TEST(AllocSteadyState, SerialBytecodeBatchedIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  auto engine = BuildRts(800, FastPathOpts());
+  EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
+  EXPECT_GT(engine->last_stats().sites_probe_batched, 0)
+      << "fast path must actually take batched probes";
+}
+
+TEST(AllocSteadyState, Parallel4ThreadBytecodeBatchedIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  auto engine = BuildRts(800, FastPathOpts(/*threads=*/4));
+  EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
+}
+
+// The sharded fast-path variant lives with the other sharded tests below —
+// it needs the stationary battle, since cross-shard mailbox traffic in the
+// stock battle keeps shifting for hundreds of ticks (a mailbox-capacity
+// property, not a kernel or probe-batch one).
+
 // Determinism guard: the pooled pipeline must produce bit-identical world
 // state across thread counts and against the unpooled object-at-a-time
 // reference path (the seed engine's semantics).
@@ -286,6 +318,14 @@ TEST(AllocSteadyState, Sharded4Parallel4RtsIsAllocationFree) {
   if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
   auto engine = BuildStationaryShardedRts(
       800, ShardedOpts(PlanMode::kStaticGrid, /*shards=*/4, /*threads=*/4));
+  EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
+  EXPECT_GT(engine->shard_executor().last_cross_shard_records(), 0u);
+}
+
+TEST(AllocSteadyState, Sharded4BytecodeBatchedIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "alloc hook compiled out";
+  auto engine = BuildStationaryShardedRts(800, FastPathOpts(/*threads=*/1,
+                                                            /*shards=*/4));
   EXPECT_EQ(MeasureSteadyState(engine.get()), 0);
   EXPECT_GT(engine->shard_executor().last_cross_shard_records(), 0u);
 }

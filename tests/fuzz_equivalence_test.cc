@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/cpu_features.h"
 #include "src/common/rng.h"
 #include "src/debug/checkpoint.h"
 #include "src/engine/engine.h"
@@ -215,6 +216,22 @@ constexpr PlanMode kSweptModes[] = {PlanMode::kStaticNL,
 /// Both expression backends of the vectorized engine (src/vm/).
 constexpr EvalMode kSweptEvals[] = {EvalMode::kInterpret, EvalMode::kBytecode};
 
+/// Kernel tables to sweep: scalar always, AVX2 when the CPU has it. Both
+/// tables promise bit-identical per-lane results, so every (mode, eval)
+/// combination must reproduce the reference checksum under either one.
+std::vector<KernelDispatch> SweptDispatches() {
+  std::vector<KernelDispatch> out = {KernelDispatch::kScalar};
+  if (CpuHasAvx2()) out.push_back(KernelDispatch::kAvx2);
+  return out;
+}
+
+/// RAII override so a failing EXPECT cannot leak a pinned dispatch into
+/// later tests.
+struct ScopedDispatch {
+  explicit ScopedDispatch(KernelDispatch d) { SetKernelDispatch(d); }
+  ~ScopedDispatch() { ResetKernelDispatch(); }
+};
+
 class FuzzEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzEquivalence, CompiledMatchesInterpretedOnRandomProgram) {
@@ -223,12 +240,16 @@ TEST_P(FuzzEquivalence, CompiledMatchesInterpretedOnRandomProgram) {
   SCOPED_TRACE(program);
   uint64_t interpreted =
       RunProgram(program, GetParam(), true, PlanMode::kStaticNL, 6);
-  for (PlanMode mode : kSweptModes) {
-    for (EvalMode eval : kSweptEvals) {
-      EXPECT_EQ(interpreted,
-                RunProgram(program, GetParam(), false, mode, 6, eval))
-          << "strategy " << PlanModeName(mode) << ", eval "
-          << EvalModeName(eval);
+  for (KernelDispatch dispatch : SweptDispatches()) {
+    ScopedDispatch pin(dispatch);
+    for (PlanMode mode : kSweptModes) {
+      for (EvalMode eval : kSweptEvals) {
+        EXPECT_EQ(interpreted,
+                  RunProgram(program, GetParam(), false, mode, 6, eval))
+            << "strategy " << PlanModeName(mode) << ", eval "
+            << EvalModeName(eval) << ", kernels "
+            << KernelDispatchName(dispatch);
+      }
     }
   }
 }
@@ -239,14 +260,19 @@ TEST_P(FuzzEquivalence, StrategiesAgreeOnRandomProgram) {
   SCOPED_TRACE(program);
   uint64_t nl =
       RunProgram(program, GetParam(), false, PlanMode::kStaticNL, 6);
-  for (PlanMode mode : kSweptModes) {
-    for (EvalMode eval : kSweptEvals) {
-      if (mode == PlanMode::kStaticNL && eval == EvalMode::kInterpret) {
-        continue;
+  for (KernelDispatch dispatch : SweptDispatches()) {
+    ScopedDispatch pin(dispatch);
+    for (PlanMode mode : kSweptModes) {
+      for (EvalMode eval : kSweptEvals) {
+        if (mode == PlanMode::kStaticNL && eval == EvalMode::kInterpret &&
+            dispatch == KernelDispatch::kScalar) {
+          continue;
+        }
+        EXPECT_EQ(nl, RunProgram(program, GetParam(), false, mode, 6, eval))
+            << "strategy " << PlanModeName(mode) << ", eval "
+            << EvalModeName(eval) << ", kernels "
+            << KernelDispatchName(dispatch);
       }
-      EXPECT_EQ(nl, RunProgram(program, GetParam(), false, mode, 6, eval))
-          << "strategy " << PlanModeName(mode) << ", eval "
-          << EvalModeName(eval);
     }
   }
 }
