@@ -10,6 +10,7 @@
 #include "bench/bench_util.h"
 #include "src/debug/checkpoint.h"
 #include "src/debug/tracer.h"
+#include "src/telemetry/telemetry.h"
 
 namespace {
 
@@ -69,6 +70,87 @@ void BM_CheckpointRestoreRoundTrip(benchmark::State& state) {
   }
 }
 
+// --- Telemetry overhead (PR 9) -------------------------------------------
+// Armed-vs-disarmed series at 16k units: a disarmed attached Telemetry must
+// sit within noise of no telemetry at all (one branch per span site), and
+// the armed delta is the full span+histogram record path. Counters report
+// spans/tick and the tick-time percentiles the armed registry accumulated.
+
+constexpr int kTelemetryUnits = 16384;
+
+std::unique_ptr<sgl::Engine> BuildTelemetryRts(int units,
+                                               sgl::Telemetry* tel) {
+  sgl::RtsConfig config;
+  config.num_units = units;
+  sgl::EngineOptions options;
+  options.exec.planner.mode = sgl::PlanMode::kStaticRangeTree;
+  options.exec.telemetry = tel;
+  auto engine = sgl::RtsWorkload::Build(config, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(engine).value();
+}
+
+void BM_TelemetryDetached(benchmark::State& state) {
+  auto engine = BuildTelemetryRts(kTelemetryUnits, nullptr);
+  sgl_bench::Warmup(engine.get());
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+}
+
+void BM_TelemetryDisarmed(benchmark::State& state) {
+  sgl::Telemetry tel;
+  auto engine = BuildTelemetryRts(kTelemetryUnits, &tel);
+  sgl_bench::Warmup(engine.get());
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+  }
+  state.counters["spans_per_tick"] = 0;  // disarmed records nothing
+}
+
+void BM_TelemetryArmed(benchmark::State& state) {
+  sgl::Telemetry tel;
+  tel.set_armed(true);
+  auto engine = BuildTelemetryRts(kTelemetryUnits, &tel);
+  sgl_bench::Warmup(engine.get());
+  const int64_t spans_before = tel.total_spans();
+  int64_t ticks = 0;
+  for (auto _ : state) {
+    if (!engine->Tick().ok()) state.SkipWithError("tick failed");
+    ++ticks;
+  }
+  state.counters["spans_per_tick"] =
+      ticks > 0 ? static_cast<double>(tel.total_spans() - spans_before) /
+                      static_cast<double>(ticks)
+                : 0;
+  const sgl::MetricsSnapshot snap = tel.metrics().Snapshot();
+  if (const sgl::HistogramSnapshot* h = snap.Find("tick.total_us")) {
+    state.counters["tick_p50_us"] = h->Percentile(50);
+    state.counters["tick_p95_us"] = h->Percentile(95);
+    state.counters["tick_p99_us"] = h->Percentile(99);
+  }
+}
+
+// Isolated span-record cost: an armed ScopedSpan begin/end pair with
+// nothing else on the loop body. real_time/iteration is ns per span.
+void BM_SpanRecordArmed(benchmark::State& state) {
+  sgl::Telemetry tel;
+  tel.set_armed(true);
+  uint16_t arg = 0;
+  for (auto _ : state) {
+    SGL_TRACE_SPAN(&tel, sgl::kSpanTickQuery, 1, 0, arg++);
+  }
+  // kIsRate divides by elapsed seconds, kInvert flips to seconds per
+  // iteration; pre-dividing by 1e9 makes the reported value nanoseconds.
+  state.counters["ns_per_span"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
 BENCHMARK(BM_DebugOff)->Unit(benchmark::kMillisecond)->MinTime(0.1);
 BENCHMARK(BM_TracerOneEntity)->Unit(benchmark::kMillisecond)->MinTime(0.1);
 BENCHMARK(BM_ReplayChecksum)->Unit(benchmark::kMillisecond)->MinTime(0.1);
@@ -78,6 +160,10 @@ BENCHMARK(BM_CheckpointEveryTick)
 BENCHMARK(BM_CheckpointRestoreRoundTrip)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.1);
+BENCHMARK(BM_TelemetryDetached)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+BENCHMARK(BM_TelemetryDisarmed)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+BENCHMARK(BM_TelemetryArmed)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+BENCHMARK(BM_SpanRecordArmed)->MinTime(0.1);
 
 }  // namespace
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Diff two merged benchmark files (BENCH_<tag>.json) from run_benchmarks.sh.
+
+Prints a per-benchmark table of real_time deltas and flags regressions that
+exceed the noise threshold. The default threshold is deliberately generous
+(45%): these benches run on shared CI-grade machines where PR 8 measured
+~45% run-to-run noise on the mean — which is exactly why the telemetry
+registry records percentiles. When both files carry percentile counters
+(tick_p50_us etc., emitted by the telemetry-aware benches), the comparison
+prefers p50 over the mean: the median is stable under the long-tail noise
+that inflates means.
+
+Usage:
+  bench/compare_bench.py BASE.json NEW.json [--threshold PCT]
+
+Exit status: 0 when no benchmark regressed beyond the threshold, 1 when at
+least one did. Missing/extra benchmarks are reported but never fail the
+comparison (suites grow between PRs).
+"""
+
+import argparse
+import json
+import sys
+
+# Counters worth echoing when they moved — throughput and health numbers,
+# not timings (timings are covered by the headline delta).
+INTERESTING_COUNTERS = (
+    "allocs_per_tick",
+    "allocs_per_build",
+    "spans_per_tick",
+    "cross_records",
+    "jobs_in_flight",
+    "abort_rate",
+    "vm_programs",
+)
+
+PERCENTILE_KEY = "tick_p50_us"
+
+
+def load(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    for suite, payload in data.items():
+        for bench in payload.get("benchmarks", []):
+            out[f"{suite}/{bench['name']}"] = bench
+    return out
+
+
+def headline(bench):
+    """(value, label) used for the delta: p50 when recorded, else mean."""
+    if PERCENTILE_KEY in bench:
+        return float(bench[PERCENTILE_KEY]), "p50_us"
+    return float(bench.get("real_time", 0.0)), bench.get("time_unit", "?")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", help="baseline BENCH_<tag>.json")
+    parser.add_argument("new", help="candidate BENCH_<tag>.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=45.0,
+        help="regression threshold in percent (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.base)
+    new = load(args.new)
+
+    regressions = []
+    rows = []
+    for name in sorted(base.keys() & new.keys()):
+        b_val, b_label = headline(base[name])
+        n_val, _ = headline(new[name])
+        if b_val <= 0:
+            continue
+        delta = (n_val - b_val) / b_val * 100.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "REGRESSED"
+            regressions.append(name)
+        elif delta < -args.threshold:
+            flag = "improved"
+        rows.append((name, b_val, n_val, b_label, delta, flag))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'new':>12}  "
+          f"{'delta':>8}  note")
+    for name, b_val, n_val, label, delta, flag in rows:
+        print(f"{name:<{width}}  {b_val:>12.1f}  {n_val:>12.1f}  "
+              f"{delta:>+7.1f}%  {flag}  [{label}]".rstrip())
+
+    for name in sorted(base.keys() & new.keys()):
+        for key in INTERESTING_COUNTERS:
+            if key in base[name] or key in new[name]:
+                b_c = base[name].get(key)
+                n_c = new[name].get(key)
+                if b_c != n_c:
+                    print(f"  counter {name}:{key} {b_c} -> {n_c}")
+
+    only_base = sorted(base.keys() - new.keys())
+    only_new = sorted(new.keys() - base.keys())
+    if only_base:
+        print(f"only in {args.base}: {', '.join(only_base)}")
+    if only_new:
+        print(f"only in {args.new}: {', '.join(only_new)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%: {', '.join(regressions)}")
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0f}% "
+          f"({len(rows)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,22 +22,28 @@
 #       plus the indexed steady state under single vs batched probes;
 #       allocs_per_tick + vm_programs + simd_lanes + probe_us + the
 #       CPU/dispatch context the numbers were recorded under)
+#   E10 debugging + observability overhead (tracer / checksum / checkpoint
+#       cost, plus the telemetry armed-vs-disarmed series: spans/tick,
+#       ns/span, and tick p50/p95/p99 from the histogram registry)
 #
-# Usage: bench/run_benchmarks.sh [build_dir] [tag]
+# Usage: bench/run_benchmarks.sh [build_dir] [tag] [baseline.json]
 #   build_dir  cmake build directory holding the bench_* binaries (default:
 #              build)
 #   tag        suffix for the output file (default: pr5)
+#   baseline   optional earlier BENCH_<tag>.json; when given, the run ends
+#              with bench/compare_bench.py baseline BENCH_<tag>.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 TAG="${2:-pr5}"
+BASELINE="${3:-}"
 OUT="BENCH_${TAG}.json"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 for exp in e1_set_at_a_time e3_transactions e6_parallel e7_index_memory \
-           e8_traffic e11_sharded e12_async e13_vm; do
+           e8_traffic e10_debug e11_sharded e12_async e13_vm; do
   bin="$BUILD_DIR/bench_${exp}"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -60,7 +66,9 @@ keep = ("name", "real_time", "cpu_time", "time_unit", "iterations",
         "shards", "cross_records", "moved_per_batch", "rows_per_batch",
         "workers", "jobs_submitted", "jobs_installed", "jobs_in_flight",
         "job_wait_ms", "n", "vm_programs", "simd_lanes", "probe_us",
-        "cpu_avx2", "kernel_avx2")
+        "cpu_avx2", "kernel_avx2", "spans_per_tick", "ns_per_span",
+        "tick_p50_us", "tick_p95_us", "tick_p99_us", "records",
+        "checkpoint_bytes")
 merged = {}
 for f in sorted(os.listdir(tmp)):
     with open(os.path.join(tmp, f)) as fh:
@@ -80,3 +88,7 @@ with open(out, "w") as fh:
     fh.write("\n")
 print(f"wrote {out}")
 EOF
+
+if [[ -n "$BASELINE" ]]; then
+  python3 bench/compare_bench.py "$BASELINE" "$OUT"
+fi

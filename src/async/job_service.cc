@@ -6,6 +6,7 @@
 #include "src/common/rng.h"
 #include "src/common/stopwatch.h"
 #include "src/fault/fault_injector.h"
+#include "src/telemetry/telemetry.h"
 
 namespace sgl {
 
@@ -143,6 +144,10 @@ JobScratch* JobService::ScratchFor(int scratch_index, int client) {
 }
 
 void JobService::RunJob(JobSlot* slot, int scratch_index) {
+  // tick = the submit tick; arg = client id. Worker threads bind their own
+  // span lanes, so Perfetto shows job execution on its own tid rows.
+  SGL_TRACE_SPAN(options_.telemetry, kSpanJobRun, slot->submit_tick, 0,
+                 static_cast<uint16_t>(slot->client));
   JobClient* client = clients_[static_cast<size_t>(slot->client)];
   client->Run(slot->snap, slot, ScratchFor(scratch_index, slot->client));
 }

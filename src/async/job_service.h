@@ -57,6 +57,7 @@
 namespace sgl {
 
 class FaultInjector;
+class Telemetry;
 
 /// Redelivery policy for jobs whose worker dies before claiming them (the
 /// fault-injected "worker death"). A dropped job re-enters the pending
@@ -86,6 +87,9 @@ struct JobServiceOptions {
   /// Armed fault plan (worker stall / worker death sites); null = off.
   /// Must outlive the service.
   FaultInjector* fault = nullptr;
+  /// Telemetry sink for async.worker.run spans; null = disarmed. Same
+  /// borrowed-pointer lifetime contract as `fault`.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Client-opaque per-worker scratch (A* arrays, heaps, ...). One instance

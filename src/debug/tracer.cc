@@ -5,26 +5,25 @@
 namespace sgl {
 
 void EffectTracer::Watch(EntityId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  watched_.insert(id);
+  auto it = std::lower_bound(watched_.begin(), watched_.end(), id);
+  if (it != watched_.end() && *it == id) return;
+  watched_.insert(it, id);
 }
 
 void EffectTracer::Unwatch(EntityId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  watched_.erase(id);
+  auto it = std::lower_bound(watched_.begin(), watched_.end(), id);
+  if (it != watched_.end() && *it == id) watched_.erase(it);
 }
 
 bool EffectTracer::IsWatched(EntityId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return watched_.count(id) > 0;
+  return std::binary_search(watched_.begin(), watched_.end(), id);
 }
 
 void EffectTracer::OnEffectAssign(Tick tick, EntityId target,
                                   ClassId target_cls, FieldIdx field,
                                   const Value& value, int assign_id,
                                   uint64_t order_key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (watched_.find(target) == watched_.end()) return;
+  if (!std::binary_search(watched_.begin(), watched_.end(), target)) return;
   TraceRecord rec;
   rec.tick = tick;
   rec.target = target;
@@ -33,17 +32,24 @@ void EffectTracer::OnEffectAssign(Tick tick, EntityId target,
   rec.value = value;
   rec.assign_id = assign_id;
   rec.order_key = order_key;
-  records_.push_back(std::move(rec));
+  lanes_.Append(rec);
 }
 
 std::vector<TraceRecord> EffectTracer::Records() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<TraceRecord> out = records_;
-  std::stable_sort(out.begin(), out.end(),
-                   [](const TraceRecord& a, const TraceRecord& b) {
-                     if (a.tick != b.tick) return a.tick < b.tick;
-                     return a.order_key < b.order_key;
-                   });
+  std::vector<TraceRecord> out;
+  out.reserve(lanes_.size());
+  lanes_.ForEach([&](const TraceRecord& rec) { out.push_back(rec); });
+  // Canonical total order: (tick, order_key) as before, with (target,
+  // field, assign_id) breaking the astronomically-rare key collision so
+  // the result never depends on which lane recorded what.
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              if (a.tick != b.tick) return a.tick < b.tick;
+              if (a.order_key != b.order_key) return a.order_key < b.order_key;
+              if (a.target != b.target) return a.target < b.target;
+              if (a.field != b.field) return a.field < b.field;
+              return a.assign_id < b.assign_id;
+            });
   return out;
 }
 
@@ -56,14 +62,8 @@ std::vector<TraceRecord> EffectTracer::RecordsFor(EntityId id,
   return out;
 }
 
-void EffectTracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  records_.clear();
-}
+void EffectTracer::Clear() { lanes_.Clear(); }
 
-size_t EffectTracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return records_.size();
-}
+size_t EffectTracer::size() const { return lanes_.size(); }
 
 }  // namespace sgl

@@ -3,16 +3,29 @@
 // effects assigned to it"). Works identically under the compiled and the
 // object-at-a-time engines and under parallel execution (records are sorted
 // by deterministic order key on read).
+//
+// Record path (hot): a membership test against a sorted flat watch list,
+// then an append to the calling worker's pooled lane
+// (src/telemetry/worker_lanes.h) — no mutex serializing parallel workers,
+// no per-record allocation once lanes reach their high-water capacity, so
+// an armed tracer holds the steady-state allocs_per_tick == 0 contract
+// when Clear() is called between ticks (capacity is kept).
+//
+// Read path (off-tick): lanes merge and sort into the canonical
+// (tick, order_key) order — the same total order the old single-vector
+// implementation exposed, now independent of which worker recorded what.
+//
+// Watch/Unwatch/Clear configure the tracer and must run between ticks
+// (the barrier thread); OnEffectAssign may run from any worker.
 
 #ifndef SGL_DEBUG_TRACER_H_
 #define SGL_DEBUG_TRACER_H_
 
-#include <mutex>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "src/debug/trace.h"
+#include "src/telemetry/worker_lanes.h"
 
 namespace sgl {
 
@@ -30,6 +43,7 @@ struct TraceRecord {
 class EffectTracer : public EffectTraceSink {
  public:
   /// Starts watching an entity. No filter set = trace nothing.
+  /// Configure between ticks (see header comment).
   void Watch(EntityId id);
   void Unwatch(EntityId id);
   bool IsWatched(EntityId id) const;
@@ -43,13 +57,13 @@ class EffectTracer : public EffectTraceSink {
   /// Records for one entity in one tick, in canonical order.
   std::vector<TraceRecord> RecordsFor(EntityId id, Tick tick) const;
 
+  /// Drops every record, keeping lane capacity (between ticks).
   void Clear();
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;  // parallel workers may report concurrently
-  std::set<EntityId> watched_;
-  std::vector<TraceRecord> records_;
+  std::vector<EntityId> watched_;  ///< sorted; binary-searched on record
+  WorkerLanes<TraceRecord> lanes_;
 };
 
 }  // namespace sgl

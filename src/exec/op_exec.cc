@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/stopwatch.h"
+#include "src/telemetry/telemetry.h"
 #include "src/vm/compile.h"
 
 namespace sgl {
@@ -145,11 +146,14 @@ size_t RunGuardFilter(const Expr& guard, const VecContext& ctx,
 }
 
 // Applies one batch of effect writes over a (possibly pair) row vector.
-void ApplyWrites(const std::vector<EffectWrite>& writes,
-                 const EntityTable* inner_table, const PairRows& rows,
-                 ExecEnv& env, const VmProgramCache* vm) {
+// Returns how many writes landed (post guard / target resolution) — the
+// per-site `effects` attribution.
+int64_t ApplyWrites(const std::vector<EffectWrite>& writes,
+                    const EntityTable* inner_table, const PairRows& rows,
+                    ExecEnv& env, const VmProgramCache* vm) {
   const size_t n = rows.outer->size();
-  if (n == 0) return;
+  if (n == 0) return 0;
+  int64_t applied = 0;
   EvalScratch* sc = env.scratch;
   ScopedVec<RowIdx> sub_outer(sc), sub_inner(sc), pos(sc);
   ScopedVec<uint8_t> keep(sc);
@@ -214,6 +218,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
       return OrderKey(w.assign_id, (*outer_rows)[i], inner);
     };
     auto trace = [&](size_t i, RowIdx row, const Value& v) {
+      ++applied;  // invoked exactly once per landed write, in all branches
       if (env.trace != nullptr) {
         env.trace->OnEffectAssign(env.tick, target_table.id_at(row),
                                   w.target_cls, w.field, v, w.assign_id,
@@ -254,6 +259,7 @@ void ApplyWrites(const std::vector<EffectWrite>& writes,
       }
     }
   }
+  return applied;
 }
 
 // --- Accum fold --------------------------------------------------------
@@ -465,6 +471,8 @@ void Candidates(const AccumOp& op, const PreparedSite& site,
 void RunAccumVectorized(const AccumOp& op,
                         const std::vector<RowIdx>& selection, ExecEnv& env) {
   Stopwatch timer;
+  SGL_TRACE_SPAN(env.telemetry, kSpanSiteQuery, env.tick, env.tel_track,
+                 static_cast<uint16_t>(op.site_id));
   const PreparedSite& site = (*env.prepared)[static_cast<size_t>(op.site_id)];
   const EntityTable& inner = env.world->table(op.inner_cls);
   ExecScratch* sc = env.scratch;
@@ -545,6 +553,8 @@ void RunAccumVectorized(const AccumOp& op,
       bhi[k] = hi_cols[k]->data();
     }
     Stopwatch probe_timer;
+    SGL_TRACE_SPAN(env.telemetry, kSpanSiteProbe, env.tick, env.tel_track,
+                   static_cast<uint16_t>(op.site_id));
     site.index->QueryBatch(blo, bhi, S->size(), &sc->probe);
     probe_micros = probe_timer.ElapsedMicros();
   }
@@ -651,6 +661,7 @@ void RunAccumVectorized(const AccumOp& op,
 
   // Evaluate accum assignments over all pairs, then fold in pair order.
   const size_t npairs = pair_outer->size();
+  int64_t effects_applied = 0;
   if (npairs > 0) {
     PairRows pairs{pair_outer.get(), pair_inner.get()};
     VecContext pctx = MakeCtx(env, &inner, pairs);
@@ -704,7 +715,7 @@ void RunAccumVectorized(const AccumOp& op,
 
     // Pair-level effect writes. The leases stay live through this call;
     // ApplyWrites' own acquisitions nest above them (LIFO holds).
-    ApplyWrites(op.pair_writes, &inner, pairs, env, vm);
+    effects_applied = ApplyWrites(op.pair_writes, &inner, pairs, env, vm);
   }
 
   if (env.feedback != nullptr) {
@@ -716,6 +727,7 @@ void RunAccumVectorized(const AccumOp& op,
     fb.matches += static_cast<int64_t>(npairs);
     fb.micros += timer.ElapsedMicros();
     fb.probe_micros += probe_micros;
+    fb.effects += effects_applied;
   }
 }
 

@@ -22,6 +22,7 @@
 
 namespace sgl {
 
+class Telemetry;
 class VmProgramCache;
 
 /// Flat multimap from a numeric inner field to its rows: a sorted
@@ -166,6 +167,12 @@ struct ExecEnv {
   std::vector<SiteFeedback>* feedback = nullptr;
   /// Optional tracing sink (§3.3). Null = off.
   EffectTraceSink* trace = nullptr;
+  /// Telemetry span sink (src/telemetry/); null = disarmed (one branch
+  /// per instrumented point). Borrowed, set by the owning executor.
+  Telemetry* telemetry = nullptr;
+  /// Chrome-trace pid for this worker's spans: 0 = world (unsharded /
+  /// barrier thread), s + 1 = world shard s.
+  uint8_t tel_track = 0;
 };
 
 /// Runs `ops` set-at-a-time over `selection` (rows of env.outer).

@@ -5,11 +5,39 @@
 #include "src/common/alloc_hook.h"
 #include "src/common/stopwatch.h"
 #include "src/fault/fault_injector.h"
+#include "src/telemetry/telemetry.h"
 #include "src/update/expr_updater.h"
 #include "src/vm/compile.h"
 #include "src/vm/kernels.h"
 
 namespace sgl {
+
+void TickStats::Reset(Tick now) {
+  // Field-wise so `sites` keeps its capacity across ticks.
+  tick = now;
+  query_effect_micros = 0;
+  merge_micros = 0;
+  update_micros = 0;
+  index_build_micros = 0;
+  index_memory_bytes = 0;
+  total_micros = 0;
+  allocs_per_tick = 0;
+  bytes_per_tick = 0;
+  vm_programs = 0;
+  vm_fallbacks = 0;
+  vm_compile_micros = 0;
+  probe_micros = 0;
+  simd_lanes_used = 0;
+  sites_bytecode = 0;
+  sites_interpreted = 0;
+  sites_probe_batched = 0;
+  sites_probe_single = 0;
+  jobs_submitted = 0;
+  jobs_installed = 0;
+  jobs_in_flight = 0;
+  job_wait_micros = 0;
+  txn = TxnStats();
+}
 
 TickExecutor::TickExecutor(World* world, const CompiledProgram* program,
                            ExecOptions options)
@@ -19,8 +47,12 @@ TickExecutor::TickExecutor(World* world, const CompiledProgram* program,
       controller_(options.planner, program->num_sites),
       txn_(program) {
   txn_.set_fault(options_.fault);
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->EnsureSites(program_->num_sites);
+  }
   if (options_.eval_mode != EvalMode::kInterpret && !options_.interpreted) {
     vm_cache_ = std::make_unique<VmProgramCache>();
+    vm_cache_->set_telemetry(options_.telemetry);
     vm_cache_->CompileProgram(*program_);
   }
   if (options_.num_threads > 1) {
@@ -80,6 +112,8 @@ void TickExecutor::EnsureWorkers(int shards) {
     }
     env.scratch = &w->scratch;
     env.vm = vm_cache_.get();
+    env.telemetry = options_.telemetry;
+    env.tel_track = 0;  // unsharded: every span renders under pid "world"
     workers_.push_back(std::move(w));
   }
 }
@@ -115,6 +149,11 @@ void TickExecutor::PrepareSites(
       ++last_.sites_probe_batched;
     } else {
       ++last_.sites_probe_single;
+    }
+    if (options_.telemetry != nullptr && options_.telemetry->armed()) {
+      options_.telemetry->RecordSiteDecision(accum->site_id, tick_,
+                                             JoinStrategyName(strategy),
+                                             use_vm, probe_batched);
     }
     PrepareSite(*accum, strategy, *world_, &indexes_, tick_,
                 /*compile_vm=*/vm_cache_ != nullptr, use_vm, probe_batched,
@@ -171,30 +210,9 @@ Status TickExecutor::RunTick() {
   SGL_CHECK(initialized_ && "call Init() first");
   const AllocCounts alloc_before = AllocCountersNow();
   Stopwatch total;
-  // Field-wise reset keeps last_.sites' capacity across ticks.
-  last_.tick = tick_;
-  last_.query_effect_micros = 0;
-  last_.merge_micros = 0;
-  last_.update_micros = 0;
-  last_.index_build_micros = 0;
-  last_.index_memory_bytes = 0;
-  last_.total_micros = 0;
-  last_.allocs_per_tick = 0;
-  last_.bytes_per_tick = 0;
-  last_.vm_programs = 0;
-  last_.vm_fallbacks = 0;
-  last_.vm_compile_micros = 0;
-  last_.probe_micros = 0;
-  last_.simd_lanes_used = 0;
-  last_.sites_bytecode = 0;
-  last_.sites_interpreted = 0;
-  last_.sites_probe_batched = 0;
-  last_.sites_probe_single = 0;
-  last_.jobs_submitted = 0;
-  last_.jobs_installed = 0;
-  last_.jobs_in_flight = 0;
-  last_.job_wait_micros = 0;
-  last_.txn = TxnStats();
+  Telemetry* const tel = options_.telemetry;
+  SGL_TRACE_SPAN(tel, kSpanTickTotal, tick_, 0, 0);
+  last_.Reset(tick_);
   const int num_classes = world_->catalog().num_classes();
   const int shards = options_.num_threads > 1 ? options_.num_threads : 1;
   const int64_t index_micros_before = indexes_.build_micros();
@@ -234,30 +252,40 @@ Status TickExecutor::RunTick() {
     if (selections.size() != static_cast<size_t>(script.num_phases())) {
       selections.resize(static_cast<size_t>(script.num_phases()));
     }
-    if (script.num_phases() == 1) {
-      // The whole-extent selection is a pure function of the table size
-      // (iota); rebuild it only when spawns/despawns resized the class.
-      auto& all = selections[0];
-      if (all.size() != table.size()) {
-        all.resize(table.size());
-        for (size_t i = 0; i < table.size(); ++i) {
-          all[i] = static_cast<RowIdx>(i);
+    {
+      SGL_TRACE_SPAN(tel, kSpanTickSelect, tick_, 0,
+                     static_cast<uint16_t>(si));
+      if (script.num_phases() == 1) {
+        // The whole-extent selection is a pure function of the table size
+        // (iota); rebuild it only when spawns/despawns resized the class.
+        auto& all = selections[0];
+        if (all.size() != table.size()) {
+          all.resize(table.size());
+          for (size_t i = 0; i < table.size(); ++i) {
+            all[i] = static_cast<RowIdx>(i);
+          }
         }
-      }
-    } else {
-      for (auto& sel : selections) sel.clear();
-      ConstNumberColumn pc = table.Num(script.pc_state);
-      for (size_t i = 0; i < table.size(); ++i) {
-        int phase = static_cast<int>(pc[i]);
-        if (phase < 0 || phase >= script.num_phases()) phase = 0;
-        selections[static_cast<size_t>(phase)].push_back(
-            static_cast<RowIdx>(i));
+      } else {
+        for (auto& sel : selections) sel.clear();
+        ConstNumberColumn pc = table.Num(script.pc_state);
+        for (size_t i = 0; i < table.size(); ++i) {
+          int phase = static_cast<int>(pc[i]);
+          if (phase < 0 || phase >= script.num_phases()) phase = 0;
+          selections[static_cast<size_t>(phase)].push_back(
+              static_cast<RowIdx>(i));
+        }
       }
     }
     for (int k = 0; k < script.num_phases(); ++k) {
       const auto& selection = selections[static_cast<size_t>(k)];
       if (selection.empty()) continue;
-      PrepareSites(script.phases[static_cast<size_t>(k)], selection.size());
+      {
+        SGL_TRACE_SPAN(tel, kSpanTickSitePrep, tick_, 0,
+                       static_cast<uint16_t>(si));
+        PrepareSites(script.phases[static_cast<size_t>(k)], selection.size());
+      }
+      SGL_TRACE_SPAN(tel, kSpanTickQuery, tick_, 0,
+                     static_cast<uint16_t>(si));
       RunUnit(script.phases[static_cast<size_t>(k)], script.cls, selection,
               &locals);
     }
@@ -277,39 +305,48 @@ Status TickExecutor::RunTick() {
     LocalColumns& locals = handler_locals_[hi];
     AllocateLocalColumns(handler.local_types, table.size(), &locals);
     handler_selection_.clear();
-    if (options_.interpreted) {
-      ScalarContext ctx;
-      ctx.world = world_;
-      ctx.outer_cls = handler.cls;
-      ctx.locals = &locals;
-      for (RowIdx row : handler_all_) {
-        ctx.outer_row = row;
-        if (EvalScalarBool(*handler.cond, ctx)) {
-          handler_selection_.push_back(row);
+    {
+      SGL_TRACE_SPAN(tel, kSpanTickSelect, tick_, 0,
+                     static_cast<uint16_t>(hi));
+      if (options_.interpreted) {
+        ScalarContext ctx;
+        ctx.world = world_;
+        ctx.outer_cls = handler.cls;
+        ctx.locals = &locals;
+        for (RowIdx row : handler_all_) {
+          ctx.outer_row = row;
+          if (EvalScalarBool(*handler.cond, ctx)) {
+            handler_selection_.push_back(row);
+          }
         }
-      }
-    } else {
-      VecContext ctx;
-      ctx.world = world_;
-      ctx.outer = &table;
-      ctx.outer_rows = &handler_all_;
-      ctx.locals = &locals;
-      ctx.scratch = &workers_[0]->scratch;
-      const VmProgram* cond_vm =
-          vm_cache_ != nullptr ? vm_cache_->Value(handler.cond.get())
-                               : nullptr;
-      if (cond_vm != nullptr) {
-        VmEvalBool(*cond_vm, ctx, &workers_[0]->scratch.vm, nullptr, 0,
-                   &handler_keep_);
       } else {
-        EvalBool(*handler.cond, ctx, &handler_keep_);
-      }
-      for (size_t i = 0; i < handler_all_.size(); ++i) {
-        if (handler_keep_[i]) handler_selection_.push_back(handler_all_[i]);
+        VecContext ctx;
+        ctx.world = world_;
+        ctx.outer = &table;
+        ctx.outer_rows = &handler_all_;
+        ctx.locals = &locals;
+        ctx.scratch = &workers_[0]->scratch;
+        const VmProgram* cond_vm =
+            vm_cache_ != nullptr ? vm_cache_->Value(handler.cond.get())
+                                 : nullptr;
+        if (cond_vm != nullptr) {
+          VmEvalBool(*cond_vm, ctx, &workers_[0]->scratch.vm, nullptr, 0,
+                     &handler_keep_);
+        } else {
+          EvalBool(*handler.cond, ctx, &handler_keep_);
+        }
+        for (size_t i = 0; i < handler_all_.size(); ++i) {
+          if (handler_keep_[i]) handler_selection_.push_back(handler_all_[i]);
+        }
       }
     }
     if (handler_selection_.empty()) continue;
-    PrepareSites(handler.ops, handler_selection_.size());
+    {
+      SGL_TRACE_SPAN(tel, kSpanTickSitePrep, tick_, 0,
+                     static_cast<uint16_t>(hi));
+      PrepareSites(handler.ops, handler_selection_.size());
+    }
+    SGL_TRACE_SPAN(tel, kSpanTickQuery, tick_, 0, static_cast<uint16_t>(hi));
     RunUnit(handler.ops, handler.cls, handler_selection_, &locals);
   }
   last_.query_effect_micros = query_timer.ElapsedMicros();
@@ -323,38 +360,45 @@ Status TickExecutor::RunTick() {
 
   // --- 2. Merge ---------------------------------------------------------
   Stopwatch merge_timer;
-  if (shards > 1) {
-    for (int s = 0; s < shards; ++s) {
-      for (ClassId c = 0; c < num_classes; ++c) {
-        world_->effects(c).MergeFrom(
-            *shard_effects_[static_cast<size_t>(s)][static_cast<size_t>(c)]);
+  {
+    SGL_TRACE_SPAN(tel, kSpanTickMerge, tick_, 0, 0);
+    if (shards > 1) {
+      for (int s = 0; s < shards; ++s) {
+        for (ClassId c = 0; c < num_classes; ++c) {
+          world_->effects(c).MergeFrom(
+              *shard_effects_[static_cast<size_t>(s)][static_cast<size_t>(c)]);
+        }
       }
     }
-  }
-  // Canonicalize set-effect logs (sort + dedup + pooled materialization)
-  // now that the last shard has merged; update-phase reads require it.
-  for (ClassId c = 0; c < num_classes; ++c) {
-    world_->effects(c).FinalizeSets();
-  }
-  // Aggregate per-site feedback across shards and inform the controller.
-  last_.sites.assign(static_cast<size_t>(program_->num_sites),
-                     SiteFeedback());
-  for (const auto& shard : feedback_shards_) {
-    for (size_t i = 0; i < shard.size(); ++i) {
-      if (shard[i].site < 0) continue;
-      SiteFeedback& agg = last_.sites[i];
-      agg.site = shard[i].site;
-      agg.strategy = shard[i].strategy;
-      agg.outer_rows += shard[i].outer_rows;
-      agg.candidates += shard[i].candidates;
-      agg.matches += shard[i].matches;
-      agg.micros += shard[i].micros;
-      agg.probe_micros += shard[i].probe_micros;
-      last_.probe_micros += shard[i].probe_micros;
+    // Canonicalize set-effect logs (sort + dedup + pooled materialization)
+    // now that the last shard has merged; update-phase reads require it.
+    {
+      SGL_TRACE_SPAN(tel, kSpanTickFinalize, tick_, 0, 0);
+      for (ClassId c = 0; c < num_classes; ++c) {
+        world_->effects(c).FinalizeSets();
+      }
     }
-  }
-  for (const SiteFeedback& fb : last_.sites) {
-    if (fb.site >= 0) controller_.Feedback(fb);
+    // Aggregate per-site feedback across shards and inform the controller.
+    last_.sites.assign(static_cast<size_t>(program_->num_sites),
+                       SiteFeedback());
+    for (const auto& shard : feedback_shards_) {
+      for (size_t i = 0; i < shard.size(); ++i) {
+        if (shard[i].site < 0) continue;
+        SiteFeedback& agg = last_.sites[i];
+        agg.site = shard[i].site;
+        agg.strategy = shard[i].strategy;
+        agg.outer_rows += shard[i].outer_rows;
+        agg.candidates += shard[i].candidates;
+        agg.matches += shard[i].matches;
+        agg.micros += shard[i].micros;
+        agg.probe_micros += shard[i].probe_micros;
+        agg.effects += shard[i].effects;
+        last_.probe_micros += shard[i].probe_micros;
+      }
+    }
+    for (const SiteFeedback& fb : last_.sites) {
+      if (fb.site >= 0) controller_.Feedback(fb);
+    }
   }
   last_.merge_micros = merge_timer.ElapsedMicros();
 
@@ -363,8 +407,14 @@ Status TickExecutor::RunTick() {
   // Out-of-band completions ride the barrier: results whose declared
   // latency elapses this tick install now, in deterministic order, so the
   // components below read them no matter which tick a worker finished on.
-  if (jobs_ != nullptr) jobs_->InstallDue(tick_);
-  components_.RunAll(world_, tick_);
+  if (jobs_ != nullptr) {
+    SGL_TRACE_SPAN(tel, kSpanTickInstall, tick_, 0, 0);
+    jobs_->InstallDue(tick_);
+  }
+  {
+    SGL_TRACE_SPAN(tel, kSpanTickUpdate, tick_, 0, 0);
+    components_.RunAll(world_, tick_);
+  }
   last_.update_micros = update_timer.ElapsedMicros();
   if (txn_.ConsumeInjectedCrash()) {
     // Mid-admission crash left a torn update phase (partial commits
@@ -403,6 +453,31 @@ Status TickExecutor::RunTick() {
   const AllocCounts alloc_after = AllocCountersNow();
   last_.allocs_per_tick = alloc_after.count - alloc_before.count;
   last_.bytes_per_tick = alloc_after.bytes - alloc_before.bytes;
+  if (tel != nullptr && tel->armed()) {
+    for (const SiteFeedback& fb : last_.sites) {
+      if (fb.site < 0) continue;
+      tel->RecordSiteTick(fb.site, fb.micros, fb.probe_micros, fb.outer_rows,
+                          fb.candidates, fb.matches, fb.effects);
+      const AdaptiveController::BackendBeliefs b =
+          controller_.Beliefs(fb.site);
+      tel->RecordSiteBeliefs(fb.site, b.eval_us_per_outer[0],
+                             b.eval_us_per_outer[1], b.probe_us_per_outer[0],
+                             b.probe_us_per_outer[1]);
+    }
+    Telemetry::TickSample s;
+    s.total_us = last_.total_micros;
+    s.query_us = last_.query_effect_micros;
+    s.merge_us = last_.merge_micros;
+    s.update_us = last_.update_micros;
+    s.probe_us = last_.probe_micros;
+    s.job_wait_us = jobs_ != nullptr ? last_.job_wait_micros : -1;
+    s.barrier_stall_us = -1;  // no shard barrier in the unsharded pipeline
+    s.jobs_submitted = last_.jobs_submitted;
+    s.jobs_installed = last_.jobs_installed;
+    s.jobs_in_flight = last_.jobs_in_flight;
+    s.vm_programs = last_.vm_programs;
+    tel->RecordTick(s);
+  }
   ++tick_;
   return Status::OK();
 }

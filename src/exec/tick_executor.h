@@ -41,6 +41,7 @@
 namespace sgl {
 
 class FaultInjector;
+class Telemetry;
 
 /// Executor configuration.
 struct ExecOptions {
@@ -75,6 +76,13 @@ struct ExecOptions {
   /// deliberately so, since crash-recovery rebuilds the executor while the
   /// injector's fire counts carry across (max_fires crash-once semantics).
   FaultInjector* fault = nullptr;
+  /// Observability sink (src/telemetry/): span tracing across every tick
+  /// phase, the standard latency histograms (p50/p95/p99 via Snapshot()),
+  /// and per-site attribution. Null = disarmed, one branch per span — the
+  /// same borrowed-pointer lifetime contract as `fault`; must outlive the
+  /// executor. Shared with the lazily-created JobService and the VM
+  /// program cache.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Timings and counters for the last tick.
@@ -122,6 +130,11 @@ struct TickStats {
   int64_t job_wait_micros = 0;
   std::vector<SiteFeedback> sites;  ///< per accum site, aggregated
   TxnStats txn;
+
+  /// Zeroes every scalar field for a new tick, keeping `sites`' capacity.
+  /// Shared by TickExecutor and ShardExecutor so a new field can't be
+  /// reset in one pipeline and silently reported stale by the other.
+  void Reset(Tick now);
 };
 
 class TickExecutor {
@@ -165,6 +178,7 @@ class TickExecutor {
     if (jobs_ == nullptr) {
       JobServiceOptions jo = options_.jobs;
       jo.fault = options_.fault;  // worker stall/death sites share the plan
+      jo.telemetry = options_.telemetry;  // worker-run spans, same lifetime
       jobs_ = std::make_unique<JobService>(jo);
     }
     return *jobs_;

@@ -76,6 +76,20 @@ bool AdaptiveController::ChooseProbeBatched(int site, Tick tick) {
              tick, options_.probe_interval) == 1;
 }
 
+AdaptiveController::BackendBeliefs AdaptiveController::Beliefs(
+    int site) const {
+  BackendBeliefs out;
+  if (site < 0 || static_cast<size_t>(site) >= backends_.size()) return out;
+  const BackendState& b = backends_[static_cast<size_t>(site)];
+  for (int i = 0; i < 2; ++i) {
+    out.eval_us_per_outer[i] =
+        b.eval.arm[i].initialized() ? b.eval.arm[i].value() : 0.0;
+    out.probe_us_per_outer[i] =
+        b.probe.arm[i].initialized() ? b.probe.arm[i].value() : 0.0;
+  }
+  return out;
+}
+
 namespace {
 
 // Tree/grid access paths are legal only up to the executor's stack-array

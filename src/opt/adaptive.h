@@ -72,6 +72,7 @@ struct SiteFeedback {
   int64_t matches = 0;       ///< pairs surviving all predicates
   int64_t micros = 0;
   int64_t probe_micros = 0;  ///< time inside batched QueryBatch calls
+  int64_t effects = 0;       ///< effect writes applied (pair writes)
 };
 
 /// Picks an AccumOp strategy each tick and learns from feedback.
@@ -103,6 +104,14 @@ class AdaptiveController {
   bool ChooseEvalBytecode(int site, Tick tick);
   /// Per-site probe pricing (ProbeMode::kAuto): true = batched QueryBatch.
   bool ChooseProbeBatched(int site, Tick tick);
+
+  /// Latest bandit beliefs for one site (telemetry attribution): µs per
+  /// outer row per arm; 0 until the arm has observed a measurement.
+  struct BackendBeliefs {
+    double eval_us_per_outer[2] = {0.0, 0.0};   ///< interpret / bytecode
+    double probe_us_per_outer[2] = {0.0, 0.0};  ///< per-row / batched
+  };
+  BackendBeliefs Beliefs(int site) const;
 
   /// Times this controller switched a site's strategy (for E5 reporting).
   int64_t switches() const { return switches_; }

@@ -5,6 +5,7 @@
 #include "src/common/alloc_hook.h"
 #include "src/common/stopwatch.h"
 #include "src/fault/fault_injector.h"
+#include "src/telemetry/telemetry.h"
 #include "src/update/expr_updater.h"
 #include "src/vm/compile.h"
 #include "src/vm/kernels.h"
@@ -21,8 +22,12 @@ ShardExecutor::ShardExecutor(World* world, ShardedWorld* sharded,
       controller_(options.planner, program->num_sites),
       txn_(program) {
   txn_.set_fault(options_.fault);
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->EnsureSites(program_->num_sites);
+  }
   if (options_.eval_mode != EvalMode::kInterpret && !options_.interpreted) {
     vm_cache_ = std::make_unique<VmProgramCache>();
+    vm_cache_->set_telemetry(options_.telemetry);
     vm_cache_->CompileProgram(*program_);
   }
   SGL_CHECK(options_.num_shards == sharded_->num_shards());
@@ -66,6 +71,9 @@ void ShardExecutor::EnsureShards() {
     ws->env.router = ws->router.get();
     ws->env.scratch = &ws->scratch;
     ws->env.vm = vm_cache_.get();
+    ws->env.telemetry = options_.telemetry;
+    // Chrome pid s+1: pid 0 stays the barrier thread's "world" track.
+    ws->env.tel_track = static_cast<uint8_t>(s + 1);
     ws->script_selections.resize(program_->scripts.size());
     ws->handler_rows.resize(program_->handlers.size());
     ws->handler_selections.resize(program_->handlers.size());
@@ -190,6 +198,11 @@ void ShardExecutor::PrepareUnitSites(
     } else {
       ++last_.sites_probe_single;
     }
+    if (options_.telemetry != nullptr && options_.telemetry->armed()) {
+      options_.telemetry->RecordSiteDecision(accum->site_id, tick_,
+                                             JoinStrategyName(strategy),
+                                             use_vm, probe_batched);
+    }
     PrepareSite(*accum, strategy, *world_, &indexes_, tick_,
                 /*compile_vm=*/vm_cache_ != nullptr, use_vm, probe_batched,
                 &site_cache_[static_cast<size_t>(accum->site_id)],
@@ -278,29 +291,9 @@ Status ShardExecutor::RunTick() {
   SGL_CHECK(initialized_ && "call Init() first");
   const AllocCounts alloc_before = AllocCountersNow();
   Stopwatch total;
-  last_.tick = tick_;
-  last_.query_effect_micros = 0;
-  last_.merge_micros = 0;
-  last_.update_micros = 0;
-  last_.index_build_micros = 0;
-  last_.index_memory_bytes = 0;
-  last_.total_micros = 0;
-  last_.allocs_per_tick = 0;
-  last_.bytes_per_tick = 0;
-  last_.vm_programs = 0;
-  last_.vm_fallbacks = 0;
-  last_.vm_compile_micros = 0;
-  last_.probe_micros = 0;
-  last_.simd_lanes_used = 0;
-  last_.sites_bytecode = 0;
-  last_.sites_interpreted = 0;
-  last_.sites_probe_batched = 0;
-  last_.sites_probe_single = 0;
-  last_.jobs_submitted = 0;
-  last_.jobs_installed = 0;
-  last_.jobs_in_flight = 0;
-  last_.job_wait_micros = 0;
-  last_.txn = TxnStats();
+  Telemetry* const tel = options_.telemetry;
+  SGL_TRACE_SPAN(tel, kSpanTickTotal, tick_, 0, 0);
+  last_.Reset(tick_);
   const int num_classes = world_->catalog().num_classes();
   const int S = options_.num_shards;
   const int64_t index_micros_before = indexes_.build_micros();
@@ -338,56 +331,84 @@ Status ShardExecutor::RunTick() {
       for (int s = 0; s < S; ++s) fn(*shards_[static_cast<size_t>(s)]);
     }
   };
-  for_each_shard([&](WorldShard& ws) { ComputeSelections(ws); });
-  PrepareAllSites();
+  for_each_shard([&](WorldShard& ws) {
+    SGL_TRACE_SPAN(tel, kSpanTickSelect, tick_,
+                   static_cast<uint8_t>(ws.id + 1), 0);
+    ComputeSelections(ws);
+  });
+  {
+    SGL_TRACE_SPAN(tel, kSpanTickSitePrep, tick_, 0, 0);
+    PrepareAllSites();
+  }
 
   // --- B. Query + effect phase (parallel across shards) -----------------
-  for_each_shard([&](WorldShard& ws) { RunShard(ws); });
+  for_each_shard([&](WorldShard& ws) {
+    Stopwatch shard_timer;
+    {
+      SGL_TRACE_SPAN(tel, kSpanShardRun, tick_,
+                     static_cast<uint8_t>(ws.id + 1), 0);
+      RunShard(ws);
+    }
+    ws.query_micros = shard_timer.ElapsedMicros();
+  });
   last_.query_effect_micros = query_timer.ElapsedMicros();
 
   // --- C. Barrier: route, merge, canonicalize ---------------------------
   Stopwatch merge_timer;
-  if (options_.fault != nullptr) {
-    // Latency fault at the barrier entrance: every shard's query work is
-    // done, nothing has merged. Must be state-neutral — the stall-parity
-    // test holds the checksum to the no-fault run's.
-    options_.fault->MaybeStall(kFaultShardBarrierStall, tick_);
-  }
-  for (auto& ws : shards_) {
-    for (int d = 0; d < S; ++d) ws->router->lane(d).Flip();
-  }
-  if (options_.fault != nullptr) {
-    // Crash after the mailbox flip but before any shard merges: routed
-    // records are stranded in flipped lanes and die with the process.
-    SGL_RETURN_IF_ERROR(
-        options_.fault->MaybeCrash(kFaultShardCrashPremerge, tick_));
-  }
-  cross_records_ = 0;
-  for (auto& ws : shards_) {  // source-major: reproduces serial ⊕ order
-    ws->router->MergeInto(world_);
-    cross_records_ += ws->router->OutboundRecords();
-  }
-  for (ClassId c = 0; c < num_classes; ++c) {
-    world_->effects(c).FinalizeSets();
-  }
-  last_.sites.assign(static_cast<size_t>(program_->num_sites),
-                     SiteFeedback());
-  for (const auto& ws : shards_) {
-    for (size_t i = 0; i < ws->feedback.size(); ++i) {
-      if (ws->feedback[i].site < 0) continue;
-      SiteFeedback& agg = last_.sites[i];
-      agg.site = ws->feedback[i].site;
-      agg.strategy = ws->feedback[i].strategy;
-      agg.outer_rows += ws->feedback[i].outer_rows;
-      agg.candidates += ws->feedback[i].candidates;
-      agg.matches += ws->feedback[i].matches;
-      agg.micros += ws->feedback[i].micros;
-      agg.probe_micros += ws->feedback[i].probe_micros;
-      last_.probe_micros += ws->feedback[i].probe_micros;
+  {
+    SGL_TRACE_SPAN(tel, kSpanTickBarrier, tick_, 0, 0);
+    if (options_.fault != nullptr) {
+      // Latency fault at the barrier entrance: every shard's query work is
+      // done, nothing has merged. Must be state-neutral — the stall-parity
+      // test holds the checksum to the no-fault run's.
+      options_.fault->MaybeStall(kFaultShardBarrierStall, tick_);
     }
-  }
-  for (const SiteFeedback& fb : last_.sites) {
-    if (fb.site >= 0) controller_.Feedback(fb);
+    {
+      SGL_TRACE_SPAN(tel, kSpanMailboxFlip, tick_, 0, 0);
+      for (auto& ws : shards_) {
+        for (int d = 0; d < S; ++d) ws->router->lane(d).Flip();
+      }
+    }
+    if (options_.fault != nullptr) {
+      // Crash after the mailbox flip but before any shard merges: routed
+      // records are stranded in flipped lanes and die with the process.
+      SGL_RETURN_IF_ERROR(
+          options_.fault->MaybeCrash(kFaultShardCrashPremerge, tick_));
+    }
+    cross_records_ = 0;
+    {
+      SGL_TRACE_SPAN(tel, kSpanMailboxReplay, tick_, 0, 0);
+      for (auto& ws : shards_) {  // source-major: reproduces serial ⊕ order
+        ws->router->MergeInto(world_);
+        cross_records_ += ws->router->OutboundRecords();
+      }
+    }
+    {
+      SGL_TRACE_SPAN(tel, kSpanTickFinalize, tick_, 0, 0);
+      for (ClassId c = 0; c < num_classes; ++c) {
+        world_->effects(c).FinalizeSets();
+      }
+    }
+    last_.sites.assign(static_cast<size_t>(program_->num_sites),
+                       SiteFeedback());
+    for (const auto& ws : shards_) {
+      for (size_t i = 0; i < ws->feedback.size(); ++i) {
+        if (ws->feedback[i].site < 0) continue;
+        SiteFeedback& agg = last_.sites[i];
+        agg.site = ws->feedback[i].site;
+        agg.strategy = ws->feedback[i].strategy;
+        agg.outer_rows += ws->feedback[i].outer_rows;
+        agg.candidates += ws->feedback[i].candidates;
+        agg.matches += ws->feedback[i].matches;
+        agg.micros += ws->feedback[i].micros;
+        agg.probe_micros += ws->feedback[i].probe_micros;
+        agg.effects += ws->feedback[i].effects;
+        last_.probe_micros += ws->feedback[i].probe_micros;
+      }
+    }
+    for (const SiteFeedback& fb : last_.sites) {
+      if (fb.site >= 0) controller_.Feedback(fb);
+    }
   }
   last_.merge_micros = merge_timer.ElapsedMicros();
 
@@ -395,8 +416,14 @@ Status ShardExecutor::RunTick() {
   Stopwatch update_timer;
   // Out-of-band completions ride the barrier (after the mailbox merge,
   // before the update components read them); see src/async/job_service.h.
-  if (jobs_ != nullptr) jobs_->InstallDue(tick_);
-  components_.RunAll(world_, tick_);
+  if (jobs_ != nullptr) {
+    SGL_TRACE_SPAN(tel, kSpanTickInstall, tick_, 0, 0);
+    jobs_->InstallDue(tick_);
+  }
+  {
+    SGL_TRACE_SPAN(tel, kSpanTickUpdate, tick_, 0, 0);
+    components_.RunAll(world_, tick_);
+  }
   last_.update_micros = update_timer.ElapsedMicros();
   if (txn_.ConsumeInjectedCrash()) {
     // Torn update phase (see TickExecutor::RunTick): recovery only.
@@ -412,6 +439,7 @@ Status ShardExecutor::RunTick() {
 
   // --- Barrier tail: migrations + epoch ---------------------------------
   if (sharded_->has_pending_migrations()) {
+    SGL_TRACE_SPAN(tel, kSpanTickMigrate, tick_, 0, 0);
     SGL_RETURN_IF_ERROR(sharded_->ApplyPendingMigrations());
   }
   sharded_->BumpEpoch();
@@ -438,6 +466,44 @@ Status ShardExecutor::RunTick() {
   const AllocCounts alloc_after = AllocCountersNow();
   last_.allocs_per_tick = alloc_after.count - alloc_before.count;
   last_.bytes_per_tick = alloc_after.bytes - alloc_before.bytes;
+  if (tel != nullptr && tel->armed()) {
+    for (const SiteFeedback& fb : last_.sites) {
+      if (fb.site < 0) continue;
+      tel->RecordSiteTick(fb.site, fb.micros, fb.probe_micros, fb.outer_rows,
+                          fb.candidates, fb.matches, fb.effects);
+      const AdaptiveController::BackendBeliefs b =
+          controller_.Beliefs(fb.site);
+      tel->RecordSiteBeliefs(fb.site, b.eval_us_per_outer[0],
+                             b.eval_us_per_outer[1], b.probe_us_per_outer[0],
+                             b.probe_us_per_outer[1]);
+    }
+    // Shard skew: slowest-minus-fastest B phase approximates the time the
+    // barrier sat waiting on the straggler; imbalance is (max/mean − 1) in
+    // basis points.
+    int64_t q_max = 0, q_min = INT64_MAX, q_sum = 0;
+    for (const auto& ws : shards_) {
+      q_max = std::max(q_max, ws->query_micros);
+      q_min = std::min(q_min, ws->query_micros);
+      q_sum += ws->query_micros;
+      tel->metrics().Record(tel->series().shard_query_us, ws->query_micros);
+    }
+    Telemetry::TickSample s;
+    s.total_us = last_.total_micros;
+    s.query_us = last_.query_effect_micros;
+    s.merge_us = last_.merge_micros;
+    s.update_us = last_.update_micros;
+    s.probe_us = last_.probe_micros;
+    s.job_wait_us = jobs_ != nullptr ? last_.job_wait_micros : -1;
+    s.barrier_stall_us = q_min == INT64_MAX ? 0 : q_max - q_min;
+    s.shard_imbalance_bp =
+        q_sum > 0 ? (q_max * S - q_sum) * 10000 / q_sum : 0;
+    s.cross_shard_records = static_cast<int64_t>(cross_records_);
+    s.jobs_submitted = last_.jobs_submitted;
+    s.jobs_installed = last_.jobs_installed;
+    s.jobs_in_flight = last_.jobs_in_flight;
+    s.vm_programs = last_.vm_programs;
+    tel->RecordTick(s);
+  }
   ++tick_;
   return Status::OK();
 }

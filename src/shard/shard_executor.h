@@ -82,6 +82,7 @@ class ShardExecutor {
     if (jobs_ == nullptr) {
       JobServiceOptions jo = options_.jobs;
       jo.fault = options_.fault;  // worker stall/death sites share the plan
+      jo.telemetry = options_.telemetry;  // worker-run spans, same lifetime
       jobs_ = std::make_unique<JobService>(jo);
     }
     return *jobs_;
@@ -111,6 +112,9 @@ class ShardExecutor {
     std::vector<uint8_t> handler_keep;
     std::vector<SiteFeedback> feedback;
     std::vector<RowIdx> slice;  ///< morsel chunk buffer
+    /// Wall time of this shard's B-phase last tick; the barrier derives
+    /// the stall (max−min) and imbalance gauges from these.
+    int64_t query_micros = 0;
   };
 
   void EnsureShards();

@@ -1,0 +1,98 @@
+// Chrome trace-event export (src/telemetry/): renders the span rings as
+// the JSON Object Format chrome://tracing and Perfetto load directly.
+//
+// Mapping: pid = span track (0 = world/barrier thread, s+1 = shard s),
+// tid = lane index (one per recording thread), "X" complete events with
+// microsecond ts/dur, plus "M" metadata naming every process and thread.
+// Entirely off the hot path — allocates freely.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "src/telemetry/telemetry.h"
+
+namespace sgl {
+
+std::string Telemetry::DumpChromeTrace() const {
+  std::vector<SpanView> spans = CollectSpans();
+  // Stable render order: by begin time, ties by lane then depth, so equal
+  // traces serialize identically.
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanView& a, const SpanView& b) {
+              if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+              if (a.lane != b.lane) return a.lane < b.lane;
+              return a.depth < b.depth;
+            });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[320];
+  auto emit = [&](const char* e) {
+    if (!first) out += ',';
+    first = false;
+    out += e;
+  };
+
+  std::set<int> tracks;
+  std::set<std::pair<int, int>> threads;  // (track, lane)
+  for (const SpanView& s : spans) {
+    tracks.insert(static_cast<int>(s.track));
+    threads.emplace(static_cast<int>(s.track), s.lane);
+  }
+  for (int t : tracks) {
+    if (t == 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":"
+                    "\"process_name\",\"args\":{\"name\":\"world\"}}");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":"
+                    "\"process_name\",\"args\":{\"name\":\"shard %d\"}}",
+                    t, t - 1);
+    }
+    emit(buf);
+  }
+  for (const auto& tl : threads) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"lane %d\"}}",
+                  tl.first, tl.second, tl.second);
+    emit(buf);
+  }
+
+  for (const SpanView& s : spans) {
+    const double ts_us = static_cast<double>(s.begin_ns) / 1000.0;
+    const double dur_us =
+        static_cast<double>(s.end_ns - s.begin_ns) / 1000.0;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"name\":\"%s\",\"args\":{\"tick\":%lld,"
+                  "\"arg\":%u,\"depth\":%u}}",
+                  static_cast<int>(s.track), s.lane, ts_us,
+                  dur_us >= 0.0 ? dur_us : 0.0, s.name,
+                  static_cast<long long>(s.tick),
+                  static_cast<unsigned>(s.arg),
+                  static_cast<unsigned>(s.depth));
+    emit(buf);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status Telemetry::WriteChromeTrace(const std::string& path) const {
+  const std::string json = DumpChromeTrace();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write on trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace sgl

@@ -1,0 +1,183 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sgl {
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count <= 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Nearest rank, 1-based: the smallest r with cumulative(r) >= p% of n.
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  int64_t cum = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const int64_t n = buckets[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    if (cum + n >= rank) {
+      const double lo = static_cast<double>(HistogramBucketLo(b));
+      double hi = static_cast<double>(HistogramBucketHi(b));
+      // The overflow tail has no real upper edge; max is the honest one.
+      if (b >= kHistogramBuckets - 1) hi = static_cast<double>(max);
+      const double frac =
+          (static_cast<double>(rank - cum) - 0.5) / static_cast<double>(n);
+      double v = lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+      v = std::min(v, static_cast<double>(max));
+      v = std::max(v, static_cast<double>(min));
+      return v;
+    }
+    cum += n;
+  }
+  return static_cast<double>(max);
+}
+
+bool HistogramSnapshot::PercentileBounds(double p, int64_t* lo,
+                                         int64_t* hi) const {
+  if (count <= 0) return false;
+  p = std::min(100.0, std::max(0.0, p));
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  int64_t cum = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const int64_t n = buckets[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    if (cum + n >= rank) {
+      *lo = std::max(HistogramBucketLo(b), min);
+      *hi = std::min(HistogramBucketHi(b), max);
+      return true;
+    }
+    cum += n;
+  }
+  *lo = min;
+  *hi = max;
+  return true;
+}
+
+const HistogramSnapshot* MetricsSnapshot::Find(const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::Counter(const std::string& name,
+                                 int64_t fallback) const {
+  for (const auto& c : counters) {
+    if (c.first == name) return c.second;
+  }
+  return fallback;
+}
+
+int64_t MetricsSnapshot::Gauge(const std::string& name,
+                               int64_t fallback) const {
+  for (const auto& g : gauges) {
+    if (g.first == name) return g.second;
+  }
+  return fallback;
+}
+
+std::string MetricsSnapshot::Describe() const {
+  std::string out;
+  char line[256];
+  for (const auto& c : counters) {
+    std::snprintf(line, sizeof(line), "counter %-28s %lld\n", c.first.c_str(),
+                  static_cast<long long>(c.second));
+    out += line;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(line, sizeof(line), "gauge   %-28s %lld\n", g.first.c_str(),
+                  static_cast<long long>(g.second));
+    out += line;
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.count == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "hist    %-28s n=%lld mean=%.1f p50=%.0f p95=%.0f "
+                  "p99=%.0f max=%lld\n",
+                  h.name.c_str(), static_cast<long long>(h.count), h.mean(),
+                  h.Percentile(50), h.Percentile(95), h.Percentile(99),
+                  static_cast<long long>(h.max));
+    out += line;
+  }
+  return out;
+}
+
+MetricId MetricsRegistry::RegisterCounter(const std::string& name) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i]->name == name) return static_cast<MetricId>(i);
+  }
+  auto cell = std::make_unique<CounterCell>();
+  cell->name = name;
+  counters_.push_back(std::move(cell));
+  return static_cast<MetricId>(counters_.size() - 1);
+}
+
+MetricId MetricsRegistry::RegisterGauge(const std::string& name) {
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i]->name == name) return static_cast<MetricId>(i);
+  }
+  auto cell = std::make_unique<CounterCell>();
+  cell->name = name;
+  gauges_.push_back(std::move(cell));
+  return static_cast<MetricId>(gauges_.size() - 1);
+}
+
+MetricId MetricsRegistry::RegisterHistogram(const std::string& name) {
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i]->name == name) return static_cast<MetricId>(i);
+  }
+  auto cell = std::make_unique<HistogramCell>();
+  cell->name = name;
+  histograms_.push_back(std::move(cell));
+  return static_cast<MetricId>(histograms_.size() - 1);
+}
+
+void MetricsRegistry::Record(MetricId id, int64_t value) {
+  HistogramCell& h = *histograms_[static_cast<size_t>(id)];
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+  h.buckets[static_cast<size_t>(HistogramBucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  int64_t cur = h.min.load(std::memory_order_relaxed);
+  while (value < cur && !h.min.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+  cur = h.max.load(std::memory_order_relaxed);
+  while (value > cur && !h.max.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    out.counters.emplace_back(c->name,
+                              c->value.load(std::memory_order_relaxed));
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    out.gauges.emplace_back(g->name,
+                            g->value.load(std::memory_order_relaxed));
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    HistogramSnapshot s;
+    s.name = h->name;
+    s.count = h->count.load(std::memory_order_relaxed);
+    s.sum = h->sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      s.buckets[static_cast<size_t>(b)] =
+          h->buckets[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    }
+    s.min = s.count > 0 ? h->min.load(std::memory_order_relaxed) : 0;
+    s.max = s.count > 0 ? h->max.load(std::memory_order_relaxed) : 0;
+    out.histograms.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace sgl

@@ -1,0 +1,126 @@
+// WorkerLanes<Record>: per-worker pooled append lanes with a lock-free
+// record path (src/telemetry/).
+//
+// The shape the span rings use, generalized for variable-volume records
+// (e.g. EffectTracer's TraceRecords): each recording thread binds one
+// preallocated lane on first append (thread-local cache, no lock) and is
+// its only writer. A lane is a pooled vector plus a release-published
+// count: Append() overwrites slot `count` when capacity allows and
+// publishes `count + 1`, so after warmup the hot path touches no lock and
+// allocates nothing — growth past the high-water mark is an amortized
+// push_back, and Clear() resets counts while keeping every lane's
+// capacity.
+//
+// Contracts:
+//   * Single writer per lane (enforced by the thread binding). Readers
+//     (ForEach / size) may run concurrently and see only published
+//     records; they are expected to run at a quiescent point (the tick
+//     barrier) for a complete view.
+//   * Clear() must run quiesced (no concurrent appends).
+//   * One live WorkerLanes per Record type per thread at a time: the
+//     thread-local binding is keyed per instance, and a thread that
+//     alternates between two live instances burns a fresh lane index per
+//     switch. Engine usage (one tracer, bound workers) never does this.
+//   * Threads beyond `max_lanes` drop their records (dropped() counts).
+
+#ifndef SGL_TELEMETRY_WORKER_LANES_H_
+#define SGL_TELEMETRY_WORKER_LANES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace sgl {
+
+template <typename Record>
+class WorkerLanes {
+ public:
+  explicit WorkerLanes(int max_lanes = 64)
+      : lanes_(static_cast<size_t>(max_lanes > 0 ? max_lanes : 1)) {
+    instance_id_ = NextInstanceId();
+  }
+  WorkerLanes(const WorkerLanes&) = delete;
+  WorkerLanes& operator=(const WorkerLanes&) = delete;
+
+  /// Appends a copy of `r` to the calling thread's lane. Allocation-free
+  /// once the lane has reached its high-water capacity.
+  void Append(const Record& r) {
+    Lane* lane = LaneForThread();
+    if (lane == nullptr) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const size_t n = lane->count.load(std::memory_order_relaxed);
+    if (n == lane->records.size()) {
+      lane->records.push_back(r);
+    } else {
+      lane->records[n] = r;
+    }
+    lane->count.store(n + 1, std::memory_order_release);
+  }
+
+  /// Published records across all lanes.
+  size_t size() const {
+    size_t n = 0;
+    for (const Lane& lane : lanes_) {
+      n += lane.count.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
+  /// Visits every published record, lane-major. Quiescent-point API.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Lane& lane : lanes_) {
+      const size_t c = lane.count.load(std::memory_order_acquire);
+      for (size_t i = 0; i < c; ++i) fn(lane.records[i]);
+    }
+  }
+
+  /// Resets every lane's count, keeping capacity (pooled reuse). Must run
+  /// quiesced.
+  void Clear() {
+    for (Lane& lane : lanes_) {
+      lane.count.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Lane {
+    std::vector<Record> records;
+    std::atomic<size_t> count{0};
+  };
+  struct Binding {
+    uint64_t owner = 0;
+    Lane* lane = nullptr;
+  };
+
+  static uint64_t NextInstanceId() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Lane* LaneForThread() {
+    static thread_local Binding tls;  // one per (Record type, thread)
+    if (tls.owner == instance_id_) return tls.lane;
+    const int idx = next_lane_.fetch_add(1, std::memory_order_relaxed);
+    tls.owner = instance_id_;
+    tls.lane = idx < static_cast<int>(lanes_.size())
+                   ? &lanes_[static_cast<size_t>(idx)]
+                   : nullptr;
+    return tls.lane;
+  }
+
+  std::vector<Lane> lanes_;  ///< sized once (atomics are not movable)
+  uint64_t instance_id_ = 0;
+  std::atomic<int> next_lane_{0};
+  std::atomic<int64_t> dropped_{0};
+};
+
+}  // namespace sgl
+
+#endif  // SGL_TELEMETRY_WORKER_LANES_H_

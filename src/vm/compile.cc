@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/stopwatch.h"
+#include "src/telemetry/telemetry.h"
 
 namespace sgl {
 namespace {
@@ -541,6 +542,8 @@ void VmProgramCache::AddOps(const std::vector<std::unique_ptr<PlanOp>>& ops,
 
 void VmProgramCache::CompileProgram(const CompiledProgram& prog) {
   Stopwatch timer;
+  // Tick 0: compilation happens once, at executor construction.
+  SGL_TRACE_SPAN(telemetry_, kSpanVmCompile, 0, 0, 0);
   const Catalog& cat = *prog.catalog;
   for (const CompiledScript& script : prog.scripts) {
     for (const auto& phase : script.phases) AddOps(phase, cat);

@@ -26,6 +26,8 @@
 
 namespace sgl {
 
+class Telemetry;
+
 /// Lowers `e` (whose result kind is `kind`) into a value-mode program.
 /// Returns false when the tree contains a construct the VM does not
 /// execute; `*out` is unspecified then.
@@ -64,6 +66,10 @@ class VmProgramCache {
   int fallbacks() const { return fallbacks_; }
   int64_t compile_micros() const { return compile_micros_; }
 
+  /// Telemetry sink for vm.compile spans (borrowed, may be null). Set by
+  /// the owning executor before CompileProgram.
+  void set_telemetry(Telemetry* tel) { telemetry_ = tel; }
+
  private:
   void AddValue(const Expr* e, TypeKind kind);
   void AddFilter(const Expr* e);
@@ -76,6 +82,7 @@ class VmProgramCache {
   int programs_compiled_ = 0;
   int fallbacks_ = 0;
   int64_t compile_micros_ = 0;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace sgl
