@@ -5,11 +5,16 @@
 // replay log / per-tick full checkpoint. Expected shape: tracer ≈ baseline
 // (pay-as-you-go pointer check), checksum a small linear add-on, full
 // checkpointing the most expensive (state-size-proportional copy) — which
-// is why the replay log only snapshots periodically.
+// is why the replay log only snapshots periodically. The telemetry (PR 9)
+// and flight-recorder (PR 10) series extend the ladder: disarmed attached
+// sinks must sit within noise of detached, armed shows the full capture
+// cost. Armed phases Reset() the metrics registry at the warmup boundary
+// so reported percentiles cover the measured window only.
 
 #include "bench/bench_util.h"
 #include "src/debug/checkpoint.h"
 #include "src/debug/tracer.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 
 namespace {
@@ -117,6 +122,9 @@ void BM_TelemetryArmed(benchmark::State& state) {
   tel.set_armed(true);
   auto engine = BuildTelemetryRts(kTelemetryUnits, &tel);
   sgl_bench::Warmup(engine.get());
+  // Phase boundary: drop the warmup's samples so the reported percentiles
+  // describe the measured window only.
+  tel.metrics().Reset();
   const int64_t spans_before = tel.total_spans();
   int64_t ticks = 0;
   for (auto _ : state) {
@@ -132,6 +140,55 @@ void BM_TelemetryArmed(benchmark::State& state) {
     state.counters["tick_p50_us"] = h->Percentile(50);
     state.counters["tick_p95_us"] = h->Percentile(95);
     state.counters["tick_p99_us"] = h->Percentile(99);
+  }
+}
+
+// Flight-recorder overhead (PR 10): the armed capture path — watch-all
+// effect fan-out, per-tick pooled drain + canonical sort + after-value
+// resolution — against the same workload with the recorder disarmed.
+// Counters report the per-frame record volume the armed ring sustained.
+void BM_FlightRecorderDisarmed(benchmark::State& state) {
+  sgl::FlightRecorder rec;  // attached, never armed: one branch per tick
+  sgl::RtsConfig config;
+  config.num_units = kTelemetryUnits;
+  sgl::EngineOptions options;
+  options.exec.planner.mode = sgl::PlanMode::kStaticRangeTree;
+  options.exec.recorder = &rec;
+  auto engine = sgl::RtsWorkload::Build(config, options);
+  if (!engine.ok()) std::abort();
+  sgl_bench::Warmup(engine->get());
+  for (auto _ : state) {
+    if (!(*engine)->Tick().ok()) state.SkipWithError("tick failed");
+  }
+}
+
+void BM_FlightRecorderArmed(benchmark::State& state) {
+  sgl::Telemetry tel;
+  tel.set_armed(true);
+  sgl::FlightRecorder rec;
+  rec.set_armed(true);
+  rec.set_telemetry(&tel);
+  sgl::RtsConfig config;
+  config.num_units = kTelemetryUnits;
+  sgl::EngineOptions options;
+  options.exec.planner.mode = sgl::PlanMode::kStaticRangeTree;
+  options.exec.telemetry = &tel;
+  options.exec.recorder = &rec;
+  auto engine = sgl::RtsWorkload::Build(config, options);
+  if (!engine.ok()) std::abort();
+  sgl_bench::Warmup(engine->get());
+  tel.metrics().Reset();  // phase boundary: measured window only
+  for (auto _ : state) {
+    if (!(*engine)->Tick().ok()) state.SkipWithError("tick failed");
+  }
+  const sgl::TickFrame* newest = rec.frame(rec.newest_tick());
+  state.counters["records_per_frame"] =
+      newest != nullptr ? static_cast<double>(newest->num_records) : 0;
+  state.counters["frames_captured"] =
+      static_cast<double>(rec.frames_captured());
+  const sgl::MetricsSnapshot snap = tel.metrics().Snapshot();
+  if (const sgl::HistogramSnapshot* h = snap.Find("tick.total_us")) {
+    state.counters["tick_p50_us"] = h->Percentile(50);
   }
 }
 
@@ -163,6 +220,12 @@ BENCHMARK(BM_CheckpointRestoreRoundTrip)
 BENCHMARK(BM_TelemetryDetached)->Unit(benchmark::kMillisecond)->MinTime(0.1);
 BENCHMARK(BM_TelemetryDisarmed)->Unit(benchmark::kMillisecond)->MinTime(0.1);
 BENCHMARK(BM_TelemetryArmed)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+BENCHMARK(BM_FlightRecorderDisarmed)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+BENCHMARK(BM_FlightRecorderArmed)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
 BENCHMARK(BM_SpanRecordArmed)->MinTime(0.1);
 
 }  // namespace

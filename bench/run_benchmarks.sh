@@ -23,8 +23,9 @@
 #       allocs_per_tick + vm_programs + simd_lanes + probe_us + the
 #       CPU/dispatch context the numbers were recorded under)
 #   E10 debugging + observability overhead (tracer / checksum / checkpoint
-#       cost, plus the telemetry armed-vs-disarmed series: spans/tick,
-#       ns/span, and tick p50/p95/p99 from the histogram registry)
+#       cost, plus the telemetry and flight-recorder armed-vs-disarmed
+#       series: spans/tick, ns/span, records/frame, and tick p50/p95/p99
+#       from the histogram registry)
 #
 # Usage: bench/run_benchmarks.sh [build_dir] [tag] [baseline.json]
 #   build_dir  cmake build directory holding the bench_* binaries (default:
@@ -68,7 +69,7 @@ keep = ("name", "real_time", "cpu_time", "time_unit", "iterations",
         "job_wait_ms", "n", "vm_programs", "simd_lanes", "probe_us",
         "cpu_avx2", "kernel_avx2", "spans_per_tick", "ns_per_span",
         "tick_p50_us", "tick_p95_us", "tick_p99_us", "records",
-        "checkpoint_bytes")
+        "checkpoint_bytes", "records_per_frame", "frames_captured")
 merged = {}
 for f in sorted(os.listdir(tmp)):
     with open(os.path.join(tmp, f)) as fh:

@@ -27,6 +27,45 @@ constexpr size_t kHeaderBytes = kHeaderChecksummedBytes + 8;
 const char kFilePrefix[] = "ckpt_";
 const char kFileSuffix[] = ".sgl";
 
+// "SGLBBOX1" little-endian.
+constexpr uint64_t kBBoxMagic = 0x31584f42424c4753ULL;
+constexpr uint32_t kBBoxVersion = 1;
+// magic + version + reserved + tick + world checksum + 5 section sizes +
+// payload fnv.
+constexpr size_t kBBoxChecksummedBytes = 8 + 4 + 4 + 8 + 8 + 5 * 8 + 8;
+constexpr size_t kBBoxHeaderBytes = kBBoxChecksummedBytes + 8;
+
+const char kBBoxPrefix[] = "bbox_";
+const char kBBoxSuffix[] = ".sbb";
+
+/// Writes `image` to `<path>.tmp`, fflush + fsync, then renames onto
+/// `path` — the same atomic-replace protocol SaveCheckpointFile uses.
+Status WriteFileAtomic(const std::string& image, const std::string& path,
+                       const char* what) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal(std::string(what) + ": cannot open " + tmp);
+  }
+  if (!image.empty() &&
+      std::fwrite(image.data(), 1, image.size(), f) != image.size()) {
+    std::fclose(f);
+    return Status::Internal(std::string(what) + ": write failed: " + tmp);
+  }
+  std::fflush(f);
+#if !defined(_WIN32)
+  fsync(fileno(f));
+#endif
+  std::fclose(f);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal(std::string(what) +
+                            ": rename failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
 /// Builds the complete on-disk image (header + payload). May throw
 /// bad_alloc — deliberately, that is the ckpt.serialize.allocfail surface.
 void BuildFileImage(const Checkpoint& cp, std::string* out) {
@@ -253,6 +292,167 @@ StatusOr<Checkpoint> CheckpointStore::LoadLatestGood() const {
   }
   return Status::NotFound("checkpoint store: no valid checkpoint in " +
                           dir_);
+}
+
+// --- Black-box dumps -------------------------------------------------------
+
+Status SaveBlackBoxFile(const BlackBoxDump& dump, const std::string& path) {
+  std::string image;
+  image.reserve(kBBoxHeaderBytes + dump.reason.size() +
+                dump.chrome_trace.size() + dump.metrics.size() +
+                dump.sites.size() + dump.provenance.size());
+  uint64_t payload_fnv = Fnv1a(dump.reason.data(), dump.reason.size());
+  payload_fnv =
+      Fnv1a(dump.chrome_trace.data(), dump.chrome_trace.size(), payload_fnv);
+  payload_fnv = Fnv1a(dump.metrics.data(), dump.metrics.size(), payload_fnv);
+  payload_fnv = Fnv1a(dump.sites.data(), dump.sites.size(), payload_fnv);
+  payload_fnv =
+      Fnv1a(dump.provenance.data(), dump.provenance.size(), payload_fnv);
+  binio::Append<uint64_t>(&image, kBBoxMagic);
+  binio::Append<uint32_t>(&image, kBBoxVersion);
+  binio::Append<uint32_t>(&image, 0u);
+  binio::Append<int64_t>(&image, static_cast<int64_t>(dump.tick));
+  binio::Append<uint64_t>(&image, dump.world_checksum);
+  binio::Append<uint64_t>(&image, static_cast<uint64_t>(dump.reason.size()));
+  binio::Append<uint64_t>(&image,
+                          static_cast<uint64_t>(dump.chrome_trace.size()));
+  binio::Append<uint64_t>(&image, static_cast<uint64_t>(dump.metrics.size()));
+  binio::Append<uint64_t>(&image, static_cast<uint64_t>(dump.sites.size()));
+  binio::Append<uint64_t>(&image,
+                          static_cast<uint64_t>(dump.provenance.size()));
+  binio::Append<uint64_t>(&image, payload_fnv);
+  binio::Append<uint64_t>(&image, Fnv1a(image.data(), image.size()));
+  image.append(dump.reason);
+  image.append(dump.chrome_trace);
+  image.append(dump.metrics);
+  image.append(dump.sites);
+  image.append(dump.provenance);
+  return WriteFileAtomic(image, path, "blackbox");
+}
+
+Status LoadBlackBoxFile(const std::string& path, BlackBoxDump* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("blackbox: no file at " + path);
+  }
+  std::string data;
+  {
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+      std::fclose(f);
+      return Status::Internal("blackbox: cannot size " + path);
+    }
+    data.resize(static_cast<size_t>(size));
+    if (!data.empty() &&
+        std::fread(&data[0], 1, data.size(), f) != data.size()) {
+      std::fclose(f);
+      return Status::Internal("blackbox: read failed: " + path);
+    }
+    std::fclose(f);
+  }
+  if (data.size() < kBBoxHeaderBytes) {
+    return Status::InvalidArgument("blackbox: truncated header: " + path);
+  }
+  const char* cur = data.data();
+  const char* end = cur + data.size();
+  uint64_t magic = 0, world_checksum = 0, payload_fnv = 0, header_fnv = 0;
+  uint32_t version = 0, reserved = 0;
+  int64_t tick = 0;
+  uint64_t sizes[5] = {0, 0, 0, 0, 0};
+  binio::Read(&cur, end, &magic);
+  binio::Read(&cur, end, &version);
+  binio::Read(&cur, end, &reserved);
+  binio::Read(&cur, end, &tick);
+  binio::Read(&cur, end, &world_checksum);
+  for (uint64_t& s : sizes) binio::Read(&cur, end, &s);
+  binio::Read(&cur, end, &payload_fnv);
+  binio::Read(&cur, end, &header_fnv);
+  if (header_fnv != Fnv1a(data.data(), kBBoxChecksummedBytes)) {
+    return Status::InvalidArgument("blackbox: header checksum mismatch: " +
+                                   path);
+  }
+  if (magic != kBBoxMagic) {
+    return Status::InvalidArgument("blackbox: bad magic: " + path);
+  }
+  if (version != kBBoxVersion) {
+    return Status::InvalidArgument("blackbox: unsupported version " +
+                                   std::to_string(version) + ": " + path);
+  }
+  const uint64_t remaining = static_cast<uint64_t>(end - cur);
+  uint64_t total = 0;
+  for (uint64_t s : sizes) {
+    if (s > remaining) {
+      return Status::InvalidArgument("blackbox: truncated payload: " + path);
+    }
+    total += s;
+  }
+  if (total != remaining) {
+    return Status::InvalidArgument("blackbox: payload size mismatch: " +
+                                   path);
+  }
+  if (payload_fnv != Fnv1a(cur, static_cast<size_t>(remaining))) {
+    return Status::InvalidArgument("blackbox: payload checksum mismatch: " +
+                                   path);
+  }
+  out->tick = static_cast<Tick>(tick);
+  out->world_checksum = world_checksum;
+  out->reason.assign(cur, static_cast<size_t>(sizes[0]));
+  cur += sizes[0];
+  out->chrome_trace.assign(cur, static_cast<size_t>(sizes[1]));
+  cur += sizes[1];
+  out->metrics.assign(cur, static_cast<size_t>(sizes[2]));
+  cur += sizes[2];
+  out->sites.assign(cur, static_cast<size_t>(sizes[3]));
+  cur += sizes[3];
+  out->provenance.assign(cur, static_cast<size_t>(sizes[4]));
+  return Status::OK();
+}
+
+BlackBoxStore::BlackBoxStore(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(std::max(keep, 2)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::vector<std::string> BlackBoxStore::ListFiles() const {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > sizeof(kBBoxPrefix) - 1 + sizeof(kBBoxSuffix) - 1 &&
+        name.compare(0, sizeof(kBBoxPrefix) - 1, kBBoxPrefix) == 0 &&
+        name.compare(name.size() - (sizeof(kBBoxSuffix) - 1),
+                     sizeof(kBBoxSuffix) - 1, kBBoxSuffix) == 0) {
+      files.push_back(name);
+    }
+  }
+  std::sort(files.begin(), files.end());  // zero-padded tick = tick order
+  return files;
+}
+
+Status BlackBoxStore::Save(const BlackBoxDump& dump) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%012lld%s", kBBoxPrefix,
+                static_cast<long long>(dump.tick), kBBoxSuffix);
+  SGL_RETURN_IF_ERROR(SaveBlackBoxFile(dump, dir_ + "/" + name));
+  std::vector<std::string> files = ListFiles();
+  std::error_code ec;
+  for (size_t i = 0; i + static_cast<size_t>(keep_) < files.size(); ++i) {
+    std::filesystem::remove(dir_ + "/" + files[i], ec);
+  }
+  return Status::OK();
+}
+
+StatusOr<BlackBoxDump> BlackBoxStore::LoadLatestGood() const {
+  std::vector<std::string> files = ListFiles();
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    BlackBoxDump dump;
+    Status status = LoadBlackBoxFile(dir_ + "/" + *it, &dump);
+    if (status.ok()) return dump;
+  }
+  return Status::NotFound("blackbox store: no valid dump in " + dir_);
 }
 
 }  // namespace sgl

@@ -58,6 +58,66 @@ Status SaveCheckpointFile(const Checkpoint& cp, const std::string& path,
 Status LoadCheckpointFile(const std::string& path, Checkpoint* out,
                           FaultInjector* fault = nullptr);
 
+// --- Black-box dumps (flight recorder) -------------------------------------
+//
+// Same file discipline as checkpoints — versioned, double-checksummed,
+// written to `<path>.tmp` + fsync + rename — but carrying the flight
+// recorder's self-contained post-mortem instead of restorable state:
+//
+//   header (88 bytes):
+//     u64 magic "SGLBBOX1"    u32 version    u32 reserved(0)
+//     i64 tick                u64 world_checksum
+//     u64 reason_size  u64 chrome_trace_size  u64 metrics_size
+//     u64 sites_size   u64 provenance_size
+//     u64 payload_fnv         u64 header_fnv
+//   payload:
+//     reason || chrome_trace || metrics || sites || provenance
+//
+// `chrome_trace` is DumpChromeTrace() JSON of the ring window, `metrics`
+// the metrics-snapshot text, `sites` DescribeSitesJson(), `provenance` the
+// flat serialized frame records of the ring tail. The trace/metrics
+// sections carry wall-clock timings; the provenance section and the world
+// checksum are deterministic — those are the bytes the
+// never-crashed-vs-recovered differential compares.
+
+/// One self-contained black-box dump.
+struct BlackBoxDump {
+  Tick tick = 0;
+  uint64_t world_checksum = 0;
+  std::string reason;        ///< which trigger fired, human-readable
+  std::string chrome_trace;  ///< Chrome trace-event JSON of the ring window
+  std::string metrics;       ///< metrics snapshot (text)
+  std::string sites;         ///< DescribeSitesJson() output
+  std::string provenance;    ///< flat serialized ring-tail frame records
+};
+
+/// Atomically writes `dump` to `path` (`<path>.tmp` + fsync + rename).
+Status SaveBlackBoxFile(const BlackBoxDump& dump, const std::string& path);
+
+/// Reads and validates `path` into `out`. NotFound when absent;
+/// InvalidArgument on any corruption (bad magic, version, checksum, or
+/// size arithmetic) — same detection surface as checkpoint loads.
+Status LoadBlackBoxFile(const std::string& path, BlackBoxDump* out);
+
+/// A rotating directory of black-box dumps (`bbox_<zero-padded-tick>.sbb`),
+/// CheckpointStore-style: prune-after-successful-save, newest-wins load
+/// with fallback over corrupt files.
+class BlackBoxStore {
+ public:
+  explicit BlackBoxStore(std::string dir, int keep = 4);
+
+  Status Save(const BlackBoxDump& dump);
+  /// Newest dump that validates; NotFound when none does.
+  StatusOr<BlackBoxDump> LoadLatestGood() const;
+  /// Dump file names, ascending by tick.
+  std::vector<std::string> ListFiles() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  int keep_;
+};
+
 /// A rotating directory of checkpoint files, newest-wins with fallback.
 class CheckpointStore {
  public:

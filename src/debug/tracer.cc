@@ -22,8 +22,11 @@ bool EffectTracer::IsWatched(EntityId id) const {
 void EffectTracer::OnEffectAssign(Tick tick, EntityId target,
                                   ClassId target_cls, FieldIdx field,
                                   const Value& value, int assign_id,
-                                  uint64_t order_key) {
-  if (!std::binary_search(watched_.begin(), watched_.end(), target)) return;
+                                  uint64_t order_key, const EffectProv& prov) {
+  if (!watch_all_ &&
+      !std::binary_search(watched_.begin(), watched_.end(), target)) {
+    return;
+  }
   TraceRecord rec;
   rec.tick = tick;
   rec.target = target;
@@ -32,6 +35,7 @@ void EffectTracer::OnEffectAssign(Tick tick, EntityId target,
   rec.value = value;
   rec.assign_id = assign_id;
   rec.order_key = order_key;
+  rec.prov = prov;
   lanes_.Append(rec);
 }
 
@@ -39,17 +43,13 @@ std::vector<TraceRecord> EffectTracer::Records() const {
   std::vector<TraceRecord> out;
   out.reserve(lanes_.size());
   lanes_.ForEach([&](const TraceRecord& rec) { out.push_back(rec); });
-  // Canonical total order: (tick, order_key) as before, with (target,
-  // field, assign_id) breaking the astronomically-rare key collision so
-  // the result never depends on which lane recorded what.
-  std::sort(out.begin(), out.end(),
-            [](const TraceRecord& a, const TraceRecord& b) {
-              if (a.tick != b.tick) return a.tick < b.tick;
-              if (a.order_key != b.order_key) return a.order_key < b.order_key;
-              if (a.target != b.target) return a.target < b.target;
-              if (a.field != b.field) return a.field < b.field;
-              return a.assign_id < b.assign_id;
-            });
+  // Canonical total order: (tick, phase, order_key) with (target, field,
+  // assign_id) breaking the astronomically-rare key collision so the
+  // result never depends on which lane recorded what. Transaction-phase
+  // records (prov.txn >= 0) sort after the tick's query-phase effect
+  // writes — their order keys live in a different namespace
+  // ((site << 32) | issuing_row) and must not interleave.
+  std::sort(out.begin(), out.end(), TraceRecordCanonicalLess);
   return out;
 }
 

@@ -38,19 +38,45 @@ struct TraceRecord {
   Value value;
   int assign_id = 0;
   uint64_t order_key = 0;
+  EffectProv prov;
 };
+
+/// Canonical record order: (tick, phase [query < txn], order_key, target,
+/// field, assign_id). Query-phase ⊕ keys and transaction intent keys live
+/// in different namespaces, so the phase discriminator keeps them from
+/// interleaving. Shared by `EffectTracer::Records()` and the flight
+/// recorder's per-frame sort.
+inline bool TraceRecordCanonicalLess(const TraceRecord& a,
+                                     const TraceRecord& b) {
+  if (a.tick != b.tick) return a.tick < b.tick;
+  const int ap = a.prov.txn >= 0 ? 1 : 0;
+  const int bp = b.prov.txn >= 0 ? 1 : 0;
+  if (ap != bp) return ap < bp;
+  if (a.order_key != b.order_key) return a.order_key < b.order_key;
+  if (a.target != b.target) return a.target < b.target;
+  if (a.field != b.field) return a.field < b.field;
+  return a.assign_id < b.assign_id;
+}
 
 class EffectTracer : public EffectTraceSink {
  public:
+  /// `max_lanes` bounds the distinct recording threads (WorkerLanes).
+  explicit EffectTracer(int max_lanes = 64) : lanes_(max_lanes) {}
+
   /// Starts watching an entity. No filter set = trace nothing.
   /// Configure between ticks (see header comment).
   void Watch(EntityId id);
   void Unwatch(EntityId id);
   bool IsWatched(EntityId id) const;
 
+  /// Watch-all mode records every assignment regardless of the watch list
+  /// (the flight recorder's capture sink). Configure between ticks.
+  void set_watch_all(bool on) { watch_all_ = on; }
+  bool watch_all() const { return watch_all_; }
+
   void OnEffectAssign(Tick tick, EntityId target, ClassId target_cls,
                       FieldIdx field, const Value& value, int assign_id,
-                      uint64_t order_key) override;
+                      uint64_t order_key, const EffectProv& prov) override;
 
   /// Records so far, ordered by (tick, deterministic order key).
   std::vector<TraceRecord> Records() const;
@@ -61,8 +87,18 @@ class EffectTracer : public EffectTraceSink {
   void Clear();
   size_t size() const;
 
+  /// Unsorted lane-order visit of every record — allocation-free (the
+  /// flight recorder's pooled per-tick drain). Callers needing the
+  /// canonical order sort the copies themselves; `Records()` stays the
+  /// allocating convenience path.
+  template <typename Fn>
+  void ForEachRecord(Fn&& fn) const {
+    lanes_.ForEach(fn);
+  }
+
  private:
   std::vector<EntityId> watched_;  ///< sorted; binary-searched on record
+  bool watch_all_ = false;
   WorkerLanes<TraceRecord> lanes_;
 };
 

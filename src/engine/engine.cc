@@ -1,5 +1,7 @@
 #include "src/engine/engine.h"
 
+#include "src/telemetry/flight_recorder.h"
+
 namespace sgl {
 
 StatusOr<std::unique_ptr<Engine>> Engine::Create(
@@ -176,6 +178,13 @@ Status Engine::Restore(const Checkpoint& cp) {
   } else {
     executor_->ResetStatsAfterRestore();
   }
+  // The flight recorder's ring describes the abandoned timeline: give it a
+  // chance to dump the pre-crash window ("crash.restore"), then clear it
+  // so the recovered run's frames never mix with stale ones.
+  FlightRecorder* recorder = shard_exec_ != nullptr
+                                 ? shard_exec_->options().recorder
+                                 : executor_->options().recorder;
+  if (recorder != nullptr) recorder->NotifyRestore(cp.tick, world_.get());
   return Status::OK();
 }
 

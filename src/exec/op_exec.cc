@@ -148,9 +148,15 @@ size_t RunGuardFilter(const Expr& guard, const VecContext& ctx,
 // Applies one batch of effect writes over a (possibly pair) row vector.
 // Returns how many writes landed (post guard / target resolution) — the
 // per-site `effects` attribution.
+// The emitting worker's shard for provenance attribution: tel_track 0 is
+// the unsharded world / barrier thread, s + 1 is world shard s.
+inline int32_t ProvShard(const ExecEnv& env) {
+  return env.tel_track == 0 ? 0 : static_cast<int32_t>(env.tel_track) - 1;
+}
+
 int64_t ApplyWrites(const std::vector<EffectWrite>& writes,
                     const EntityTable* inner_table, const PairRows& rows,
-                    ExecEnv& env, const VmProgramCache* vm) {
+                    ExecEnv& env, const VmProgramCache* vm, int site) {
   const size_t n = rows.outer->size();
   if (n == 0) return 0;
   int64_t applied = 0;
@@ -219,10 +225,25 @@ int64_t ApplyWrites(const std::vector<EffectWrite>& writes,
     };
     auto trace = [&](size_t i, RowIdx row, const Value& v) {
       ++applied;  // invoked exactly once per landed write, in all branches
-      if (env.trace != nullptr) {
-        env.trace->OnEffectAssign(env.tick, target_table.id_at(row),
-                                  w.target_cls, w.field, v, w.assign_id,
-                                  key_at(i));
+      if (env.trace != nullptr || env.recorder_sink != nullptr) {
+        EffectProv prov;
+        prov.site = site;
+        prov.src_shard = ProvShard(env);
+        prov.src_outer = env.outer->id_at((*outer_rows)[i]);
+        if (inner_rows != nullptr && inner_table != nullptr) {
+          prov.src_inner = inner_table->id_at((*inner_rows)[i]);
+        }
+        const EntityId target_id = target_table.id_at(row);
+        const uint64_t key = key_at(i);
+        if (env.trace != nullptr) {
+          env.trace->OnEffectAssign(env.tick, target_id, w.target_cls,
+                                    w.field, v, w.assign_id, key, prov);
+        }
+        if (env.recorder_sink != nullptr) {
+          env.recorder_sink->OnEffectAssign(env.tick, target_id, w.target_cls,
+                                            w.field, v, w.assign_id, key,
+                                            prov);
+        }
       }
     };
     if (w.set_insert) {
@@ -715,7 +736,8 @@ void RunAccumVectorized(const AccumOp& op,
 
     // Pair-level effect writes. The leases stay live through this call;
     // ApplyWrites' own acquisitions nest above them (LIFO holds).
-    effects_applied = ApplyWrites(op.pair_writes, &inner, pairs, env, vm);
+    effects_applied =
+        ApplyWrites(op.pair_writes, &inner, pairs, env, vm, op.site_id);
   }
 
   if (env.feedback != nullptr) {
@@ -1036,7 +1058,7 @@ void RunOpsVectorized(const std::vector<std::unique_ptr<PlanOp>>& ops,
       case PlanOp::Kind::kEffects: {
         auto* o = static_cast<const EffectsOp*>(op.get());
         PairRows rows{&selection, nullptr};
-        ApplyWrites(o->writes, nullptr, rows, env, env.vm);
+        ApplyWrites(o->writes, nullptr, rows, env, env.vm, /*site=*/-1);
         break;
       }
       case PlanOp::Kind::kAccum:
@@ -1065,7 +1087,7 @@ ScalarContext MakeScalarCtx(const ExecEnv& env, RowIdx row) {
 }
 
 void ApplyWriteScalar(const EffectWrite& w, RowIdx row, ClassId inner_cls,
-                      RowIdx inner_row, ExecEnv& env) {
+                      RowIdx inner_row, ExecEnv& env, int site) {
   ScalarContext ctx = MakeScalarCtx(env, row);
   ctx.inner_cls = inner_cls;
   ctx.inner_row = inner_row;
@@ -1110,10 +1132,25 @@ void ApplyWriteScalar(const EffectWrite& w, RowIdx row, ClassId inner_cls,
     sink.AddRef(w.field, target_row, v, key);
     traced = Value::Ref(v);
   }
-  if (env.trace != nullptr) {
-    env.trace->OnEffectAssign(
-        env.tick, env.world->table(w.target_cls).id_at(target_row),
-        w.target_cls, w.field, traced, w.assign_id, key);
+  if (env.trace != nullptr || env.recorder_sink != nullptr) {
+    EffectProv prov;
+    prov.site = site;
+    prov.src_shard = ProvShard(env);
+    prov.src_outer = env.outer->id_at(row);
+    if (inner_row != kInvalidRow && inner_cls != kInvalidClass) {
+      prov.src_inner = env.world->table(inner_cls).id_at(inner_row);
+    }
+    const EntityId target_id =
+        env.world->table(w.target_cls).id_at(target_row);
+    if (env.trace != nullptr) {
+      env.trace->OnEffectAssign(env.tick, target_id, w.target_cls, w.field,
+                                traced, w.assign_id, key, prov);
+    }
+    if (env.recorder_sink != nullptr) {
+      env.recorder_sink->OnEffectAssign(env.tick, target_id, w.target_cls,
+                                        w.field, traced, w.assign_id, key,
+                                        prov);
+    }
   }
 }
 
@@ -1182,7 +1219,7 @@ void RunAccumScalarBatch(const AccumOp& op,
   }
   for (const EffectWrite& w : op.pair_writes) {
     for (const auto& [row, j] : pairs) {
-      ApplyWriteScalar(w, row, op.inner_cls, j, env);
+      ApplyWriteScalar(w, row, op.inner_cls, j, env, op.site_id);
     }
   }
 }
@@ -1243,7 +1280,8 @@ void RunOpsScalar(const std::vector<std::unique_ptr<PlanOp>>& ops,
         auto* o = static_cast<const EffectsOp*>(op.get());
         for (const EffectWrite& w : o->writes) {
           for (RowIdx row : selection) {
-            ApplyWriteScalar(w, row, kInvalidClass, kInvalidRow, env);
+            ApplyWriteScalar(w, row, kInvalidClass, kInvalidRow, env,
+                             /*site=*/-1);
           }
         }
         break;

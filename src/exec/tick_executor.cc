@@ -5,6 +5,7 @@
 #include "src/common/alloc_hook.h"
 #include "src/common/stopwatch.h"
 #include "src/fault/fault_injector.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 #include "src/update/expr_updater.h"
 #include "src/vm/compile.h"
@@ -175,6 +176,7 @@ void TickExecutor::RunUnit(
     env.prepared = &prepared_;
     env.feedback = &feedback_shards_[static_cast<size_t>(shard)];
     env.trace = trace_;
+    env.recorder_sink = recorder_sink_;
     return env;
   };
 
@@ -221,7 +223,11 @@ Status TickExecutor::RunTick() {
   // --- Setup -----------------------------------------------------------
   world_->ResetEffects();
   if (!options_.interpreted) stats_mgr_.MaybeRefresh(*world_, tick_);
+  recorder_sink_ = options_.recorder != nullptr
+                       ? options_.recorder->capture_sink()
+                       : nullptr;
   txn_.set_fault_tick(tick_);
+  txn_.set_prov_sink(recorder_sink_);
   txn_.BeginTick(shards);
   EnsureWorkers(shards);
   if (shards > 1) {
@@ -450,6 +456,15 @@ Status TickExecutor::RunTick() {
   last_.index_memory_bytes = static_cast<int64_t>(indexes_.MemoryBytes());
   last_.simd_lanes_used = SimdLanesNow() - simd_lanes_before;
   last_.total_micros = total.ElapsedMicros();
+  if (options_.recorder != nullptr) {
+    // Before the alloc-count capture below, so the recorder's own frame
+    // assembly is held to the same allocs_per_tick == 0 contract.
+    FlightRecorder::FrameInput fin;
+    fin.tick = tick_;
+    fin.stats = &last_;
+    fin.world = world_;
+    options_.recorder->CaptureTick(fin);
+  }
   const AllocCounts alloc_after = AllocCountersNow();
   last_.allocs_per_tick = alloc_after.count - alloc_before.count;
   last_.bytes_per_tick = alloc_after.bytes - alloc_before.bytes;

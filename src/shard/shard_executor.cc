@@ -5,6 +5,7 @@
 #include "src/common/alloc_hook.h"
 #include "src/common/stopwatch.h"
 #include "src/fault/fault_injector.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 #include "src/update/expr_updater.h"
 #include "src/vm/compile.h"
@@ -248,6 +249,7 @@ void ShardExecutor::RunUnitShard(
   env.prepared = &prepared_;
   env.feedback = &ws.feedback;
   env.trace = trace_;
+  env.recorder_sink = recorder_sink_;
   if (options_.interpreted) {
     RunOpsScalar(ops, selection, env);
     return;
@@ -303,7 +305,11 @@ Status ShardExecutor::RunTick() {
   sharded_->EnsurePartition();
   world_->ResetEffects();
   if (!options_.interpreted) stats_mgr_.MaybeRefresh(*world_, tick_);
+  recorder_sink_ = options_.recorder != nullptr
+                       ? options_.recorder->capture_sink()
+                       : nullptr;
   txn_.set_fault_tick(tick_);
+  txn_.set_prov_sink(recorder_sink_);
   txn_.BeginTick(S);
   EnsureShards();
   for (auto& ws : shards_) {
@@ -463,6 +469,31 @@ Status ShardExecutor::RunTick() {
   last_.index_memory_bytes = static_cast<int64_t>(indexes_.MemoryBytes());
   last_.simd_lanes_used = SimdLanesNow() - simd_lanes_before;
   last_.total_micros = total.ElapsedMicros();
+  // Shard skew: slowest-minus-fastest B phase approximates the time the
+  // barrier sat waiting on the straggler; imbalance is (max/mean − 1) in
+  // basis points. Computed outside the armed-telemetry branch because the
+  // flight recorder's anomaly triggers consume it too.
+  int64_t q_max = 0, q_min = INT64_MAX, q_sum = 0;
+  for (const auto& ws : shards_) {
+    q_max = std::max(q_max, ws->query_micros);
+    q_min = std::min(q_min, ws->query_micros);
+    q_sum += ws->query_micros;
+  }
+  const int64_t barrier_stall_us = q_min == INT64_MAX ? 0 : q_max - q_min;
+  const int64_t imbalance_bp =
+      q_sum > 0 ? (q_max * S - q_sum) * 10000 / q_sum : 0;
+  if (options_.recorder != nullptr) {
+    // Before the alloc-count capture below, so frame assembly is held to
+    // the same allocs_per_tick == 0 contract as the tick itself.
+    FlightRecorder::FrameInput fin;
+    fin.tick = tick_;
+    fin.stats = &last_;
+    fin.world = world_;
+    fin.barrier_stall_us = barrier_stall_us;
+    fin.imbalance_bp = imbalance_bp;
+    fin.cross_shard_records = static_cast<int64_t>(cross_records_);
+    options_.recorder->CaptureTick(fin);
+  }
   const AllocCounts alloc_after = AllocCountersNow();
   last_.allocs_per_tick = alloc_after.count - alloc_before.count;
   last_.bytes_per_tick = alloc_after.bytes - alloc_before.bytes;
@@ -477,14 +508,7 @@ Status ShardExecutor::RunTick() {
                              b.eval_us_per_outer[1], b.probe_us_per_outer[0],
                              b.probe_us_per_outer[1]);
     }
-    // Shard skew: slowest-minus-fastest B phase approximates the time the
-    // barrier sat waiting on the straggler; imbalance is (max/mean − 1) in
-    // basis points.
-    int64_t q_max = 0, q_min = INT64_MAX, q_sum = 0;
     for (const auto& ws : shards_) {
-      q_max = std::max(q_max, ws->query_micros);
-      q_min = std::min(q_min, ws->query_micros);
-      q_sum += ws->query_micros;
       tel->metrics().Record(tel->series().shard_query_us, ws->query_micros);
     }
     Telemetry::TickSample s;
@@ -494,9 +518,8 @@ Status ShardExecutor::RunTick() {
     s.update_us = last_.update_micros;
     s.probe_us = last_.probe_micros;
     s.job_wait_us = jobs_ != nullptr ? last_.job_wait_micros : -1;
-    s.barrier_stall_us = q_min == INT64_MAX ? 0 : q_max - q_min;
-    s.shard_imbalance_bp =
-        q_sum > 0 ? (q_max * S - q_sum) * 10000 / q_sum : 0;
+    s.barrier_stall_us = barrier_stall_us;
+    s.shard_imbalance_bp = imbalance_bp;
     s.cross_shard_records = static_cast<int64_t>(cross_records_);
     s.jobs_submitted = last_.jobs_submitted;
     s.jobs_installed = last_.jobs_installed;

@@ -142,6 +142,9 @@ class ShardExecutor {
   std::unique_ptr<VmProgramCache> vm_cache_;
   std::unique_ptr<JobService> jobs_;  ///< lazily created, see jobs()
   EffectTraceSink* trace_ = nullptr;
+  /// The flight recorder's capture sink for this tick; refreshed at tick
+  /// start (null when no recorder is attached or it is disarmed).
+  EffectTraceSink* recorder_sink_ = nullptr;
   Tick tick_ = 0;
   TickStats last_;
   bool initialized_ = false;

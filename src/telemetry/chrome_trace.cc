@@ -4,7 +4,11 @@
 // Mapping: pid = span track (0 = world/barrier thread, s+1 = shard s),
 // tid = lane index (one per recording thread), "X" complete events with
 // microsecond ts/dur, plus "M" metadata naming every process and thread.
-// Entirely off the hot path — allocates freely.
+// The per-tick counter ring renders as "C" counter events on pid 0 —
+// Perfetto draws each name (tick.total_us, shard.imbalance_bp,
+// jobs.in_flight) as its own counter lane over the timeline — and the
+// final metrics snapshot contributes one trailing "C" event per gauge and
+// per histogram p50. Entirely off the hot path — allocates freely.
 
 #include <algorithm>
 #include <cstdio>
@@ -77,6 +81,48 @@ std::string Telemetry::DumpChromeTrace() const {
                   static_cast<unsigned>(s.depth));
     emit(buf);
   }
+
+  // --- Counter lanes ("C" events) ---------------------------------------
+  auto emit_counter = [&](double ts_us, const char* name, long long value) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":%.3f,"
+                  "\"name\":\"%s\",\"args\":{\"value\":%lld}}",
+                  ts_us, name, value);
+    emit(buf);
+  };
+  // Per-tick samples from the counter ring (same wrapped-window read
+  // protocol as the span lanes: discard the possibly-torn oldest slot).
+  const uint64_t cc = counter_count_.load(std::memory_order_acquire);
+  const uint64_t ccap = counter_ring_.size();
+  const uint64_t cstart = cc > ccap ? cc - ccap + 1 : 0;
+  int64_t last_ts_ns = 0;
+  for (uint64_t i = cstart; i < cc; ++i) {
+    const CounterSample& s =
+        counter_ring_[static_cast<size_t>(i % ccap)];
+    const double ts_us = static_cast<double>(s.ts_ns) / 1000.0;
+    emit_counter(ts_us, "tick.total_us",
+                 static_cast<long long>(s.sample.total_us));
+    emit_counter(ts_us, "shard.imbalance_bp",
+                 static_cast<long long>(s.sample.shard_imbalance_bp));
+    emit_counter(ts_us, "jobs.in_flight",
+                 static_cast<long long>(s.sample.jobs_in_flight));
+    if (s.ts_ns > last_ts_ns) last_ts_ns = s.ts_ns;
+  }
+  // Final snapshot: every gauge, and every histogram's p50, once at the
+  // last sample's timestamp.
+  const MetricsSnapshot snap = metrics_.Snapshot();
+  const double tail_us = static_cast<double>(last_ts_ns) / 1000.0;
+  for (const auto& g : snap.gauges) {
+    std::string name = "gauge." + g.first;
+    emit_counter(tail_us, name.c_str(), static_cast<long long>(g.second));
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (h.count == 0) continue;
+    std::string name = h.name + ".p50";
+    emit_counter(tail_us, name.c_str(),
+                 static_cast<long long>(h.Percentile(50.0)));
+  }
+
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;
 }

@@ -1,0 +1,250 @@
+// FlightRecorder: a pooled ring of the last K ticks — "what just happened"
+// as data, not printf (§3.3: the engine must be able to explain its own
+// decisions and effects after the fact).
+//
+// Each ring frame holds one tick's
+//   * scalar stats (phase micros, job counters, txn stats — a TickStats
+//     subset, plus the sharded pipeline's stall/imbalance gauges),
+//   * per-site attribution rows (the SiteFeedback vector, pooled copy),
+//   * canonical effect records with provenance tags (site id, ⊕/intent
+//     order key, txn id, source rows, source shard) and each record's
+//     *resolved after-value* — the post-merge effect value or the
+//     post-write-back state value of the written field,
+//   * a wall-clock window (for span extraction into dumps).
+//
+// Capture path (armed): the executors fan every effect write into the
+// recorder's internal watch-all EffectTracer (pooled per-worker lanes);
+// at tick bookkeeping — before the executor reads the allocation counters,
+// so frame assembly is held to the allocs_per_tick == 0 contract — the
+// records drain into the current frame's pooled vector, sort with
+// TraceRecordCanonicalLess, and after-values resolve from the world.
+// Frames wrap-overwrite (newest wins) with eviction accounting; record
+// overflow within a frame truncates with drop accounting. Disarmed: one
+// branch per tick in the executor plus one null check per effect write.
+//
+// Black-box triggers: after each capture the trigger engine checks
+//   * tick time > anomaly_p95_factor × rolling p95 over the ring,
+//   * shard.imbalance_bp / barrier.stall_us thresholds,
+//   * any FaultInjector fire since the previous capture,
+//   * crash detected on restore (Engine::Restore → NotifyRestore),
+// and writes a self-contained dump (reason, Chrome trace of the ring
+// window, metrics snapshot, site table JSON, serialized provenance tail,
+// world checksum) through the fsync'd black-box writer with
+// CheckpointStore-style rotation (checkpoint_file.h). Dump writing is off
+// the steady-state contract — it allocates freely; a cooldown keeps a
+// sustained anomaly from flooding the store.
+//
+// The provenance tail and world checksum serialize only deterministic
+// content (no wall-clock), so a never-crashed run and a crash/recover run
+// over the same program produce byte-identical provenance sections — the
+// recovery differential the tests compare.
+//
+// Queries over the ring (WhyDidChange / ExplainTick) live in
+// src/telemetry/provenance.h; this class owns the data they read.
+
+#ifndef SGL_TELEMETRY_FLIGHT_RECORDER_H_
+#define SGL_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/debug/tracer.h"
+#include "src/exec/tick_executor.h"
+#include "src/schema/type.h"
+
+namespace sgl {
+
+class BlackBoxStore;
+class FaultInjector;
+class Telemetry;
+class World;
+
+/// Sizing and trigger knobs. Everything that can preallocate does so at
+/// construction; triggers default off (0 / false = disabled).
+struct FlightRecorderOptions {
+  /// Ring depth in ticks. Older frames are overwritten (evicted_frames()).
+  int ring_ticks = 16;
+  /// Per-frame record budget; beyond it records drop (dropped_records()).
+  size_t max_records_per_frame = 1 << 16;
+  /// Worker lanes of the internal capture tracer (threads beyond this drop).
+  int max_lanes = 64;
+
+  // --- Black-box triggers (0 / false = disabled) -------------------------
+  /// Fire when tick total µs exceeds `factor × p95` of the in-ring frames.
+  double anomaly_p95_factor = 0.0;
+  /// Frames required in the ring before the p95 trigger can fire.
+  int min_frames_for_anomaly = 8;
+  /// Fire when the sharded pipeline's imbalance gauge reaches this (bp).
+  int64_t imbalance_bp_threshold = 0;
+  /// Fire when the barrier stall gauge reaches this (µs).
+  int64_t barrier_stall_us_threshold = 0;
+  /// Fire when the attached FaultInjector's total_fires() advanced since
+  /// the previous capture.
+  bool dump_on_fault = false;
+  /// Fire from NotifyRestore (crash detected on restore).
+  bool dump_on_restore = false;
+  /// Minimum ticks between automatic dumps (suppressed_dumps() counts).
+  Tick dump_cooldown_ticks = 16;
+};
+
+/// One captured effect record plus its resolved after-value. `rec.value`
+/// is the *contribution* (the assigned/⊕-combined operand); `after_*` is
+/// the field's final value at end of tick — the merged effect value for
+/// query-phase records, the post-write-back state value for txn records.
+/// Set-typed after-values record the set's size, never a boxed EntitySet
+/// (the one Value variant whose copy can allocate).
+struct FrameRecord {
+  TraceRecord rec;
+  bool after_known = false;  ///< false: target despawned / row unresolvable
+  TypeKind after_kind = TypeKind::kNumber;
+  double after_num = 0.0;
+  EntityId after_ref = kNullEntity;
+  bool after_bool = false;
+  int64_t after_set_size = -1;
+};
+
+/// One ring slot: everything the recorder kept about one tick.
+struct TickFrame {
+  Tick tick = -1;      ///< -1: slot never written
+  uint64_t seq = 0;    ///< capture sequence (wrap generation)
+  int64_t begin_ns = 0, end_ns = 0;  ///< wall-clock window (Telemetry epoch)
+
+  // Scalar stats copied from TickStats (alloc counters excluded: they are
+  // read *after* capture, by design).
+  int64_t total_micros = 0;
+  int64_t query_effect_micros = 0;
+  int64_t merge_micros = 0;
+  int64_t update_micros = 0;
+  int64_t probe_micros = 0;
+  int64_t jobs_submitted = 0;
+  int64_t jobs_installed = 0;
+  int64_t jobs_in_flight = 0;
+  int64_t txn_issued = 0;
+  int64_t txn_committed = 0;
+  int64_t txn_aborted = 0;
+  /// Sharded-pipeline gauges (-1 / 0 under TickExecutor).
+  int64_t barrier_stall_us = -1;
+  int64_t imbalance_bp = 0;
+  int64_t cross_shard_records = 0;
+
+  /// Per-site attribution rows (pooled copy of TickStats::sites).
+  std::vector<SiteFeedback> sites;
+  size_t num_sites = 0;  ///< used prefix of `sites`
+
+  /// Canonically sorted records; `num_records` is the used prefix (the
+  /// vector is pooled and never shrinks).
+  std::vector<FrameRecord> records;
+  size_t num_records = 0;
+  int64_t dropped_records = 0;  ///< truncated past max_records_per_frame
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(
+      const FlightRecorderOptions& options = FlightRecorderOptions());
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Armed = capture; disarmed = executors see a null sink. Flip between
+  /// ticks. World checksums are bit-identical armed vs disarmed — capture
+  /// only observes.
+  bool armed() const { return armed_; }
+  void set_armed(bool on) { armed_ = on; }
+
+  /// Optional attachments (borrowed; must outlive the recorder).
+  /// Telemetry feeds the dump's Chrome trace / metrics / site sections;
+  /// the fault injector feeds the dump_on_fault trigger; the store
+  /// receives the dumps (no store = triggers evaluate but write nothing,
+  /// still counted in dumps_suppressed()).
+  void set_telemetry(Telemetry* tel) { tel_ = tel; }
+  void set_fault(FaultInjector* fault);
+  void AttachStore(BlackBoxStore* store) { store_ = store; }
+
+  /// The effect-write sink the executors fan into this tick (null when
+  /// disarmed — the executors re-read this every tick).
+  EffectTraceSink* capture_sink() {
+    return armed_ ? static_cast<EffectTraceSink*>(&tracer_) : nullptr;
+  }
+
+  /// One tick's capture input, filled by the executor at bookkeeping time.
+  struct FrameInput {
+    Tick tick = 0;
+    const TickStats* stats = nullptr;
+    const World* world = nullptr;
+    /// Sharded pipeline only; TickExecutor leaves the defaults.
+    int64_t barrier_stall_us = -1;
+    int64_t imbalance_bp = 0;
+    int64_t cross_shard_records = 0;
+  };
+
+  /// Seals the current tick into a ring frame (drain + canonical sort +
+  /// after-value resolution), then evaluates the dump triggers.
+  /// Allocation-free at the high-water mark. No-op when disarmed.
+  void CaptureTick(const FrameInput& in);
+
+  /// Crash-recovery notification (Engine::Restore). Records the restore
+  /// tick and, with dump_on_restore set, writes a "crash.restore" dump.
+  void NotifyRestore(Tick tick, const World* world);
+
+  /// Writes a dump now, regardless of triggers and cooldown (tests,
+  /// operator request). Allocates freely. Fails when no store is attached.
+  Status DumpNow(const std::string& reason, Tick tick, const World* world);
+
+  // --- Ring access (provenance queries, tests) ---------------------------
+  /// Frame holding tick `t`; nullptr when evicted or never captured.
+  const TickFrame* frame(Tick t) const;
+  /// Oldest / newest captured tick still in the ring (-1 when empty).
+  Tick oldest_tick() const;
+  Tick newest_tick() const;
+  int ring_ticks() const { return static_cast<int>(ring_.size()); }
+  const FlightRecorderOptions& options() const { return options_; }
+
+  /// Deterministic serialization of every in-ring frame's records
+  /// (oldest → newest): the dump's provenance section. binio format, no
+  /// wall-clock content.
+  void SerializeProvenanceTail(std::string* out) const;
+
+  // --- Accounting --------------------------------------------------------
+  int64_t frames_captured() const { return frames_captured_; }
+  int64_t evicted_frames() const {
+    const int64_t n = frames_captured_ - static_cast<int64_t>(ring_.size());
+    return n > 0 ? n : 0;
+  }
+  int64_t dropped_records() const { return dropped_records_total_; }
+  int64_t dumps_written() const { return dumps_written_; }
+  int64_t dumps_suppressed() const { return dumps_suppressed_; }
+  /// Reason string of the most recent trigger ("" when none fired yet).
+  const std::string& last_trigger() const { return last_trigger_; }
+
+ private:
+  void ResolveAfterValues(TickFrame* frame, const World& world);
+  /// Evaluates triggers for the just-captured frame; returns the reason
+  /// ("" = none).
+  const char* EvaluateTriggers(const TickFrame& frame);
+  void TriggerDump(const char* reason, Tick tick, const World* world);
+
+  FlightRecorderOptions options_;
+  bool armed_ = false;
+  Telemetry* tel_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+  BlackBoxStore* store_ = nullptr;
+
+  EffectTracer tracer_;  ///< watch-all capture sink (pooled worker lanes)
+  std::vector<TickFrame> ring_;
+  int64_t frames_captured_ = 0;
+  int64_t dropped_records_total_ = 0;
+  int64_t dumps_written_ = 0;
+  int64_t dumps_suppressed_ = 0;
+  Tick last_dump_tick_ = -1;
+  int64_t last_fault_fires_ = 0;
+  std::string last_trigger_;
+  std::vector<int64_t> p95_scratch_;  ///< pre-reserved rolling-p95 buffer
+  Tick restored_at_ = -1;  ///< last NotifyRestore tick (-1 = never)
+};
+
+}  // namespace sgl
+
+#endif  // SGL_TELEMETRY_FLIGHT_RECORDER_H_

@@ -151,6 +151,24 @@ void MetricsRegistry::Record(MetricId id, int64_t value) {
   }
 }
 
+void MetricsRegistry::Reset() {
+  for (const auto& c : counters_) {
+    c->value.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& g : gauges_) {
+    g->value.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& h : histograms_) {
+    h->count.store(0, std::memory_order_relaxed);
+    h->sum.store(0, std::memory_order_relaxed);
+    h->min.store(std::numeric_limits<int64_t>::max(),
+                 std::memory_order_relaxed);
+    h->max.store(std::numeric_limits<int64_t>::min(),
+                 std::memory_order_relaxed);
+    for (auto& b : h->buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot out;
   out.counters.reserve(counters_.size());

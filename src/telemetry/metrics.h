@@ -126,6 +126,12 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Zeroes every registered cell (counters/gauges to 0, histograms to
+  /// empty) while keeping registrations and MetricIds valid — phase
+  /// boundaries in benchmarks reset between phases instead of rebuilding
+  /// the registry. Quiescent-point API: no concurrent recording.
+  void Reset();
+
  private:
   struct CounterCell {
     std::string name;

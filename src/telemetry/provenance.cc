@@ -1,0 +1,228 @@
+#include "src/telemetry/provenance.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sgl {
+
+namespace {
+
+/// (target, field) key of a frame record — the index's sort key.
+struct RecKey {
+  EntityId target;
+  FieldIdx field;
+};
+
+bool KeyLess(const RecKey& a, const RecKey& b) {
+  if (a.target != b.target) return a.target < b.target;
+  return a.field < b.field;
+}
+
+RecKey KeyOf(const FrameRecord& fr) {
+  return RecKey{fr.rec.target, fr.rec.field};
+}
+
+ProvValue AfterOf(const FrameRecord& fr) {
+  ProvValue v;
+  v.known = fr.after_known;
+  v.kind = fr.after_kind;
+  v.num = fr.after_num;
+  v.b = fr.after_bool;
+  v.ref = fr.after_ref;
+  v.set_size = fr.after_set_size;
+  return v;
+}
+
+ProvStep StepOf(const FrameRecord& fr) {
+  const TraceRecord& r = fr.rec;
+  ProvStep s;
+  s.tick = r.tick;
+  s.site = r.prov.site;
+  s.assign_id = r.assign_id;
+  s.order_key = r.order_key;
+  s.is_txn = r.prov.txn >= 0;
+  s.txn = r.prov.txn;
+  s.src_shard = r.prov.src_shard;
+  s.src_outer = r.prov.src_outer;
+  s.src_inner = r.prov.src_inner;
+  s.contrib_kind = r.value.kind();
+  switch (s.contrib_kind) {
+    case ValueKind::kNumber:
+      s.contrib_num = r.value.AsNumber();
+      break;
+    case ValueKind::kBool:
+      s.contrib_bool = r.value.AsBool();
+      break;
+    case ValueKind::kRef:
+      s.contrib_ref = r.value.AsRef();
+      break;
+    case ValueKind::kSet:
+      s.contrib_set_size = static_cast<int64_t>(r.value.AsSet().size());
+      break;
+  }
+  return s;
+}
+
+/// [lo, hi) positions of `perm` whose records match (entity, field).
+std::pair<size_t, size_t> EqualRun(const TickFrame& f,
+                                   const std::vector<uint32_t>& perm,
+                                   EntityId entity, FieldIdx field) {
+  const RecKey want{entity, field};
+  const auto lo = std::lower_bound(
+      perm.begin(), perm.end(), want,
+      [&](uint32_t pos, const RecKey& k) {
+        return KeyLess(KeyOf(f.records[pos]), k);
+      });
+  const auto hi = std::upper_bound(
+      lo, perm.end(), want, [&](const RecKey& k, uint32_t pos) {
+        return KeyLess(k, KeyOf(f.records[pos]));
+      });
+  return {static_cast<size_t>(lo - perm.begin()),
+          static_cast<size_t>(hi - perm.begin())};
+}
+
+}  // namespace
+
+const char* ProvStatusName(ProvStatus s) {
+  switch (s) {
+    case ProvStatus::kOk: return "ok";
+    case ProvStatus::kEvicted: return "evicted";
+    case ProvStatus::kNotRecorded: return "not-recorded";
+    case ProvStatus::kTruncated: return "truncated";
+    case ProvStatus::kNoWrites: return "no-writes";
+  }
+  return "?";
+}
+
+ProvenanceIndex::ProvenanceIndex(const FlightRecorder* recorder)
+    : rec_(recorder) {
+  cache_.resize(static_cast<size_t>(rec_->ring_ticks()));
+}
+
+ProvStatus ProvenanceIndex::ClassifyMiss(Tick tick) const {
+  const Tick oldest = rec_->oldest_tick();
+  if (oldest >= 0 && tick < oldest) return ProvStatus::kEvicted;
+  return ProvStatus::kNotRecorded;
+}
+
+const ProvenanceIndex::FrameIndex* ProvenanceIndex::IndexFor(
+    const TickFrame** frame_out, Tick tick, ProvStatus* status) const {
+  const TickFrame* f = rec_->frame(tick);
+  if (f == nullptr) {
+    *status = ClassifyMiss(tick);
+    *frame_out = nullptr;
+    return nullptr;
+  }
+  *frame_out = f;
+  FrameIndex& slot = cache_[static_cast<size_t>(f->seq) % cache_.size()];
+  if (slot.seq != f->seq || slot.tick != f->tick) {
+    slot.seq = f->seq;
+    slot.tick = f->tick;
+    slot.perm.resize(f->num_records);
+    std::iota(slot.perm.begin(), slot.perm.end(), 0u);
+    // The frame is already canonically sorted, so a stable sort by
+    // (target, field) leaves every equal run in canonical chain order.
+    std::stable_sort(slot.perm.begin(), slot.perm.end(),
+                     [f](uint32_t a, uint32_t b) {
+                       return KeyLess(KeyOf(f->records[a]),
+                                      KeyOf(f->records[b]));
+                     });
+  }
+  *status = ProvStatus::kOk;
+  return &slot;
+}
+
+WhyResult ProvenanceIndex::WhyDidChange(EntityId entity, FieldIdx field,
+                                        Tick tick) const {
+  WhyResult out;
+  out.entity = entity;
+  out.field = field;
+  out.tick = tick;
+  const TickFrame* f = nullptr;
+  ProvStatus st = ProvStatus::kOk;
+  const FrameIndex* idx = IndexFor(&f, tick, &st);
+  if (idx == nullptr) {
+    out.status = st;
+    return out;
+  }
+  const auto run = EqualRun(*f, idx->perm, entity, field);
+  if (run.first == run.second) {
+    out.status = f->dropped_records > 0 ? ProvStatus::kTruncated
+                                        : ProvStatus::kNoWrites;
+    return out;
+  }
+  out.status = f->dropped_records > 0 ? ProvStatus::kTruncated
+                                      : ProvStatus::kOk;
+  out.steps.reserve(run.second - run.first);
+  for (size_t i = run.first; i < run.second; ++i) {
+    out.steps.push_back(StepOf(f->records[idx->perm[i]]));
+  }
+  out.after = AfterOf(f->records[idx->perm[run.second - 1]]);
+  // Before-value: the latest earlier in-ring frame that wrote the same
+  // (entity, field). In-ring frames are contiguous in tick, so the walk
+  // stops at the first missing frame.
+  const Tick oldest = rec_->oldest_tick();
+  for (Tick t = tick - 1; t >= oldest && t >= 0; --t) {
+    const TickFrame* g = nullptr;
+    ProvStatus gst = ProvStatus::kOk;
+    const FrameIndex* gidx = IndexFor(&g, t, &gst);
+    if (gidx == nullptr) break;
+    const auto grun = EqualRun(*g, gidx->perm, entity, field);
+    if (grun.first == grun.second) continue;
+    out.before = AfterOf(g->records[gidx->perm[grun.second - 1]]);
+    break;
+  }
+  return out;
+}
+
+ExplainResult ProvenanceIndex::ExplainTick(Tick tick) const {
+  ExplainResult out;
+  out.tick = tick;
+  const TickFrame* f = rec_->frame(tick);
+  if (f == nullptr) {
+    out.status = ClassifyMiss(tick);
+    return out;
+  }
+  out.status = f->dropped_records > 0 ? ProvStatus::kTruncated
+                                      : ProvStatus::kOk;
+  out.total_micros = f->total_micros;
+  out.query_effect_micros = f->query_effect_micros;
+  out.merge_micros = f->merge_micros;
+  out.update_micros = f->update_micros;
+  out.probe_micros = f->probe_micros;
+  out.barrier_stall_us = f->barrier_stall_us;
+  out.imbalance_bp = f->imbalance_bp;
+  out.cross_shard_records = f->cross_shard_records;
+  out.txn_issued = f->txn_issued;
+  out.txn_committed = f->txn_committed;
+  out.txn_aborted = f->txn_aborted;
+  out.num_records = static_cast<int64_t>(f->num_records);
+  out.dropped_records = f->dropped_records;
+
+  auto row_for = [&out](int site) -> ExplainSiteRow& {
+    for (ExplainSiteRow& r : out.sites) {
+      if (r.site == site) return r;
+    }
+    out.sites.emplace_back();
+    out.sites.back().site = site;
+    return out.sites.back();
+  };
+  for (size_t i = 0; i < f->num_sites; ++i) {
+    const SiteFeedback& fb = f->sites[i];
+    ExplainSiteRow& r = row_for(fb.site);
+    r.micros += fb.micros;
+    r.outer_rows += fb.outer_rows;
+    r.matches += fb.matches;
+    r.effects += fb.effects;
+  }
+  for (size_t i = 0; i < f->num_records; ++i) {
+    ++row_for(f->records[i].rec.prov.site).records;
+  }
+  std::sort(out.sites.begin(), out.sites.end(),
+            [](const ExplainSiteRow& a, const ExplainSiteRow& b) {
+              return a.site < b.site;
+            });
+  return out;
+}
+
+}  // namespace sgl

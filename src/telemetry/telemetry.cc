@@ -46,6 +46,8 @@ Telemetry::Telemetry(const TelemetryOptions& options) : options_(options) {
     lane.mask_ = ring - 1;
   }
   NowNs();  // pin the process epoch before any worker races the init
+  counter_ring_.resize(static_cast<size_t>(
+      options_.counter_samples > 0 ? options_.counter_samples : 1));
 
   std_.tick_total_us = metrics_.RegisterHistogram("tick.total_us");
   std_.tick_query_us = metrics_.RegisterHistogram("tick.query_us");
@@ -161,6 +163,15 @@ void Telemetry::RecordTick(const TickSample& s) {
   }
   metrics_.Set(std_.jobs_in_flight, s.jobs_in_flight);
   metrics_.Set(std_.vm_programs, s.vm_programs);
+  // Counter-sample ring (single writer: the barrier thread). Slot write,
+  // then a release publish of the count — the exporter's read protocol
+  // mirrors the span lanes.
+  const uint64_t i = counter_count_.load(std::memory_order_relaxed);
+  CounterSample& slot = counter_ring_[static_cast<size_t>(
+      i % counter_ring_.size())];
+  slot.ts_ns = NowNs();
+  slot.sample = s;
+  counter_count_.store(i + 1, std::memory_order_release);
 }
 
 void Telemetry::EnsureSites(int num_sites) {
@@ -245,6 +256,37 @@ std::string Telemetry::DescribeSites() const {
         s.probe_us_per_outer[1], static_cast<long long>(s.decisions));
     out += line;
   }
+  return out;
+}
+
+std::string Telemetry::DescribeSitesJson() const {
+  std::string out = "[";
+  char line[512];
+  bool first = true;
+  for (const SiteSeries& s : sites_) {
+    if (s.site < 0) continue;
+    std::snprintf(
+        line, sizeof(line),
+        "{\"site\":%d,\"strategy\":\"%s\",\"ticks\":%lld,\"us\":%lld,"
+        "\"probe_us\":%lld,\"outer\":%lld,\"cand\":%lld,\"match\":%lld,"
+        "\"effects\":%lld,\"eval\":\"%s\",\"probe\":\"%s\","
+        "\"beliefs\":{\"eval\":[%.3f,%.3f],\"probe\":[%.3f,%.3f]},"
+        "\"switches\":%lld}",
+        s.site, s.strategy != nullptr ? s.strategy : "?",
+        static_cast<long long>(s.ticks), static_cast<long long>(s.micros),
+        static_cast<long long>(s.probe_micros),
+        static_cast<long long>(s.outer_rows),
+        static_cast<long long>(s.candidates),
+        static_cast<long long>(s.matches),
+        static_cast<long long>(s.effects), s.last_eval_vm ? "vm" : "interp",
+        s.last_probe_batched ? "batched" : "single", s.eval_us_per_outer[0],
+        s.eval_us_per_outer[1], s.probe_us_per_outer[0],
+        s.probe_us_per_outer[1], static_cast<long long>(s.decisions));
+    if (!first) out += ',';
+    first = false;
+    out += line;
+  }
+  out += "]";
   return out;
 }
 

@@ -177,6 +177,9 @@ struct TelemetryOptions {
   size_t ring_spans = 4096;
   /// Decision-history ring length per site (recorded on change).
   int site_history = 16;
+  /// Per-tick counter-sample ring length (the "ph":"C" counter lanes in
+  /// DumpChromeTrace). Overflow wraps, newest samples win.
+  int counter_samples = 256;
 };
 
 /// One strategy/backend decision (recorded when it differs from the
@@ -290,6 +293,12 @@ class Telemetry {
   };
   void RecordTick(const TickSample& s);
 
+  /// One timestamped TickSample of the counter ring (exporter reads).
+  struct CounterSample {
+    int64_t ts_ns = 0;
+    TickSample sample;
+  };
+
   // --- Per-site attribution (barrier thread only) -----------------------
   /// Pre-sizes the site table (executor constructors; allocates).
   void EnsureSites(int num_sites);
@@ -306,6 +315,9 @@ class Telemetry {
   const std::vector<SiteSeries>& sites() const { return sites_; }
   /// Human-readable per-site table (off hot path).
   std::string DescribeSites() const;
+  /// Machine-readable variant: a JSON array, one object per site, same
+  /// fields as the text table (off hot path).
+  std::string DescribeSitesJson() const;
 
  private:
   SpanLane* BindLane();
@@ -319,6 +331,11 @@ class Telemetry {
   std::atomic<int> next_lane_{0};
   std::atomic<int64_t> dropped_threads_{0};
   std::vector<SiteSeries> sites_;
+  /// Counter-sample ring: single-writer (the barrier thread, via
+  /// RecordTick) with a release-published count, SpanLane-style; the
+  /// exporter reads the published window. Sized at construction.
+  std::vector<CounterSample> counter_ring_;
+  std::atomic<uint64_t> counter_count_{0};
 };
 
 /// RAII span. Constructing against a null Telemetry* costs one branch;

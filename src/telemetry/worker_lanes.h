@@ -17,10 +17,13 @@
 //     records; they are expected to run at a quiescent point (the tick
 //     barrier) for a complete view.
 //   * Clear() must run quiesced (no concurrent appends).
-//   * One live WorkerLanes per Record type per thread at a time: the
-//     thread-local binding is keyed per instance, and a thread that
-//     alternates between two live instances burns a fresh lane index per
-//     switch. Engine usage (one tracer, bound workers) never does this.
+//   * Up to kMaxLiveInstances live WorkerLanes per Record type per thread:
+//     the thread-local binding caches that many (instance, lane) pairs, so
+//     a user EffectTracer and the flight recorder's internal tracer can
+//     both be armed without burning lane indexes on every alternation. A
+//     thread alternating among *more* live instances evicts round-robin
+//     and burns a fresh lane index per re-bind. Engine usage never does
+//     this.
 //   * Threads beyond `max_lanes` drop their records (dropped() counts).
 
 #ifndef SGL_TELEMETRY_WORKER_LANES_H_
@@ -94,9 +97,17 @@ class WorkerLanes {
     std::vector<Record> records;
     std::atomic<size_t> count{0};
   };
+  /// Live instances one thread can record into without re-binding (see
+  /// header contract). 2 covers the engine's worst case (user tracer +
+  /// flight-recorder tracer); 4 leaves headroom for tests.
+  static constexpr int kMaxLiveInstances = 4;
   struct Binding {
     uint64_t owner = 0;
     Lane* lane = nullptr;
+  };
+  struct Bindings {
+    Binding entries[kMaxLiveInstances];
+    int next_evict = 0;
   };
 
   static uint64_t NextInstanceId() {
@@ -105,14 +116,27 @@ class WorkerLanes {
   }
 
   Lane* LaneForThread() {
-    static thread_local Binding tls;  // one per (Record type, thread)
-    if (tls.owner == instance_id_) return tls.lane;
+    static thread_local Bindings tls;  // per (Record type, thread)
+    for (const Binding& b : tls.entries) {
+      if (b.owner == instance_id_) return b.lane;
+    }
     const int idx = next_lane_.fetch_add(1, std::memory_order_relaxed);
-    tls.owner = instance_id_;
-    tls.lane = idx < static_cast<int>(lanes_.size())
-                   ? &lanes_[static_cast<size_t>(idx)]
-                   : nullptr;
-    return tls.lane;
+    Binding* slot = nullptr;
+    for (Binding& b : tls.entries) {
+      if (b.owner == 0) {
+        slot = &b;
+        break;
+      }
+    }
+    if (slot == nullptr) {  // all occupied (likely by dead instances): rotate
+      slot = &tls.entries[tls.next_evict];
+      tls.next_evict = (tls.next_evict + 1) % kMaxLiveInstances;
+    }
+    slot->owner = instance_id_;
+    slot->lane = idx < static_cast<int>(lanes_.size())
+                     ? &lanes_[static_cast<size_t>(idx)]
+                     : nullptr;
+    return slot->lane;
   }
 
   std::vector<Lane> lanes_;  ///< sized once (atomics are not movable)

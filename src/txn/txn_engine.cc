@@ -212,6 +212,27 @@ void TxnEngine::ApplyUpdate(World* world) {
       ++last_tick_.aborted;
     } else {
       ++last_tick_.committed;
+      if (prov_sink_ != nullptr) {
+        // Provenance for the flight recorder: one event per committed
+        // write, tagged with the intent's order key as the txn id. The
+        // value is the write's *contribution* (delta / inserted element /
+        // new ref), not the folded overlay state; field indexes are in
+        // state-field space (prov.txn >= 0 marks the namespace).
+        EffectProv prov;
+        prov.site = static_cast<int32_t>(intent.order_key >> 32);
+        prov.src_shard = static_cast<int32_t>(ref.shard);
+        prov.src_outer = intent.issuer;
+        prov.txn = static_cast<int64_t>(intent.order_key);
+        for (uint32_t wi = 0; wi < intent.num_writes; ++wi) {
+          const TxnResolvedWrite& w = writes[wi];
+          const Value v = w.op == TxnWriteOp::kAddDelta
+                              ? Value::Number(w.num)
+                              : Value::Ref(w.ref);
+          prov_sink_->OnEffectAssign(fault_tick_, w.target, w.cls, w.field,
+                                     v, static_cast<int>(wi),
+                                     intent.order_key, prov);
+        }
+      }
     }
 
     // Report status to the issuer (1 committed / 0 aborted).

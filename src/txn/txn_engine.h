@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/debug/trace.h"
 #include "src/lang/compiler.h"
 #include "src/ra/eval.h"
 #include "src/storage/world.h"
@@ -137,6 +138,13 @@ class TxnEngine {
   void set_fault(FaultInjector* fault) { fault_ = fault; }
   /// The tick admission rolls against (set by the executor each tick).
   void set_fault_tick(Tick tick) { fault_tick_ = tick; }
+  /// Provenance sink for committed writes (the flight recorder's capture
+  /// path; null = off). Each committed intent reports one event per
+  /// resolved write, tagged with the intent's order key as `prov.txn` —
+  /// the "which transaction wrote this state field" half of
+  /// WhyDidChange. Admission is single-threaded (update phase), so the
+  /// sink sees barrier-thread calls only. Set by the executor per tick.
+  void set_prov_sink(EffectTraceSink* sink) { prov_sink_ = sink; }
   /// True exactly once after an injected mid-admission crash: admission
   /// stopped partway, committed overlay values were still written back
   /// (a deliberately torn update), and unprocessed issuers kept status -1.
@@ -176,6 +184,7 @@ class TxnEngine {
 
   const CompiledProgram* program_;
   FaultInjector* fault_ = nullptr;
+  EffectTraceSink* prov_sink_ = nullptr;
   Tick fault_tick_ = 0;
   bool injected_crash_ = false;
   std::vector<TxnIntentLog> shards_;
